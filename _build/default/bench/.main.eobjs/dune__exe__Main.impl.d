@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Hashtbl List Measure Printf Queries Staged String Sys Test Time Timing Toolkit Xq Xq_workload

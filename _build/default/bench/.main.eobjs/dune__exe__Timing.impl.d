@@ -1,0 +1,1 @@
+bench/timing.ml: Int64 List Monotonic_clock Printf

@@ -1,0 +1,317 @@
+(* Benchmark harness reproducing the paper's evaluation (Section 6) and
+   the ablations listed in DESIGN.md §4.
+
+   Usage:
+     dune exec bench/main.exe                  — all experiments (default sizes)
+     dune exec bench/main.exe -- table1        — print the Table 1 templates
+     dune exec bench/main.exe -- figure6       — the speedup chart data
+     dune exec bench/main.exe -- ablation-rewrite   — naive vs rewritten vs explicit
+     dune exec bench/main.exe -- ablation-equality  — hash vs using-function grouping
+     dune exec bench/main.exe -- ablation-window    — Q8: nests vs plain vs window clause
+     dune exec bench/main.exe -- ablation-olap      — Q11 rollup / Q12 cube scaling
+     dune exec bench/main.exe -- ablation-counts    — the §3.1 count optimization
+     dune exec bench/main.exe -- ablation-index     — element-name index (off in §6)
+     dune exec bench/main.exe -- ablation-algebra   — plan-layer overhead
+     dune exec bench/main.exe -- bechamel      — bechamel OLS run of the six pairs
+     dune exec bench/main.exe -- figure6 --full    — larger sweep (slow)
+
+   Absolute numbers are engine- and machine-specific; the paper's claim
+   is the *shape*: t(Q)/t(Qgb) grows with the number of groups because
+   the implicit-grouping query rescans the input once per group. *)
+
+let lineitems_default = 8_000
+
+let parse_flags () =
+  let args = Array.to_list Sys.argv in
+  let full = List.mem "--full" args in
+  let cmds =
+    List.filter
+      (fun a -> a <> Sys.argv.(0) && not (String.length a > 1 && a.[0] = '-'))
+      args
+  in
+  (cmds, full)
+
+let orders_doc ?(tax_card = Xq_workload.Orders.default.Xq_workload.Orders.tax_card)
+    lineitems =
+  let p =
+    Xq_workload.Orders.(
+      with_lineitems lineitems { default with tax_card })
+  in
+  Xq_workload.Orders.generate p
+
+let count_groups doc query =
+  List.length (Xq.run doc query)
+
+(* --- Table 1: the two query templates --------------------------------- *)
+
+let table1 () =
+  Timing.header "Table 1: query templates (as executed by this engine)";
+  Printf.printf "--- With explicit group by (Qgb), one element ---\n%s\n\n"
+    (Queries.qgb_one "a");
+  Printf.printf "--- Without explicit group by (Q), one element ---\n%s\n\n"
+    (Queries.q_one "a");
+  Printf.printf "--- With explicit group by (Qgb), two elements ---\n%s\n\n"
+    (Queries.qgb_two "a" "b");
+  Printf.printf "--- Without explicit group by (Q), two elements ---\n%s\n"
+    (Queries.q_two "a" "b");
+  (* sanity: both versions parse, check and agree on a small instance *)
+  let doc = orders_doc 200 in
+  List.iter
+    (fun (e : Queries.experiment) ->
+      let ngb = count_groups doc e.qgb and n = count_groups doc e.q in
+      Printf.printf "sanity %s (%s): %d groups (both versions: %b)\n%!" e.label
+        e.keys ngb (ngb = n))
+    Queries.experiments
+
+(* --- Figure (Section 6): speedup vs number of groups ------------------- *)
+
+let figure6 ~full () =
+  let sizes = if full then [ 8_000; 16_000; 32_000 ] else [ lineitems_default ] in
+  Timing.header
+    "Figure (Section 6): t(Q) / t(Qgb) — implicit vs explicit grouping";
+  Printf.printf
+    "%-4s %-26s %10s %10s %12s %12s %8s\n%!"
+    "qry" "grouping element(s)" "lineitems" "groups" "t(Q)" "t(Qgb)" "ratio";
+  let points = ref [] in
+  List.iter
+    (fun lineitems ->
+      let doc = orders_doc lineitems in
+      List.iter
+        (fun (e : Queries.experiment) ->
+          let groups = count_groups doc e.qgb in
+          let t_gb = Timing.measure_ms ~runs:3 (fun () -> Xq.run doc e.qgb) in
+          let t_q = Timing.measure_ms ~runs:2 (fun () -> Xq.run doc e.q) in
+          let ratio = t_q /. t_gb in
+          points := (groups, ratio) :: !points;
+          Printf.printf "%-4s %-26s %10d %10d %12s %12s %7.1fx\n%!" e.label
+            e.keys lineitems groups (Timing.fmt_ms t_q) (Timing.fmt_ms t_gb)
+            ratio)
+        Queries.experiments)
+    sizes;
+  (* extra X-axis points: raise the tax cardinality so the pair queries
+     produce more groups, as in the right-hand side of the paper's chart *)
+  let extra_cards = if full then [ 25; 50; 100 ] else [ 25; 50 ] in
+  List.iter
+    (fun tax_card ->
+      let lineitems = if full then lineitems_default else 4_000 in
+      let doc = orders_doc ~tax_card lineitems in
+      let e = List.nth Queries.experiments 5 (* (shipinstruct, tax) *) in
+      let groups = count_groups doc e.qgb in
+      let t_gb = Timing.measure_ms ~runs:3 (fun () -> Xq.run doc e.qgb) in
+      let t_q = Timing.measure_ms ~runs:2 (fun () -> Xq.run doc e.q) in
+      let ratio = t_q /. t_gb in
+      points := (groups, ratio) :: !points;
+      Printf.printf "%-4s %-26s %10d %10d %12s %12s %7.1fx\n%!" "Q5+"
+        (Printf.sprintf "(shipinstruct, tax=%d)" tax_card)
+        lineitems groups (Timing.fmt_ms t_q) (Timing.fmt_ms t_gb) ratio)
+    extra_cards;
+  let sorted = List.sort compare !points in
+  Printf.printf
+    "\nshape check (paper: ratio deteriorates as groups increase):\n";
+  List.iter
+    (fun (g, r) -> Printf.printf "  groups=%4d  ratio=%6.1fx\n" g r)
+    sorted;
+  let grows =
+    match sorted, List.rev sorted with
+    | (_, first) :: _, (_, last) :: _ -> last > first
+    | _ -> false
+  in
+  Printf.printf "ratio grows with group count: %b\n%!" grows
+
+(* --- Ablation A: the rewrite pass --------------------------------------- *)
+
+let ablation_rewrite () =
+  Timing.header
+    "Ablation A: naive implicit vs auto-rewritten vs hand-written explicit";
+  let doc = orders_doc lineitems_default in
+  List.iter
+    (fun (e : Queries.experiment) ->
+      let t_naive = Timing.measure_ms ~runs:2 (fun () -> Xq.run doc e.q) in
+      let t_rw = Timing.measure_ms ~runs:3 (fun () -> Xq.run_rewritten doc e.q) in
+      let t_gb = Timing.measure_ms ~runs:3 (fun () -> Xq.run doc e.qgb) in
+      Printf.printf
+        "%-4s %-26s naive=%10s rewritten=%10s explicit=%10s (rewrite speedup %.1fx)\n%!"
+        e.label e.keys (Timing.fmt_ms t_naive) (Timing.fmt_ms t_rw)
+        (Timing.fmt_ms t_gb) (t_naive /. t_rw))
+    Queries.experiments
+
+(* --- Ablation B: grouping equality --------------------------------------- *)
+
+let ablation_equality () =
+  Timing.header
+    "Ablation B: default deep-equal (hash) vs user set-equal (nested loop)";
+  List.iter
+    (fun books ->
+      let doc =
+        Xq_workload.Bibliography.(
+          generate { default with books; author_pool = 12; max_authors = 2 })
+      in
+      let t_hash =
+        Timing.measure_ms ~runs:3 (fun () -> Xq.run doc Queries.group_by_authors_default)
+      in
+      let t_scan =
+        Timing.measure_ms ~runs:2 (fun () ->
+            Xq.run doc Queries.group_by_authors_set_equal)
+      in
+      let groups_hash = count_groups doc Queries.group_by_authors_default in
+      let groups_scan = count_groups doc Queries.group_by_authors_set_equal in
+      Printf.printf
+        "books=%5d  hash(deep-equal)=%10s (%d groups)   scan(set-equal)=%10s (%d groups)  slowdown %.1fx\n%!"
+        books (Timing.fmt_ms t_hash) groups_hash (Timing.fmt_ms t_scan)
+        groups_scan (t_scan /. t_hash))
+    [ 250; 500; 1000 ]
+
+(* --- Ablation C: moving windows ------------------------------------------- *)
+
+let ablation_window () =
+  Timing.header
+    "Ablation C: Q8 moving window — nest…order by vs plain XQuery 1.0";
+  List.iter
+    (fun sales ->
+      let doc = Xq_workload.Sales.(generate { default with sales }) in
+      let t_nest =
+        Timing.measure_ms ~runs:3 (fun () -> Xq.run doc Queries.window_with_nest_order)
+      in
+      let t_plain =
+        Timing.measure_ms ~runs:2 (fun () -> Xq.run doc Queries.window_plain_xquery)
+      in
+      let t_wclause =
+        Timing.measure_ms ~runs:3 (fun () ->
+            Xq.run doc Queries.window_with_window_clause)
+      in
+      Printf.printf
+        "sales=%5d  nest-order-by=%10s   plain=%10s (%.1fx)   window-clause=%10s\n%!"
+        sales (Timing.fmt_ms t_nest) (Timing.fmt_ms t_plain)
+        (t_plain /. t_nest) (Timing.fmt_ms t_wclause))
+    [ 200; 400; 800 ]
+
+(* --- Ablation D: membership-function OLAP ----------------------------------- *)
+
+let ablation_olap () =
+  Timing.header "Ablation D: Section 5 rollup (Q11) and datacube (Q12)";
+  List.iter
+    (fun books ->
+      let doc =
+        Xq_workload.Bibliography.(
+          generate { default with books; with_categories = true })
+      in
+      let groups11 = count_groups doc Queries.rollup_q11 in
+      let t11 = Timing.measure_ms ~runs:3 (fun () -> Xq.run doc Queries.rollup_q11) in
+      let groups12 = count_groups doc Queries.cube_q12 in
+      let t12 = Timing.measure_ms ~runs:3 (fun () -> Xq.run doc Queries.cube_q12) in
+      Printf.printf
+        "books=%5d  Q11 rollup: %10s (%3d categories)   Q12 cube: %10s (%3d groupings)\n%!"
+        books (Timing.fmt_ms t11) groups11 (Timing.fmt_ms t12) groups12)
+    [ 200; 400; 800 ]
+
+(* --- Ablation E: the count optimization (Section 3.1) ----------------------- *)
+
+let ablation_counts () =
+  Timing.header
+    "Ablation E: count optimization — nest $litem vs nest literal 1";
+  List.iter
+    (fun lineitems ->
+      let doc = orders_doc lineitems in
+      let query = Xq.parse (Queries.qgb_one "shipmode") in
+      Xq.check query;
+      let optimized = Xq.Rewrite.Rewrite.optimize_counts_query query in
+      let t_plain =
+        Timing.measure_ms ~runs:3 (fun () -> Xq.run_query ~check:false doc query)
+      in
+      let t_opt =
+        Timing.measure_ms ~runs:3 (fun () ->
+            Xq.run_query ~check:false doc optimized)
+      in
+      Printf.printf
+        "lineitems=%6d  nest $litem=%10s   nest 1=%10s   speedup %.2fx\n%!"
+        lineitems (Timing.fmt_ms t_plain) (Timing.fmt_ms t_opt)
+        (t_plain /. t_opt))
+    [ 8_000; 16_000; 32_000 ]
+
+(* --- Ablation F: element-name indexes ---------------------------------------- *)
+
+let ablation_index () =
+  Timing.header
+    "Ablation F: //name via element-name index (paper: 'no indexes were used')";
+  let doc = orders_doc lineitems_default in
+  List.iter
+    (fun (e : Queries.experiment) ->
+      let t_scan = Timing.measure_ms ~runs:3 (fun () -> Xq.run doc e.qgb) in
+      let t_idx =
+        Timing.measure_ms ~runs:3 (fun () -> Xq.run ~use_index:true doc e.qgb)
+      in
+      let tq_scan = Timing.measure_ms ~runs:2 (fun () -> Xq.run doc e.q) in
+      let tq_idx =
+        Timing.measure_ms ~runs:2 (fun () -> Xq.run ~use_index:true doc e.q)
+      in
+      Printf.printf
+        "%-4s Qgb: scan=%9s indexed=%9s (%.1fx)   Q: scan=%9s indexed=%9s (%.1fx)\n%!"
+        e.label (Timing.fmt_ms t_scan) (Timing.fmt_ms t_idx) (t_scan /. t_idx)
+        (Timing.fmt_ms tq_scan) (Timing.fmt_ms tq_idx) (tq_scan /. tq_idx))
+    [ List.hd Queries.experiments; List.nth Queries.experiments 3 ]
+
+(* --- Ablation G: explicit algebra vs direct evaluation ----------------------- *)
+
+let ablation_algebra () =
+  Timing.header
+    "Ablation G: plan-compiled execution (Plan/Exec) vs direct evaluation";
+  let doc = orders_doc lineitems_default in
+  List.iter
+    (fun (e : Queries.experiment) ->
+      let query = Xq.parse e.qgb in
+      Xq.check query;
+      let t_direct =
+        Timing.measure_ms ~runs:3 (fun () -> Xq.run_query ~check:false doc query)
+      in
+      let t_algebra =
+        Timing.measure_ms ~runs:3 (fun () ->
+            Xq.Algebra.Exec.eval_query ~check:false ~context_node:doc query)
+      in
+      Printf.printf "%-4s %-26s direct=%10s algebra=%10s (overhead %.2fx)\n%!"
+        e.label e.keys (Timing.fmt_ms t_direct) (Timing.fmt_ms t_algebra)
+        (t_algebra /. t_direct))
+    Queries.experiments
+
+(* --- bechamel run of the six Qgb/Q pairs ------------------------------------- *)
+
+let bechamel_run () =
+  Timing.header "bechamel (OLS) estimates per run, six query pairs, 2K lineitems";
+  let open Bechamel in
+  let doc = orders_doc 2_000 in
+  let tests =
+    List.concat_map
+      (fun (e : Queries.experiment) ->
+        [ Test.make ~name:(e.label ^ "-Qgb") (Staged.stage (fun () -> Xq.run doc e.qgb));
+          Test.make ~name:(e.label ^ "-Q") (Staged.stage (fun () -> Xq.run doc e.q)) ])
+      Queries.experiments
+  in
+  let test = Test.make_grouped ~name:"section6" tests in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:30 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances test in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "%-24s %12.3f ms/run\n%!" name (est /. 1e6)
+      | _ -> Printf.printf "%-24s (no estimate)\n%!" name)
+    results
+
+let () =
+  let cmds, full = parse_flags () in
+  let all = cmds = [] in
+  let want name = all || List.mem name cmds in
+  if want "table1" then table1 ();
+  if want "figure6" then figure6 ~full ();
+  if want "ablation-rewrite" then ablation_rewrite ();
+  if want "ablation-equality" then ablation_equality ();
+  if want "ablation-window" then ablation_window ();
+  if want "ablation-olap" then ablation_olap ();
+  if want "ablation-counts" then ablation_counts ();
+  if want "ablation-index" then ablation_index ();
+  if want "ablation-algebra" then ablation_algebra ();
+  if (not all) && List.mem "bechamel" cmds then bechamel_run ();
+  Printf.printf "\nDone.\n%!"

@@ -1,0 +1,26 @@
+(* Wall-clock measurement helpers for the benchmark harness (bechamel's
+   monotonic clock; medians over repeated runs, one warm-up). *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let time_once f =
+  let t0 = now_ns () in
+  let r = f () in
+  let t1 = now_ns () in
+  (r, Int64.to_float (Int64.sub t1 t0) /. 1e6 (* ms *))
+
+(* One warm-up run, then the median of [runs] measurements. *)
+let measure_ms ?(runs = 3) f =
+  ignore (f ());
+  let samples = List.init runs (fun _ -> snd (time_once f)) in
+  let sorted = List.sort compare samples in
+  List.nth sorted (runs / 2)
+
+let fmt_ms ms =
+  if ms >= 1000.0 then Printf.sprintf "%.2fs" (ms /. 1000.0)
+  else Printf.sprintf "%.1fms" ms
+
+let header title =
+  Printf.printf "\n== %s ==\n%!" title
+
+let row fmt = Printf.printf fmt

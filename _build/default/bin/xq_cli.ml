@@ -1,0 +1,222 @@
+(* xq — command-line front end for the engine.
+
+     xq run query.xq --input data.xml [--rewrite] [--indent] [--time]
+     xq eval 'for $x in (1,2) return $x * 2'
+     xq check query.xq
+     xq plan query.xq [--rewrite]
+     xq gen orders --lineitems 8000 > orders.xml
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let with_errors f =
+  match f () with
+  | () -> 0
+  | exception Xq.Xdm.Xerror.Error (code, msg) ->
+    Printf.eprintf "error %s\n"
+      (Xq.Xdm.Xerror.to_message code msg);
+    1
+  | exception (Xq.Xml.Xml_parse.Parse_error _ as e) -> begin
+    match Xq.Xml.Xml_parse.error_to_string e with
+    | Some m -> Printf.eprintf "%s\n" m; 1
+    | None -> raise e
+  end
+
+(* --- arguments -------------------------------------------------------- *)
+
+let query_file =
+  let doc = "File containing the XQuery expression." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY" ~doc)
+
+let query_string =
+  let doc = "The XQuery expression itself." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPR" ~doc)
+
+let input_file =
+  let doc = "XML document to query (default: an empty document)." in
+  Arg.(value & opt (some file) None & info [ "i"; "input" ] ~docv:"FILE" ~doc)
+
+let rewrite_flag =
+  let doc = "Apply the implicit-group-by rewrite before evaluation." in
+  Arg.(value & flag & info [ "rewrite" ] ~doc)
+
+let indent_flag =
+  let doc = "Pretty-print the XML output." in
+  Arg.(value & flag & info [ "indent" ] ~doc)
+
+let time_flag =
+  let doc = "Report evaluation wall-clock time on stderr." in
+  Arg.(value & flag & info [ "time" ] ~doc)
+
+let load_input = function
+  | Some path -> Xq.load_file path
+  | None -> Xq.load_string "<empty/>"
+
+let run_common ~source ~input ~rewrite ~indent ~time =
+  with_errors (fun () ->
+      let doc = load_input input in
+      let query = Xq.parse source in
+      Xq.check query;
+      let query =
+        if rewrite then Xq.Rewrite.Rewrite.rewrite_query query else query
+      in
+      let t0 = Sys.time () in
+      let result = Xq.run_query ~check:false doc query in
+      let elapsed = (Sys.time () -. t0) *. 1000.0 in
+      print_endline (Xq.to_xml ~indent result);
+      if time then
+        Printf.eprintf "evaluated in %.1f ms (%d items)\n" elapsed
+          (Xq.length result))
+
+(* --- commands ----------------------------------------------------------- *)
+
+let run_cmd =
+  let action qf input rewrite indent time =
+    run_common ~source:(read_file qf) ~input ~rewrite ~indent ~time
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a query file against an XML document.")
+    Term.(
+      const action $ query_file $ input_file $ rewrite_flag $ indent_flag
+      $ time_flag)
+
+let eval_cmd =
+  let action expr input rewrite indent time =
+    run_common ~source:expr ~input ~rewrite ~indent ~time
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate a query given on the command line.")
+    Term.(
+      const action $ query_string $ input_file $ rewrite_flag $ indent_flag
+      $ time_flag)
+
+let check_cmd =
+  let action qf =
+    with_errors (fun () ->
+        Xq.check (Xq.parse (read_file qf));
+        print_endline "ok")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and statically check a query file.")
+    Term.(const action $ query_file)
+
+let optimize_counts_flag =
+  let doc = "Apply the count optimization (nest a literal 1 when the \
+             nesting variable is only counted)." in
+  Arg.(value & flag & info [ "optimize-counts" ] ~doc)
+
+let explain_flag =
+  let doc = "Print the evaluation plan instead of the query text." in
+  Arg.(value & flag & info [ "explain" ] ~doc)
+
+let plan_cmd =
+  let action qf rewrite optimize explain =
+    with_errors (fun () ->
+        let query = Xq.parse (read_file qf) in
+        Xq.check query;
+        let query =
+          if rewrite then Xq.Rewrite.Rewrite.rewrite_query query else query
+        in
+        let query =
+          if optimize then Xq.Rewrite.Rewrite.optimize_counts_query query
+          else query
+        in
+        if explain then print_string (Xq.Rewrite.Explain.query query)
+        else print_endline (Xq.Lang.Pretty.query query))
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:"Print the parsed (optionally rewritten) query back as XQuery, \
+             or its evaluation plan with --explain.")
+    Term.(const action $ query_file $ rewrite_flag $ optimize_counts_flag
+          $ explain_flag)
+
+let plan_optimize_flag =
+  let doc = "Run the logical plan optimizer before executing." in
+  Arg.(value & flag & info [ "optimize" ] ~doc)
+
+let profile_cmd =
+  let action qf input optimize =
+    with_errors (fun () ->
+        let doc = load_input input in
+        let query = Xq.parse (read_file qf) in
+        Xq.check query;
+        match query.Xq.Lang.Ast.body with
+        | Xq.Lang.Ast.Flwor f ->
+          let plan = Xq.Algebra.Plan.of_flwor f in
+          let plan =
+            if optimize then Xq.Algebra.Optimizer.optimize plan else plan
+          in
+          let ctx =
+            Xq.Engine.Context.with_focus
+              (Xq.Engine.Context.of_prolog query.Xq.Lang.Ast.prolog)
+              { Xq.Engine.Context.item = Xq.Xdm.Item.Node doc;
+                position = 1; size = 1 }
+          in
+          print_string (Xq.Algebra.Plan.to_string plan);
+          let result, stats = Xq.Algebra.Exec.run_profiled ctx plan in
+          Printf.printf "\n%-24s %10s %12s\n" "operator" "tuples" "cpu ms";
+          List.iter
+            (fun (s : Xq.Algebra.Exec.operator_stat) ->
+              Printf.printf "%-24s %10d %12.2f\n" s.Xq.Algebra.Exec.op_label
+                s.Xq.Algebra.Exec.tuples_out s.Xq.Algebra.Exec.elapsed_ms)
+            stats;
+          Printf.printf "\nresult: %d item(s)\n" (Xq.length result)
+        | _ ->
+          Printf.eprintf "profile: the query body must be a FLWOR expression\n")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Compile the query to a plan, execute it and report per-operator \
+             tuple counts and CPU time.")
+    Term.(const action $ query_file $ input_file $ plan_optimize_flag)
+
+let gen_cmd =
+  let workload =
+    let doc = "Workload: orders, sales or bibliography." in
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("orders", `Orders); ("sales", `Sales);
+                            ("bibliography", `Bib) ])) None
+      & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let size =
+    let doc = "Collection size (lineitems / sales / books)." in
+    Arg.(value & opt int 1000 & info [ "n"; "size" ] ~docv:"N" ~doc)
+  in
+  let seed =
+    let doc = "PRNG seed." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let action which size seed =
+    let node =
+      match which with
+      | `Orders ->
+        Xq_workload.Orders.(generate { (with_lineitems size default) with seed })
+      | `Sales -> Xq_workload.Sales.(generate { default with sales = size; seed })
+      | `Bib ->
+        Xq_workload.Bibliography.(
+          generate { default with books = size; with_categories = true; seed })
+    in
+    print_endline (Xq.Xml.Serialize.node node);
+    0
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic workload document on stdout.")
+    Term.(const action $ workload $ size $ seed)
+
+let () =
+  let info =
+    Cmd.info "xq" ~version:"1.0.0"
+      ~doc:
+        "An XQuery engine with the SIGMOD 2005 analytics extensions \
+         (group by / nest / using / return at)."
+  in
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; eval_cmd; check_cmd; plan_cmd; profile_cmd; gen_cmd ]))

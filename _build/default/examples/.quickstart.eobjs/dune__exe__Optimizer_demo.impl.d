@@ -1,0 +1,1 @@
+examples/optimizer_demo.ml: Printf Sys Xq Xq_workload

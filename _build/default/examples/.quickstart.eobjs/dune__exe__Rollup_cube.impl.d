@@ -1,0 +1,1 @@
+examples/rollup_cube.ml: List Printf Xq Xq_workload

@@ -1,0 +1,1 @@
+examples/rollup_cube.mli:

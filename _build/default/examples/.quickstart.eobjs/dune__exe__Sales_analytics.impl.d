@@ -1,0 +1,1 @@
+examples/sales_analytics.ml: List Printf Xq Xq_workload

@@ -1,0 +1,101 @@
+(* Sales analytics: the paper's Section 2/3/4 OLAP-style queries on a
+   generated sales feed — multi-level aggregation (Q3), moving-window
+   aggregation over ordered nests (Q8), and ranked monthly reports
+   combining grouping with output numbering (Q10).
+
+   Run with:  dune exec examples/sales_analytics.exe *)
+
+(* Q3: for each year and state, compare state sales to the sales of the
+   region containing the state. Two grouping levels: an outer group by
+   (region, year) whose nest feeds an inner group by state. *)
+let q3 =
+  {|for $s in //sale
+    group by $s/region into $region,
+             year-from-dateTime($s/timestamp) into $year
+    nest $s into $region-sales
+    let $region-sum := sum( $region-sales/(quantity * price) )
+    order by $year, $region
+    return
+      for $s in $region-sales
+      group by $s/state into $state
+      nest $s into $state-sales
+      let $state-sum := sum( $state-sales/(quantity * price) )
+      order by $state
+      return
+        <summary>
+          <year>{$year}</year>{$region, $state}
+          <state-sales>{$state-sum}</state-sales>
+          <region-sales>{$region-sum}</region-sales>
+          <state-percentage>{round($state-sum * 100 div $region-sum)}</state-percentage>
+        </summary>|}
+
+(* Q8: within each region, order sales by timestamp, then for each sale
+   report the total of the previous ten sales — the moving window falls
+   out of `nest … order by` plus positional variables. *)
+let q8 =
+  {|for $s in //sale
+    group by $s/region into $region
+    nest $s order by $s/timestamp into $rs
+    order by string($region)
+    return
+      <region name="{string($region)}" sales="{count($rs)}">
+        {for $s1 at $i in $rs
+         where $i <= 3
+         return
+           <sale>
+             {$s1/timestamp}
+             <sale-amount>{$s1/quantity * $s1/price}</sale-amount>
+             <previous-ten-sales>
+               {sum(for $s2 at $j in $rs
+                    where $j < $i and $j >= $i - 10
+                    return $s2/quantity * $s2/price)}
+             </previous-ten-sales>
+           </sale>}
+      </region>|}
+
+(* Q10: monthly sales ranked by region — `return at $rank` numbers the
+   output stream after the descending order by. *)
+let q10 =
+  {|for $s in //sale
+    group by year-from-dateTime($s/timestamp) into $year,
+             month-from-dateTime($s/timestamp) into $month
+    nest $s into $month-sales
+    order by $year, $month
+    return
+      <monthly-report year="{$year}" month="{$month}">
+        {for $ms in $month-sales
+         group by $ms/region into $region
+         nest $ms/quantity * $ms/price into $sales-amounts
+         let $sum := sum($sales-amounts)
+         order by $sum descending
+         return at $rank
+           <regional-results>
+             <rank>{$rank}</rank>
+             {$region}
+             <total-sales>{$sum}</total-sales>
+           </regional-results>}
+      </monthly-report>|}
+
+let () =
+  let doc =
+    Xq_workload.Sales.(generate { default with sales = 120; seed = 2005 })
+  in
+
+  print_endline "Q3 — state vs region yearly totals (first 3 summaries):";
+  let summaries = Xq.run doc q3 in
+  List.iteri
+    (fun i item ->
+      if i < 3 then print_endline (Xq.Xml.Serialize.item ~indent:true item))
+    summaries;
+  Printf.printf "(%d summaries total)\n" (Xq.length summaries);
+
+  print_endline "\nQ8 — moving window of previous sales (3 per region shown):";
+  print_endline (Xq.to_xml ~indent:true (Xq.run doc q8));
+
+  print_endline "\nQ10 — monthly reports with ranked regions (first 2 months):";
+  let reports = Xq.run doc q10 in
+  List.iteri
+    (fun i item ->
+      if i < 2 then print_endline (Xq.Xml.Serialize.item ~indent:true item))
+    reports;
+  Printf.printf "(%d monthly reports total)\n" (Xq.length reports)

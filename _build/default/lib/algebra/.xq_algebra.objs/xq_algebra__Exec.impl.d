@@ -1,0 +1,1 @@
+lib/algebra/exec.ml: Array Ast Deep_equal Item List Map Optimizer Parser Plan Static String Sys Xq_engine Xq_lang Xq_xdm Xseq

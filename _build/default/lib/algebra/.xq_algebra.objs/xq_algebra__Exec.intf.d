@@ -1,0 +1,1 @@
+lib/algebra/exec.mli: Node Plan Xq_engine Xq_lang Xq_xdm Xseq

@@ -1,0 +1,1 @@
+lib/algebra/optimizer.ml: Ast Ast_utils Fun List Plan Xq_lang Xq_xdm

@@ -1,0 +1,1 @@
+lib/algebra/plan.ml: Ast Buffer List Pretty Printf String Xq_lang Xq_xdm

@@ -1,0 +1,1 @@
+lib/algebra/plan.mli: Ast Xq_lang

@@ -1,0 +1,255 @@
+open Xq_xdm
+open Xq_lang
+
+module Smap = Map.Make (String)
+
+type tuple = Xseq.t Smap.t
+
+let ctx_with_tuple ctx tuple =
+  Smap.fold (fun v value ctx -> Xq_engine.Context.bind ctx v value) tuple ctx
+
+let eval_in ctx tuple e = Xq_engine.Eval.eval (ctx_with_tuple ctx tuple) e
+
+(* Sort tuples by order specs — same semantics as the engine's order by
+   (stable; untyped keys as strings; empty least unless specified). *)
+let sort_tuples ctx specs tuples =
+  let keyed =
+    List.map
+      (fun tuple ->
+        let keys =
+          List.map
+            (fun (e, modifier) ->
+              (Xseq.atomized_opt (eval_in ctx tuple e), modifier))
+            specs
+        in
+        (keys, tuple))
+      tuples
+  in
+  let compare_keys (ka, _) (kb, _) =
+    let rec go = function
+      | [] -> 0
+      | ((a, modifier), (b, _)) :: rest ->
+        let c = Xq_engine.Compare.order_keys modifier a b in
+        if c <> 0 then c else go rest
+    in
+    go (List.combine ka kb)
+  in
+  List.map snd (List.stable_sort compare_keys keyed)
+
+let group_output ctx (shape : Plan.group_shape) groups =
+  List.map
+    (fun (grp : tuple Xq_engine.Group.group) ->
+      let out =
+        List.fold_left2
+          (fun out (k : Ast.group_key) key_value ->
+            Smap.add k.Ast.key_var key_value out)
+          Smap.empty shape.Plan.keys grp.Xq_engine.Group.keys
+      in
+      List.fold_left
+        (fun out (n : Ast.nest_spec) ->
+          let members =
+            if n.Ast.nest_order = [] then grp.Xq_engine.Group.members
+            else sort_tuples ctx n.Ast.nest_order grp.Xq_engine.Group.members
+          in
+          let value =
+            Xseq.concat
+              (List.map (fun tuple -> eval_in ctx tuple n.Ast.nest_expr) members)
+          in
+          Smap.add n.Ast.nest_var value out)
+        out shape.Plan.nests)
+    groups
+
+(* Apply a user (or builtin) equality function to two key sequences by
+   binding them to fresh variables and evaluating a call. *)
+let apply_equality ctx fname a b =
+  let va = "xq-algebra-eq-lhs" and vb = "xq-algebra-eq-rhs" in
+  let ctx = Xq_engine.Context.bind (Xq_engine.Context.bind ctx va a) vb b in
+  Xseq.effective_boolean_value
+    (Xq_engine.Eval.eval ctx (Ast.Call (fname, [ Ast.Var va; Ast.Var vb ])))
+
+(* Apply one operator to its (already materialized) input stream. *)
+let step ctx (op : Plan.op) (input : tuple list) : tuple list =
+  match op with
+  | Plan.Unit -> [ Smap.empty ]
+  | Plan.For_expand { var; positional; source; _ } ->
+    List.concat_map
+      (fun tuple ->
+        let items = eval_in ctx tuple source in
+        List.mapi
+          (fun i item ->
+            let tuple = Smap.add var [ item ] tuple in
+            match positional with
+            | Some p -> Smap.add p (Xseq.of_int (i + 1)) tuple
+            | None -> tuple)
+          items)
+      input
+  | Plan.Let_bind { var; expr; _ } ->
+    List.map (fun tuple -> Smap.add var (eval_in ctx tuple expr) tuple) input
+  | Plan.Select { pred; _ } ->
+    List.filter
+      (fun tuple -> Xseq.effective_boolean_value (eval_in ctx tuple pred))
+      input
+  | Plan.Number { var; _ } ->
+    List.mapi (fun i tuple -> Smap.add var (Xseq.of_int (i + 1)) tuple) input
+  | Plan.Window_expand { window; _ } ->
+    List.concat_map
+      (fun tuple ->
+        List.map
+          (fun bindings ->
+            List.fold_left
+              (fun m (v, value) -> Smap.add v value m)
+              Smap.empty bindings)
+          (Xq_engine.Eval.expand_window_bindings ctx window
+             (Smap.bindings tuple)))
+      input
+  | Plan.Sort { specs; _ } -> sort_tuples ctx specs input
+  | Plan.Hash_group shape ->
+    let keys_of tuple =
+      List.map
+        (fun (k : Ast.group_key) -> eval_in ctx tuple k.Ast.key_expr)
+        shape.Plan.keys
+    in
+    group_output ctx shape (Xq_engine.Group.group_hash ~keys_of input)
+  | Plan.Scan_group shape ->
+    let keys_of tuple =
+      List.map
+        (fun (k : Ast.group_key) -> eval_in ctx tuple k.Ast.key_expr)
+        shape.Plan.keys
+    in
+    let comparators =
+      Array.of_list
+        (List.map
+           (fun (k : Ast.group_key) ->
+             match k.Ast.using with
+             | None -> fun a b -> Deep_equal.sequences a b
+             | Some fname -> fun a b -> apply_equality ctx fname a b)
+           shape.Plan.keys)
+    in
+    group_output ctx shape
+      (Xq_engine.Group.group_scan ~keys_of
+         ~equal:(fun i a b -> comparators.(i) a b)
+         input)
+
+(* The pipeline is a linear chain; list its operators innermost first. *)
+let linearize op =
+  let rec go acc (op : Plan.op) =
+    match op with
+    | Plan.Unit -> op :: acc
+    | Plan.For_expand { input; _ }
+    | Plan.Let_bind { input; _ }
+    | Plan.Select { input; _ }
+    | Plan.Number { input; _ }
+    | Plan.Window_expand { input; _ }
+    | Plan.Sort { input; _ } ->
+      go (op :: acc) input
+    | Plan.Hash_group { input; _ } | Plan.Scan_group { input; _ } ->
+      go (op :: acc) input
+  in
+  go [] op
+
+let rec tuples ctx (op : Plan.op) : tuple list =
+  match op with
+  | Plan.Unit -> step ctx op []
+  | Plan.For_expand { input; _ }
+  | Plan.Let_bind { input; _ }
+  | Plan.Select { input; _ }
+  | Plan.Number { input; _ }
+  | Plan.Window_expand { input; _ }
+  | Plan.Sort { input; _ } ->
+    step ctx op (tuples ctx input)
+  | Plan.Hash_group { input; _ } | Plan.Scan_group { input; _ } ->
+    step ctx op (tuples ctx input)
+
+type operator_stat = {
+  op_label : string;
+  tuples_out : int;
+  elapsed_ms : float;
+}
+
+let op_label (op : Plan.op) =
+  match op with
+  | Plan.Unit -> "UNIT"
+  | Plan.For_expand { var; _ } -> "FOR-EXPAND $" ^ var
+  | Plan.Let_bind { var; _ } -> "LET-BIND $" ^ var
+  | Plan.Select _ -> "SELECT"
+  | Plan.Number { var; _ } -> "NUMBER $" ^ var
+  | Plan.Window_expand { window; _ } -> "WINDOW $" ^ window.Ast.w_var
+  | Plan.Sort _ -> "SORT"
+  | Plan.Hash_group _ -> "HASH-GROUP"
+  | Plan.Scan_group _ -> "SCAN-GROUP"
+
+let run_profiled ctx (plan : Plan.plan) =
+  (* CPU-time profile per operator, innermost first (Sys.time keeps the
+     library free of clock dependencies; the bench harness uses the
+     monotonic clock for wall time). *)
+  let stats = ref [] in
+  let stream =
+    List.fold_left
+      (fun input op ->
+        let t0 = Sys.time () in
+        let out = step ctx op input in
+        let elapsed_ms = (Sys.time () -. t0) *. 1000.0 in
+        stats :=
+          { op_label = op_label op; tuples_out = List.length out; elapsed_ms }
+          :: !stats;
+        out)
+      [] (linearize plan.Plan.pipeline)
+  in
+  let numbered =
+    match plan.Plan.return_at with
+    | None -> stream
+    | Some v ->
+      List.mapi (fun i t -> Smap.add v (Xseq.of_int (i + 1)) t) stream
+  in
+  let t0 = Sys.time () in
+  let result =
+    Xseq.concat
+      (List.map (fun t -> eval_in ctx t plan.Plan.return_expr) numbered)
+  in
+  let elapsed_ms = (Sys.time () -. t0) *. 1000.0 in
+  stats :=
+    { op_label = "RETURN"; tuples_out = List.length numbered; elapsed_ms }
+    :: !stats;
+  (result, List.rev !stats)
+
+let run ctx (plan : Plan.plan) =
+  let stream = tuples ctx plan.Plan.pipeline in
+  let numbered =
+    match plan.Plan.return_at with
+    | None -> stream
+    | Some v ->
+      List.mapi (fun i t -> Smap.add v (Xseq.of_int (i + 1)) t) stream
+  in
+  Xseq.concat
+    (List.map (fun t -> eval_in ctx t plan.Plan.return_expr) numbered)
+
+(* The body's top-level FLWORs (including members of a top-level sequence)
+   execute through plans; other expressions — and FLWORs nested inside
+   them — evaluate through the engine, which has identical semantics. *)
+let rec eval_top ~optimize ctx (e : Ast.expr) =
+  match e with
+  | Ast.Flwor f ->
+    let plan = Plan.of_flwor f in
+    let plan = if optimize then Optimizer.optimize plan else plan in
+    run ctx plan
+  | Ast.Sequence es -> Xseq.concat (List.map (eval_top ~optimize ctx) es)
+  | _ -> Xq_engine.Eval.eval ctx e
+
+let eval_query ?(check = true) ?(optimize = false) ~context_node
+    (q : Ast.query) =
+  if check then Static.check_query q;
+  let ctx = Xq_engine.Context.of_prolog q.Ast.prolog in
+  let focus =
+    { Xq_engine.Context.item = Item.Node context_node; position = 1; size = 1 }
+  in
+  let ctx = Xq_engine.Context.with_focus ctx focus in
+  let ctx =
+    List.fold_left
+      (fun ctx (v, e) ->
+        Xq_engine.Context.bind_global ctx v (Xq_engine.Eval.eval ctx e))
+      ctx q.Ast.prolog.Ast.global_vars
+  in
+  eval_top ~optimize ctx q.Ast.body
+
+let run_string ?optimize ~context_node src =
+  eval_query ?optimize ~context_node (Parser.parse_query src)

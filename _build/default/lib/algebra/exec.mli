@@ -1,0 +1,38 @@
+(** Interpreter for {!Plan} operator trees. Expression evaluation is
+    delegated to [Xq_engine.Eval]; tuple-stream mechanics (expansion,
+    selection, sorting, grouping, numbering) run here over the explicit
+    operators, so a plan is exactly what executes. *)
+
+open Xq_xdm
+
+(** Execute a plan in a dynamic context (as built by the engine). *)
+val run : Xq_engine.Context.t -> Plan.plan -> Xseq.t
+
+(** {1 Profiling} *)
+
+type operator_stat = {
+  op_label : string;    (** e.g. ["HASH-GROUP"], ["FOR-EXPAND $x"] *)
+  tuples_out : int;     (** cardinality of the operator's output stream *)
+  elapsed_ms : float;   (** CPU time spent in this operator *)
+}
+
+(** Execute and report per-operator statistics, innermost operator first
+    and the return clause last. *)
+val run_profiled :
+  Xq_engine.Context.t -> Plan.plan -> Xseq.t * operator_stat list
+
+(** Compile and execute a whole query against a context node — the
+    algebra-backed counterpart of [Xq_engine.Eval.eval_query]: the body's
+    top-level FLWORs (including members of a top-level sequence) execute
+    through {!Plan} operators; FLWORs nested inside other expressions
+    evaluate through the engine, which has identical semantics.
+    [optimize] runs {!Optimizer.optimize} on each compiled plan. *)
+val eval_query :
+  ?check:bool ->
+  ?optimize:bool ->
+  context_node:Node.t ->
+  Xq_lang.Ast.query ->
+  Xseq.t
+
+(** Parse, check, compile and execute. *)
+val run_string : ?optimize:bool -> context_node:Node.t -> string -> Xseq.t

@@ -1,0 +1,114 @@
+open Xq_lang
+module Sset = Ast_utils.Sset
+
+let rewrites = ref 0
+
+let last_rewrite_count () = !rewrites
+
+let free = Ast_utils.free_vars
+
+let spec_free specs =
+  List.fold_left
+    (fun acc (e, _) -> Sset.union acc (free e))
+    Sset.empty specs
+
+let group_free (shape : Plan.group_shape) =
+  List.fold_left
+    (fun acc (k : Ast.group_key) -> Sset.union acc (free k.Ast.key_expr))
+    (List.fold_left
+       (fun acc (n : Ast.nest_spec) ->
+         Sset.union acc
+           (Sset.union (free n.Ast.nest_expr) (spec_free n.Ast.nest_order)))
+       Sset.empty shape.Plan.nests)
+    shape.Plan.keys
+
+let is_true_pred = function
+  | Ast.Literal (Xq_xdm.Atomic.Bool true) -> true
+  | Ast.Call (name, []) ->
+    Xq_xdm.Xname.is_default_fn name && name.Xq_xdm.Xname.local = "true"
+  | _ -> false
+
+(* One top-down pass. [live] is the set of variables some operator above
+   (or the return clause) still reads. *)
+let rec pass live (op : Plan.op) : Plan.op =
+  match op with
+  | Plan.Unit -> Plan.Unit
+  | Plan.Select { pred; input } when is_true_pred pred ->
+    incr rewrites;
+    pass live input
+  | Plan.Select { pred; input = Plan.Select { pred = inner; input } } ->
+    incr rewrites;
+    pass live (Plan.Select { pred = Ast.And (inner, pred); input })
+  | Plan.Select { pred; input = Plan.Sort s } ->
+    (* stable sort commutes with filtering *)
+    incr rewrites;
+    pass live (Plan.Sort { s with input = Plan.Select { pred; input = s.input } })
+  | Plan.Select { pred; input = Plan.Let_bind l }
+    when not (Sset.mem l.var (free pred)) ->
+    incr rewrites;
+    pass live
+      (Plan.Let_bind { l with input = Plan.Select { pred; input = l.input } })
+  | Plan.Select { pred; input } ->
+    Plan.Select { pred; input = pass (Sset.union live (free pred)) input }
+  | Plan.Let_bind { var; expr; input }
+    when (not (Sset.mem var live)) && Ast_utils.pure expr ->
+    incr rewrites;
+    pass live input
+  | Plan.Let_bind { var; expr; input } ->
+    let live_below = Sset.union (Sset.remove var live) (free expr) in
+    Plan.Let_bind { var; expr; input = pass live_below input }
+  | Plan.For_expand { var; positional; source; input } ->
+    let live_below =
+      let live = Sset.remove var live in
+      let live =
+        match positional with Some p -> Sset.remove p live | None -> live
+      in
+      Sset.union live (free source)
+    in
+    Plan.For_expand { var; positional; source; input = pass live_below input }
+  | Plan.Number { var; input } ->
+    Plan.Number { var; input = pass (Sset.remove var live) input }
+  | Plan.Window_expand { window; input } ->
+    let cond_vars (wc : Ast.window_vars_cond) =
+      List.filter_map Fun.id
+        [ wc.Ast.wc_item; wc.Ast.wc_pos; wc.Ast.wc_prev; wc.Ast.wc_next ]
+    in
+    let bound =
+      window.Ast.w_var
+      :: (cond_vars window.Ast.w_start
+          @ match window.Ast.w_end with
+            | Some { Ast.we_cond; _ } -> cond_vars we_cond
+            | None -> [])
+    in
+    let live_below =
+      Sset.union
+        (List.fold_left (Fun.flip Sset.remove) live bound)
+        (Sset.union (free window.Ast.w_src)
+           (Sset.union
+              (free window.Ast.w_start.Ast.wc_when)
+              (match window.Ast.w_end with
+               | Some { Ast.we_cond; _ } -> free we_cond.Ast.wc_when
+               | None -> Sset.empty)))
+    in
+    Plan.Window_expand { window; input = pass live_below input }
+  | Plan.Sort { stable; specs; input } ->
+    Plan.Sort { stable; specs; input = pass (Sset.union live (spec_free specs)) input }
+  | Plan.Hash_group shape ->
+    Plan.Hash_group { shape with input = pass (group_free shape) shape.input }
+  | Plan.Scan_group shape ->
+    Plan.Scan_group { shape with input = pass (group_free shape) shape.input }
+
+let optimize (plan : Plan.plan) =
+  rewrites := 0;
+  let root_live =
+    let live = free plan.Plan.return_expr in
+    match plan.Plan.return_at with
+    | Some v -> Sset.remove v live
+    | None -> live
+  in
+  let rec fix op =
+    let before = !rewrites in
+    let op' = pass root_live op in
+    if !rewrites = before then op' else fix op'
+  in
+  { plan with Plan.pipeline = fix plan.Plan.pipeline }

@@ -1,0 +1,26 @@
+(** Logical rewrites over {!Plan} operator trees, applied to a fixpoint:
+
+    - {b select pushdown}: a [Select] commutes below a [Sort] (filtering
+      then sorting equals sorting then filtering, and the sort is
+      stable), and below a [Let_bind] whose variable the predicate does
+      not reference — on a selective predicate this skips evaluating the
+      binding for tuples that are about to be dropped (a freedom the
+      XQuery spec grants explicitly: a processor need not evaluate what
+      the result does not require);
+    - {b select fusion}: adjacent [Select]s conjoin into one;
+    - {b dead-binding elimination}: a [Let_bind] whose variable nothing
+      downstream references is dropped, when its expression is pure
+      (cannot raise);
+    - {b trivial-select elimination}: [where true()] and literal-true
+      predicates vanish.
+
+    All rewrites preserve results; the test suite checks every rule both
+    structurally and by executing randomized plans before and after. *)
+
+(** Optimize a plan's pipeline (the return clause is the root use-site
+    for liveness). *)
+val optimize : Plan.plan -> Plan.plan
+
+(** Number of rule applications the optimizer performed (for tests and
+    plan output). *)
+val last_rewrite_count : unit -> int

@@ -1,0 +1,159 @@
+open Xq_lang
+
+type op =
+  | Unit
+  | For_expand of {
+      var : string;
+      positional : string option;
+      source : Ast.expr;
+      input : op;
+    }
+  | Let_bind of { var : string; expr : Ast.expr; input : op }
+  | Select of { pred : Ast.expr; input : op }
+  | Number of { var : string; input : op }
+  | Window_expand of { window : Ast.window_clause; input : op }
+  | Sort of {
+      stable : bool;
+      specs : (Ast.expr * Ast.order_modifier) list;
+      input : op;
+    }
+  | Hash_group of group_shape
+  | Scan_group of group_shape
+
+and group_shape = {
+  keys : Ast.group_key list;
+  nests : Ast.nest_spec list;
+  input : op;
+}
+
+type plan = {
+  pipeline : op;
+  return_at : string option;
+  return_expr : Ast.expr;
+}
+
+let compile clauses =
+  List.fold_left
+    (fun input (clause : Ast.clause) ->
+      match clause with
+      | Ast.For bindings ->
+        List.fold_left
+          (fun input (fb : Ast.for_binding) ->
+            For_expand
+              {
+                var = fb.Ast.for_var;
+                positional = fb.Ast.positional;
+                source = fb.Ast.for_src;
+                input;
+              })
+          input bindings
+      | Ast.Let bindings ->
+        List.fold_left
+          (fun input (v, e) -> Let_bind { var = v; expr = e; input })
+          input bindings
+      | Ast.Where pred -> Select { pred; input }
+      | Ast.Count var -> Number { var; input }
+      | Ast.Window w -> Window_expand { window = w; input }
+      | Ast.Order_by { stable; specs } -> Sort { stable; specs; input }
+      | Ast.Group_by g ->
+        let shape = { keys = g.Ast.keys; nests = g.Ast.nests; input } in
+        if List.for_all (fun (k : Ast.group_key) -> k.Ast.using = None) g.Ast.keys
+        then Hash_group shape
+        else Scan_group shape)
+    Unit clauses
+
+let of_flwor (f : Ast.flwor) =
+  {
+    pipeline = compile f.Ast.clauses;
+    return_at = f.Ast.return_at;
+    return_expr = f.Ast.return_expr;
+  }
+
+let rec size = function
+  | Unit -> 1
+  | For_expand { input; _ }
+  | Let_bind { input; _ }
+  | Select { input; _ }
+  | Number { input; _ }
+  | Window_expand { input; _ }
+  | Sort { input; _ } ->
+    1 + size input
+  | Hash_group { input; _ } | Scan_group { input; _ } -> 1 + size input
+
+let to_string plan =
+  let buf = Buffer.create 256 in
+  let line depth s =
+    Buffer.add_string buf (String.make (2 * depth) ' ');
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  let short e =
+    let s = Pretty.expr e in
+    let s = String.map (function '\n' -> ' ' | c -> c) s in
+    if String.length s <= 48 then s else String.sub s 0 45 ^ "..."
+  in
+  line 0
+    (Printf.sprintf "RETURN%s %s"
+       (match plan.return_at with Some v -> " at $" ^ v | None -> "")
+       (short plan.return_expr));
+  let rec go depth op =
+    match op with
+    | Unit -> line depth "UNIT"
+    | For_expand { var; positional; source; input } ->
+      line depth
+        (Printf.sprintf "FOR-EXPAND $%s%s <- %s" var
+           (match positional with Some p -> " at $" ^ p | None -> "")
+           (short source));
+      go (depth + 1) input
+    | Let_bind { var; expr; input } ->
+      line depth (Printf.sprintf "LET-BIND $%s := %s" var (short expr));
+      go (depth + 1) input
+    | Select { pred; input } ->
+      line depth (Printf.sprintf "SELECT %s" (short pred));
+      go (depth + 1) input
+    | Number { var; input } ->
+      line depth (Printf.sprintf "NUMBER $%s" var);
+      go (depth + 1) input
+    | Window_expand { window; input } ->
+      line depth
+        (Printf.sprintf "WINDOW-%s $%s over %s"
+           (match window.Ast.w_kind with
+            | Ast.Tumbling -> "TUMBLING"
+            | Ast.Sliding -> "SLIDING")
+           window.Ast.w_var (short window.Ast.w_src));
+      go (depth + 1) input
+    | Sort { stable; specs; input } ->
+      line depth
+        (Printf.sprintf "SORT%s [%s]"
+           (if stable then " stable" else "")
+           (String.concat "; " (List.map (fun (e, _) -> short e) specs)));
+      go (depth + 1) input
+    | Hash_group { keys; nests; input } ->
+      line depth
+        (Printf.sprintf "HASH-GROUP keys=[%s] nests=[%s]"
+           (String.concat "; "
+              (List.map
+                 (fun (k : Ast.group_key) ->
+                   Printf.sprintf "%s -> $%s" (short k.Ast.key_expr) k.Ast.key_var)
+                 keys))
+           (String.concat "; "
+              (List.map (fun (n : Ast.nest_spec) -> "$" ^ n.Ast.nest_var) nests)));
+      go (depth + 1) input
+    | Scan_group { keys; nests; input } ->
+      line depth
+        (Printf.sprintf "SCAN-GROUP keys=[%s] nests=[%s]"
+           (String.concat "; "
+              (List.map
+                 (fun (k : Ast.group_key) ->
+                   Printf.sprintf "%s -> $%s%s" (short k.Ast.key_expr)
+                     k.Ast.key_var
+                     (match k.Ast.using with
+                      | Some f -> " using " ^ Xq_xdm.Xname.to_string f
+                      | None -> ""))
+                 keys))
+           (String.concat "; "
+              (List.map (fun (n : Ast.nest_spec) -> "$" ^ n.Ast.nest_var) nests)));
+      go (depth + 1) input
+  in
+  go 1 plan.pipeline;
+  Buffer.contents buf

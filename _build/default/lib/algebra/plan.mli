@@ -1,0 +1,61 @@
+(** A physical tuple-stream algebra for FLWOR expressions.
+
+    The paper's argument is about plans: an explicit [group by] lets the
+    engine emit a single {!Hash_group} operator where the implicit idiom
+    forces nested scans. This module makes those plans first-class — the
+    same shape System RX (and the Natix tuple algebra the paper cites)
+    uses: a tree of operators over streams of variable-binding tuples.
+
+    {!compile} translates a FLWOR clause list into an operator tree;
+    {!Exec.run} interprets it (delegating expression evaluation to
+    [Xq_engine.Eval]); [Exec.to_string] renders the plan. The test suite
+    proves [Exec.run ∘ compile] agrees with the direct evaluator on the
+    paper's queries and on randomized workloads. *)
+
+open Xq_lang
+
+type op =
+  | Unit  (** the stream containing one empty tuple *)
+  | For_expand of {
+      var : string;
+      positional : string option;
+      source : Ast.expr;
+      input : op;
+    }  (** map-concat: one output tuple per item of [source] per input tuple *)
+  | Let_bind of { var : string; expr : Ast.expr; input : op }
+  | Select of { pred : Ast.expr; input : op }  (** [where] *)
+  | Number of { var : string; input : op }  (** [count $var] *)
+  | Window_expand of { window : Ast.window_clause; input : op }
+      (** the XQuery 3.0 window clause *)
+  | Sort of {
+      stable : bool;
+      specs : (Ast.expr * Ast.order_modifier) list;
+      input : op;
+    }
+  | Hash_group of group_shape  (** all keys use fn:deep-equal *)
+  | Scan_group of group_shape  (** some key has a [using] comparator *)
+
+and group_shape = {
+  keys : Ast.group_key list;
+  nests : Ast.nest_spec list;
+  input : op;
+}
+
+(** Compile a FLWOR's clause list bottom-up into an operator tree. *)
+val compile : Ast.clause list -> op
+
+(** Compile a whole FLWOR; the result pairs the plan with the return
+    clause. *)
+type plan = {
+  pipeline : op;
+  return_at : string option;
+  return_expr : Ast.expr;
+}
+
+val of_flwor : Ast.flwor -> plan
+
+(** Operator count (plan size), for tests and plan output. *)
+val size : op -> int
+
+(** Render the operator tree, one operator per line, leaves last. *)
+val to_string : plan -> string

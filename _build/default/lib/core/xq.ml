@@ -1,0 +1,36 @@
+module Xdm = Xq_xdm
+module Xml = Xq_xml
+module Lang = Xq_lang
+module Engine = Xq_engine
+module Rewrite = Xq_rewrite
+module Algebra = Xq_algebra
+
+type doc = Xq_xdm.Node.t
+type result = Xq_xdm.Xseq.t
+
+let load_string s = Xq_xml.Xml_parse.parse s
+let load_file path = Xq_xml.Xml_parse.parse_file path
+
+let parse src = Xq_lang.Parser.parse_query src
+let check q = Xq_lang.Static.check_query q
+
+let run_query ?check ?use_index ?documents ?collections ?default_collection
+    doc q =
+  Xq_engine.Eval.eval_query ?check ?use_index ?documents ?collections
+    ?default_collection ~context_node:doc q
+
+let run ?use_index ?documents ?collections ?default_collection doc src =
+  run_query ?use_index ?documents ?collections ?default_collection doc
+    (parse src)
+
+let run_rewritten doc src =
+  let q = parse src in
+  Xq_lang.Static.check_query q;
+  let q' = Xq_rewrite.Rewrite.rewrite_query q in
+  run_query ~check:false doc q'
+
+let to_xml ?indent seq = Xq_xml.Serialize.sequence ?indent seq
+
+let to_strings seq = List.map Xq_xdm.Item.string_value seq
+
+let length = List.length

@@ -1,0 +1,1 @@
+lib/engine/builtins.ml: Atomic Buffer Char Context Deep_equal Float Hashtbl Item List Node Option Printf String Uchar Xdatetime Xerror Xname Xq_lang Xq_xdm Xseq

@@ -1,0 +1,1 @@
+lib/engine/builtins.mli: Context Xname Xq_xdm Xseq

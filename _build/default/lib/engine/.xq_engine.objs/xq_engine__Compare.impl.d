@@ -1,0 +1,1 @@
+lib/engine/compare.ml: Ast Atomic Float Int Item List Node Option String Xerror Xq_lang Xq_xdm Xseq

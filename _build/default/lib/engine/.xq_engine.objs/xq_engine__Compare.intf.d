@@ -1,0 +1,1 @@
+lib/engine/compare.mli: Ast Atomic Xq_lang Xq_xdm Xseq

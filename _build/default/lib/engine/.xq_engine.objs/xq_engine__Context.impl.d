@@ -1,0 +1,1 @@
+lib/engine/context.ml: Ast Hashtbl Item List Map Name_index Node Option String Xerror Xname Xq_lang Xq_xdm Xseq

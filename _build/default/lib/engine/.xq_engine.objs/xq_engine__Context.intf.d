@@ -1,0 +1,1 @@
+lib/engine/context.mli: Ast Item Name_index Node Xname Xq_lang Xq_xdm Xseq

@@ -1,0 +1,1 @@
+lib/engine/eval.mli: Ast Context Node Xq_lang Xq_xdm Xseq

@@ -1,0 +1,1 @@
+lib/engine/group.ml: Deep_equal Hashtbl List Xq_xdm Xseq

@@ -1,0 +1,1 @@
+lib/engine/group.mli: Xq_xdm Xseq

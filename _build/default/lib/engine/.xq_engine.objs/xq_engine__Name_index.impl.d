@@ -1,0 +1,1 @@
+lib/engine/name_index.ml: Hashtbl List Node Xq_xdm

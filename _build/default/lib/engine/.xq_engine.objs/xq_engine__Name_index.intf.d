@@ -1,0 +1,1 @@
+lib/engine/name_index.mli: Node Xq_xdm

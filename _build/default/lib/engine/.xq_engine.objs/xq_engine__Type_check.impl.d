@@ -1,0 +1,1 @@
+lib/engine/type_check.ml: Ast Atomic Item List Node String Xerror Xname Xq_lang Xq_xdm Xseq

@@ -1,0 +1,1 @@
+lib/engine/type_check.mli: Ast Xq_lang Xq_xdm Xseq

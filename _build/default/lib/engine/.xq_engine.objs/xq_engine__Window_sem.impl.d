@@ -1,0 +1,1 @@
+lib/engine/window_sem.ml: List Xq_lang

@@ -1,0 +1,1 @@
+lib/engine/window_sem.mli: Xq_lang

@@ -1,0 +1,15 @@
+(** The built-in function library (the F&O subset listed in
+    [Xq_lang.Fn_sigs]). Functions are dispatched by unprefixed name; the
+    static checker has already validated arity. *)
+
+open Xq_xdm
+
+(** [call ctx name args] evaluates builtin [name]. Raises [XPST0017] for
+    an unknown name (only reachable for ASTs that skipped the static
+    check). Context-dependent functions ([position], [last], [string]/
+    [number]/[name]/… with zero args) read the focus from [ctx]. *)
+val call : Context.t -> Xname.t -> Xseq.t list -> Xseq.t
+
+(** True when [name] (unprefixed) is implemented — used by the test suite
+    to verify coverage of every signature in [Fn_sigs.all]. *)
+val implemented : string -> bool

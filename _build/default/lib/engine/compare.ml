@@ -1,0 +1,170 @@
+open Xq_xdm
+open Xq_lang
+
+let general_op_holds op (c : int) =
+  match (op : Ast.general_cmp) with
+  | Gen_eq -> c = 0
+  | Gen_ne -> c <> 0
+  | Gen_lt -> c < 0
+  | Gen_le -> c <= 0
+  | Gen_gt -> c > 0
+  | Gen_ge -> c >= 0
+
+let value_op_holds op (c : int) =
+  match (op : Ast.value_cmp) with
+  | Val_eq -> c = 0
+  | Val_ne -> c <> 0
+  | Val_lt -> c < 0
+  | Val_le -> c <= 0
+  | Val_gt -> c > 0
+  | Val_ge -> c >= 0
+
+let general op left right =
+  let ls = Xseq.atomize left and rs = Xseq.atomize right in
+  List.exists
+    (fun a ->
+      List.exists
+        (fun b ->
+          match Atomic.general_compare a b with
+          | Atomic.Ordered c -> general_op_holds op c
+          | Atomic.Unordered -> false
+          | Atomic.Incomparable ->
+            Xerror.failf XPTY0004 "cannot compare %s with %s"
+              (Atomic.type_name a) (Atomic.type_name b))
+        rs)
+    ls
+
+let value op left right =
+  match Xseq.atomized_opt left, Xseq.atomized_opt right with
+  | None, _ | _, None -> None
+  | Some a, Some b ->
+    (match Atomic.value_compare a b with
+     | Atomic.Ordered c -> Some (value_op_holds op c)
+     | Atomic.Unordered -> Some false
+     | Atomic.Incomparable ->
+       Xerror.failf XPTY0004 "cannot compare %s with %s (value comparison)"
+         (Atomic.type_name a) (Atomic.type_name b))
+
+let node op left right =
+  let single seq =
+    match Xseq.zero_or_one seq with
+    | None -> None
+    | Some (Item.Node n) -> Some n
+    | Some (Item.Atomic a) ->
+      Xerror.failf XPTY0004 "node comparison requires nodes, got %s"
+        (Atomic.type_name a)
+  in
+  match single left, single right with
+  | None, _ | _, None -> None
+  | Some a, Some b ->
+    Some
+      (match (op : Ast.node_cmp) with
+       | Node_is -> Node.same a b
+       | Node_precedes -> Node.doc_order_compare a b < 0
+       | Node_follows -> Node.doc_order_compare a b > 0)
+
+(* Order-by keys: untyped compares as string; empty (or NaN) sorts
+   per the empty-greatest/least modifier. *)
+let order_keys (modifier : Ast.order_modifier) a b =
+  let empty_greatest = Option.value modifier.empty_greatest ~default:false in
+  let rank = function
+    | None -> if empty_greatest then 1 else -1
+    | Some v ->
+      let nan = match v with
+        | Atomic.Dec f | Atomic.Dbl f -> Float.is_nan f
+        | _ -> false
+      in
+      if nan then (if empty_greatest then 1 else -1) else 0
+  in
+  let base =
+    match rank a, rank b with
+    | 0, 0 -> begin
+      match a, b with
+      | Some x, Some y -> begin
+        match Atomic.value_compare x y with
+        | Atomic.Ordered c -> c
+        | Atomic.Unordered -> 0
+        | Atomic.Incomparable ->
+          Xerror.failf XPTY0004 "order by keys of incomparable types %s and %s"
+            (Atomic.type_name x) (Atomic.type_name y)
+      end
+      | _ -> assert false
+    end
+    | ra, rb -> Int.compare ra rb
+  in
+  if modifier.descending then -base else base
+
+type numeric_rank = R_int | R_dec | R_dbl
+
+let numeric_of_atomic a =
+  match a with
+  | Atomic.Int i -> (R_int, float_of_int i)
+  | Atomic.Dec f -> (R_dec, f)
+  | Atomic.Dbl f -> (R_dbl, f)
+  | Atomic.Untyped s -> begin
+    match float_of_string_opt (String.trim s) with
+    | Some f -> (R_dbl, f)
+    | None ->
+      Xerror.failf FORG0001 "cannot cast %S to xs:double for arithmetic" s
+  end
+  | Atomic.Str _ | Atomic.Bool _ | Atomic.DateTime _ | Atomic.Date _
+  | Atomic.QName _ ->
+    Xerror.failf XPTY0004 "arithmetic on non-numeric %s" (Atomic.type_name a)
+
+let join_rank a b =
+  match a, b with
+  | R_dbl, _ | _, R_dbl -> R_dbl
+  | R_dec, _ | _, R_dec -> R_dec
+  | R_int, R_int -> R_int
+
+let arith op left right =
+  match Xseq.atomized_opt left, Xseq.atomized_opt right with
+  | None, _ | _, None -> Xseq.empty
+  | Some (Atomic.Int x), Some (Atomic.Int y) -> begin
+    (* exact integer arithmetic *)
+    match (op : Ast.arith_op) with
+    | Add -> [ Item.of_int (x + y) ]
+    | Sub -> [ Item.of_int (x - y) ]
+    | Mul -> [ Item.of_int (x * y) ]
+    | Div ->
+      if y = 0 then Xerror.fail FOAR0001 "division by zero"
+      else [ Item.Atomic (Atomic.Dec (float_of_int x /. float_of_int y)) ]
+    | Idiv ->
+      (* OCaml (/) truncates toward zero, matching xs:integer idiv *)
+      if y = 0 then Xerror.fail FOAR0001 "integer division by zero"
+      else [ Item.of_int (x / y) ]
+    | Mod ->
+      if y = 0 then Xerror.fail FOAR0001 "modulo by zero"
+      else [ Item.of_int (x mod y) ]
+  end
+  | Some a, Some b ->
+    let ra, fa = numeric_of_atomic a in
+    let rb, fb = numeric_of_atomic b in
+    let rank = join_rank ra rb in
+    let wrap f =
+      match rank with
+      | R_int ->
+        if Float.abs f < 4.611686018427388e18 then [ Item.of_int (int_of_float f) ]
+        else Xerror.fail FOCA0002 "integer overflow"
+      | R_dec -> [ Item.Atomic (Atomic.Dec f) ]
+      | R_dbl -> [ Item.Atomic (Atomic.Dbl f) ]
+    in
+    (match (op : Ast.arith_op) with
+     | Add -> wrap (fa +. fb)
+     | Sub -> wrap (fa -. fb)
+     | Mul -> wrap (fa *. fb)
+     | Div ->
+       if fb = 0. && rank <> R_dbl then
+         Xerror.fail FOAR0001 "division by zero"
+       else begin
+         let q = fa /. fb in
+         match rank with
+         | R_int | R_dec -> [ Item.Atomic (Atomic.Dec q) ]
+         | R_dbl -> [ Item.Atomic (Atomic.Dbl q) ]
+       end
+     | Idiv ->
+       if fb = 0. then Xerror.fail FOAR0001 "integer division by zero"
+       else [ Item.of_int (int_of_float (Float.trunc (fa /. fb))) ]
+     | Mod ->
+       if fb = 0. && rank <> R_dbl then Xerror.fail FOAR0001 "modulo by zero"
+       else wrap (Float.rem fa fb))

@@ -1,0 +1,35 @@
+(** Sequence-level comparison semantics: general (existential) and value
+    comparisons, order-by key comparison, and the numeric arithmetic
+    promotion rules. *)
+
+open Xq_xdm
+open Xq_lang
+
+(** General comparison [= != < <= > >=]: true when some pair of atomized
+    items from the two sequences satisfies the operator (untyped operands
+    cast to the other side's type). Raises [XPTY0004] on genuinely
+    incomparable typed pairs. *)
+val general : Ast.general_cmp -> Xseq.t -> Xseq.t -> bool
+
+(** Value comparison [eq ne lt le gt ge]: both operands must atomize to at
+    most one item; returns [None] (empty result) when either is empty.
+    Raises [XPTY0004] on incomparable types or multi-item operands. *)
+val value : Ast.value_cmp -> Xseq.t -> Xseq.t -> bool option
+
+(** Node comparison [is <<] [>>]; [None] when either operand is empty.
+    Raises [XPTY0004] when an operand is not a single node. *)
+val node : Ast.node_cmp -> Xseq.t -> Xseq.t -> bool option
+
+(** Order-by key comparison per XQuery: keys must atomize to at most one
+    item; untyped values are compared as strings; the empty sequence
+    sorts least by default or greatest with [empty greatest]. Returns a
+    total order for use in sorts. Raises [XPTY0004] on incomparable keys
+    or multi-item keys; NaN sorts like an empty key. *)
+val order_keys :
+  Ast.order_modifier -> Atomic.t option -> Atomic.t option -> int
+
+(** Arithmetic with XQuery promotion: integer op integer stays integer
+    ([div] yields decimal), decimal taints to decimal, double to double;
+    untyped operands cast to double. Empty operands yield the empty
+    sequence. Raises [FOAR0001] on integer/decimal division by zero. *)
+val arith : Ast.arith_op -> Xseq.t -> Xseq.t -> Xseq.t

@@ -1,0 +1,73 @@
+(** Dynamic evaluation context: variable bindings, user-declared
+    functions, globals, ordering mode and the focus (context item,
+    position, size) used by path steps and predicates. *)
+
+open Xq_xdm
+open Xq_lang
+
+type func = {
+  fn_params : string list;
+  fn_body : Ast.expr;
+}
+
+type focus = {
+  item : Item.t;
+  position : int;  (** 1-based *)
+  size : int;
+}
+
+type t
+
+(** An empty context (ordered mode, no bindings). *)
+val empty : t
+
+(** Build a context from a query prolog: registers declared functions;
+    global variables are evaluated later by the engine (see
+    {!Eval.eval_query}). *)
+val of_prolog : Ast.prolog -> t
+
+val ordering : t -> Ast.ordering_mode
+
+val bind : t -> string -> Xseq.t -> t
+val bind_many : t -> (string * Xseq.t) list -> t
+val lookup : t -> string -> Xseq.t option
+
+(** Raises [XPST0008] when unbound (should have been caught statically). *)
+val lookup_exn : t -> string -> Xseq.t
+
+val find_function : t -> Xname.t -> int -> func option
+
+(** Context for evaluating a function body: globals plus the arguments —
+    local dynamic variables do not leak in. *)
+val function_scope : t -> (string * Xseq.t) list -> t
+
+(** Record a variable as global (visible inside function bodies). *)
+val bind_global : t -> string -> Xseq.t -> t
+
+val with_focus : t -> focus -> t
+val focus : t -> focus option
+
+(** Raises [XPDY0002] when there is no focus. *)
+val focus_exn : t -> focus
+
+(** {1 Available documents and collections}
+
+    The dynamic context's registry behind [fn:doc] and [fn:collection]:
+    named documents, named collections, and the default collection. *)
+
+val add_document : t -> uri:string -> Node.t -> t
+val add_collection : t -> name:string -> Node.t list -> t
+val set_default_collection : t -> Node.t list -> t
+
+val find_document : t -> string -> Node.t option
+val find_collection : t -> string -> Node.t list option
+val default_collection : t -> Node.t list option
+
+(** {1 Optional element-name index}
+
+    When set, the evaluator answers [//name] steps rooted at the indexed
+    tree from the index (see {!Name_index}); unset by default — the
+    paper's experiments run without indexes. *)
+
+val set_name_index : t -> Name_index.t -> t
+val name_index : t -> Name_index.t option

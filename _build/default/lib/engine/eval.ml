@@ -1,0 +1,608 @@
+open Xq_xdm
+open Xq_lang
+
+module Smap = Map.Make (String)
+
+(* FLWOR tuples: the named variable bindings of one point in the stream. *)
+type tuple = Xseq.t Smap.t
+
+let ctx_with_tuple ctx tuple =
+  Smap.fold (fun v value ctx -> Context.bind ctx v value) tuple ctx
+
+(* --- axes and node tests ---------------------------------------------- *)
+
+let axis_nodes axis node =
+  match (axis : Ast.axis) with
+  | Child -> Node.children node
+  | Descendant -> Node.descendants node
+  | Attribute_axis -> Node.attributes node
+  | Self -> [ node ]
+  | Parent -> Option.to_list (Node.parent node)
+  | Descendant_or_self -> Node.descendant_or_self node
+  | Ancestor -> Node.ancestors node
+  | Ancestor_or_self -> node :: Node.ancestors node
+  | Following_sibling -> Node.following_siblings node
+  | Preceding_sibling -> Node.preceding_siblings node
+
+(* The principal node kind of an axis: attributes for the attribute axis,
+   elements otherwise (name tests match only the principal kind). *)
+let principal_is_attribute = function
+  | Ast.Attribute_axis -> true
+  | _ -> false
+
+let name_matches expected node =
+  match Node.name node with
+  | Some actual -> Xname.equal expected actual
+  | None -> false
+
+let test_matches axis test node =
+  let principal_kind_ok =
+    if principal_is_attribute axis then Node.is_attribute node
+    else Node.is_element node
+  in
+  match (test : Ast.node_test) with
+  | Name_test nm -> principal_kind_ok && name_matches nm node
+  | Wildcard -> principal_kind_ok
+  | Prefix_wildcard p ->
+    principal_kind_ok
+    && (match Node.name node with
+        | Some nm -> nm.Xname.prefix = Some p
+        | None -> false)
+  | Kind_node -> true
+  | Kind_text -> Node.is_text node
+  | Kind_comment -> Node.kind node = Node.Comment
+  | Kind_element None -> Node.is_element node
+  | Kind_element (Some nm) -> Node.is_element node && name_matches nm node
+  | Kind_attribute None -> Node.is_attribute node
+  | Kind_attribute (Some nm) -> Node.is_attribute node && name_matches nm node
+  | Kind_document -> Node.kind node = Node.Document
+
+(* --- main evaluator ---------------------------------------------------- *)
+
+let rec eval ctx (e : Ast.expr) : Xseq.t =
+  match e with
+  | Literal a -> [ Item.Atomic a ]
+  | Var v -> Context.lookup_exn ctx v
+  | Context_item -> [ (Context.focus_exn ctx).Context.item ]
+  | Sequence es -> Xseq.concat (List.map (eval ctx) es)
+  | Range (a, b) -> begin
+    match Xseq.atomized_opt (eval ctx a), Xseq.atomized_opt (eval ctx b) with
+    | None, _ | _, None -> Xseq.empty
+    | Some x, Some y ->
+      let lo = Atomic.cast_to_integer x and hi = Atomic.cast_to_integer y in
+      if lo > hi then Xseq.empty
+      else List.init (hi - lo + 1) (fun i -> Item.of_int (lo + i))
+  end
+  | Arith (op, a, b) -> Compare.arith op (eval ctx a) (eval ctx b)
+  | Neg a -> begin
+    match Xseq.atomized_opt (eval ctx a) with
+    | None -> Xseq.empty
+    | Some (Atomic.Int i) -> [ Item.of_int (-i) ]
+    | Some (Atomic.Dec f) -> [ Item.Atomic (Atomic.Dec (-.f)) ]
+    | Some (Atomic.Dbl f) -> [ Item.Atomic (Atomic.Dbl (-.f)) ]
+    | Some (Atomic.Untyped s) ->
+      [ Item.of_double (-.Atomic.cast_to_double (Atomic.Untyped s)) ]
+    | Some a ->
+      Xerror.failf XPTY0004 "unary minus on %s" (Atomic.type_name a)
+  end
+  | General_cmp (op, a, b) ->
+    Xseq.of_bool (Compare.general op (eval ctx a) (eval ctx b))
+  | Value_cmp (op, a, b) -> begin
+    match Compare.value op (eval ctx a) (eval ctx b) with
+    | None -> Xseq.empty
+    | Some r -> Xseq.of_bool r
+  end
+  | Node_cmp (op, a, b) -> begin
+    match Compare.node op (eval ctx a) (eval ctx b) with
+    | None -> Xseq.empty
+    | Some r -> Xseq.of_bool r
+  end
+  | And (a, b) ->
+    Xseq.of_bool
+      (Xseq.effective_boolean_value (eval ctx a)
+       && Xseq.effective_boolean_value (eval ctx b))
+  | Or (a, b) ->
+    Xseq.of_bool
+      (Xseq.effective_boolean_value (eval ctx a)
+       || Xseq.effective_boolean_value (eval ctx b))
+  | Union (a, b) ->
+    let l = Xseq.nodes (eval ctx a) and r = Xseq.nodes (eval ctx b) in
+    Xseq.of_nodes (Node.sort_in_doc_order (l @ r))
+  | Intersect (a, b) ->
+    let l = Xseq.nodes (eval ctx a) and r = Xseq.nodes (eval ctx b) in
+    let keep n = List.exists (Node.same n) r in
+    Xseq.of_nodes (Node.sort_in_doc_order (List.filter keep l))
+  | Except (a, b) ->
+    let l = Xseq.nodes (eval ctx a) and r = Xseq.nodes (eval ctx b) in
+    let keep n = not (List.exists (Node.same n) r) in
+    Xseq.of_nodes (Node.sort_in_doc_order (List.filter keep l))
+  | Instance_of (e, t) -> Xseq.of_bool (Type_check.matches (eval ctx e) t)
+  | Treat_as (e, t) ->
+    let v = eval ctx e in
+    if Type_check.matches v t then v
+    else
+      Xerror.failf XPTY0004 "treat as: value does not match %s"
+        (Type_check.to_string t)
+  | Castable_as (e, t) -> begin
+    match Type_check.cast (eval ctx e) t with
+    | _ -> Xseq.of_bool true
+    | exception Xerror.Error _ -> Xseq.of_bool false
+  end
+  | Cast_as (e, t) -> Type_check.cast (eval ctx e) t
+  | If (c, t, e) ->
+    if Xseq.effective_boolean_value (eval ctx c) then eval ctx t
+    else eval ctx e
+  | Quantified (q, binds, body) -> Xseq.of_bool (eval_quantified ctx q binds body)
+  | Flwor f -> eval_flwor ctx f
+  | Root -> begin
+    match (Context.focus_exn ctx).Context.item with
+    | Item.Node n -> [ Item.Node (Node.root n) ]
+    | Item.Atomic _ ->
+      Xerror.fail XPTY0004 "'/' requires the context item to be a node"
+  end
+  | Step (axis, test, preds) -> begin
+    match (Context.focus_exn ctx).Context.item with
+    | Item.Node n ->
+      let nodes =
+        List.filter (test_matches axis test) (axis_nodes axis n)
+      in
+      apply_predicates ctx (Xseq.of_nodes nodes) preds
+    | Item.Atomic _ ->
+      Xerror.fail XPTY0004 "a path step requires the context item to be a node"
+  end
+  | Slash (a, b) -> eval_slash ctx a b
+  | Filter (e, preds) -> apply_predicates ctx (eval ctx e) preds
+  | Call (name, args) -> eval_call ctx name args
+  | Direct_elem d -> [ Item.Node (construct_direct ctx d) ]
+  | Comp_elem (name_e, content_e) ->
+    let name = constructor_name ctx name_e in
+    let el = Node.element name in
+    fill_element ctx el [ Ast.Content_expr content_e ];
+    [ Item.Node el ]
+  | Comp_attr (name_e, content_e) ->
+    let name = constructor_name ctx name_e in
+    let value = atomics_to_text (Xseq.atomize (eval ctx content_e)) in
+    [ Item.Node (Node.attribute name (Option.value value ~default:"")) ]
+  | Comp_text content_e -> begin
+    match atomics_to_text (Xseq.atomize (eval ctx content_e)) with
+    | None -> Xseq.empty
+    | Some s -> [ Item.Node (Node.text s) ]
+  end
+
+and eval_quantified ctx q binds body =
+  (* expand bindings left to right; some = exists, every = forall *)
+  let rec go ctx = function
+    | [] -> Xseq.effective_boolean_value (eval ctx body)
+    | (v, src) :: rest ->
+      let items = eval ctx src in
+      let test item = go (Context.bind ctx v [ item ]) rest in
+      (match q with
+       | Ast.Some_quant -> List.exists test items
+       | Ast.Every_quant -> List.for_all test items)
+  in
+  match q with
+  | Ast.Some_quant -> go ctx binds
+  | Ast.Every_quant -> go ctx binds
+
+and eval_slash ctx a b =
+  match index_fast_path ctx a b with
+  | Some result -> result
+  | None -> eval_slash_scan ctx a b
+
+(* Answer //name (i.e. /descendant-or-self::node()/child::name) from the
+   element-name index when one is registered for the context tree. *)
+and index_fast_path ctx a b =
+  match a, b, Context.name_index ctx with
+  | Ast.Slash (Ast.Root, Ast.Step (Ast.Descendant_or_self, Ast.Kind_node, [])),
+    Ast.Step (Ast.Child, Ast.Name_test nm, preds),
+    Some idx
+    when nm.Xname.prefix = None -> begin
+    match Context.focus ctx with
+    | Some { Context.item = Item.Node n; _ }
+      when Node.same (Node.root n) (Name_index.indexed_root idx) ->
+      let nodes = Name_index.find idx nm.Xname.local in
+      Some (apply_predicates ctx (Xseq.of_nodes nodes) preds)
+    | Some _ | None -> None
+  end
+  | _ -> None
+
+and eval_slash_scan ctx a b =
+  let left = eval ctx a in
+  let nodes = Xseq.nodes left in
+  let size = List.length nodes in
+  let results =
+    List.mapi
+      (fun i n ->
+        let focus =
+          { Context.item = Item.Node n; position = i + 1; size }
+        in
+        eval (Context.with_focus ctx focus) b)
+      nodes
+  in
+  let all = Xseq.concat results in
+  let has_node = List.exists Item.is_node all in
+  let has_atomic = List.exists (fun it -> not (Item.is_node it)) all in
+  if has_node && has_atomic then
+    Xerror.fail XPTY0004 "path result mixes nodes and atomic values"
+  else if has_node then Xseq.of_nodes (Node.sort_in_doc_order (Xseq.nodes all))
+  else all
+
+and apply_predicates ctx items preds =
+  List.fold_left (apply_predicate ctx) items preds
+
+and apply_predicate ctx items pred =
+  let size = List.length items in
+  List.filteri
+    (fun i item ->
+      let focus = { Context.item; position = i + 1; size } in
+      let v = eval (Context.with_focus ctx focus) pred in
+      match v with
+      | [ Item.Atomic (Atomic.Int n) ] -> n = i + 1
+      | [ Item.Atomic (Atomic.Dec f) ] | [ Item.Atomic (Atomic.Dbl f) ] ->
+        f = float_of_int (i + 1)
+      | other -> Xseq.effective_boolean_value other)
+    items
+
+and eval_call ctx name args_e =
+  let args = List.map (eval ctx) args_e in
+  match Context.find_function ctx name (List.length args) with
+  | Some f -> apply_user_function ctx f args
+  | None ->
+    if Fn_sigs.accepts name (List.length args) then Builtins.call ctx name args
+    else
+      Xerror.failf XPST0017 "unknown function %s#%d" (Xname.to_string name)
+        (List.length args)
+
+and apply_user_function ctx (f : Context.func) args =
+  let bindings = List.combine f.Context.fn_params args in
+  eval (Context.function_scope ctx bindings) f.Context.fn_body
+
+(* --- constructors ------------------------------------------------------ *)
+
+and constructor_name ctx name_e =
+  match Xseq.atomized_opt (eval ctx name_e) with
+  | Some (Atomic.QName n) -> n
+  | Some a -> Xname.of_string (Atomic.to_string a)
+  | None -> Xerror.fail XPTY0004 "constructor name evaluated to ()"
+
+(* Adjacent atomic values become one text node, space-separated. *)
+and atomics_to_text atoms =
+  match atoms with
+  | [] -> None
+  | _ -> Some (String.concat " " (List.map Atomic.to_string atoms))
+
+and construct_direct ctx (d : Ast.direct_elem) =
+  let el = Node.element d.tag in
+  List.iter
+    (fun (a : Ast.direct_attr) ->
+      let buf = Buffer.create 16 in
+      List.iter
+        (fun piece ->
+          match (piece : Ast.attr_piece) with
+          | Attr_text s -> Buffer.add_string buf s
+          | Attr_expr e ->
+            let atoms = Xseq.atomize (eval ctx e) in
+            Buffer.add_string buf
+              (String.concat " " (List.map Atomic.to_string atoms)))
+        a.attr_value;
+      Node.set_attribute el (Node.attribute a.attr_tag (Buffer.contents buf)))
+    d.attrs;
+  fill_element ctx el d.content;
+  el
+
+(* Evaluate constructor content into an element: copies content nodes
+   (constructor semantics), merges adjacent atomics into text nodes and
+   attaches attribute nodes produced by enclosed expressions. *)
+and fill_element ctx el content =
+  let pending_text = Buffer.create 16 in
+  let pending_sep = ref false in
+  let flush_text () =
+    if Buffer.length pending_text > 0 then begin
+      Node.append_child el (Node.text (Buffer.contents pending_text));
+      Buffer.clear pending_text
+    end;
+    pending_sep := false
+  in
+  let add_atomic a =
+    if !pending_sep then Buffer.add_char pending_text ' ';
+    Buffer.add_string pending_text (Atomic.to_string a);
+    pending_sep := true
+  in
+  let add_node n =
+    match Node.kind n with
+    | Node.Attribute ->
+      flush_text ();
+      Node.set_attribute el
+        (Node.attribute
+           (Option.get (Node.name n))
+           (Node.attribute_value n))
+    | Node.Document ->
+      flush_text ();
+      List.iter (fun c -> Node.append_child el (Node.copy c)) (Node.children n)
+    | Node.Element | Node.Text | Node.Comment | Node.Pi ->
+      flush_text ();
+      Node.append_child el (Node.copy n)
+  in
+  List.iter
+    (fun item ->
+      match (item : Ast.content_item) with
+      | Content_text s ->
+        flush_text ();
+        Node.append_child el (Node.text s)
+      | Content_comment s ->
+        flush_text ();
+        Node.append_child el (Node.comment s)
+      | Content_elem child ->
+        flush_text ();
+        Node.append_child el (construct_direct ctx child)
+      | Content_expr e ->
+        let items = eval ctx e in
+        List.iter
+          (fun it ->
+            match (it : Item.t) with
+            | Item.Atomic a -> add_atomic a
+            | Item.Node n ->
+              pending_sep := false;
+              add_node n)
+          items;
+        (* a following enclosed expression's atomics are separated *)
+        pending_sep := false;
+        flush_text ())
+    content;
+  flush_text ()
+
+(* --- FLWOR -------------------------------------------------------------- *)
+
+and eval_flwor ctx (f : Ast.flwor) =
+  let tuples = List.fold_left (eval_clause ctx) [ Smap.empty ] f.clauses in
+  let numbered =
+    match f.return_at with
+    | None -> List.map (fun t -> t) tuples
+    | Some v ->
+      List.mapi (fun i t -> Smap.add v (Xseq.of_int (i + 1)) t) tuples
+  in
+  Xseq.concat
+    (List.map (fun t -> eval (ctx_with_tuple ctx t) f.return_expr) numbered)
+
+and eval_clause ctx tuples (clause : Ast.clause) =
+  match clause with
+  | For bindings ->
+    List.fold_left
+      (fun tuples (fb : Ast.for_binding) ->
+        List.concat_map
+          (fun tuple ->
+            let items = eval (ctx_with_tuple ctx tuple) fb.for_src in
+            List.mapi
+              (fun i item ->
+                let tuple = Smap.add fb.for_var [ item ] tuple in
+                match fb.positional with
+                | Some p -> Smap.add p (Xseq.of_int (i + 1)) tuple
+                | None -> tuple)
+              items)
+          tuples)
+      tuples bindings
+  | Let bindings ->
+    List.map
+      (fun tuple ->
+        List.fold_left
+          (fun tuple (v, e) ->
+            Smap.add v (eval (ctx_with_tuple ctx tuple) e) tuple)
+          tuple bindings)
+      tuples
+  | Where e ->
+    List.filter
+      (fun tuple ->
+        Xseq.effective_boolean_value (eval (ctx_with_tuple ctx tuple) e))
+      tuples
+  | Order_by { specs; _ } -> sort_tuples ctx tuples specs
+  | Count v ->
+    List.mapi (fun i tuple -> Smap.add v (Xseq.of_int (i + 1)) tuple) tuples
+  | Window w -> List.concat_map (eval_window ctx w) tuples
+  | Group_by g -> eval_group_by ctx tuples g
+
+(* Expand one tuple into one tuple per window over the clause's source
+   sequence (XQuery 3.0 tumbling/sliding semantics; boundary search in
+   Window_sem). *)
+and eval_window ctx (w : Ast.window_clause) tuple =
+  let tctx = ctx_with_tuple ctx tuple in
+  let items = Array.of_list (eval tctx w.w_src) in
+  let length = Array.length items in
+  (* bind a condition's variables for position [pos] (1-based) *)
+  let bind_cond (wc : Ast.window_vars_cond) pos tuple =
+    let add var value tuple =
+      match var with
+      | Some v -> Smap.add v value tuple
+      | None -> tuple
+    in
+    tuple
+    |> add wc.wc_item [ items.(pos - 1) ]
+    |> add wc.wc_pos (Xseq.of_int pos)
+    |> add wc.wc_prev (if pos >= 2 then [ items.(pos - 2) ] else [])
+    |> add wc.wc_next (if pos < length then [ items.(pos) ] else [])
+  in
+  let holds (wc : Ast.window_vars_cond) pos =
+    let inner = ctx_with_tuple ctx (bind_cond wc pos tuple) in
+    Xseq.effective_boolean_value (eval inner wc.wc_when)
+  in
+  let start_when pos = holds w.w_start pos in
+  let end_when, only_end =
+    match w.w_end with
+    | Some { we_only; we_cond } ->
+      (* the end condition also sees the start condition's variables,
+         bound at the window's start position *)
+      ( Some
+          (fun ~start_pos pos ->
+            let t = bind_cond w.w_start start_pos tuple in
+            let t = bind_cond we_cond pos t in
+            Xseq.effective_boolean_value
+              (eval (ctx_with_tuple ctx t) we_cond.wc_when)),
+        we_only )
+    | None -> (None, false)
+  in
+  let bounds =
+    Window_sem.compute ~kind:w.w_kind ~start_when ~end_when ~only_end ~length
+  in
+  List.map
+    (fun (b : Window_sem.bounds) ->
+      let window_items =
+        List.init (b.end_pos - b.start_pos + 1) (fun i ->
+            items.(b.start_pos - 1 + i))
+      in
+      let tuple = Smap.add w.w_var window_items tuple in
+      let tuple = bind_cond w.w_start b.start_pos tuple in
+      match w.w_end with
+      | Some { we_cond; _ } -> bind_cond we_cond b.end_pos tuple
+      | None -> tuple)
+    bounds
+
+(* Sort tuples by the order specs (stable; the [stable] keyword therefore
+   holds in all cases, and is ignored for grouped FLWORs per 3.4.2). *)
+and sort_tuples ctx tuples specs =
+  let keyed =
+    List.map
+      (fun tuple ->
+        let tctx = ctx_with_tuple ctx tuple in
+        let keys =
+          List.map
+            (fun (e, modifier) ->
+              let k =
+                match Xseq.atomized_opt (eval tctx e) with
+                | Some a -> Some a
+                | None -> None
+              in
+              (k, modifier))
+            specs
+        in
+        (keys, tuple))
+      tuples
+  in
+  let compare_keys (ka, _) (kb, _) =
+    let rec go = function
+      | [] -> 0
+      | ((a, modifier), (b, _)) :: rest ->
+        let c = Compare.order_keys modifier a b in
+        if c <> 0 then c else go rest
+    in
+    go (List.combine ka kb)
+  in
+  List.map snd (List.stable_sort compare_keys keyed)
+
+and eval_group_by ctx tuples (g : Ast.group_clause) =
+  let keys_of tuple =
+    let tctx = ctx_with_tuple ctx tuple in
+    List.map (fun (k : Ast.group_key) -> eval tctx k.key_expr) g.keys
+  in
+  let any_using =
+    List.exists (fun (k : Ast.group_key) -> k.using <> None) g.keys
+  in
+  let groups =
+    if not any_using then Group.group_hash ~keys_of tuples
+    else begin
+      let comparators =
+        Array.of_list
+          (List.map
+             (fun (k : Ast.group_key) ->
+               match k.using with
+               | None -> fun a b -> Deep_equal.sequences a b
+               | Some fname ->
+                 fun a b ->
+                   let result =
+                     match Context.find_function ctx fname 2 with
+                     | Some f -> apply_user_function ctx f [ a; b ]
+                     | None ->
+                       if Fn_sigs.accepts fname 2 then
+                         Builtins.call ctx fname [ a; b ]
+                       else
+                         Xerror.failf XPST0017
+                           "unknown grouping equality function %s"
+                           (Xname.to_string fname)
+                   in
+                   Xseq.effective_boolean_value result)
+             g.keys)
+      in
+      Group.group_scan ~keys_of
+        ~equal:(fun i a b -> comparators.(i) a b)
+        tuples
+    end
+  in
+  List.map
+    (fun (grp : tuple Group.group) ->
+      (* grouping variables: representative key values *)
+      let out =
+        List.fold_left2
+          (fun out (k : Ast.group_key) key_value ->
+            Smap.add k.key_var key_value out)
+          Smap.empty g.keys grp.Group.keys
+      in
+      (* nesting variables: concatenation over the group's tuples, in
+         input order or per the nest's own order-by (Section 3.4.1) *)
+      List.fold_left
+        (fun out (n : Ast.nest_spec) ->
+          let value =
+            match n.nest_expr, n.nest_order with
+            | Ast.Literal a, [] ->
+              (* count-optimized nests (nest 1 into $v): one literal per
+                 tuple, no per-tuple evaluation needed *)
+              List.map
+                (fun _ -> Item.Atomic a)
+                grp.Group.members
+            | _ ->
+              let members =
+                if n.nest_order = [] then grp.Group.members
+                else sort_tuples ctx grp.Group.members n.nest_order
+              in
+              Xseq.concat
+                (List.map
+                   (fun tuple -> eval (ctx_with_tuple ctx tuple) n.nest_expr)
+                   members)
+          in
+          Smap.add n.nest_var value out)
+        out g.nests)
+    groups
+
+(* Bridge for the algebra executor: window expansion over association-list
+   tuples (the executor has its own tuple map type). *)
+let expand_window_bindings ctx w bindings =
+  let tuple =
+    List.fold_left (fun m (v, value) -> Smap.add v value m) Smap.empty bindings
+  in
+  List.map Smap.bindings (eval_window ctx w tuple)
+
+(* --- query entry points -------------------------------------------------- *)
+
+let eval_query ?(check = true) ?(use_index = false) ?(documents = [])
+    ?(collections = []) ?default_collection ~context_node (q : Ast.query) =
+  if check then Static.check_query q;
+  let ctx = Context.of_prolog q.prolog in
+  let ctx =
+    if use_index then Context.set_name_index ctx (Name_index.build context_node)
+    else ctx
+  in
+  let ctx =
+    List.fold_left (fun ctx (uri, d) -> Context.add_document ctx ~uri d) ctx documents
+  in
+  let ctx =
+    List.fold_left
+      (fun ctx (name, nodes) -> Context.add_collection ctx ~name nodes)
+      ctx collections
+  in
+  let ctx =
+    match default_collection with
+    | Some nodes -> Context.set_default_collection ctx nodes
+    | None -> ctx
+  in
+  let focus =
+    { Context.item = Item.Node context_node; position = 1; size = 1 }
+  in
+  let ctx = Context.with_focus ctx focus in
+  let ctx =
+    List.fold_left
+      (fun ctx (v, e) -> Context.bind_global ctx v (eval ctx e))
+      ctx q.prolog.global_vars
+  in
+  eval ctx q.body
+
+let run ?use_index ?documents ?collections ?default_collection ~context_node
+    src =
+  eval_query ?use_index ?documents ?collections ?default_collection
+    ~context_node (Parser.parse_query src)

@@ -1,0 +1,48 @@
+(** The tuple-stream evaluator: XQuery expressions plus the paper's
+    extensions ([group by]/[nest]/[using], post-group [let]/[where],
+    [nest … order by], [return at]). *)
+
+open Xq_xdm
+open Xq_lang
+
+(** Evaluate an expression in a context. *)
+val eval : Context.t -> Ast.expr -> Xseq.t
+
+(** Expand one FLWOR tuple (as variable/value bindings) into one tuple
+    per window of the clause — exposed for the algebra executor so both
+    back ends share the XQuery 3.0 window semantics. *)
+val expand_window_bindings :
+  Context.t ->
+  Ast.window_clause ->
+  (string * Xseq.t) list ->
+  (string * Xseq.t) list list
+
+(** Evaluate a full query against a context node (usually a document):
+    builds the context from the prolog, evaluates the global variables,
+    sets the focus to the context node and evaluates the body. Runs
+    {!Static.check_query} first unless [check] is [false].
+
+    [documents], [collections] and [default_collection] populate the
+    dynamic context's registry behind [fn:doc] and [fn:collection].
+    [use_index] builds a {!Name_index} over the context tree and lets the
+    evaluator answer [//name] from it (off by default: the paper's
+    experiments are index-free). *)
+val eval_query :
+  ?check:bool ->
+  ?use_index:bool ->
+  ?documents:(string * Node.t) list ->
+  ?collections:(string * Node.t list) list ->
+  ?default_collection:Node.t list ->
+  context_node:Node.t ->
+  Ast.query ->
+  Xseq.t
+
+(** Parse, check and evaluate a query string against a context node. *)
+val run :
+  ?use_index:bool ->
+  ?documents:(string * Node.t) list ->
+  ?collections:(string * Node.t list) list ->
+  ?default_collection:Node.t list ->
+  context_node:Node.t ->
+  string ->
+  Xseq.t

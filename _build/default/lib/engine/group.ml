@@ -1,0 +1,57 @@
+open Xq_xdm
+
+type 'a group = { keys : Xseq.t list; members : 'a list }
+
+type 'a cell = { c_keys : Xseq.t list; mutable rev_members : 'a list }
+
+let finalize order =
+  List.rev_map
+    (fun cell -> { keys = cell.c_keys; members = List.rev cell.rev_members })
+    order
+
+let hash_keys keys = Hashtbl.hash (List.map Deep_equal.hash_sequence keys)
+
+let keys_deep_equal a b = List.for_all2 Deep_equal.sequences a b
+
+let group_hash ~keys_of tuples =
+  let table : (int, 'a cell list ref) Hashtbl.t = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun tuple ->
+      let keys = keys_of tuple in
+      let h = hash_keys keys in
+      let bucket =
+        match Hashtbl.find_opt table h with
+        | Some b -> b
+        | None ->
+          let b = ref [] in
+          Hashtbl.add table h b;
+          b
+      in
+      match
+        List.find_opt (fun cell -> keys_deep_equal cell.c_keys keys) !bucket
+      with
+      | Some cell -> cell.rev_members <- tuple :: cell.rev_members
+      | None ->
+        let cell = { c_keys = keys; rev_members = [ tuple ] } in
+        bucket := cell :: !bucket;
+        order := cell :: !order)
+    tuples;
+  finalize !order
+
+let group_scan ~keys_of ~equal tuples =
+  let order = ref [] in
+  List.iter
+    (fun tuple ->
+      let keys = keys_of tuple in
+      let same cell =
+        List.for_all
+          (fun (i, a, b) -> equal i a b)
+          (List.mapi (fun i (a, b) -> (i, a, b)) (List.combine keys cell.c_keys))
+      in
+      match List.find_opt same !order with
+      | Some cell -> cell.rev_members <- tuple :: cell.rev_members
+      | None -> order := { c_keys = keys; rev_members = [ tuple ] } :: !order)
+    tuples;
+  (* !order is newest-first; finalize reverses *)
+  finalize !order

@@ -1,0 +1,30 @@
+(** The grouping operator underlying the [group by] clause.
+
+    Two strategies, matching Section 3.3 of the paper:
+    - {!group_hash}: used when every key compares with the default
+      [fn:deep-equal] — one pass, hash on the key sequences, deep-equal
+      within buckets;
+    - {!group_scan}: used when any key has a [using] function — compares
+      each tuple against the representatives of the existing groups with
+      the per-key equality (user functions are opaque, so no hashing is
+      possible).
+
+    Both preserve first-occurrence order of groups and the input order of
+    members within each group (which is what the [nest] clause
+    concatenates, per Section 3.4.1). *)
+
+open Xq_xdm
+
+type 'a group = {
+  keys : Xseq.t list;  (** representative key values (first tuple's) *)
+  members : 'a list;   (** in input order *)
+}
+
+val group_hash : keys_of:('a -> Xseq.t list) -> 'a list -> 'a group list
+
+(** [equal i] compares values of the [i]-th key. *)
+val group_scan :
+  keys_of:('a -> Xseq.t list) ->
+  equal:(int -> Xseq.t -> Xseq.t -> bool) ->
+  'a list ->
+  'a group list

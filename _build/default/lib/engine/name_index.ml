@@ -1,0 +1,30 @@
+open Xq_xdm
+
+type t = {
+  table : (string, Node.t list ref) Hashtbl.t;
+  indexed_root : Node.t;
+}
+
+let build root =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      if Node.is_element n then begin
+        let name = Node.local_name n in
+        match Hashtbl.find_opt table name with
+        | Some cell -> cell := n :: !cell
+        | None -> Hashtbl.add table name (ref [ n ])
+      end)
+    (Node.descendant_or_self root);
+  (* reverse once so lookups return document order *)
+  Hashtbl.iter (fun _ cell -> cell := List.rev !cell) table;
+  { table; indexed_root = root }
+
+let find t name =
+  match Hashtbl.find_opt t.table name with
+  | Some cell -> !cell
+  | None -> []
+
+let indexed_root t = t.indexed_root
+
+let size t = Hashtbl.length t.table

@@ -1,0 +1,104 @@
+open Xq_xdm
+open Xq_lang
+
+let to_string (t : Ast.seq_type) =
+  t.Ast.item_type
+  ^
+  match t.Ast.occurrence with
+  | Ast.Occ_one -> ""
+  | Ast.Occ_optional -> "?"
+  | Ast.Occ_star -> "*"
+  | Ast.Occ_plus -> "+"
+
+(* element(n) / attribute(n) forms carry their name inside parens. *)
+let split_kind_arg item_type =
+  match String.index_opt item_type '(' with
+  | Some i when String.length item_type > 0 && item_type.[String.length item_type - 1] = ')' ->
+    let kind = String.sub item_type 0 i in
+    let arg = String.sub item_type (i + 1) (String.length item_type - i - 2) in
+    Some (kind, if arg = "" || arg = "*" then None else Some arg)
+  | _ -> None
+
+let atomic_matches item_type (a : Atomic.t) =
+  match item_type with
+  | "xs:anyAtomicType" | "anyAtomicType" -> true
+  | "xs:untypedAtomic" -> (match a with Atomic.Untyped _ -> true | _ -> false)
+  | "xs:string" -> (match a with Atomic.Str _ -> true | _ -> false)
+  | "xs:boolean" -> (match a with Atomic.Bool _ -> true | _ -> false)
+  | "xs:integer" -> (match a with Atomic.Int _ -> true | _ -> false)
+  | "xs:decimal" ->
+    (* xs:integer is derived from xs:decimal *)
+    (match a with Atomic.Int _ | Atomic.Dec _ -> true | _ -> false)
+  | "xs:double" -> (match a with Atomic.Dbl _ -> true | _ -> false)
+  | "xs:date" -> (match a with Atomic.Date _ -> true | _ -> false)
+  | "xs:dateTime" -> (match a with Atomic.DateTime _ -> true | _ -> false)
+  | "xs:QName" -> (match a with Atomic.QName _ -> true | _ -> false)
+  | other -> Xerror.failf XPST0003 "unknown atomic type %s" other
+
+let item_matches item_type (it : Item.t) =
+  match item_type with
+  | "item()" -> true
+  | _ -> begin
+    match split_kind_arg item_type with
+    | Some (kind, name_arg) -> begin
+      match it with
+      | Item.Atomic _ -> false
+      | Item.Node n -> begin
+        let name_ok =
+          match name_arg with
+          | None -> true
+          | Some nm -> Node.local_name n = nm
+        in
+        match kind with
+        | "node" -> true
+        | "text" -> Node.is_text n
+        | "comment" -> Node.kind n = Node.Comment
+        | "element" -> Node.is_element n && name_ok
+        | "attribute" -> Node.is_attribute n && name_ok
+        | "document-node" -> Node.kind n = Node.Document
+        | "processing-instruction" -> Node.kind n = Node.Pi
+        | other -> Xerror.failf XPST0003 "unknown kind test %s()" other
+      end
+    end
+    | None -> begin
+      match it with
+      | Item.Atomic a -> atomic_matches item_type a
+      | Item.Node _ -> false
+    end
+  end
+
+let matches seq (t : Ast.seq_type) =
+  if t.Ast.item_type = "empty-sequence()" then seq = []
+  else begin
+    let occurrence_ok =
+      match t.Ast.occurrence, seq with
+      | Ast.Occ_one, [ _ ] -> true
+      | Ast.Occ_one, _ -> false
+      | Ast.Occ_optional, ([] | [ _ ]) -> true
+      | Ast.Occ_optional, _ -> false
+      | Ast.Occ_star, _ -> true
+      | Ast.Occ_plus, _ :: _ -> true
+      | Ast.Occ_plus, [] -> false
+    in
+    occurrence_ok && List.for_all (item_matches t.Ast.item_type) seq
+  end
+
+let cast_atomic item_type (a : Atomic.t) =
+  match item_type with
+  | "xs:string" -> Atomic.Str (Atomic.to_string a)
+  | "xs:untypedAtomic" -> Atomic.Untyped (Atomic.to_string a)
+  | "xs:boolean" -> Atomic.Bool (Atomic.cast_to_boolean a)
+  | "xs:integer" -> Atomic.Int (Atomic.cast_to_integer a)
+  | "xs:decimal" -> Atomic.Dec (Atomic.cast_to_decimal a)
+  | "xs:double" -> Atomic.Dbl (Atomic.cast_to_double a)
+  | "xs:date" -> Atomic.Date (Atomic.cast_to_date a)
+  | "xs:dateTime" -> Atomic.DateTime (Atomic.cast_to_date_time a)
+  | "xs:QName" -> Atomic.QName (Xname.of_string (Atomic.to_string a))
+  | other -> Xerror.failf XPST0003 "cannot cast to %s" other
+
+let cast seq (t : Ast.seq_type) =
+  match Xseq.atomized_opt seq with
+  | None ->
+    if t.Ast.occurrence = Ast.Occ_optional then Xseq.empty
+    else Xerror.failf FORG0001 "cast as %s: operand is empty" (to_string t)
+  | Some a -> [ Item.Atomic (cast_atomic t.Ast.item_type a) ]

@@ -1,0 +1,24 @@
+(** Dynamic sequence-type matching and casting, supporting [instance of],
+    [treat as], [castable as] and [cast as].
+
+    Item types are matched from their lexical form as recorded by the
+    parser: [item()], node kind tests ([node()], [text()], [comment()],
+    [element()], [element(n)], [attribute()], [attribute(n)],
+    [document-node()]), and the atomic types [xs:anyAtomicType],
+    [xs:untypedAtomic], [xs:string], [xs:boolean], [xs:integer],
+    [xs:decimal], [xs:double], [xs:date], [xs:dateTime], [xs:QName]
+    (with xs:integer ⊆ xs:decimal per the type hierarchy). *)
+
+open Xq_xdm
+open Xq_lang
+
+(** Does the sequence match the type (occurrence and item type)? Raises
+    [XPST0003] for an item type this engine does not know. *)
+val matches : Xseq.t -> Ast.seq_type -> bool
+
+(** [cast seq t] casts per [cast as]: the operand must atomize to at most
+    one item (empty allowed only with the [?] occurrence). Raises
+    [FORG0001] on failure, [XPST0003] on non-castable target types. *)
+val cast : Xseq.t -> Ast.seq_type -> Xseq.t
+
+val to_string : Ast.seq_type -> string

@@ -1,0 +1,54 @@
+type bounds = { start_pos : int; end_pos : int }
+
+let find_end ~end_when ~start_pos ~length =
+  let rec go j =
+    if j > length then None
+    else if end_when ~start_pos j then Some j
+    else go (j + 1)
+  in
+  go start_pos
+
+let compute ~kind ~start_when ~end_when ~only_end ~length =
+  match (kind : Xq_lang.Ast.window_kind) with
+  | Sliding ->
+    List.concat
+      (List.init length (fun idx ->
+           let i = idx + 1 in
+           if not (start_when i) then []
+           else begin
+             match end_when with
+             | None -> [ { start_pos = i; end_pos = length } ]
+             | Some end_when -> begin
+               match find_end ~end_when ~start_pos:i ~length with
+               | Some j -> [ { start_pos = i; end_pos = j } ]
+               | None ->
+                 if only_end then [] else [ { start_pos = i; end_pos = length } ]
+             end
+           end))
+  | Tumbling ->
+    let rec scan i acc =
+      if i > length then List.rev acc
+      else if not (start_when i) then scan (i + 1) acc
+      else begin
+        match end_when with
+        | Some end_when -> begin
+          match find_end ~end_when ~start_pos:i ~length with
+          | Some j -> scan (j + 1) ({ start_pos = i; end_pos = j } :: acc)
+          | None ->
+            let acc =
+              if only_end then acc else { start_pos = i; end_pos = length } :: acc
+            in
+            List.rev acc
+        end
+        | None ->
+          (* the window runs until just before the next start *)
+          let rec next_start j =
+            if j > length then length + 1
+            else if start_when j then j
+            else next_start (j + 1)
+          in
+          let j = next_start (i + 1) in
+          scan j ({ start_pos = i; end_pos = j - 1 } :: acc)
+      end
+    in
+    scan 1 []

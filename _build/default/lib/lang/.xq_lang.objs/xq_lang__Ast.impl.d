@@ -1,0 +1,1 @@
+lib/lang/ast.ml: Atomic List Xname Xq_xdm

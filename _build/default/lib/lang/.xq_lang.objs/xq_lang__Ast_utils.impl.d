@@ -1,0 +1,1 @@
+lib/lang/ast_utils.ml: Ast Fun List Set String

@@ -1,0 +1,1 @@
+lib/lang/ast_utils.mli: Ast Set

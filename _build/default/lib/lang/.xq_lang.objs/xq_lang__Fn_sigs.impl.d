@@ -1,0 +1,1 @@
+lib/lang/fn_sigs.ml: List Xq_xdm

@@ -1,0 +1,1 @@
+lib/lang/fn_sigs.mli: Xq_xdm

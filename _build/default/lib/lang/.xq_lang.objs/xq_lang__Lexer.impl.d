@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Buffer Char Printf String Uchar Xerror Xq_xdm

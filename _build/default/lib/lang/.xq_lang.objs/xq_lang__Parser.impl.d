@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Atomic Buffer Lexer List Printf String Xerror Xname Xq_xdm

@@ -1,0 +1,1 @@
+lib/lang/pretty.ml: Ast Atomic Buffer List Printf String Xname Xq_xdm

@@ -1,0 +1,1 @@
+lib/lang/static.ml: Ast Fn_sigs Fun List Map String Xerror Xname Xq_xdm

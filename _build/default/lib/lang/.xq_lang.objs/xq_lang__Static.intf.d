@@ -1,0 +1,1 @@
+lib/lang/static.mli: Ast Xq_xdm

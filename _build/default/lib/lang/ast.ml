@@ -1,0 +1,205 @@
+(** Abstract syntax for the XQuery subset plus the paper's extensions.
+
+    The FLWOR representation keeps clauses as a list; the grammar
+    restrictions (one [group by], post-group clauses limited to
+    [let]/[where], single trailing [order by]) are enforced by the parser
+    and re-checked by {!Static.check} so programmatically built ASTs (for
+    example, the output of the rewrite pass) get validated too. *)
+
+open Xq_xdm
+
+type quantifier = Some_quant | Every_quant
+
+(** General comparisons [= != < <= > >=] (existential, with casting). *)
+type general_cmp = Gen_eq | Gen_ne | Gen_lt | Gen_le | Gen_gt | Gen_ge
+
+(** Value comparisons [eq ne lt le gt ge] (singleton, strict typing). *)
+type value_cmp = Val_eq | Val_ne | Val_lt | Val_le | Val_gt | Val_ge
+
+(** Node comparisons [is << >>]. *)
+type node_cmp = Node_is | Node_precedes | Node_follows
+
+type arith_op = Add | Sub | Mul | Div | Idiv | Mod
+
+type axis =
+  | Child
+  | Descendant
+  | Attribute_axis
+  | Self
+  | Parent
+  | Descendant_or_self
+  | Ancestor
+  | Ancestor_or_self
+  | Following_sibling
+  | Preceding_sibling
+
+type node_test =
+  | Name_test of Xname.t
+  | Wildcard                       (** [*] *)
+  | Prefix_wildcard of string      (** [p:*] *)
+  | Kind_node                      (** [node()] *)
+  | Kind_text                      (** [text()] *)
+  | Kind_comment                   (** [comment()] *)
+  | Kind_element of Xname.t option   (** [element()] / [element(n)] *)
+  | Kind_attribute of Xname.t option
+  | Kind_document
+
+(** Occurrence indicator of a sequence type. *)
+type occurrence = Occ_one | Occ_optional | Occ_star | Occ_plus
+
+(** Sequence types are recorded lexically (the item-type text) plus the
+    occurrence indicator; only the occurrence is enforced at runtime
+    (documented simplification — there is no schema import). *)
+type seq_type = { item_type : string; occurrence : occurrence }
+
+type order_modifier = {
+  descending : bool;
+  empty_greatest : bool option;  (** [None]: implementation default (least) *)
+}
+
+type expr =
+  | Literal of Atomic.t
+  | Var of string                         (** without the [$] *)
+  | Context_item                          (** [.] *)
+  | Sequence of expr list                 (** [(e1, e2, …)]; [()] is [Sequence []] *)
+  | Range of expr * expr                  (** [e1 to e2] *)
+  | Arith of arith_op * expr * expr
+  | Neg of expr
+  | General_cmp of general_cmp * expr * expr
+  | Value_cmp of value_cmp * expr * expr
+  | Node_cmp of node_cmp * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Union of expr * expr                  (** [e1 | e2] *)
+  | Intersect of expr * expr              (** node-identity intersection *)
+  | Except of expr * expr                 (** node-identity difference *)
+  | Instance_of of expr * seq_type
+  | Treat_as of expr * seq_type
+  | Castable_as of expr * seq_type
+  | Cast_as of expr * seq_type
+  | If of expr * expr * expr
+  | Quantified of quantifier * (string * expr) list * expr
+  | Flwor of flwor
+  | Root                                  (** leading [/] *)
+  | Step of axis * node_test * expr list  (** an axis step with predicates *)
+  | Slash of expr * expr                  (** [e1/e2]; [//] is desugared *)
+  | Filter of expr * expr list            (** [primary[p1][p2]…] *)
+  | Call of Xname.t * expr list
+  | Direct_elem of direct_elem            (** [<a x="{…}">…</a>] *)
+  | Comp_elem of expr * expr              (** [element {n} {c}] *)
+  | Comp_attr of expr * expr
+  | Comp_text of expr
+
+and direct_elem = {
+  tag : Xname.t;
+  attrs : direct_attr list;
+  content : content_item list;
+}
+
+and direct_attr = {
+  attr_tag : Xname.t;
+  attr_value : attr_piece list;
+}
+
+and attr_piece =
+  | Attr_text of string
+  | Attr_expr of expr
+
+and content_item =
+  | Content_text of string
+  | Content_expr of expr    (** [{…}] enclosed expression *)
+  | Content_elem of direct_elem
+  | Content_comment of string
+
+and flwor = {
+  clauses : clause list;
+  return_at : string option;  (** the paper's [return at $rank] (Section 4) *)
+  return_expr : expr;
+}
+
+and clause =
+  | For of for_binding list     (** [for $v (at $p)? in e, …] *)
+  | Let of (string * expr) list
+  | Where of expr
+  | Group_by of group_clause    (** the paper's extension (Section 3) *)
+  | Order_by of { stable : bool; specs : (expr * order_modifier) list }
+  | Count of string
+      (** [count $v] — numbers the tuple stream at this point; the
+          XQuery 3.0 descendant of the paper's [return at] proposal,
+          included to show the lineage. *)
+  | Window of window_clause
+      (** [for tumbling|sliding window $w in E start … when C (only)? end
+          … when C'] — the XQuery 3.0 window clause, the standardized
+          successor of the paper's moving-window idiom (Section 3.4.1 /
+          Q8), included to show where that idiom went. *)
+
+and window_clause = {
+  w_kind : window_kind;
+  w_var : string;
+  w_src : expr;
+  w_start : window_vars_cond;
+  w_end : window_end option;
+}
+
+and window_kind = Tumbling | Sliding
+
+and window_end = { we_only : bool; we_cond : window_vars_cond }
+
+(** The variables a start/end condition may bind: the current item, its
+    position ([at]), and the [previous]/[next] items. *)
+and window_vars_cond = {
+  wc_item : string option;
+  wc_pos : string option;
+  wc_prev : string option;
+  wc_next : string option;
+  wc_when : expr;
+}
+
+and for_binding = { for_var : string; positional : string option; for_src : expr }
+
+and group_clause = {
+  keys : group_key list;
+  nests : nest_spec list;
+}
+
+and group_key = {
+  key_expr : expr;
+  key_var : string;
+  using : Xname.t option;   (** custom equality function (Section 3.3) *)
+}
+
+and nest_spec = {
+  nest_expr : expr;
+  nest_order : (expr * order_modifier) list;  (** (Section 3.4.1) *)
+  nest_var : string;
+}
+
+type param = { param_name : string; param_type : seq_type option }
+
+type fun_def = {
+  fun_name : Xname.t;
+  params : param list;
+  return_type : seq_type option;
+  body : expr;
+}
+
+type ordering_mode = Ordered | Unordered
+
+type prolog = {
+  functions : fun_def list;
+  global_vars : (string * expr) list;
+  ordering : ordering_mode option;
+}
+
+type query = { prolog : prolog; body : expr }
+
+let empty_prolog = { functions = []; global_vars = []; ordering = None }
+
+let query_of_expr body = { prolog = empty_prolog; body }
+
+(** Default order modifier: ascending, implementation-default empties. *)
+let default_order = { descending = false; empty_greatest = None }
+
+(** [true] when the FLWOR contains a [group by] clause. *)
+let is_grouped f =
+  List.exists (function Group_by _ -> true | _ -> false) f.clauses

@@ -1,0 +1,137 @@
+open Ast
+
+module Sset = Set.Make (String)
+
+let rec free_vars e =
+  match e with
+  | Var v -> Sset.singleton v
+  | Literal _ | Context_item | Root -> Sset.empty
+  | Sequence es -> unions (List.map free_vars es)
+  | Range (a, b) | Arith (_, a, b) | General_cmp (_, a, b)
+  | Value_cmp (_, a, b) | Node_cmp (_, a, b) | And (a, b) | Or (a, b)
+  | Union (a, b) | Intersect (a, b) | Except (a, b) | Slash (a, b)
+  | Comp_elem (a, b) | Comp_attr (a, b) ->
+    Sset.union (free_vars a) (free_vars b)
+  | Neg a | Comp_text a
+  | Instance_of (a, _) | Treat_as (a, _) | Castable_as (a, _)
+  | Cast_as (a, _) ->
+    free_vars a
+  | If (a, b, c) -> unions [ free_vars a; free_vars b; free_vars c ]
+  | Quantified (_, binds, body) ->
+    (* left-to-right: each source sees earlier bindings *)
+    let bound, from_sources =
+      List.fold_left
+        (fun (bound, acc) (v, src) ->
+          (Sset.add v bound, Sset.union acc (Sset.diff (free_vars src) bound)))
+        (Sset.empty, Sset.empty) binds
+    in
+    Sset.union from_sources (Sset.diff (free_vars body) bound)
+  | Step (_, _, preds) -> unions (List.map free_vars preds)
+  | Filter (e, preds) -> unions (free_vars e :: List.map free_vars preds)
+  | Call (_, args) -> unions (List.map free_vars args)
+  | Direct_elem d -> direct_free_vars d
+  | Flwor f -> flwor_free_vars f
+
+and unions sets = List.fold_left Sset.union Sset.empty sets
+
+and direct_free_vars d =
+  unions
+    (List.map
+       (fun a ->
+         unions
+           (List.map
+              (function Attr_text _ -> Sset.empty | Attr_expr e -> free_vars e)
+              a.attr_value))
+       d.attrs
+    @ List.map
+        (function
+          | Content_text _ | Content_comment _ -> Sset.empty
+          | Content_expr e -> free_vars e
+          | Content_elem child -> direct_free_vars child)
+        d.content)
+
+and flwor_free_vars f =
+  (* Walk clauses tracking the bound set; the group boundary replaces the
+     FLWOR-local bindings with the grouping/nesting variables. *)
+  let free = ref Sset.empty in
+  let note bound e = free := Sset.union !free (Sset.diff (free_vars e) bound) in
+  let bound =
+    List.fold_left
+      (fun bound clause ->
+        match clause with
+        | For bindings ->
+          List.fold_left
+            (fun bound fb ->
+              note bound fb.for_src;
+              let bound = Sset.add fb.for_var bound in
+              match fb.positional with
+              | Some p -> Sset.add p bound
+              | None -> bound)
+            bound bindings
+        | Let bindings ->
+          List.fold_left
+            (fun bound (v, e) ->
+              note bound e;
+              Sset.add v bound)
+            bound bindings
+        | Where e ->
+          note bound e;
+          bound
+        | Count v -> Sset.add v bound
+        | Window w ->
+          note bound w.w_src;
+          let cond_vars wc =
+            List.filter_map Fun.id [ wc.wc_item; wc.wc_pos; wc.wc_prev; wc.wc_next ]
+          in
+          let note_cond wc =
+            let inner = List.fold_left (Fun.flip Sset.add) bound (cond_vars wc) in
+            note inner wc.wc_when
+          in
+          note_cond w.w_start;
+          (match w.w_end with
+           | Some { we_cond; _ } ->
+             (* the end condition also sees the start condition's vars *)
+             let inner =
+               List.fold_left (Fun.flip Sset.add) bound
+                 (cond_vars w.w_start @ cond_vars we_cond)
+             in
+             note inner we_cond.wc_when
+           | None -> ());
+          let bound = Sset.add w.w_var bound in
+          let bound =
+            List.fold_left (Fun.flip Sset.add) bound (cond_vars w.w_start)
+          in
+          (match w.w_end with
+           | Some { we_cond; _ } ->
+             List.fold_left (Fun.flip Sset.add) bound (cond_vars we_cond)
+           | None -> bound)
+        | Order_by { specs; _ } ->
+          List.iter (fun (e, _) -> note bound e) specs;
+          bound
+        | Group_by g ->
+          List.iter (fun k -> note bound k.key_expr) g.keys;
+          List.iter
+            (fun n ->
+              note bound n.nest_expr;
+              List.iter (fun (e, _) -> note bound e) n.nest_order)
+            g.nests;
+          let bound =
+            List.fold_left (fun b k -> Sset.add k.key_var b) bound g.keys
+          in
+          List.fold_left (fun b n -> Sset.add n.nest_var b) bound g.nests)
+      Sset.empty f.clauses
+  in
+  let bound =
+    match f.return_at with
+    | Some v -> Sset.add v bound
+    | None -> bound
+  in
+  note bound f.return_expr;
+  !free
+
+let rec pure e =
+  match e with
+  | Literal _ | Var _ | Context_item -> true
+  | Sequence es -> List.for_all pure es
+  | If (c, a, b) -> pure c && pure a && pure b
+  | _ -> false

@@ -1,0 +1,20 @@
+(** AST analyses shared by the rewriter and the plan optimizer. *)
+
+module Sset : Set.S with type elt = string
+
+(** Free variables of an expression (scope-aware: FLWOR, quantified and
+    grouping bindings shadow correctly; function calls contribute only
+    their arguments — user function bodies are closed except for
+    globals). *)
+val free_vars : Ast.expr -> Sset.t
+
+(** Free variables of a whole FLWOR (clauses plus return). *)
+val flwor_free_vars : Ast.flwor -> Sset.t
+
+(** True when evaluating the expression can have no observable effect
+    besides its value — used to justify dropping dead bindings. With no
+    side-effecting constructs in the dialect except [fn:trace] and
+    dynamic errors, this is "may it raise?": conservatively false for
+    arithmetic (division), casts, function calls and anything containing
+    them. *)
+val pure : Ast.expr -> bool

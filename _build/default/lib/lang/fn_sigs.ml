@@ -1,0 +1,103 @@
+type sig_ = { sig_name : string; min_arity : int; max_arity : int }
+
+let fixed name n = { sig_name = name; min_arity = n; max_arity = n }
+let between name lo hi = { sig_name = name; min_arity = lo; max_arity = hi }
+
+let all =
+  [
+    (* aggregates *)
+    fixed "count" 1;
+    between "sum" 1 2;
+    fixed "avg" 1;
+    fixed "min" 1;
+    fixed "max" 1;
+    (* sequences *)
+    fixed "distinct-values" 1;
+    fixed "deep-equal" 2;
+    fixed "empty" 1;
+    fixed "exists" 1;
+    fixed "reverse" 1;
+    between "subsequence" 2 3;
+    fixed "insert-before" 3;
+    fixed "remove" 2;
+    fixed "index-of" 2;
+    fixed "zero-or-one" 1;
+    fixed "one-or-more" 1;
+    fixed "exactly-one" 1;
+    (* booleans *)
+    fixed "not" 1;
+    fixed "boolean" 1;
+    fixed "true" 0;
+    fixed "false" 0;
+    (* strings *)
+    between "string" 0 1;
+    fixed "string-length" 1;
+    between "concat" 2 max_int;
+    fixed "contains" 2;
+    fixed "starts-with" 2;
+    fixed "ends-with" 2;
+    between "substring" 2 3;
+    between "string-join" 1 2;
+    fixed "upper-case" 1;
+    fixed "lower-case" 1;
+    fixed "normalize-space" 1;
+    fixed "translate" 3;
+    fixed "substring-before" 2;
+    fixed "substring-after" 2;
+    fixed "tokenize" 2;
+    fixed "compare" 2;
+    fixed "matches" 2;
+    fixed "replace" 3;
+    fixed "string-to-codepoints" 1;
+    fixed "codepoints-to-string" 1;
+    (* numbers *)
+    between "number" 0 1;
+    fixed "abs" 1;
+    fixed "ceiling" 1;
+    fixed "floor" 1;
+    between "round" 1 1;
+    (* nodes *)
+    between "local-name" 0 1;
+    between "name" 0 1;
+    between "node-name" 0 1;
+    between "root" 0 1;
+    between "data" 1 1;
+    (* dateTime accessors *)
+    fixed "year-from-dateTime" 1;
+    fixed "month-from-dateTime" 1;
+    fixed "day-from-dateTime" 1;
+    fixed "hours-from-dateTime" 1;
+    fixed "minutes-from-dateTime" 1;
+    fixed "seconds-from-dateTime" 1;
+    fixed "year-from-date" 1;
+    fixed "month-from-date" 1;
+    fixed "day-from-date" 1;
+    (* constructors (xs: prefix) *)
+    fixed "integer" 1;
+    fixed "double" 1;
+    fixed "decimal" 1;
+    fixed "date" 1;
+    fixed "dateTime" 1;
+    (* diagnostics *)
+    fixed "trace" 2;
+    (* positional — context-dependent, valid only inside predicates *)
+    fixed "position" 0;
+    fixed "last" 0;
+    (* available documents and collections *)
+    fixed "doc" 1;
+    between "collection" 0 1;
+  ]
+
+let find name = List.find_opt (fun s -> s.sig_name = name) all
+
+let accepts qname arity =
+  let matches_prefix =
+    match qname.Xq_xdm.Xname.prefix with
+    | None | Some "fn" | Some "xs" -> true
+    | Some _ -> false
+  in
+  matches_prefix
+  &&
+  match find qname.Xq_xdm.Xname.local with
+  | Some s -> arity >= s.min_arity && arity <= s.max_arity
+  | None -> false

@@ -1,0 +1,18 @@
+(** Signatures of the built-in function library (names and arities), used
+    by the static checker; the implementations live in the engine, which
+    tests that every signature listed here is implemented. *)
+
+type sig_ = {
+  sig_name : string;     (** unprefixed; callable as [name] or [fn:name] *)
+  min_arity : int;
+  max_arity : int;       (** [max_int] for variadic ([fn:concat]) *)
+}
+
+val all : sig_ list
+
+(** Look up by unprefixed name. *)
+val find : string -> sig_ option
+
+(** True when a call to [name] with [arity] arguments matches a builtin
+    ([name] may carry the [fn:] or [xs:] prefix). *)
+val accepts : Xq_xdm.Xname.t -> int -> bool

@@ -1,0 +1,370 @@
+open Xq_xdm
+
+type token =
+  | T_int of int
+  | T_dec of float
+  | T_dbl of float
+  | T_string of string
+  | T_name of string
+  | T_var of string
+  | T_prefix_star of string
+  | T_lpar | T_rpar
+  | T_lbracket | T_rbracket
+  | T_lbrace | T_rbrace
+  | T_comma
+  | T_semi
+  | T_assign
+  | T_slash | T_dslash
+  | T_dot | T_ddot
+  | T_at
+  | T_star
+  | T_plus | T_minus
+  | T_eq | T_ne | T_lt | T_le | T_gt | T_ge
+  | T_ll | T_gg
+  | T_bar
+  | T_question
+  | T_axis_sep
+  | T_eof
+
+let token_to_string = function
+  | T_int i -> string_of_int i
+  | T_dec f -> Printf.sprintf "%g" f
+  | T_dbl f -> Printf.sprintf "%g" f
+  | T_string s -> Printf.sprintf "%S" s
+  | T_name s -> s
+  | T_var s -> "$" ^ s
+  | T_prefix_star p -> p ^ ":*"
+  | T_lpar -> "(" | T_rpar -> ")"
+  | T_lbracket -> "[" | T_rbracket -> "]"
+  | T_lbrace -> "{" | T_rbrace -> "}"
+  | T_comma -> ","
+  | T_semi -> ";"
+  | T_assign -> ":="
+  | T_slash -> "/" | T_dslash -> "//"
+  | T_dot -> "." | T_ddot -> ".."
+  | T_at -> "@"
+  | T_star -> "*"
+  | T_plus -> "+" | T_minus -> "-"
+  | T_eq -> "=" | T_ne -> "!=" | T_lt -> "<" | T_le -> "<="
+  | T_gt -> ">" | T_ge -> ">="
+  | T_ll -> "<<" | T_gg -> ">>"
+  | T_bar -> "|"
+  | T_question -> "?"
+  | T_axis_sep -> "::"
+  | T_eof -> "<end of query>"
+
+type lookahead = {
+  tok : token;
+  tok_start : int;   (* offset of the token's first character *)
+  ws_start : int;    (* offset before the whitespace/comments preceding it *)
+}
+
+type t = {
+  src : string;
+  mutable cursor : int;
+  mutable look : lookahead option;
+}
+
+let create src = { src; cursor = 0; look = None }
+
+let line_col src offset =
+  let line = ref 1 and bol = ref 0 in
+  let offset = min offset (String.length src) in
+  for i = 0 to offset - 1 do
+    if src.[i] = '\n' then begin incr line; bol := i + 1 end
+  done;
+  (!line, offset - !bol + 1)
+
+let error_at lx offset msg =
+  let line, col = line_col lx.src offset in
+  Xerror.failf XPST0003 "line %d, column %d: %s" line col msg
+
+let at_end lx = lx.cursor >= String.length lx.src
+
+let cur lx = if at_end lx then '\000' else lx.src.[lx.cursor]
+
+let cur2 lx =
+  if lx.cursor + 1 >= String.length lx.src then '\000'
+  else lx.src.[lx.cursor + 1]
+
+let bump lx = lx.cursor <- lx.cursor + 1
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' -> true
+  | c -> Char.code c >= 128
+
+let is_name_char c = is_name_start c || is_digit c || c = '-' || c = '.'
+
+(* Skip whitespace and (possibly nested) "(: … :)" comments. *)
+let rec skip_ignorable lx =
+  if is_ws (cur lx) then begin bump lx; skip_ignorable lx end
+  else if cur lx = '(' && cur2 lx = ':' then begin
+    let start = lx.cursor in
+    bump lx; bump lx;
+    let depth = ref 1 in
+    while !depth > 0 do
+      if at_end lx then error_at lx start "unterminated comment";
+      if cur lx = '(' && cur2 lx = ':' then begin
+        incr depth; bump lx; bump lx
+      end
+      else if cur lx = ':' && cur2 lx = ')' then begin
+        decr depth; bump lx; bump lx
+      end
+      else bump lx
+    done;
+    skip_ignorable lx
+  end
+
+let read_ncname lx =
+  let start = lx.cursor in
+  while is_name_char (cur lx) do bump lx done;
+  String.sub lx.src start (lx.cursor - start)
+
+(* A QName: NCName, optionally ':' NCName. Does not consume "::" or ":=". *)
+let read_qname lx =
+  let first = read_ncname lx in
+  if cur lx = ':' && is_name_start (cur2 lx) then begin
+    bump lx;
+    let second = read_ncname lx in
+    first ^ ":" ^ second
+  end
+  else first
+
+let rec read_string_literal lx quote =
+  let buf = Buffer.create 16 in
+  let start = lx.cursor in
+  bump lx;  (* opening quote *)
+  let rec go () =
+    if at_end lx then error_at lx start "unterminated string literal"
+    else if cur lx = quote then begin
+      bump lx;
+      if cur lx = quote then begin
+        (* doubled quote escapes itself *)
+        Buffer.add_char buf quote; bump lx; go ()
+      end
+    end
+    else if cur lx = '&' then begin
+      bump lx;
+      read_entity lx buf;
+      go ()
+    end
+    else begin
+      Buffer.add_char buf (cur lx); bump lx; go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+and read_entity lx buf =
+  (* after '&' *)
+  if cur lx = '#' then begin
+    bump lx;
+    let hex = cur lx = 'x' in
+    if hex then bump lx;
+    let dstart = lx.cursor in
+    while cur lx <> ';' && not (at_end lx) do bump lx done;
+    let digits = String.sub lx.src dstart (lx.cursor - dstart) in
+    if at_end lx then error_at lx dstart "unterminated character reference";
+    bump lx;
+    let code =
+      try int_of_string (if hex then "0x" ^ digits else digits)
+      with Failure _ -> error_at lx dstart "bad character reference"
+    in
+    (try Buffer.add_utf_8_uchar buf (Uchar.of_int code)
+     with Invalid_argument _ -> error_at lx dstart "character reference out of range")
+  end
+  else begin
+    let nstart = lx.cursor in
+    let name = read_ncname lx in
+    if cur lx <> ';' then error_at lx nstart "unterminated entity reference";
+    bump lx;
+    let s =
+      match name with
+      | "lt" -> "<" | "gt" -> ">" | "amp" -> "&"
+      | "apos" -> "'" | "quot" -> "\""
+      | _ -> error_at lx nstart (Printf.sprintf "unknown entity &%s;" name)
+    in
+    Buffer.add_string buf s
+  end
+
+let read_number lx =
+  let start = lx.cursor in
+  while is_digit (cur lx) do bump lx done;
+  let has_dot = cur lx = '.' && cur2 lx <> '.' in
+  if has_dot then begin
+    bump lx;
+    while is_digit (cur lx) do bump lx done
+  end;
+  let has_exp =
+    (cur lx = 'e' || cur lx = 'E')
+    && (is_digit (cur2 lx)
+        || ((cur2 lx = '+' || cur2 lx = '-')
+            && lx.cursor + 2 < String.length lx.src
+            && is_digit lx.src.[lx.cursor + 2]))
+  in
+  if has_exp then begin
+    bump lx;
+    if cur lx = '+' || cur lx = '-' then bump lx;
+    while is_digit (cur lx) do bump lx done
+  end;
+  let text = String.sub lx.src start (lx.cursor - start) in
+  if has_exp then T_dbl (float_of_string text)
+  else if has_dot then T_dec (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some i -> T_int i
+    | None -> T_dec (float_of_string text)
+
+let lex_token lx =
+  let c = cur lx in
+  if at_end lx then T_eof
+  else if is_digit c then read_number lx
+  else if c = '.' && is_digit (cur2 lx) then read_number lx
+  else if c = '"' || c = '\'' then T_string (read_string_literal lx c)
+  else if c = '$' then begin
+    bump lx;
+    if not (is_name_start (cur lx)) then
+      error_at lx lx.cursor "expected a variable name after '$'";
+    T_var (read_qname lx)
+  end
+  else if is_name_start c then begin
+    let name_start = lx.cursor in
+    let first = read_ncname lx in
+    if cur lx = ':' then begin
+      if cur2 lx = '*' then begin
+        bump lx; bump lx;
+        T_prefix_star first
+      end
+      else if is_name_start (cur2 lx) then begin
+        bump lx;
+        let second = read_ncname lx in
+        T_name (first ^ ":" ^ second)
+      end
+      else if cur2 lx = ':' || cur2 lx = '=' then T_name first
+      else error_at lx name_start "dangling ':' after name"
+    end
+    else T_name first
+  end
+  else begin
+    bump lx;
+    match c with
+    | '(' -> T_lpar
+    | ')' -> T_rpar
+    | '[' -> T_lbracket
+    | ']' -> T_rbracket
+    | '{' -> T_lbrace
+    | '}' -> T_rbrace
+    | ',' -> T_comma
+    | ';' -> T_semi
+    | '/' -> if cur lx = '/' then begin bump lx; T_dslash end else T_slash
+    | '.' -> if cur lx = '.' then begin bump lx; T_ddot end else T_dot
+    | '@' -> T_at
+    | '*' -> T_star
+    | '+' -> T_plus
+    | '-' -> T_minus
+    | '|' -> T_bar
+    | '?' -> T_question
+    | '=' -> T_eq
+    | '!' ->
+      if cur lx = '=' then begin bump lx; T_ne end
+      else error_at lx (lx.cursor - 1) "unexpected '!'"
+    | '<' ->
+      if cur lx = '=' then begin bump lx; T_le end
+      else if cur lx = '<' then begin bump lx; T_ll end
+      else T_lt
+    | '>' ->
+      if cur lx = '=' then begin bump lx; T_ge end
+      else if cur lx = '>' then begin bump lx; T_gg end
+      else T_gt
+    | ':' ->
+      if cur lx = '=' then begin bump lx; T_assign end
+      else if cur lx = ':' then begin bump lx; T_axis_sep end
+      else error_at lx (lx.cursor - 1) "unexpected ':'"
+    | other ->
+      error_at lx (lx.cursor - 1) (Printf.sprintf "unexpected character %C" other)
+  end
+
+let fill lx =
+  match lx.look with
+  | Some _ -> ()
+  | None ->
+    let ws_start = lx.cursor in
+    skip_ignorable lx;
+    let tok_start = lx.cursor in
+    let tok = lex_token lx in
+    lx.look <- Some { tok; tok_start; ws_start }
+
+let peek lx =
+  fill lx;
+  match lx.look with
+  | Some l -> l.tok
+  | None -> assert false
+
+let advance lx =
+  fill lx;
+  lx.look <- None
+
+let next lx =
+  let t = peek lx in
+  advance lx;
+  t
+
+let error lx msg =
+  fill lx;
+  match lx.look with
+  | Some l -> error_at lx l.tok_start msg
+  | None -> assert false
+
+let position_string lx =
+  fill lx;
+  match lx.look with
+  | Some l ->
+    let line, col = line_col lx.src l.tok_start in
+    Printf.sprintf "line %d, column %d" line col
+  | None -> assert false
+
+(* --- raw mode --------------------------------------------------------- *)
+
+(* When a token has been looked ahead, rewind the cursor to its start;
+   when no lookahead is buffered the cursor already sits right after the
+   last consumed token, which is the correct raw position (we must not
+   lex here: raw content such as "&amp;" need not form valid tokens). *)
+let start_raw ?(keep_ws = false) lx =
+  match lx.look with
+  | Some l ->
+    lx.cursor <- (if keep_ws then l.ws_start else l.tok_start);
+    lx.look <- None
+  | None -> ()
+
+let raw_peek lx = cur lx
+
+let raw_advance lx =
+  if not (at_end lx) then bump lx
+
+let raw_next lx =
+  let c = cur lx in
+  raw_advance lx;
+  c
+
+let raw_looking_at lx s =
+  let n = String.length s in
+  lx.cursor + n <= String.length lx.src && String.sub lx.src lx.cursor n = s
+
+let raw_skip_string lx s =
+  if raw_looking_at lx s then lx.cursor <- lx.cursor + String.length s
+  else error_at lx lx.cursor (Printf.sprintf "expected %S" s)
+
+let raw_skip_ws lx = while is_ws (cur lx) do bump lx done
+
+let raw_name lx =
+  if not (is_name_start (cur lx)) then error_at lx lx.cursor "expected a name";
+  read_qname lx
+
+(* Entities are also needed by the parser for constructor content. *)
+let raw_entity lx buf =
+  (* positioned after '&' *)
+  read_entity lx buf

@@ -1,0 +1,87 @@
+(** On-demand tokenizer for the XQuery grammar.
+
+    XQuery has no reserved words: keywords such as [for], [group], [div]
+    are lexed as {!T_name} and disambiguated by the parser from their
+    position. The lexer keeps a single token of lookahead and records the
+    source offsets of that token (both before and after leading
+    whitespace/comments), which lets the parser hand the cursor back for
+    character-level scanning of direct XML constructors and resume token
+    scanning afterwards without losing significant whitespace. *)
+
+type token =
+  | T_int of int
+  | T_dec of float
+  | T_dbl of float
+  | T_string of string
+  | T_name of string        (** NCName or QName (one colon) *)
+  | T_var of string         (** [$name], without the dollar *)
+  | T_prefix_star of string (** [p:*] *)
+  | T_lpar | T_rpar
+  | T_lbracket | T_rbracket
+  | T_lbrace | T_rbrace
+  | T_comma
+  | T_semi
+  | T_assign                (** [:=] *)
+  | T_slash | T_dslash
+  | T_dot | T_ddot
+  | T_at
+  | T_star
+  | T_plus | T_minus
+  | T_eq | T_ne | T_lt | T_le | T_gt | T_ge
+  | T_ll | T_gg             (** [<<] and [>>] *)
+  | T_bar
+  | T_question
+  | T_axis_sep              (** [::] *)
+  | T_eof
+
+val token_to_string : token -> string
+
+type t
+
+val create : string -> t
+
+(** The lookahead token. *)
+val peek : t -> token
+
+(** Consume the lookahead. *)
+val advance : t -> unit
+
+(** [peek] then [advance]. *)
+val next : t -> token
+
+(** Raise a syntax error ([Xerror.Error (XPST0003, _)]) at the lookahead
+    token's position. *)
+val error : t -> string -> 'a
+
+(** ["line L, column C"] of the lookahead token, for error messages. *)
+val position_string : t -> string
+
+(** {1 Raw (XML constructor) mode}
+
+    [start_raw] rewinds the cursor to the first character of the
+    lookahead token (dropping it); with [~keep_ws:true] it rewinds to
+    before any whitespace that preceded the token, which matters when
+    re-entering element content after an enclosed expression. Subsequent
+    [raw_*] calls read characters; ordinary [peek]/[next] may be called
+    afterwards to resume token mode. *)
+
+val start_raw : ?keep_ws:bool -> t -> unit
+
+(** Current character, ['\000'] at end of input. *)
+val raw_peek : t -> char
+
+val raw_advance : t -> unit
+
+(** [raw_peek] then [raw_advance]. *)
+val raw_next : t -> char
+
+val raw_looking_at : t -> string -> bool
+val raw_skip_string : t -> string -> unit
+val raw_skip_ws : t -> unit
+
+(** Read an XML name (raises a syntax error if none present). *)
+val raw_name : t -> string
+
+(** Decode an entity or character reference (cursor positioned just after
+    the ['&']) into the buffer. *)
+val raw_entity : t -> Buffer.t -> unit

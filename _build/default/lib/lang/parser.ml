@@ -1,0 +1,1044 @@
+open Xq_xdm
+open Ast
+
+let expect lx tok =
+  if Lexer.peek lx = tok then Lexer.advance lx
+  else
+    Lexer.error lx
+      (Printf.sprintf "expected '%s', found '%s'"
+         (Lexer.token_to_string tok)
+         (Lexer.token_to_string (Lexer.peek lx)))
+
+(* Consume a keyword (XQuery keywords are ordinary names). *)
+let expect_kw lx kw =
+  match Lexer.peek lx with
+  | Lexer.T_name n when n = kw -> Lexer.advance lx
+  | other ->
+    Lexer.error lx
+      (Printf.sprintf "expected '%s', found '%s'" kw (Lexer.token_to_string other))
+
+let peek_kw lx kw =
+  match Lexer.peek lx with
+  | Lexer.T_name n -> n = kw
+  | _ -> false
+
+let accept_kw lx kw =
+  if peek_kw lx kw then begin Lexer.advance lx; true end else false
+
+let expect_var lx =
+  match Lexer.next lx with
+  | Lexer.T_var v -> v
+  | other ->
+    Lexer.error lx
+      (Printf.sprintf "expected a variable, found '%s'" (Lexer.token_to_string other))
+
+let expect_name lx what =
+  match Lexer.next lx with
+  | Lexer.T_name n -> n
+  | other ->
+    Lexer.error lx
+      (Printf.sprintf "expected %s, found '%s'" what (Lexer.token_to_string other))
+
+(* Names that introduce kind tests when followed by '('. *)
+let is_kind_test_name = function
+  | "node" | "text" | "comment" | "element" | "attribute" | "document-node" ->
+    true
+  | _ -> false
+
+let axis_of_name = function
+  | "child" -> Some Child
+  | "descendant" -> Some Descendant
+  | "attribute" -> Some Attribute_axis
+  | "self" -> Some Self
+  | "parent" -> Some Parent
+  | "descendant-or-self" -> Some Descendant_or_self
+  | "ancestor" -> Some Ancestor
+  | "ancestor-or-self" -> Some Ancestor_or_self
+  | "following-sibling" -> Some Following_sibling
+  | "preceding-sibling" -> Some Preceding_sibling
+  | _ -> None
+
+let parse_occurrence lx =
+  match Lexer.peek lx with
+  | Lexer.T_question -> Lexer.advance lx; Occ_optional
+  | Lexer.T_star -> Lexer.advance lx; Occ_star
+  | Lexer.T_plus -> Lexer.advance lx; Occ_plus
+  | _ -> Occ_one
+
+let parse_seq_type lx =
+  (* "empty-sequence()" | ItemType Occurrence?; the item type is kept
+     lexically. *)
+  match Lexer.peek lx with
+  | Lexer.T_name n ->
+    Lexer.advance lx;
+    let item_type =
+      if Lexer.peek lx = Lexer.T_lpar then begin
+        (* item(), node(), element(name)… *)
+        Lexer.advance lx;
+        let inner =
+          match Lexer.peek lx with
+          | Lexer.T_name inner -> Lexer.advance lx; inner
+          | Lexer.T_star -> Lexer.advance lx; "*"
+          | _ -> ""
+        in
+        expect lx Lexer.T_rpar;
+        if inner = "" then n ^ "()" else Printf.sprintf "%s(%s)" n inner
+      end
+      else n
+    in
+    if item_type = "empty-sequence()" then
+      { item_type; occurrence = Occ_star }
+    else begin
+      let occurrence = parse_occurrence lx in
+      { item_type; occurrence }
+    end
+  | other ->
+    Lexer.error lx
+      (Printf.sprintf "expected a sequence type, found '%s'"
+         (Lexer.token_to_string other))
+
+
+(* ---------------------------------------------------------------- *)
+
+let rec parse_expr_list lx =
+  (* Expr ::= ExprSingle ("," ExprSingle)* *)
+  let first = parse_expr_single lx in
+  if Lexer.peek lx = Lexer.T_comma then begin
+    let rec more acc =
+      if Lexer.peek lx = Lexer.T_comma then begin
+        Lexer.advance lx;
+        more (parse_expr_single lx :: acc)
+      end
+      else List.rev acc
+    in
+    Sequence (more [ first ])
+  end
+  else first
+
+and parse_expr_single lx =
+  match Lexer.peek lx with
+  | Lexer.T_name ("for" | "let") -> parse_flwor lx
+  | Lexer.T_name ("some" | "every") -> parse_quantified lx
+  | Lexer.T_name "if" -> parse_if lx
+  | _ -> parse_or lx
+
+(* --- FLWOR ------------------------------------------------------- *)
+
+and parse_flwor lx =
+  let clauses = ref [] in
+  let add c = clauses := c :: !clauses in
+  let rec loop () =
+    match Lexer.peek lx with
+    | Lexer.T_name "for" -> begin
+      Lexer.advance lx;
+      (match Lexer.peek lx with
+       | Lexer.T_name (("tumbling" | "sliding") as kind) ->
+         Lexer.advance lx;
+         add (Window (parse_window_clause lx kind))
+       | _ -> add (For (parse_for_bindings lx)));
+      loop ()
+    end
+    | Lexer.T_name "let" -> Lexer.advance lx; add (Let (parse_let_bindings lx)); loop ()
+    | Lexer.T_name "where" ->
+      Lexer.advance lx;
+      add (Where (parse_expr_single lx));
+      loop ()
+    | Lexer.T_name "count" ->
+      (* "count $v" is the tuple-counting clause; "count(…)" never appears
+         in clause position, so the next token disambiguates *)
+      Lexer.advance lx;
+      add (Count (expect_var lx));
+      loop ()
+    | Lexer.T_name "group" ->
+      Lexer.advance lx;
+      expect_kw lx "by";
+      add (Group_by (parse_group_clause lx));
+      loop ()
+    | Lexer.T_name "stable" ->
+      Lexer.advance lx;
+      expect_kw lx "order";
+      expect_kw lx "by";
+      add (Order_by { stable = true; specs = parse_order_specs lx });
+      loop ()
+    | Lexer.T_name "order" ->
+      Lexer.advance lx;
+      expect_kw lx "by";
+      add (Order_by { stable = false; specs = parse_order_specs lx });
+      loop ()
+    | Lexer.T_name "return" ->
+      Lexer.advance lx;
+      let return_at =
+        if peek_kw lx "at" then begin
+          Lexer.advance lx;
+          Some (expect_var lx)
+        end
+        else None
+      in
+      let return_expr = parse_expr_single lx in
+      Flwor { clauses = List.rev !clauses; return_at; return_expr }
+    | other ->
+      Lexer.error lx
+        (Printf.sprintf "expected a FLWOR clause or 'return', found '%s'"
+           (Lexer.token_to_string other))
+  in
+  loop ()
+
+and parse_window_clause lx kind =
+  (* after "for tumbling|sliding" *)
+  expect_kw lx "window";
+  let w_var = expect_var lx in
+  expect_kw lx "in";
+  let w_src = parse_expr_single lx in
+  expect_kw lx "start";
+  let w_start = parse_window_vars_cond lx in
+  let w_end =
+    if peek_kw lx "only" then begin
+      Lexer.advance lx;
+      expect_kw lx "end";
+      Some { we_only = true; we_cond = parse_window_vars_cond lx }
+    end
+    else if peek_kw lx "end" then begin
+      Lexer.advance lx;
+      Some { we_only = false; we_cond = parse_window_vars_cond lx }
+    end
+    else None
+  in
+  {
+    w_kind = (if kind = "tumbling" then Tumbling else Sliding);
+    w_var;
+    w_src;
+    w_start;
+    w_end;
+  }
+
+and parse_window_vars_cond lx =
+  let wc_item =
+    match Lexer.peek lx with
+    | Lexer.T_var v -> Lexer.advance lx; Some v
+    | _ -> None
+  in
+  let named kw =
+    if peek_kw lx kw then begin
+      Lexer.advance lx;
+      Some (expect_var lx)
+    end
+    else None
+  in
+  let wc_pos = named "at" in
+  let wc_prev = named "previous" in
+  let wc_next = named "next" in
+  expect_kw lx "when";
+  let wc_when = parse_expr_single lx in
+  { wc_item; wc_pos; wc_prev; wc_next; wc_when }
+
+and parse_for_bindings lx =
+  let one () =
+    let for_var = expect_var lx in
+    let positional =
+      if peek_kw lx "at" then begin
+        Lexer.advance lx;
+        Some (expect_var lx)
+      end
+      else None
+    in
+    expect_kw lx "in";
+    let for_src = parse_expr_single lx in
+    { for_var; positional; for_src }
+  in
+  let rec more acc =
+    if Lexer.peek lx = Lexer.T_comma then begin
+      Lexer.advance lx;
+      more (one () :: acc)
+    end
+    else List.rev acc
+  in
+  more [ one () ]
+
+and parse_let_bindings lx =
+  let one () =
+    let v = expect_var lx in
+    expect lx Lexer.T_assign;
+    let e = parse_expr_single lx in
+    (v, e)
+  in
+  let rec more acc =
+    if Lexer.peek lx = Lexer.T_comma then begin
+      Lexer.advance lx;
+      more (one () :: acc)
+    end
+    else List.rev acc
+  in
+  more [ one () ]
+
+and parse_group_clause lx =
+  (* after "group by" *)
+  let one_key () =
+    let key_expr = parse_expr_single lx in
+    expect_kw lx "into";
+    let key_var = expect_var lx in
+    let using =
+      if peek_kw lx "using" then begin
+        Lexer.advance lx;
+        Some (Xname.of_string (expect_name lx "an equality function name"))
+      end
+      else None
+    in
+    { key_expr; key_var; using }
+  in
+  let rec keys acc =
+    if Lexer.peek lx = Lexer.T_comma then begin
+      Lexer.advance lx;
+      keys (one_key () :: acc)
+    end
+    else List.rev acc
+  in
+  let keys = keys [ one_key () ] in
+  let nests =
+    if peek_kw lx "nest" then begin
+      Lexer.advance lx;
+      let one_nest () =
+        let nest_expr = parse_expr_single lx in
+        let nest_order =
+          if peek_kw lx "order" then begin
+            Lexer.advance lx;
+            expect_kw lx "by";
+            parse_order_specs lx
+          end
+          else []
+        in
+        expect_kw lx "into";
+        let nest_var = expect_var lx in
+        { nest_expr; nest_order; nest_var }
+      in
+      let rec more acc =
+        if Lexer.peek lx = Lexer.T_comma then begin
+          Lexer.advance lx;
+          more (one_nest () :: acc)
+        end
+        else List.rev acc
+      in
+      more [ one_nest () ]
+    end
+    else []
+  in
+  { keys; nests }
+
+and parse_order_specs lx =
+  let one () =
+    let e = parse_expr_single lx in
+    let descending =
+      if accept_kw lx "descending" then true
+      else begin
+        ignore (accept_kw lx "ascending");
+        false
+      end
+    in
+    let empty_greatest =
+      if peek_kw lx "empty" then begin
+        Lexer.advance lx;
+        if accept_kw lx "greatest" then Some true
+        else begin
+          expect_kw lx "least";
+          Some false
+        end
+      end
+      else None
+    in
+    (e, { descending; empty_greatest })
+  in
+  let rec more acc =
+    if Lexer.peek lx = Lexer.T_comma then begin
+      Lexer.advance lx;
+      more (one () :: acc)
+    end
+    else List.rev acc
+  in
+  more [ one () ]
+
+(* --- other control expressions ------------------------------------ *)
+
+and parse_quantified lx =
+  let quant =
+    match Lexer.next lx with
+    | Lexer.T_name "some" -> Some_quant
+    | Lexer.T_name "every" -> Every_quant
+    | _ -> assert false
+  in
+  let one () =
+    let v = expect_var lx in
+    expect_kw lx "in";
+    let e = parse_expr_single lx in
+    (v, e)
+  in
+  let rec more acc =
+    if Lexer.peek lx = Lexer.T_comma then begin
+      Lexer.advance lx;
+      more (one () :: acc)
+    end
+    else List.rev acc
+  in
+  let binds = more [ one () ] in
+  expect_kw lx "satisfies";
+  let body = parse_expr_single lx in
+  Quantified (quant, binds, body)
+
+and parse_if lx =
+  expect_kw lx "if";
+  expect lx Lexer.T_lpar;
+  let cond = parse_expr_list lx in
+  expect lx Lexer.T_rpar;
+  expect_kw lx "then";
+  let then_ = parse_expr_single lx in
+  expect_kw lx "else";
+  let else_ = parse_expr_single lx in
+  If (cond, then_, else_)
+
+(* --- operator precedence ------------------------------------------ *)
+
+and parse_or lx =
+  let left = parse_and lx in
+  if peek_kw lx "or" then begin
+    Lexer.advance lx;
+    Or (left, parse_or lx)
+  end
+  else left
+
+and parse_and lx =
+  let left = parse_comparison lx in
+  if peek_kw lx "and" then begin
+    Lexer.advance lx;
+    And (left, parse_and lx)
+  end
+  else left
+
+and parse_comparison lx =
+  let left = parse_range lx in
+  match Lexer.peek lx with
+  | Lexer.T_eq -> Lexer.advance lx; General_cmp (Gen_eq, left, parse_range lx)
+  | Lexer.T_ne -> Lexer.advance lx; General_cmp (Gen_ne, left, parse_range lx)
+  | Lexer.T_lt -> Lexer.advance lx; General_cmp (Gen_lt, left, parse_range lx)
+  | Lexer.T_le -> Lexer.advance lx; General_cmp (Gen_le, left, parse_range lx)
+  | Lexer.T_gt -> Lexer.advance lx; General_cmp (Gen_gt, left, parse_range lx)
+  | Lexer.T_ge -> Lexer.advance lx; General_cmp (Gen_ge, left, parse_range lx)
+  | Lexer.T_ll -> Lexer.advance lx; Node_cmp (Node_precedes, left, parse_range lx)
+  | Lexer.T_gg -> Lexer.advance lx; Node_cmp (Node_follows, left, parse_range lx)
+  | Lexer.T_name "eq" -> Lexer.advance lx; Value_cmp (Val_eq, left, parse_range lx)
+  | Lexer.T_name "ne" -> Lexer.advance lx; Value_cmp (Val_ne, left, parse_range lx)
+  | Lexer.T_name "lt" -> Lexer.advance lx; Value_cmp (Val_lt, left, parse_range lx)
+  | Lexer.T_name "le" -> Lexer.advance lx; Value_cmp (Val_le, left, parse_range lx)
+  | Lexer.T_name "gt" -> Lexer.advance lx; Value_cmp (Val_gt, left, parse_range lx)
+  | Lexer.T_name "ge" -> Lexer.advance lx; Value_cmp (Val_ge, left, parse_range lx)
+  | Lexer.T_name "is" -> Lexer.advance lx; Node_cmp (Node_is, left, parse_range lx)
+  | _ -> left
+
+and parse_range lx =
+  let left = parse_additive lx in
+  if peek_kw lx "to" then begin
+    Lexer.advance lx;
+    Range (left, parse_additive lx)
+  end
+  else left
+
+and parse_additive lx =
+  let rec loop left =
+    match Lexer.peek lx with
+    | Lexer.T_plus -> Lexer.advance lx; loop (Arith (Add, left, parse_multiplicative lx))
+    | Lexer.T_minus -> Lexer.advance lx; loop (Arith (Sub, left, parse_multiplicative lx))
+    | _ -> left
+  in
+  loop (parse_multiplicative lx)
+
+and parse_multiplicative lx =
+  let rec loop left =
+    match Lexer.peek lx with
+    | Lexer.T_star -> Lexer.advance lx; loop (Arith (Mul, left, parse_union lx))
+    | Lexer.T_name "div" -> Lexer.advance lx; loop (Arith (Div, left, parse_union lx))
+    | Lexer.T_name "idiv" -> Lexer.advance lx; loop (Arith (Idiv, left, parse_union lx))
+    | Lexer.T_name "mod" -> Lexer.advance lx; loop (Arith (Mod, left, parse_union lx))
+    | _ -> left
+  in
+  loop (parse_union lx)
+
+and parse_union lx =
+  let rec loop left =
+    match Lexer.peek lx with
+    | Lexer.T_bar -> Lexer.advance lx; loop (Union (left, parse_intersect_except lx))
+    | Lexer.T_name "union" ->
+      Lexer.advance lx;
+      loop (Union (left, parse_intersect_except lx))
+    | _ -> left
+  in
+  loop (parse_intersect_except lx)
+
+and parse_intersect_except lx =
+  let rec loop left =
+    match Lexer.peek lx with
+    | Lexer.T_name "intersect" ->
+      Lexer.advance lx;
+      loop (Intersect (left, parse_instance_of lx))
+    | Lexer.T_name "except" ->
+      Lexer.advance lx;
+      loop (Except (left, parse_instance_of lx))
+    | _ -> left
+  in
+  loop (parse_instance_of lx)
+
+and parse_instance_of lx =
+  let left = parse_treat lx in
+  if peek_kw lx "instance" then begin
+    Lexer.advance lx;
+    expect_kw lx "of";
+    Instance_of (left, parse_seq_type lx)
+  end
+  else left
+
+and parse_treat lx =
+  let left = parse_castable lx in
+  if peek_kw lx "treat" then begin
+    Lexer.advance lx;
+    expect_kw lx "as";
+    Treat_as (left, parse_seq_type lx)
+  end
+  else left
+
+and parse_castable lx =
+  let left = parse_cast lx in
+  if peek_kw lx "castable" then begin
+    Lexer.advance lx;
+    expect_kw lx "as";
+    Castable_as (left, parse_seq_type lx)
+  end
+  else left
+
+and parse_cast lx =
+  let left = parse_unary lx in
+  if peek_kw lx "cast" then begin
+    Lexer.advance lx;
+    expect_kw lx "as";
+    Cast_as (left, parse_seq_type lx)
+  end
+  else left
+
+and parse_unary lx =
+  match Lexer.peek lx with
+  | Lexer.T_minus -> Lexer.advance lx; Neg (parse_unary lx)
+  | Lexer.T_plus -> Lexer.advance lx; parse_unary lx
+  | _ -> parse_path lx
+
+(* --- paths --------------------------------------------------------- *)
+
+and parse_path lx =
+  match Lexer.peek lx with
+  | Lexer.T_slash ->
+    Lexer.advance lx;
+    if starts_step lx then parse_relative_path lx Root else Root
+  | Lexer.T_dslash ->
+    Lexer.advance lx;
+    let dos = Slash (Root, Step (Descendant_or_self, Kind_node, [])) in
+    parse_relative_path lx dos
+  | _ ->
+    let first = parse_step lx in
+    continue_relative_path lx first
+
+and starts_step lx =
+  match Lexer.peek lx with
+  | Lexer.T_name _ | Lexer.T_star | Lexer.T_prefix_star _ | Lexer.T_at
+  | Lexer.T_dot | Lexer.T_ddot | Lexer.T_var _ | Lexer.T_lpar
+  | Lexer.T_string _ | Lexer.T_int _ | Lexer.T_dec _ | Lexer.T_dbl _
+  | Lexer.T_lt -> true
+  | _ -> false
+
+and parse_relative_path lx start =
+  let step = parse_step lx in
+  continue_relative_path lx (Slash (start, step))
+
+and continue_relative_path lx acc =
+  match Lexer.peek lx with
+  | Lexer.T_slash ->
+    Lexer.advance lx;
+    let step = parse_step lx in
+    continue_relative_path lx (Slash (acc, step))
+  | Lexer.T_dslash ->
+    Lexer.advance lx;
+    let dos = Slash (acc, Step (Descendant_or_self, Kind_node, [])) in
+    let step = parse_step lx in
+    continue_relative_path lx (Slash (dos, step))
+  | _ -> acc
+
+(* A step: an axis step or a filter (primary + predicates). *)
+and parse_step lx =
+  match Lexer.peek lx with
+  | Lexer.T_ddot ->
+    Lexer.advance lx;
+    let preds = parse_predicates lx in
+    Step (Parent, Kind_node, preds)
+  | Lexer.T_at ->
+    Lexer.advance lx;
+    let test = parse_node_test lx in
+    let preds = parse_predicates lx in
+    Step (Attribute_axis, test, preds)
+  | Lexer.T_star ->
+    Lexer.advance lx;
+    let preds = parse_predicates lx in
+    Step (Child, Wildcard, preds)
+  | Lexer.T_prefix_star p ->
+    Lexer.advance lx;
+    let preds = parse_predicates lx in
+    Step (Child, Prefix_wildcard p, preds)
+  | Lexer.T_name n -> parse_name_led_step lx n
+  | _ ->
+    let primary = parse_primary lx in
+    let preds = parse_predicates lx in
+    if preds = [] then primary else Filter (primary, preds)
+
+(* A step starting with a name: axis::test, kind test, function call,
+   computed constructor, or a child-axis name test. *)
+and parse_name_led_step lx n =
+  Lexer.advance lx;
+  match Lexer.peek lx with
+  | Lexer.T_axis_sep -> begin
+    match axis_of_name n with
+    | Some axis ->
+      Lexer.advance lx;
+      let test = parse_node_test lx in
+      let preds = parse_predicates lx in
+      Step (axis, test, preds)
+    | None -> Lexer.error lx (Printf.sprintf "unknown axis '%s'" n)
+  end
+  | Lexer.T_lpar when is_kind_test_name n ->
+    let test = parse_kind_test lx n in
+    let preds = parse_predicates lx in
+    Step (Child, test, preds)
+  | Lexer.T_lpar ->
+    let call = parse_function_call lx n in
+    let preds = parse_predicates lx in
+    if preds = [] then call else Filter (call, preds)
+  | Lexer.T_lbrace when n = "element" || n = "attribute" || n = "text" ->
+    parse_computed_constructor lx n None
+  | Lexer.T_name _ when n = "element" || n = "attribute" ->
+    (* computed constructor with a literal name: element foo {…} *)
+    let name = expect_name lx "a name" in
+    parse_computed_constructor lx n (Some name)
+  | _ ->
+    let preds = parse_predicates lx in
+    Step (Child, Name_test (Xname.of_string n), preds)
+
+and parse_node_test lx =
+  match Lexer.peek lx with
+  | Lexer.T_star -> Lexer.advance lx; Wildcard
+  | Lexer.T_prefix_star p -> Lexer.advance lx; Prefix_wildcard p
+  | Lexer.T_name n when is_kind_test_name n -> begin
+    Lexer.advance lx;
+    match Lexer.peek lx with
+    | Lexer.T_lpar -> parse_kind_test lx n
+    | _ -> Name_test (Xname.of_string n)
+  end
+  | Lexer.T_name n -> Lexer.advance lx; Name_test (Xname.of_string n)
+  | other ->
+    Lexer.error lx
+      (Printf.sprintf "expected a node test, found '%s'" (Lexer.token_to_string other))
+
+and parse_kind_test lx kind =
+  (* at '(' *)
+  expect lx Lexer.T_lpar;
+  let name_arg =
+    match Lexer.peek lx with
+    | Lexer.T_name n -> Lexer.advance lx; Some (Xname.of_string n)
+    | Lexer.T_star -> Lexer.advance lx; None
+    | _ -> None
+  in
+  expect lx Lexer.T_rpar;
+  match kind with
+  | "node" -> Kind_node
+  | "text" -> Kind_text
+  | "comment" -> Kind_comment
+  | "element" -> Kind_element name_arg
+  | "attribute" -> Kind_attribute name_arg
+  | "document-node" -> Kind_document
+  | _ -> assert false
+
+and parse_predicates lx =
+  let rec loop acc =
+    if Lexer.peek lx = Lexer.T_lbracket then begin
+      Lexer.advance lx;
+      let p = parse_expr_list lx in
+      expect lx Lexer.T_rbracket;
+      loop (p :: acc)
+    end
+    else List.rev acc
+  in
+  loop []
+
+(* --- primaries ------------------------------------------------------ *)
+
+and parse_function_call lx name =
+  (* at '(' *)
+  expect lx Lexer.T_lpar;
+  let args =
+    if Lexer.peek lx = Lexer.T_rpar then []
+    else begin
+      let rec more acc =
+        if Lexer.peek lx = Lexer.T_comma then begin
+          Lexer.advance lx;
+          more (parse_expr_single lx :: acc)
+        end
+        else List.rev acc
+      in
+      more [ parse_expr_single lx ]
+    end
+  in
+  expect lx Lexer.T_rpar;
+  Call (Xname.of_string name, args)
+
+and parse_computed_constructor lx kind name =
+  (* "element"/"attribute"/"text", cursor at '{' (name form: name consumed) *)
+  match kind, name with
+  | "text", None ->
+    expect lx Lexer.T_lbrace;
+    let e = parse_expr_list lx in
+    expect lx Lexer.T_rbrace;
+    Comp_text e
+  | ("element" | "attribute"), _ ->
+    let name_expr =
+      match name with
+      | Some n -> Literal (Atomic.Str n)
+      | None ->
+        expect lx Lexer.T_lbrace;
+        let e = parse_expr_list lx in
+        expect lx Lexer.T_rbrace;
+        e
+    in
+    expect lx Lexer.T_lbrace;
+    let content =
+      if Lexer.peek lx = Lexer.T_rbrace then Sequence []
+      else parse_expr_list lx
+    in
+    expect lx Lexer.T_rbrace;
+    if kind = "element" then Comp_elem (name_expr, content)
+    else Comp_attr (name_expr, content)
+  | _ -> Lexer.error lx "malformed computed constructor"
+
+and parse_primary lx =
+  match Lexer.peek lx with
+  | Lexer.T_int i -> Lexer.advance lx; Literal (Atomic.Int i)
+  | Lexer.T_dec f -> Lexer.advance lx; Literal (Atomic.Dec f)
+  | Lexer.T_dbl f -> Lexer.advance lx; Literal (Atomic.Dbl f)
+  | Lexer.T_string s -> Lexer.advance lx; Literal (Atomic.Str s)
+  | Lexer.T_var v -> Lexer.advance lx; Var v
+  | Lexer.T_dot -> Lexer.advance lx; Context_item
+  | Lexer.T_lpar ->
+    Lexer.advance lx;
+    if Lexer.peek lx = Lexer.T_rpar then begin
+      Lexer.advance lx;
+      Sequence []
+    end
+    else begin
+      let e = parse_expr_list lx in
+      expect lx Lexer.T_rpar;
+      e
+    end
+  | Lexer.T_lt -> Direct_elem (parse_direct_element lx)
+  | other ->
+    Lexer.error lx
+      (Printf.sprintf "expected an expression, found '%s'"
+         (Lexer.token_to_string other))
+
+(* --- direct constructors (character-level scanning) ----------------- *)
+
+and parse_direct_element lx =
+  (* The lookahead is T_lt: rewind to its '<' and scan characters. *)
+  Lexer.start_raw lx;
+  parse_raw_element lx
+
+and parse_raw_element lx =
+  Lexer.raw_skip_string lx "<";
+  let tag = Xname.of_string (Lexer.raw_name lx) in
+  let attrs = ref [] in
+  let rec attr_loop () =
+    Lexer.raw_skip_ws lx;
+    match Lexer.raw_peek lx with
+    | '/' ->
+      Lexer.raw_skip_string lx "/>";
+      { tag; attrs = List.rev !attrs; content = [] }
+    | '>' ->
+      Lexer.raw_advance lx;
+      let content = parse_raw_content lx tag in
+      { tag; attrs = List.rev !attrs; content }
+    | _ ->
+      let attr_tag = Xname.of_string (Lexer.raw_name lx) in
+      Lexer.raw_skip_ws lx;
+      Lexer.raw_skip_string lx "=";
+      Lexer.raw_skip_ws lx;
+      let attr_value = parse_raw_attr_value lx in
+      attrs := { attr_tag; attr_value } :: !attrs;
+      attr_loop ()
+  in
+  attr_loop ()
+
+and parse_raw_attr_value lx =
+  let quote = Lexer.raw_next lx in
+  if quote <> '"' && quote <> '\'' then
+    Lexer.error lx "expected a quoted attribute value";
+  let pieces = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      pieces := Attr_text (Buffer.contents buf) :: !pieces;
+      Buffer.clear buf
+    end
+  in
+  let rec go () =
+    match Lexer.raw_peek lx with
+    | '\000' -> Lexer.error lx "unterminated attribute value"
+    | c when c = quote ->
+      Lexer.raw_advance lx;
+      if Lexer.raw_peek lx = quote then begin
+        (* doubled quote escapes itself *)
+        Buffer.add_char buf quote;
+        Lexer.raw_advance lx;
+        go ()
+      end
+    | '{' ->
+      Lexer.raw_advance lx;
+      if Lexer.raw_peek lx = '{' then begin
+        Buffer.add_char buf '{';
+        Lexer.raw_advance lx;
+        go ()
+      end
+      else begin
+        flush ();
+        (* switch to token mode for the enclosed expression *)
+        let e = parse_expr_list lx in
+        expect lx Lexer.T_rbrace;
+        Lexer.start_raw ~keep_ws:true lx;
+        pieces := Attr_expr e :: !pieces;
+        go ()
+      end
+    | '}' ->
+      Lexer.raw_advance lx;
+      if Lexer.raw_peek lx = '}' then begin
+        Buffer.add_char buf '}';
+        Lexer.raw_advance lx;
+        go ()
+      end
+      else Lexer.error lx "'}' must be doubled in attribute content"
+    | '&' ->
+      Lexer.raw_advance lx;
+      Lexer.raw_entity lx buf;
+      go ()
+    | '<' -> Lexer.error lx "'<' in attribute value"
+    | c ->
+      Buffer.add_char buf c;
+      Lexer.raw_advance lx;
+      go ()
+  in
+  go ();
+  flush ();
+  List.rev !pieces
+
+and parse_raw_content lx tag =
+  let items = ref [] in
+  let buf = Buffer.create 16 in
+  let forced = ref false in
+  (* Boundary whitespace (default XQuery policy): whitespace-only text
+     runs between tags/enclosed expressions are dropped, unless produced
+     by CDATA or character references. *)
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      let s = Buffer.contents buf in
+      let ws_only = String.for_all (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') s in
+      if !forced || not ws_only then items := Content_text s :: !items;
+      Buffer.clear buf;
+      forced := false
+    end
+  in
+  let rec go () =
+    match Lexer.raw_peek lx with
+    | '\000' ->
+      Lexer.error lx
+        (Printf.sprintf "unterminated element <%s>" (Xname.to_string tag))
+    | '<' ->
+      if Lexer.raw_looking_at lx "</" then begin
+        flush ();
+        Lexer.raw_skip_string lx "</";
+        let close = Lexer.raw_name lx in
+        if close <> Xname.to_string tag then
+          Lexer.error lx
+            (Printf.sprintf "mismatched end tag </%s>, expected </%s>" close
+               (Xname.to_string tag));
+        Lexer.raw_skip_ws lx;
+        Lexer.raw_skip_string lx ">"
+      end
+      else if Lexer.raw_looking_at lx "<!--" then begin
+        flush ();
+        Lexer.raw_skip_string lx "<!--";
+        let cbuf = Buffer.create 16 in
+        let rec comment () =
+          if Lexer.raw_looking_at lx "-->" then Lexer.raw_skip_string lx "-->"
+          else if Lexer.raw_peek lx = '\000' then
+            Lexer.error lx "unterminated comment in constructor"
+          else begin
+            Buffer.add_char cbuf (Lexer.raw_next lx);
+            comment ()
+          end
+        in
+        comment ();
+        items := Content_comment (Buffer.contents cbuf) :: !items;
+        go ()
+      end
+      else if Lexer.raw_looking_at lx "<![CDATA[" then begin
+        Lexer.raw_skip_string lx "<![CDATA[";
+        let rec cdata () =
+          if Lexer.raw_looking_at lx "]]>" then Lexer.raw_skip_string lx "]]>"
+          else if Lexer.raw_peek lx = '\000' then
+            Lexer.error lx "unterminated CDATA section"
+          else begin
+            Buffer.add_char buf (Lexer.raw_next lx);
+            cdata ()
+          end
+        in
+        cdata ();
+        forced := true;
+        go ()
+      end
+      else begin
+        flush ();
+        let child = parse_raw_element lx in
+        items := Content_elem child :: !items;
+        go ()
+      end
+    | '{' ->
+      Lexer.raw_advance lx;
+      if Lexer.raw_peek lx = '{' then begin
+        Buffer.add_char buf '{';
+        Lexer.raw_advance lx;
+        forced := true;
+        go ()
+      end
+      else begin
+        flush ();
+        let e = parse_expr_list lx in
+        expect lx Lexer.T_rbrace;
+        Lexer.start_raw ~keep_ws:true lx;
+        items := Content_expr e :: !items;
+        go ()
+      end
+    | '}' ->
+      Lexer.raw_advance lx;
+      if Lexer.raw_peek lx = '}' then begin
+        Buffer.add_char buf '}';
+        Lexer.raw_advance lx;
+        forced := true;
+        go ()
+      end
+      else Lexer.error lx "'}' must be doubled in element content"
+    | '&' ->
+      Lexer.raw_advance lx;
+      Lexer.raw_entity lx buf;
+      forced := true;
+      go ()
+    | c ->
+      Buffer.add_char buf c;
+      Lexer.raw_advance lx;
+      go ()
+  in
+  go ();
+  List.rev !items
+
+(* --- prolog --------------------------------------------------------- *)
+
+let parse_param lx =
+  let v = expect_var lx in
+  let ty =
+    if peek_kw lx "as" then begin
+      Lexer.advance lx;
+      Some (parse_seq_type lx)
+    end
+    else None
+  in
+  { param_name = v; param_type = ty }
+
+let parse_function_decl lx =
+  (* after "declare function" *)
+  let name = Xname.of_string (expect_name lx "a function name") in
+  expect lx Lexer.T_lpar;
+  let params =
+    if Lexer.peek lx = Lexer.T_rpar then []
+    else begin
+      let rec more acc =
+        if Lexer.peek lx = Lexer.T_comma then begin
+          Lexer.advance lx;
+          more (parse_param lx :: acc)
+        end
+        else List.rev acc
+      in
+      more [ parse_param lx ]
+    end
+  in
+  expect lx Lexer.T_rpar;
+  let return_type =
+    if peek_kw lx "as" then begin
+      Lexer.advance lx;
+      Some (parse_seq_type lx)
+    end
+    else None
+  in
+  expect lx Lexer.T_lbrace;
+  let body = parse_expr_list lx in
+  expect lx Lexer.T_rbrace;
+  { fun_name = name; params; return_type; body }
+
+let parse_prolog lx =
+  let functions = ref [] in
+  let global_vars = ref [] in
+  let ordering = ref None in
+  let rec loop () =
+    if peek_kw lx "declare" then begin
+      Lexer.advance lx;
+      (match Lexer.peek lx with
+       | Lexer.T_name "function" ->
+         Lexer.advance lx;
+         functions := parse_function_decl lx :: !functions
+       | Lexer.T_name "variable" ->
+         Lexer.advance lx;
+         let v = expect_var lx in
+         expect lx Lexer.T_assign;
+         let e = parse_expr_single lx in
+         global_vars := (v, e) :: !global_vars
+       | Lexer.T_name "ordering" ->
+         Lexer.advance lx;
+         if accept_kw lx "ordered" then ordering := Some Ordered
+         else begin
+           expect_kw lx "unordered";
+           ordering := Some Unordered
+         end
+       | other ->
+         Lexer.error lx
+           (Printf.sprintf "unsupported declaration '%s'"
+              (Lexer.token_to_string other)));
+      expect lx Lexer.T_semi;
+      loop ()
+    end
+  in
+  loop ();
+  { functions = List.rev !functions;
+    global_vars = List.rev !global_vars;
+    ordering = !ordering }
+
+let parse_query src =
+  let lx = Lexer.create src in
+  let prolog = parse_prolog lx in
+  let body = parse_expr_list lx in
+  (match Lexer.peek lx with
+   | Lexer.T_eof -> ()
+   | other ->
+     Lexer.error lx
+       (Printf.sprintf "unexpected '%s' after the end of the query"
+          (Lexer.token_to_string other)));
+  { prolog; body }
+
+let parse_expr src =
+  let q = parse_query src in
+  if q.prolog.functions <> [] || q.prolog.global_vars <> [] then
+    Xerror.fail XPST0003 "expected a bare expression, found a prolog";
+  q.body

@@ -1,0 +1,14 @@
+(** Recursive-descent parser for the XQuery subset plus the paper's
+    extensions (grammar in DESIGN.md §5).
+
+    The parser accepts a slightly more liberal FLWOR clause order than the
+    paper's EBNF; {!Static.check} enforces the paper's restrictions (one
+    [group by], only [let]/[where] between it and [order by]/[return]) so
+    that programmatically constructed ASTs are validated identically. *)
+
+(** Parse a complete query (prolog + body). Raises
+    [Xerror.Error (XPST0003, _)] on syntax errors. *)
+val parse_query : string -> Ast.query
+
+(** Parse a single expression (no prolog). *)
+val parse_expr : string -> Ast.expr

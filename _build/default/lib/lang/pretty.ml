@@ -1,0 +1,419 @@
+open Xq_xdm
+open Ast
+
+let buf_add = Buffer.add_string
+
+let general_cmp_to_string = function
+  | Gen_eq -> "=" | Gen_ne -> "!=" | Gen_lt -> "<" | Gen_le -> "<="
+  | Gen_gt -> ">" | Gen_ge -> ">="
+
+let value_cmp_to_string = function
+  | Val_eq -> "eq" | Val_ne -> "ne" | Val_lt -> "lt" | Val_le -> "le"
+  | Val_gt -> "gt" | Val_ge -> "ge"
+
+let node_cmp_to_string = function
+  | Node_is -> "is" | Node_precedes -> "<<" | Node_follows -> ">>"
+
+let arith_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "div"
+  | Idiv -> "idiv" | Mod -> "mod"
+
+let axis_to_string = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Attribute_axis -> "attribute"
+  | Self -> "self"
+  | Parent -> "parent"
+  | Descendant_or_self -> "descendant-or-self"
+  | Ancestor -> "ancestor"
+  | Ancestor_or_self -> "ancestor-or-self"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+
+let node_test_to_string = function
+  | Name_test n -> Xname.to_string n
+  | Wildcard -> "*"
+  | Prefix_wildcard p -> p ^ ":*"
+  | Kind_node -> "node()"
+  | Kind_text -> "text()"
+  | Kind_comment -> "comment()"
+  | Kind_element None -> "element()"
+  | Kind_element (Some n) -> Printf.sprintf "element(%s)" (Xname.to_string n)
+  | Kind_attribute None -> "attribute()"
+  | Kind_attribute (Some n) -> Printf.sprintf "attribute(%s)" (Xname.to_string n)
+  | Kind_document -> "document-node()"
+
+let occurrence_to_string = function
+  | Occ_one -> "" | Occ_optional -> "?" | Occ_star -> "*" | Occ_plus -> "+"
+
+let seq_type_to_string st =
+  if st.item_type = "empty-sequence()" then st.item_type
+  else st.item_type ^ occurrence_to_string st.occurrence
+
+let string_literal s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> buf_add b "\"\""
+      | '&' -> buf_add b "&amp;"
+      | '<' -> buf_add b "&lt;"
+      | _ -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let literal_to_string = function
+  | Atomic.Int i -> string_of_int i
+  | Atomic.Dec f ->
+    (* re-parseable as a decimal literal: force a dot *)
+    let s = Atomic.float_to_string f in
+    if String.contains s '.' || String.contains s 'e' then s else s ^ ".0"
+  | Atomic.Dbl f ->
+    let s = Atomic.float_to_string f in
+    if String.contains s 'e' || String.contains s 'E' then s else s ^ "e0"
+  | Atomic.Str s -> string_literal s
+  | Atomic.Bool b -> if b then "fn:true()" else "fn:false()"
+  | Atomic.Untyped s -> string_literal s
+  | (Atomic.DateTime _ | Atomic.Date _ | Atomic.QName _) as a ->
+    (* only reachable for programmatic ASTs *)
+    string_literal (Atomic.to_string a)
+
+let escape_constructor_text s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '{' -> buf_add b "{{"
+      | '}' -> buf_add b "}}"
+      | '<' -> buf_add b "&lt;"
+      | '&' -> buf_add b "&amp;"
+      | _ -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec expr_to_buf b e =
+  match e with
+  | Literal a -> buf_add b (literal_to_string a)
+  | Var v -> buf_add b ("$" ^ v)
+  | Context_item -> buf_add b "."
+  | Sequence [] -> buf_add b "()"
+  | Sequence es ->
+    buf_add b "(";
+    List.iteri
+      (fun i e ->
+        if i > 0 then buf_add b ", ";
+        expr_to_buf b e)
+      es;
+    buf_add b ")"
+  | Range (a, c) -> binary b a "to" c
+  | Arith (op, a, c) -> binary b a (arith_to_string op) c
+  | Neg e ->
+    buf_add b "-";
+    paren b e
+  | General_cmp (op, a, c) -> binary b a (general_cmp_to_string op) c
+  | Value_cmp (op, a, c) -> binary b a (value_cmp_to_string op) c
+  | Node_cmp (op, a, c) -> binary b a (node_cmp_to_string op) c
+  | And (a, c) -> binary b a "and" c
+  | Or (a, c) -> binary b a "or" c
+  | Union (a, c) -> binary b a "|" c
+  | Intersect (a, c) -> binary b a "intersect" c
+  | Except (a, c) -> binary b a "except" c
+  | Instance_of (e, t) ->
+    paren b e;
+    buf_add b (" instance of " ^ seq_type_to_string t)
+  | Treat_as (e, t) ->
+    paren b e;
+    buf_add b (" treat as " ^ seq_type_to_string t)
+  | Castable_as (e, t) ->
+    paren b e;
+    buf_add b (" castable as " ^ seq_type_to_string t)
+  | Cast_as (e, t) ->
+    paren b e;
+    buf_add b (" cast as " ^ seq_type_to_string t)
+  | If (c, t, e) ->
+    buf_add b "if (";
+    expr_to_buf b c;
+    buf_add b ") then ";
+    paren b t;
+    buf_add b " else ";
+    paren b e
+  | Quantified (q, binds, body) ->
+    buf_add b (match q with Some_quant -> "some " | Every_quant -> "every ");
+    List.iteri
+      (fun i (v, e) ->
+        if i > 0 then buf_add b ", ";
+        buf_add b ("$" ^ v ^ " in ");
+        paren b e)
+      binds;
+    buf_add b " satisfies ";
+    paren b body
+  | Flwor f -> flwor_to_buf b f
+  | Root -> buf_add b "/"
+  | Step (axis, test, preds) ->
+    buf_add b (axis_to_string axis);
+    buf_add b "::";
+    buf_add b (node_test_to_string test);
+    predicates_to_buf b preds
+  | Slash (a, c) ->
+    (match a with
+     | Root -> buf_add b "/"
+     | _ ->
+       paren b a;
+       buf_add b "/");
+    paren b c
+  | Filter (e, preds) ->
+    paren b e;
+    predicates_to_buf b preds
+  | Call (name, args) ->
+    buf_add b (Xname.to_string name);
+    buf_add b "(";
+    List.iteri
+      (fun i e ->
+        if i > 0 then buf_add b ", ";
+        expr_to_buf b e)
+      args;
+    buf_add b ")"
+  | Direct_elem d -> direct_to_buf b d
+  | Comp_elem (n, c) ->
+    buf_add b "element {";
+    expr_to_buf b n;
+    buf_add b "} {";
+    expr_to_buf b c;
+    buf_add b "}"
+  | Comp_attr (n, c) ->
+    buf_add b "attribute {";
+    expr_to_buf b n;
+    buf_add b "} {";
+    expr_to_buf b c;
+    buf_add b "}"
+  | Comp_text c ->
+    buf_add b "text {";
+    expr_to_buf b c;
+    buf_add b "}"
+
+and binary b left op right =
+  paren b left;
+  buf_add b (" " ^ op ^ " ");
+  paren b right
+
+(* Parenthesize anything that isn't self-delimiting, so printed operator
+   trees reparse with the same shape regardless of precedence. *)
+and paren b e =
+  match e with
+  | Literal _ | Var _ | Context_item | Sequence _ | Call _ | Filter _
+  | Root | Step _ | Slash _ | Direct_elem _ | Comp_elem _ | Comp_attr _
+  | Comp_text _ ->
+    expr_to_buf b e
+  | Range _ | Arith _ | Neg _ | General_cmp _ | Value_cmp _ | Node_cmp _
+  | And _ | Or _ | Union _ | Intersect _ | Except _ | Instance_of _
+  | Treat_as _ | Castable_as _ | Cast_as _ | If _ | Quantified _ | Flwor _ ->
+    buf_add b "(";
+    expr_to_buf b e;
+    buf_add b ")"
+
+and predicates_to_buf b preds =
+  List.iter
+    (fun p ->
+      buf_add b "[";
+      expr_to_buf b p;
+      buf_add b "]")
+    preds
+
+and window_vars_to_buf b wc =
+  (match wc.wc_item with Some v -> buf_add b (" $" ^ v) | None -> ());
+  (match wc.wc_pos with Some v -> buf_add b (" at $" ^ v) | None -> ());
+  (match wc.wc_prev with Some v -> buf_add b (" previous $" ^ v) | None -> ());
+  (match wc.wc_next with Some v -> buf_add b (" next $" ^ v) | None -> ());
+  buf_add b " when ";
+  paren b wc.wc_when
+
+and order_specs_to_buf b specs =
+  List.iteri
+    (fun i (e, m) ->
+      if i > 0 then buf_add b ", ";
+      paren b e;
+      if m.descending then buf_add b " descending";
+      match m.empty_greatest with
+      | Some true -> buf_add b " empty greatest"
+      | Some false -> buf_add b " empty least"
+      | None -> ())
+    specs
+
+and clause_to_buf b c =
+  match c with
+  | For bindings ->
+    buf_add b "for ";
+    List.iteri
+      (fun i fb ->
+        if i > 0 then buf_add b ", ";
+        buf_add b ("$" ^ fb.for_var);
+        (match fb.positional with
+         | Some p -> buf_add b (" at $" ^ p)
+         | None -> ());
+        buf_add b " in ";
+        paren b fb.for_src)
+      bindings
+  | Let bindings ->
+    buf_add b "let ";
+    List.iteri
+      (fun i (v, e) ->
+        if i > 0 then buf_add b ", ";
+        buf_add b ("$" ^ v ^ " := ");
+        paren b e)
+      bindings
+  | Where e ->
+    buf_add b "where ";
+    paren b e
+  | Group_by g ->
+    buf_add b "group by ";
+    List.iteri
+      (fun i k ->
+        if i > 0 then buf_add b ", ";
+        paren b k.key_expr;
+        buf_add b (" into $" ^ k.key_var);
+        match k.using with
+        | Some f -> buf_add b (" using " ^ Xname.to_string f)
+        | None -> ())
+      g.keys;
+    if g.nests <> [] then begin
+      buf_add b " nest ";
+      List.iteri
+        (fun i n ->
+          if i > 0 then buf_add b ", ";
+          paren b n.nest_expr;
+          if n.nest_order <> [] then begin
+            buf_add b " order by ";
+            order_specs_to_buf b n.nest_order
+          end;
+          buf_add b (" into $" ^ n.nest_var))
+        g.nests
+    end
+  | Order_by { stable; specs } ->
+    if stable then buf_add b "stable ";
+    buf_add b "order by ";
+    order_specs_to_buf b specs
+  | Count v -> buf_add b ("count $" ^ v)
+  | Window w ->
+    buf_add b "for ";
+    buf_add b (match w.w_kind with Tumbling -> "tumbling" | Sliding -> "sliding");
+    buf_add b (" window $" ^ w.w_var ^ " in ");
+    paren b w.w_src;
+    buf_add b " start";
+    window_vars_to_buf b w.w_start;
+    (match w.w_end with
+     | Some { we_only; we_cond } ->
+       if we_only then buf_add b " only";
+       buf_add b " end";
+       window_vars_to_buf b we_cond
+     | None -> ())
+
+and flwor_to_buf b f =
+  List.iter
+    (fun c ->
+      clause_to_buf b c;
+      buf_add b "\n")
+    f.clauses;
+  buf_add b "return ";
+  (match f.return_at with
+   | Some v -> buf_add b ("at $" ^ v ^ " ")
+   | None -> ());
+  paren b f.return_expr
+
+and direct_to_buf b d =
+  buf_add b "<";
+  buf_add b (Xname.to_string d.tag);
+  List.iter
+    (fun a ->
+      buf_add b " ";
+      buf_add b (Xname.to_string a.attr_tag);
+      buf_add b "=\"";
+      List.iter
+        (fun piece ->
+          match piece with
+          | Attr_text s ->
+            String.iter
+              (fun ch ->
+                match ch with
+                | '"' -> buf_add b "&quot;"
+                | '{' -> buf_add b "{{"
+                | '}' -> buf_add b "}}"
+                | '<' -> buf_add b "&lt;"
+                | '&' -> buf_add b "&amp;"
+                | _ -> Buffer.add_char b ch)
+              s
+          | Attr_expr e ->
+            buf_add b "{";
+            expr_to_buf b e;
+            buf_add b "}")
+        a.attr_value;
+      buf_add b "\"")
+    d.attrs;
+  if d.content = [] then buf_add b "/>"
+  else begin
+    buf_add b ">";
+    List.iter
+      (fun item ->
+        match item with
+        | Content_text s -> buf_add b (escape_constructor_text s)
+        | Content_expr e ->
+          buf_add b "{";
+          expr_to_buf b e;
+          buf_add b "}"
+        | Content_elem child -> direct_to_buf b child
+        | Content_comment s ->
+          buf_add b "<!--";
+          buf_add b s;
+          buf_add b "-->")
+      d.content;
+    buf_add b "</";
+    buf_add b (Xname.to_string d.tag);
+    buf_add b ">"
+  end
+
+let expr e =
+  let b = Buffer.create 256 in
+  expr_to_buf b e;
+  Buffer.contents b
+
+let clause c =
+  let b = Buffer.create 64 in
+  clause_to_buf b c;
+  Buffer.contents b
+
+let query q =
+  let b = Buffer.create 512 in
+  (match q.prolog.ordering with
+   | Some Ordered -> buf_add b "declare ordering ordered;\n"
+   | Some Unordered -> buf_add b "declare ordering unordered;\n"
+   | None -> ());
+  List.iter
+    (fun f ->
+      buf_add b "declare function ";
+      buf_add b (Xname.to_string f.fun_name);
+      buf_add b "(";
+      List.iteri
+        (fun i p ->
+          if i > 0 then buf_add b ", ";
+          buf_add b ("$" ^ p.param_name);
+          match p.param_type with
+          | Some t -> buf_add b (" as " ^ seq_type_to_string t)
+          | None -> ())
+        f.params;
+      buf_add b ")";
+      (match f.return_type with
+       | Some t -> buf_add b (" as " ^ seq_type_to_string t)
+       | None -> ());
+      buf_add b " {\n  ";
+      expr_to_buf b f.body;
+      buf_add b "\n};\n")
+    q.prolog.functions;
+  List.iter
+    (fun (v, e) ->
+      buf_add b ("declare variable $" ^ v ^ " := ");
+      expr_to_buf b e;
+      buf_add b ";\n")
+    q.prolog.global_vars;
+  expr_to_buf b q.body;
+  Buffer.contents b

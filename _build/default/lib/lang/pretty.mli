@@ -1,0 +1,8 @@
+(** Print ASTs back to XQuery source. [Parser.parse_expr (expr e)] yields
+    an AST equal to [e] (the reparse property tested in the suite). *)
+
+val expr : Ast.expr -> string
+val query : Ast.query -> string
+
+(** Single-line rendering of a clause, for plan/debug output. *)
+val clause : Ast.clause -> string

@@ -1,0 +1,273 @@
+open Xq_xdm
+open Ast
+
+module Smap = Map.Make (String)
+
+(* A variable is either available or was hidden by a group-by boundary
+   (the paper's Section 3.2: pre-grouping variables are a static error
+   after the group by unless rebound). *)
+type status = Available | Group_hidden
+
+type env = {
+  vars : status Smap.t;
+  funcs : (Xname.t * int) list;  (* user-declared (name, arity) *)
+}
+
+let bind env v = { env with vars = Smap.add v Available env.vars }
+
+let check_var env v =
+  match Smap.find_opt v env.vars with
+  | Some Available -> ()
+  | Some Group_hidden ->
+    Xerror.failf XQST0094
+      "variable $%s was bound before 'group by' and is not in scope after \
+       it; rebind it as a grouping or nesting variable"
+      v
+  | None -> Xerror.failf XPST0008 "undefined variable $%s" v
+
+let check_call env name arity =
+  let is_user =
+    List.exists
+      (fun (n, a) -> Xname.equal n name && a = arity)
+      env.funcs
+  in
+  if not (is_user || Fn_sigs.accepts name arity) then
+    Xerror.failf XPST0017 "unknown function %s#%d" (Xname.to_string name) arity
+
+(* Enforce the paper's extended-FLWOR clause grammar:
+   (For|Let)+ Where? (GroupBy Let* Where?)? OrderBy?  *)
+let check_clause_order clauses =
+  let fail msg = Xerror.fail XPST0003 ("FLWOR clause order: " ^ msg) in
+  let rec initial seen_binding = function
+    | (For _ | Let _ | Window _) :: rest -> initial true rest
+    | Count _ :: rest when seen_binding -> initial true rest
+    | rest ->
+      if not seen_binding then fail "a FLWOR must start with 'for' or 'let'";
+      pre_where rest
+  and pre_where = function
+    | Count _ :: rest -> pre_where rest
+    | Where _ :: rest -> pre_group rest
+    | rest -> pre_group rest
+  and pre_group = function
+    | Count _ :: rest -> pre_group rest
+    | Group_by _ :: rest -> post_lets rest
+    | rest -> ordering rest
+  and post_lets = function
+    | (Let _ | Count _) :: rest -> post_lets rest
+    | Where _ :: rest -> ordering rest
+    | rest -> ordering rest
+  and ordering = function
+    | [] -> ()
+    | [ Order_by _ ] -> ()
+    | Order_by _ :: _ -> fail "'order by' must be the last clause"
+    | Group_by _ :: _ -> fail "only one 'group by' clause is allowed"
+    | (For _ | Let _ | Count _ | Window _) :: _ ->
+      fail "'for'/'let' may not follow 'group by' post-clauses or 'order by'"
+    | Where _ :: _ -> fail "at most one 'where' clause on each side of 'group by'"
+  in
+  initial false clauses
+
+let rec check env e =
+  match e with
+  | Literal _ | Context_item | Root -> ()
+  | Var v -> check_var env v
+  | Sequence es -> List.iter (check env) es
+  | Range (a, b)
+  | Arith (_, a, b)
+  | General_cmp (_, a, b)
+  | Value_cmp (_, a, b)
+  | Node_cmp (_, a, b)
+  | And (a, b)
+  | Or (a, b)
+  | Union (a, b)
+  | Intersect (a, b)
+  | Except (a, b)
+  | Slash (a, b)
+  | Comp_elem (a, b)
+  | Comp_attr (a, b) ->
+    check env a;
+    check env b
+  | Neg a | Comp_text a -> check env a
+  | Instance_of (a, _) | Treat_as (a, _) | Castable_as (a, _)
+  | Cast_as (a, _) ->
+    check env a
+  | If (c, t, e) ->
+    check env c;
+    check env t;
+    check env e
+  | Quantified (_, binds, body) ->
+    let env =
+      List.fold_left
+        (fun env (v, src) ->
+          check env src;
+          bind env v)
+        env binds
+    in
+    check env body
+  | Flwor f -> check_flwor env f
+  | Step (_, _, preds) -> List.iter (check env) preds
+  | Filter (e, preds) ->
+    check env e;
+    List.iter (check env) preds
+  | Call (name, args) ->
+    check_call env name (List.length args);
+    List.iter (check env) args
+  | Direct_elem d -> check_direct env d
+
+and check_direct env d =
+  List.iter
+    (fun a ->
+      List.iter
+        (function
+          | Attr_text _ -> ()
+          | Attr_expr e -> check env e)
+        a.attr_value)
+    d.attrs;
+  List.iter
+    (function
+      | Content_text _ | Content_comment _ -> ()
+      | Content_expr e -> check env e
+      | Content_elem child -> check_direct env child)
+    d.content
+
+and check_flwor env f =
+  check_clause_order f.clauses;
+  let outer_snapshot = env.vars in
+  let env_after_clauses =
+    List.fold_left
+      (fun env clause ->
+        match clause with
+        | For bindings ->
+          List.fold_left
+            (fun env fb ->
+              check env fb.for_src;
+              let env = bind env fb.for_var in
+              match fb.positional with
+              | Some p -> bind env p
+              | None -> env)
+            env bindings
+        | Let bindings ->
+          List.fold_left
+            (fun env (v, e) ->
+              check env e;
+              bind env v)
+            env bindings
+        | Where e ->
+          check env e;
+          env
+        | Count v -> bind env v
+        | Window w ->
+          check env w.w_src;
+          let cond_vars wc =
+            List.filter_map Fun.id [ wc.wc_item; wc.wc_pos; wc.wc_prev; wc.wc_next ]
+          in
+          let check_cond extra wc =
+            let inner = List.fold_left bind env (extra @ cond_vars wc) in
+            check inner wc.wc_when
+          in
+          check_cond [] w.w_start;
+          (match w.w_end with
+           | Some { we_cond; _ } ->
+             (* the end condition also sees the start condition's vars *)
+             check_cond (cond_vars w.w_start) we_cond
+           | None -> ());
+          (* downstream scope: the window variable plus every condition
+             variable (bound per window to its boundary values) *)
+          let env = bind env w.w_var in
+          let env = List.fold_left bind env (cond_vars w.w_start) in
+          (match w.w_end with
+           | Some { we_cond; _ } -> List.fold_left bind env (cond_vars we_cond)
+           | None -> env)
+        | Order_by { specs; _ } ->
+          List.iter (fun (e, _) -> check env e) specs;
+          env
+        | Group_by g ->
+          (* Grouping and nesting expressions see the pre-group tuple
+             variables; grouping variables are not yet in scope there. *)
+          List.iter (fun k -> check env k.key_expr) g.keys;
+          List.iter
+            (fun k ->
+              match k.using with
+              | Some f -> check_call env f 2
+              | None -> ())
+            g.keys;
+          List.iter
+            (fun n ->
+              check env n.nest_expr;
+              List.iter (fun (e, _) -> check env e) n.nest_order)
+            g.nests;
+          (* After the group by: every variable the FLWOR (or anything
+             else) had bound is hidden unless rebound as a grouping or
+             nesting variable. The paper hides only the FLWOR's own
+             pre-group bindings; outer variables stay visible — we mark
+             just the in-FLWOR ones below via the caller's snapshot. *)
+          let hidden =
+            Smap.mapi
+              (fun v status ->
+                match status with
+                | Group_hidden -> Group_hidden
+                | Available ->
+                  if Smap.mem v outer_snapshot then Available
+                  else Group_hidden)
+              env.vars
+          in
+          let env = { env with vars = hidden } in
+          let env =
+            List.fold_left (fun env k -> bind env k.key_var) env g.keys
+          in
+          List.fold_left (fun env n -> bind env n.nest_var) env g.nests)
+      env f.clauses
+  in
+  let env_for_return =
+    match f.return_at with
+    | Some v -> bind env_after_clauses v
+    | None -> env_after_clauses
+  in
+  check env_for_return f.return_expr
+
+let builtin_env = { vars = Smap.empty; funcs = [] }
+
+let check_expr ?(vars = []) ?(functions = []) e =
+  let env =
+    {
+      vars = List.fold_left (fun m v -> Smap.add v Available m) Smap.empty vars;
+      funcs = functions;
+    }
+  in
+  check env e
+
+let check_query q =
+  let funcs =
+    List.map (fun f -> (f.fun_name, List.length f.params)) q.prolog.functions
+  in
+  (* Function bodies see all declared functions (mutual recursion) and
+     all global variables (module scope, independent of declaration
+     order). *)
+  let global_vars =
+    List.fold_left
+      (fun m (v, _) -> Smap.add v Available m)
+      Smap.empty q.prolog.global_vars
+  in
+  List.iter
+    (fun f ->
+      let env =
+        {
+          vars =
+            List.fold_left
+              (fun m p -> Smap.add p.param_name Available m)
+              global_vars f.params;
+          funcs;
+        }
+      in
+      check env f.body)
+    q.prolog.functions;
+  (* globals see prior globals *)
+  let env =
+    List.fold_left
+      (fun env (v, e) ->
+        check env e;
+        bind env v)
+      { builtin_env with funcs }
+      q.prolog.global_vars
+  in
+  check env q.body

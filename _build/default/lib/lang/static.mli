@@ -1,0 +1,22 @@
+(** Static checks: variable scoping (including the paper's Section 3.2
+    rules across the [group by] boundary), function existence and arity,
+    and the extended-FLWOR clause grammar.
+
+    Raised errors:
+    - [XPST0008] — reference to an undefined variable;
+    - [XQST0094] — reference to a variable that was bound before
+      [group by] and is therefore out of scope after it (the paper's
+      static error);
+    - [XPST0017] — unknown function or wrong arity;
+    - [XPST0003] — clause order violating the paper's FLWOR grammar. *)
+
+(** Check a complete query (function bodies, globals, main expression). *)
+val check_query : Ast.query -> unit
+
+(** Check a bare expression. [vars] seeds the in-scope variables;
+    [functions] seeds user-declared functions as (name, arity) pairs. *)
+val check_expr :
+  ?vars:string list ->
+  ?functions:(Xq_xdm.Xname.t * int) list ->
+  Ast.expr ->
+  unit

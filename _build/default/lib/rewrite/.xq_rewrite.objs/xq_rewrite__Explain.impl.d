@@ -1,0 +1,1 @@
+lib/rewrite/explain.ml: Ast Buffer List Pretty Printf Rewrite String Xname Xq_lang Xq_xdm

@@ -1,0 +1,1 @@
+lib/rewrite/explain.mli: Ast Xq_lang

@@ -1,0 +1,1 @@
+lib/rewrite/rewrite.ml: Ast List Option Printf Xname Xq_lang Xq_xdm

@@ -1,0 +1,1 @@
+lib/rewrite/rewrite.mli: Ast Xq_lang

@@ -1,0 +1,179 @@
+open Xq_xdm
+open Xq_lang
+open Ast
+
+let add buf depth line =
+  Buffer.add_string buf (String.make (2 * depth) ' ');
+  Buffer.add_string buf line;
+  Buffer.add_char buf '\n'
+
+let short e =
+  let s = Pretty.expr e in
+  let s = String.map (function '\n' -> ' ' | c -> c) s in
+  if String.length s <= 60 then s else String.sub s 0 57 ^ "..."
+
+let rec explain_expr buf depth e =
+  match e with
+  | Flwor f -> explain_flwor buf depth f
+  | Sequence es -> List.iter (explain_expr buf depth) es
+  | If (_, t, els) ->
+    if contains_flwor t || contains_flwor els then begin
+      add buf depth "conditional:";
+      explain_expr buf (depth + 1) t;
+      explain_expr buf (depth + 1) els
+    end
+  | Call (_, args) -> List.iter (explain_expr buf depth) args
+  | Slash (a, b) ->
+    explain_expr buf depth a;
+    explain_expr buf depth b
+  | Filter (e, preds) ->
+    explain_expr buf depth e;
+    List.iter (explain_expr buf depth) preds
+  | Direct_elem d -> explain_direct buf depth d
+  | Comp_elem (a, b) | Comp_attr (a, b) ->
+    explain_expr buf depth a;
+    explain_expr buf depth b
+  | Comp_text a | Neg a -> explain_expr buf depth a
+  | Range (a, b) | Arith (_, a, b) | General_cmp (_, a, b)
+  | Value_cmp (_, a, b) | Node_cmp (_, a, b) | And (a, b) | Or (a, b)
+  | Union (a, b) | Intersect (a, b) | Except (a, b) ->
+    explain_expr buf depth a;
+    explain_expr buf depth b
+  | Instance_of (a, _) | Treat_as (a, _) | Castable_as (a, _)
+  | Cast_as (a, _) ->
+    explain_expr buf depth a
+  | Quantified (_, binds, body) ->
+    List.iter (fun (_, e) -> explain_expr buf depth e) binds;
+    explain_expr buf depth body
+  | Step (_, _, preds) -> List.iter (explain_expr buf depth) preds
+  | Literal _ | Var _ | Context_item | Root -> ()
+
+and explain_direct buf depth d =
+  List.iter
+    (fun a ->
+      List.iter
+        (function Attr_text _ -> () | Attr_expr e -> explain_expr buf depth e)
+        a.attr_value)
+    d.attrs;
+  List.iter
+    (function
+      | Content_text _ | Content_comment _ -> ()
+      | Content_expr e -> explain_expr buf depth e
+      | Content_elem child -> explain_direct buf depth child)
+    d.content
+
+and contains_flwor = function
+  | Flwor _ -> true
+  | Literal _ | Var _ | Context_item | Root -> false
+  | Sequence es -> List.exists contains_flwor es
+  | Range (a, b) | Arith (_, a, b) | General_cmp (_, a, b)
+  | Value_cmp (_, a, b) | Node_cmp (_, a, b) | And (a, b) | Or (a, b)
+  | Union (a, b) | Intersect (a, b) | Except (a, b) | Slash (a, b)
+  | Comp_elem (a, b) | Comp_attr (a, b) ->
+    contains_flwor a || contains_flwor b
+  | Neg a | Comp_text a
+  | Instance_of (a, _) | Treat_as (a, _) | Castable_as (a, _)
+  | Cast_as (a, _) ->
+    contains_flwor a
+  | If (a, b, c) -> contains_flwor a || contains_flwor b || contains_flwor c
+  | Quantified (_, binds, body) ->
+    List.exists (fun (_, e) -> contains_flwor e) binds || contains_flwor body
+  | Step (_, _, preds) -> List.exists contains_flwor preds
+  | Filter (e, preds) -> contains_flwor e || List.exists contains_flwor preds
+  | Call (_, args) -> List.exists contains_flwor args
+  | Direct_elem _ -> false
+
+and explain_flwor buf depth f =
+  add buf depth "FLWOR pipeline:";
+  let d = depth + 1 in
+  List.iter
+    (fun c ->
+      match c with
+      | For bindings ->
+        List.iter
+          (fun fb ->
+            add buf d
+              (Printf.sprintf "FOR $%s%s in %s  -- expand tuples" fb.for_var
+                 (match fb.positional with
+                  | Some p -> " at $" ^ p
+                  | None -> "")
+                 (short fb.for_src));
+            explain_expr buf (d + 1) fb.for_src)
+          bindings
+      | Let bindings ->
+        List.iter
+          (fun (v, e) ->
+            add buf d (Printf.sprintf "LET $%s := %s" v (short e));
+            explain_expr buf (d + 1) e)
+          bindings
+      | Where e ->
+        add buf d (Printf.sprintf "WHERE %s  -- filter tuples" (short e));
+        explain_expr buf (d + 1) e
+      | Count v -> add buf d (Printf.sprintf "COUNT $%s  -- number tuples" v)
+      | Window w ->
+        add buf d
+          (Printf.sprintf "WINDOW (%s) $%s over %s"
+             (match w.w_kind with Tumbling -> "tumbling" | Sliding -> "sliding")
+             w.w_var (short w.w_src))
+      | Order_by { stable; specs } ->
+        add buf d
+          (Printf.sprintf "SORT%s on %d key(s): %s"
+             (if stable then " (stable)" else "")
+             (List.length specs)
+             (String.concat ", " (List.map (fun (e, _) -> short e) specs)))
+      | Group_by g ->
+        let strategy =
+          if List.for_all (fun k -> k.using = None) g.keys then
+            "HASH GROUP (one pass, fn:deep-equal keys)"
+          else "SCAN GROUP (comparator scan: custom 'using' equality)"
+        in
+        add buf d
+          (Printf.sprintf "%s by %s" strategy
+             (String.concat ", "
+                (List.map
+                   (fun k ->
+                     Printf.sprintf "%s -> $%s%s" (short k.key_expr) k.key_var
+                       (match k.using with
+                        | Some fn -> " using " ^ Xname.to_string fn
+                        | None -> ""))
+                   g.keys)));
+        List.iter
+          (fun n ->
+            let note =
+              match n.nest_expr, n.nest_order with
+              | Literal _, [] -> "  -- count-optimized (no per-tuple eval)"
+              | _, [] -> ""
+              | _, _ -> "  -- sorted within groups"
+            in
+            add buf (d + 1)
+              (Printf.sprintf "NEST %s -> $%s%s" (short n.nest_expr) n.nest_var
+                 note))
+          g.nests)
+    f.clauses;
+  (match Rewrite.detect f with
+   | Some _ ->
+     add buf d
+       "NOTE: matches the implicit-grouping idiom; Rewrite.rewrite_expr \
+        would turn this into a HASH GROUP"
+   | None -> ());
+  add buf d
+    (Printf.sprintf "RETURN%s %s"
+       (match f.return_at with Some v -> " at $" ^ v | None -> "")
+       (short f.return_expr));
+  explain_expr buf (d + 1) f.return_expr
+
+let expr e =
+  let buf = Buffer.create 256 in
+  explain_expr buf 0 e;
+  if Buffer.length buf = 0 then "no FLWOR pipelines (scalar expression)\n"
+  else Buffer.contents buf
+
+let query (q : Ast.query) =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (f : Ast.fun_def) ->
+      add buf 0 (Printf.sprintf "function %s:" (Xname.to_string f.fun_name));
+      Buffer.add_string buf (expr f.body))
+    q.prolog.functions;
+  Buffer.add_string buf (expr q.body);
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/workload/auction.ml: Array Fun List Printf Prng Xq_xml

@@ -1,0 +1,1 @@
+lib/workload/auction.mli: Xq_xdm

@@ -1,0 +1,1 @@
+lib/workload/bibliography.ml: List Printf Prng Xq_xml

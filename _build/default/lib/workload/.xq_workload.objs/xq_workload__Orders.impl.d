@@ -1,0 +1,1 @@
+lib/workload/orders.ml: List Node Printf Prng Xq_xdm Xq_xml

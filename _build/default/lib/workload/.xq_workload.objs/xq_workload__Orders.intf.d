@@ -1,0 +1,1 @@
+lib/workload/orders.mli: Xq_xdm

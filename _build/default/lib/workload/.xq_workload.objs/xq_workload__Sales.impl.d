@@ -1,0 +1,1 @@
+lib/workload/sales.ml: Array List Printf Prng Xq_xml

@@ -1,0 +1,114 @@
+open Xq_xml.Builder
+
+type params = {
+  people : int;
+  items : int;
+  open_auctions : int;
+  closed_auctions : int;
+  max_bids : int;
+  seed : int;
+}
+
+let default =
+  {
+    people = 120;
+    items = 200;
+    open_auctions = 80;
+    closed_auctions = 40;
+    max_bids = 6;
+    seed = 77;
+  }
+
+let region_names =
+  [ "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" ]
+
+let category_names =
+  [ "books"; "music"; "electronics"; "garden"; "toys"; "antiques"; "coins" ]
+
+let person_id i = Printf.sprintf "person%d" i
+let item_id i = Printf.sprintf "item%d" i
+
+let iso_date rng =
+  Printf.sprintf "%04d-%02d-%02d"
+    (2002 + Prng.int rng 3) (1 + Prng.int rng 12) (1 + Prng.int rng 28)
+
+let iso_datetime rng = iso_date rng ^ Printf.sprintf "T%02d:%02d:%02d"
+    (Prng.int rng 24) (Prng.int rng 60) (Prng.int rng 60)
+
+let person rng i =
+  let profile =
+    if Prng.one_in rng 3 then []
+    else
+      [ el "profile"
+          ([ el_text "interest" (Prng.pick rng (Array.of_list category_names)) ]
+           @ (if Prng.one_in rng 2 then
+                [ el_text "education" (Prng.pick rng [| "High School"; "College"; "Graduate" |]) ]
+              else [])
+           @ [ el_text "income" (Printf.sprintf "%d" (20000 + Prng.int rng 80000)) ]) ]
+  in
+  el_attrs "person" [ ("id", person_id i) ]
+    ([ el_text "name" (Printf.sprintf "Person %03d" i);
+       el_text "emailaddress" (Printf.sprintf "person%d@example.com" i) ]
+     @ (if Prng.one_in rng 2 then [ el_text "phone" (Printf.sprintf "+1-555-%04d" (Prng.int rng 10000)) ] else [])
+     @ [ el "address"
+           [ el_text "city" (Printf.sprintf "City%02d" (Prng.int rng 40));
+             el_text "country" (Prng.pick rng [| "US"; "DE"; "JP"; "BR"; "AU" |]) ] ]
+     @ profile)
+
+let item rng i =
+  el_attrs "item" [ ("id", item_id i) ]
+    [ el_text "name" (Printf.sprintf "Item %04d" i);
+      el_text "category" (Prng.pick rng (Array.of_list category_names));
+      el_text "quantity" (string_of_int (1 + Prng.int rng 5));
+      el_text "payment" (Prng.pick rng [| "Cash"; "Creditcard"; "Check" |]);
+      el_text "description"
+        (Printf.sprintf "a %s item in fine condition"
+           (Prng.pick rng [| "rare"; "vintage"; "common"; "exotic" |])) ]
+
+let bid rng p =
+  el "bid"
+    [ el_attrs "bidder" [ ("person", person_id (Prng.int rng p.people)) ] [];
+      el_text "date" (iso_datetime rng);
+      el_text "increase" (Printf.sprintf "%.2f" (1.5 +. Prng.float rng 30.0)) ]
+
+let open_auction rng p i =
+  let n_bids = Prng.int rng (p.max_bids + 1) in
+  el_attrs "open_auction" [ ("id", Printf.sprintf "open%d" i) ]
+    ([ el_attrs "itemref" [ ("item", item_id (Prng.int rng p.items)) ] [];
+       el_attrs "seller" [ ("person", person_id (Prng.int rng p.people)) ] [];
+       el_text "initial" (Printf.sprintf "%.2f" (5.0 +. Prng.float rng 95.0)) ]
+     @ List.init n_bids (fun _ -> bid rng p)
+     @ [ el_text "current"
+           (Printf.sprintf "%.2f" (10.0 +. Prng.float rng 200.0)) ])
+
+let closed_auction rng p i =
+  el_attrs "closed_auction" [ ("id", Printf.sprintf "closed%d" i) ]
+    [ el_attrs "itemref" [ ("item", item_id (Prng.int rng p.items)) ] [];
+      el_attrs "buyer" [ ("person", person_id (Prng.int rng p.people)) ] [];
+      el_attrs "seller" [ ("person", person_id (Prng.int rng p.people)) ] [];
+      el_text "price" (Printf.sprintf "%.2f" (10.0 +. Prng.float rng 500.0));
+      el_text "date" (iso_date rng) ]
+
+let generate p =
+  let rng = Prng.create p.seed in
+  let n_regions = List.length region_names in
+  let items_per_region = Array.make n_regions [] in
+  List.iter
+    (fun i ->
+      let r = Prng.int rng n_regions in
+      items_per_region.(r) <- item rng i :: items_per_region.(r))
+    (List.init p.items Fun.id);
+  let regions =
+    el "regions"
+      (List.mapi
+         (fun r name -> el name (List.rev items_per_region.(r)))
+         region_names)
+  in
+  doc
+    (el "site"
+       [ regions;
+         el "people" (List.init p.people (fun i -> person rng i));
+         el "open_auctions"
+           (List.init p.open_auctions (fun i -> open_auction rng p i));
+         el "closed_auctions"
+           (List.init p.closed_auctions (fun i -> closed_auction rng p i)) ])

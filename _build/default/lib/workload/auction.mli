@@ -1,0 +1,25 @@
+(** An XMark-flavoured auction-site workload: a site with regions and
+    items, people (with optional profiles), open auctions with bid
+    histories and closed auctions. Exercises deep navigation, optional
+    elements, multi-valued children and cross-references — the
+    document-centric side of the paper's motivation, complementing the
+    flat purchase-order workload of Section 6.
+
+    Deterministic in the seed, like the other generators. *)
+
+type params = {
+  people : int;
+  items : int;            (** spread across the regions *)
+  open_auctions : int;
+  closed_auctions : int;
+  max_bids : int;         (** bids per open auction: 0..max *)
+  seed : int;
+}
+
+val default : params
+
+(** Build [<site>…</site>] wrapped in a document node. *)
+val generate : params -> Xq_xdm.Node.t
+
+val region_names : string list
+val category_names : string list

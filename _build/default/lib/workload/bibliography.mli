@@ -1,0 +1,24 @@
+(** Synthetic bibliography documents shaped like the paper's Section 2
+    example: books with a title, zero or more authors, an optional
+    publisher, a year, a price, a discount and (optionally) a
+    [<categories>] forest for the Section 5 rollup/cube queries. *)
+
+type params = {
+  books : int;
+  publishers : int;        (** distinct publisher names *)
+  years : int * int;       (** inclusive range *)
+  author_pool : int;       (** distinct author names *)
+  max_authors : int;       (** authors per book: 0..max (0 ⇒ anonymous) *)
+  missing_publisher_rate : int;  (** 1-in-k books lack a publisher; 0 = never *)
+  with_categories : bool;  (** attach a ragged category forest *)
+  seed : int;
+}
+
+val default : params
+
+(** Build the document node [<bib> book* </bib>]. *)
+val generate : params -> Xq_xdm.Node.t
+
+(** The category vocabulary used when [with_categories] is set, as
+    root-to-leaf path strings — handy for asserting rollup outputs. *)
+val category_paths : string list

@@ -1,0 +1,75 @@
+open Xq_xml.Builder
+
+type params = {
+  orders : int;
+  avg_lineitems : int;
+  shipinstruct_card : int;
+  shipmode_card : int;
+  tax_card : int;
+  quantity_card : int;
+  seed : int;
+}
+
+let default =
+  {
+    orders = 2000;
+    avg_lineitems = 4;
+    shipinstruct_card = 4;
+    shipmode_card = 7;
+    tax_card = 9;
+    quantity_card = 50;
+    seed = 20050614;  (* SIGMOD 2005 opening day *)
+  }
+
+let with_lineitems n p = { p with orders = max 1 (n / max 1 p.avg_lineitems) }
+
+let shipinstruct i = Printf.sprintf "INSTRUCT-%03d" i
+let shipmode i = Printf.sprintf "MODE-%02d" i
+
+let lineitem rng p idx =
+  let tax = float_of_int (Prng.int rng p.tax_card) /. 100.0 in
+  let quantity = 1 + Prng.int rng p.quantity_card in
+  let price = 1.0 +. Prng.float rng 999.0 in
+  el "lineitem"
+    [ el_text "linenumber" (string_of_int idx);
+      el_text "partkey" (string_of_int (Prng.int rng 10000));
+      el_text "suppkey" (string_of_int (Prng.int rng 1000));
+      el_text "quantity" (string_of_int quantity);
+      el_text "extendedprice" (Printf.sprintf "%.2f" (price *. float_of_int quantity));
+      el_text "discount" (Printf.sprintf "%.2f" (Prng.float rng 0.1));
+      el_text "tax" (Printf.sprintf "%.2f" tax);
+      el_text "returnflag" (if Prng.one_in rng 8 then "R" else "N");
+      el_text "linestatus" (if Prng.one_in rng 2 then "O" else "F");
+      el_text "shipdate"
+        (Printf.sprintf "2004-%02d-%02d" (1 + Prng.int rng 12) (1 + Prng.int rng 28));
+      el_text "shipinstruct" (shipinstruct (Prng.int rng p.shipinstruct_card));
+      el_text "shipmode" (shipmode (Prng.int rng p.shipmode_card));
+      el_text "comment"
+        (Printf.sprintf "line item %d shipped with care and packed snugly" idx) ]
+
+let order rng p idx =
+  (* 1..2*avg-1 lineitems, expectation = avg *)
+  let n = 1 + Prng.int rng (max 1 ((2 * p.avg_lineitems) - 1)) in
+  el "order"
+    ([ el_text "orderkey" (string_of_int idx);
+       el "customer"
+         [ el_text "custkey" (string_of_int (Prng.int rng 5000));
+           el_text "name" (Printf.sprintf "Customer#%05d" (Prng.int rng 5000));
+           el_text "nation" (Printf.sprintf "Nation-%02d" (Prng.int rng 25)) ];
+       el_text "orderstatus" (if Prng.one_in rng 3 then "O" else "F");
+       el_text "orderdate"
+         (Printf.sprintf "2004-%02d-%02d" (1 + Prng.int rng 12) (1 + Prng.int rng 28));
+       el_text "orderpriority" (Printf.sprintf "%d-PRIORITY" (1 + Prng.int rng 5)) ]
+     @ List.init n (fun i -> lineitem rng p (i + 1))
+     @ [ el_text "comment" "an order generated for the grouping experiments" ])
+
+let generate p =
+  let rng = Prng.create p.seed in
+  doc (el "orders" (List.init p.orders (fun i -> order rng p (i + 1))))
+
+let lineitem_count docnode =
+  let open Xq_xdm in
+  List.length
+    (List.filter
+       (fun n -> Node.is_element n && Node.local_name n = "lineitem")
+       (Node.descendants docnode))

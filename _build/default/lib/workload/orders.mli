@@ -1,0 +1,29 @@
+(** The Section 6 purchase-order workload: a collection of [<order>]
+    documents, each with customer information and an average of four
+    [<lineitem>] children; every lineitem carries the child elements the
+    experiment groups by ([shipinstruct], [shipmode], [tax], [quantity])
+    with configurable distinct-value cardinalities — the number of groups
+    is the experiment's X axis — plus several filler children so the
+    per-order document size is in the ~3 KB ballpark the paper reports. *)
+
+type params = {
+  orders : int;            (** ≈ lineitems / 4 *)
+  avg_lineitems : int;     (** expected lineitems per order (paper: 4) *)
+  shipinstruct_card : int; (** distinct shipinstruct values *)
+  shipmode_card : int;     (** distinct shipmode values *)
+  tax_card : int;          (** distinct tax values *)
+  quantity_card : int;     (** distinct quantity values *)
+  seed : int;
+}
+
+val default : params
+
+(** [with_lineitems n p] sets [orders] so the expected lineitem count
+    is [n]. *)
+val with_lineitems : int -> params -> params
+
+(** Build [<orders> order* </orders>]. *)
+val generate : params -> Xq_xdm.Node.t
+
+(** Count the actual lineitems of a generated document. *)
+val lineitem_count : Xq_xdm.Node.t -> int

@@ -1,0 +1,28 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+(* splitmix64 (Steele, Lea, Flood 2014) *)
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: non-positive bound";
+  (* mask to 62 bits so the Int64 → 63-bit native int conversion stays
+     non-negative *)
+  let v = Int64.to_int (Int64.logand (next t) 0x3FFFFFFFFFFFFFFFL) in
+  v mod bound
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next t) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Prng.pick: empty array";
+  arr.(int t (Array.length arr))
+
+let one_in t k = int t k = 0

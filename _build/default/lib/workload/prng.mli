@@ -1,0 +1,18 @@
+(** Deterministic splitmix64 PRNG — every workload is reproducible from
+    its seed, independent of OCaml's stdlib Random state. *)
+
+type t
+
+val create : int -> t
+
+(** Uniform integer in [\[0, bound)]. [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Uniform float in [\[0, bound)]. *)
+val float : t -> float -> float
+
+(** Uniform element of a non-empty array. *)
+val pick : t -> 'a array -> 'a
+
+(** [one_in k] is true with probability 1/k. *)
+val one_in : t -> int -> bool

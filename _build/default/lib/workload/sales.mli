@@ -1,0 +1,20 @@
+(** Synthetic sales documents shaped like the paper's Section 2 example:
+    [<sale>] elements with timestamp, product, state, region, quantity
+    and price, over a fixed US state → region hierarchy. Used by queries
+    Q3 (multi-level aggregation), Q8 (moving window) and Q10 (ranking). *)
+
+type params = {
+  sales : int;
+  years : int * int;     (** timestamps drawn uniformly in this range *)
+  products : int;
+  seed : int;
+}
+
+val default : params
+
+val generate : params -> Xq_xdm.Node.t
+
+(** The (state, region) table used by the generator. *)
+val state_regions : (string * string) list
+
+val regions : string list

@@ -1,0 +1,1 @@
+lib/xdm/atomic.ml: Bool Float Hashtbl Int Option Printf String Xdatetime Xerror Xname

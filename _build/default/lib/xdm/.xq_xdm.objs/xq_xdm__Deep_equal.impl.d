@@ -1,0 +1,1 @@
+lib/xdm/deep_equal.ml: Atomic Hashtbl Item List Node Xname

@@ -1,0 +1,1 @@
+lib/xdm/deep_equal.mli: Item Node Xseq

@@ -1,0 +1,1 @@
+lib/xdm/xdatetime.ml: Char Float Int Printf String Xerror

@@ -1,0 +1,1 @@
+lib/xdm/xdatetime.mli:

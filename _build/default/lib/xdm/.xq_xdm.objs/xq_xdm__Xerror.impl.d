@@ -1,0 +1,1 @@
+lib/xdm/xerror.ml: Format Printexc Printf

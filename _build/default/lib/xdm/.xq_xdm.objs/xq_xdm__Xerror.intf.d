@@ -1,0 +1,1 @@
+lib/xdm/xerror.mli: Format

@@ -1,0 +1,1 @@
+lib/xdm/xname.ml: Option String

@@ -1,0 +1,1 @@
+lib/xdm/xseq.ml: Atomic Float Item List Option Xerror

@@ -1,0 +1,1 @@
+lib/xdm/xseq.mli: Atomic Item Node

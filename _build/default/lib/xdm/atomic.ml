@@ -1,0 +1,216 @@
+type t =
+  | Untyped of string
+  | Str of string
+  | Bool of bool
+  | Int of int
+  | Dec of float
+  | Dbl of float
+  | DateTime of Xdatetime.t
+  | Date of Xdatetime.date
+  | QName of Xname.t
+
+type comparison = Ordered of int | Unordered | Incomparable
+
+let type_name = function
+  | Untyped _ -> "xs:untypedAtomic"
+  | Str _ -> "xs:string"
+  | Bool _ -> "xs:boolean"
+  | Int _ -> "xs:integer"
+  | Dec _ -> "xs:decimal"
+  | Dbl _ -> "xs:double"
+  | DateTime _ -> "xs:dateTime"
+  | Date _ -> "xs:date"
+  | QName _ -> "xs:QName"
+
+let float_to_string f =
+  if Float.is_nan f then "NaN"
+  else if f = Float.infinity then "INF"
+  else if f = Float.neg_infinity then "-INF"
+  else if Float.is_integer f && Float.abs f < 1e16 then
+    Printf.sprintf "%.0f" f
+  else begin
+    let s = Printf.sprintf "%.12g" f in
+    (* strip a trailing ".0" that %g never produces, keep as-is otherwise *)
+    s
+  end
+
+let to_string = function
+  | Untyped s | Str s -> s
+  | Bool b -> if b then "true" else "false"
+  | Int i -> string_of_int i
+  | Dec f | Dbl f -> float_to_string f
+  | DateTime dt -> Xdatetime.date_time_to_string dt
+  | Date d -> Xdatetime.date_to_string d
+  | QName n -> Xname.to_string n
+
+let is_numeric = function
+  | Int _ | Dec _ | Dbl _ -> true
+  | Untyped _ | Str _ | Bool _ | DateTime _ | Date _ | QName _ -> false
+
+let float_of_lexical s =
+  let s = String.trim s in
+  match s with
+  | "INF" -> Some Float.infinity
+  | "-INF" -> Some Float.neg_infinity
+  | "NaN" -> Some Float.nan
+  | _ -> float_of_string_opt s
+
+let number = function
+  | Int i -> float_of_int i
+  | Dec f | Dbl f -> f
+  | Bool b -> if b then 1. else 0.
+  | Untyped s | Str s ->
+    (match float_of_lexical s with Some f -> f | None -> Float.nan)
+  | DateTime _ | Date _ | QName _ -> Float.nan
+
+let cast_fail v target =
+  Xerror.failf FORG0001 "cannot cast %s (%s) to %s"
+    (to_string v) (type_name v) target
+
+let cast_to_integer v =
+  match v with
+  | Int i -> i
+  | Dec f | Dbl f ->
+    if Float.is_nan f || Float.abs f = Float.infinity then cast_fail v "xs:integer"
+    else int_of_float (Float.trunc f)
+  | Bool b -> if b then 1 else 0
+  | Untyped s | Str s ->
+    let s = String.trim s in
+    (match int_of_string_opt s with
+     | Some i -> i
+     | None -> cast_fail v "xs:integer")
+  | DateTime _ | Date _ | QName _ -> cast_fail v "xs:integer"
+
+let cast_to_decimal v =
+  match v with
+  | Int i -> float_of_int i
+  | Dec f | Dbl f ->
+    if Float.is_nan f || Float.abs f = Float.infinity then cast_fail v "xs:decimal"
+    else f
+  | Bool b -> if b then 1. else 0.
+  | Untyped s | Str s ->
+    (match float_of_string_opt (String.trim s) with
+     | Some f -> f
+     | None -> cast_fail v "xs:decimal")
+  | DateTime _ | Date _ | QName _ -> cast_fail v "xs:decimal"
+
+let cast_to_double v =
+  match v with
+  | Int i -> float_of_int i
+  | Dec f | Dbl f -> f
+  | Bool b -> if b then 1. else 0.
+  | Untyped s | Str s ->
+    (match float_of_lexical s with
+     | Some f -> f
+     | None -> cast_fail v "xs:double")
+  | DateTime _ | Date _ | QName _ -> cast_fail v "xs:double"
+
+let cast_to_boolean v =
+  match v with
+  | Bool b -> b
+  | Int i -> i <> 0
+  | Dec f | Dbl f -> not (f = 0. || Float.is_nan f)
+  | Untyped s | Str s ->
+    (match String.trim s with
+     | "true" | "1" -> true
+     | "false" | "0" -> false
+     | _ -> cast_fail v "xs:boolean")
+  | DateTime _ | Date _ | QName _ -> cast_fail v "xs:boolean"
+
+let cast_to_date v =
+  match v with
+  | Date d -> d
+  | DateTime dt -> Xdatetime.date_of_date_time dt
+  | Untyped s | Str s ->
+    (match Xdatetime.parse_date (String.trim s) with
+     | Some d -> d
+     | None -> cast_fail v "xs:date")
+  | Bool _ | Int _ | Dec _ | Dbl _ | QName _ -> cast_fail v "xs:date"
+
+let cast_to_date_time v =
+  match v with
+  | DateTime dt -> dt
+  | Untyped s | Str s ->
+    (match Xdatetime.parse_date_time (String.trim s) with
+     | Some dt -> dt
+     | None -> cast_fail v "xs:dateTime")
+  | Bool _ | Int _ | Dec _ | Dbl _ | Date _ | QName _ ->
+    cast_fail v "xs:dateTime"
+
+(* Compare two floats with NaN detection. *)
+let cmp_float a b =
+  if Float.is_nan a || Float.is_nan b then Unordered
+  else Ordered (Float.compare a b)
+
+(* Core comparison over values whose types are already reconciled. *)
+let compare_same a b =
+  match a, b with
+  | Int x, Int y -> Ordered (Int.compare x y)
+  | (Int _ | Dec _ | Dbl _), (Int _ | Dec _ | Dbl _) ->
+    cmp_float (number a) (number b)
+  | Str x, Str y | Untyped x, Untyped y
+  | Str x, Untyped y | Untyped x, Str y -> Ordered (String.compare x y)
+  | Bool x, Bool y -> Ordered (Bool.compare x y)
+  | DateTime x, DateTime y -> Ordered (Xdatetime.compare_date_time x y)
+  | Date x, Date y -> Ordered (Xdatetime.compare_date x y)
+  | QName x, QName y -> if Xname.equal x y then Ordered 0 else Incomparable
+  | _, _ -> Incomparable
+
+let value_compare a b =
+  (* untypedAtomic is treated as xs:string in value comparisons *)
+  let promote = function Untyped s -> Str s | v -> v in
+  compare_same (promote a) (promote b)
+
+let general_compare a b =
+  match a, b with
+  | Untyped _, Untyped _ -> compare_same a b
+  | Untyped s, other | other, Untyped s ->
+    let cast_side =
+      if is_numeric other then
+        match float_of_lexical s with
+        | Some f -> Some (Dbl f)
+        | None -> None
+      else begin
+        match other with
+        | Str _ -> Some (Str s)
+        | Bool _ ->
+          (match String.trim s with
+           | "true" | "1" -> Some (Bool true)
+           | "false" | "0" -> Some (Bool false)
+           | _ -> None)
+        | DateTime _ ->
+          Option.map (fun d -> DateTime d) (Xdatetime.parse_date_time (String.trim s))
+        | Date _ ->
+          Option.map (fun d -> Date d) (Xdatetime.parse_date (String.trim s))
+        | QName _ | Untyped _ | Int _ | Dec _ | Dbl _ -> Some (Str s)
+      end
+    in
+    (match cast_side with
+     | None -> Incomparable
+     | Some cast ->
+       (match a with
+        | Untyped _ -> compare_same cast b
+        | _ -> compare_same a cast))
+  | _, _ -> compare_same a b
+
+let deep_eq a b =
+  match a, b with
+  | (Dec x | Dbl x), (Dec y | Dbl y) when Float.is_nan x && Float.is_nan y ->
+    true
+  | _ ->
+    (match value_compare a b with
+     | Ordered 0 -> true
+     | Ordered _ | Unordered | Incomparable -> false)
+
+let hash v =
+  (* Must be compatible with deep_eq: numeric values that compare equal
+     hash equally regardless of constructor; untyped and string alike. *)
+  match v with
+  | Untyped s | Str s -> Hashtbl.hash (`S s)
+  | Bool b -> Hashtbl.hash (`B b)
+  | Int i -> Hashtbl.hash (`F (float_of_int i))
+  | Dec f | Dbl f ->
+    if Float.is_nan f then Hashtbl.hash `NaN else Hashtbl.hash (`F f)
+  | DateTime dt -> Hashtbl.hash (`DT (Xdatetime.normalized_seconds dt))
+  | Date d -> Hashtbl.hash (`D (Xdatetime.normalized_minutes_of_date d))
+  | QName n -> Hashtbl.hash (`Q (Xname.to_string n))

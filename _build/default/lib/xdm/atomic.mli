@@ -1,0 +1,66 @@
+(** Atomic values of the XQuery data model (the subset the paper's queries
+    exercise).
+
+    [xs:decimal] is represented as an IEEE double (documented substitution;
+    exact for the 2-decimal currency data the paper's workloads use, and
+    kept as a distinct constructor so type-dependent behaviour such as
+    numeric promotion is still faithful). *)
+
+type t =
+  | Untyped of string  (** xs:untypedAtomic — all schemaless node content *)
+  | Str of string
+  | Bool of bool
+  | Int of int
+  | Dec of float       (** xs:decimal *)
+  | Dbl of float       (** xs:double *)
+  | DateTime of Xdatetime.t
+  | Date of Xdatetime.date
+  | QName of Xname.t
+
+(** Outcome of comparing two atomic values. *)
+type comparison =
+  | Ordered of int   (** negative / zero / positive *)
+  | Unordered        (** a NaN was involved: all comparisons are false *)
+  | Incomparable     (** the types cannot be compared: a type error *)
+
+(** Name of the dynamic type, e.g. ["xs:integer"]. *)
+val type_name : t -> string
+
+(** Cast to xs:string (canonical lexical form). *)
+val to_string : t -> string
+
+val is_numeric : t -> bool
+
+(** Cast to xs:double; returns NaN for a non-numeric lexical form (the
+    [fn:number] behaviour). *)
+val number : t -> float
+
+(** Cast helpers; each raises [FORG0001] when the value cannot be cast. *)
+val cast_to_integer : t -> int
+val cast_to_decimal : t -> float
+val cast_to_double : t -> float
+val cast_to_boolean : t -> bool
+val cast_to_date : t -> Xdatetime.date
+val cast_to_date_time : t -> Xdatetime.t
+
+(** Value comparison (the [eq]/[lt]/… family): untyped operands are
+    treated as strings. *)
+val value_compare : t -> t -> comparison
+
+(** General comparison (the [=]/[<]/… family): an untyped operand is cast
+    to the other operand's type (to double when the other operand is
+    numeric, compared as strings when both are untyped). *)
+val general_compare : t -> t -> comparison
+
+(** Equality as used by [fn:deep-equal]: value equality, with [NaN]
+    considered equal to [NaN] and incomparable pairs unequal (not an
+    error). *)
+val deep_eq : t -> t -> bool
+
+(** Stable hash compatible with {!deep_eq} (deep-equal values collide);
+    used by the hash-grouping operator. *)
+val hash : t -> int
+
+(** Number → string in the XQuery canonical style: integral doubles and
+    decimals print without a decimal point; NaN/INF spelled per spec. *)
+val float_to_string : float -> string

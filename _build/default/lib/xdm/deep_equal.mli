@@ -1,0 +1,17 @@
+(** [fn:deep-equal] — the paper's default grouping equality (Section 3.3).
+
+    Two sequences are deep-equal when they have the same length and are
+    pairwise deep-equal: atomic items by value equality (NaN = NaN),
+    nodes structurally — same kind and name, attributes as a set (name and
+    value), children position by position ignoring comments and PIs.
+    A node never equals an atomic value. Order matters: as the paper
+    notes, "each permutation is considered a distinct value". *)
+
+val items : Item.t -> Item.t -> bool
+val nodes : Node.t -> Node.t -> bool
+val sequences : Xseq.t -> Xseq.t -> bool
+
+(** Hash consistent with {!sequences}, used by the hash-grouping operator:
+    [sequences a b] implies [hash_sequence a = hash_sequence b]. *)
+val hash_item : Item.t -> int
+val hash_sequence : Xseq.t -> int

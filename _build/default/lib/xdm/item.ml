@@ -1,0 +1,18 @@
+type t =
+  | Node of Node.t
+  | Atomic of Atomic.t
+
+let string_value = function
+  | Node n -> Node.string_value n
+  | Atomic a -> Atomic.to_string a
+
+let atomize = function
+  | Node n -> Node.typed_value n
+  | Atomic a -> a
+
+let is_node = function Node _ -> true | Atomic _ -> false
+
+let of_int i = Atomic (Atomic.Int i)
+let of_string s = Atomic (Atomic.Str s)
+let of_bool b = Atomic (Atomic.Bool b)
+let of_double f = Atomic (Atomic.Dbl f)

@@ -1,0 +1,19 @@
+(** Items: the members of XQuery sequences — nodes or atomic values. *)
+
+type t =
+  | Node of Node.t
+  | Atomic of Atomic.t
+
+(** The string value of an item. *)
+val string_value : t -> string
+
+(** Atomization: a node yields its typed value, an atomic value itself. *)
+val atomize : t -> Atomic.t
+
+val is_node : t -> bool
+
+(** Convenience injections. *)
+val of_int : int -> t
+val of_string : string -> t
+val of_bool : bool -> t
+val of_double : float -> t

@@ -1,0 +1,233 @@
+type kind = Document | Element | Attribute | Text | Comment | Pi
+
+type t = {
+  id : int;
+  mutable parent : t option;
+  body : body;
+}
+
+(* Children are stored in reverse so append_child is O(1); accessors
+   reverse on demand, which is no worse than the traversal that follows. *)
+and body =
+  | BDocument of { mutable rev_children : t list }
+  | BElement of {
+      name : Xname.t;
+      mutable rev_attributes : t list;
+      mutable rev_children : t list;
+    }
+  | BAttribute of { name : Xname.t; value : string }
+  | BText of { text : string }
+  | BComment of string
+  | BPi of { target : string; data : string }
+
+let counter = ref 0
+
+let fresh_id () = incr counter; !counter
+
+let reset_ids_for_testing () = counter := 0
+
+let mk body = { id = fresh_id (); parent = None; body }
+
+let document () = mk (BDocument { rev_children = [] })
+let element name = mk (BElement { name; rev_attributes = []; rev_children = [] })
+let attribute name value = mk (BAttribute { name; value })
+let text s = mk (BText { text = s })
+let comment s = mk (BComment s)
+let pi ~target ~data = mk (BPi { target; data })
+
+let kind n =
+  match n.body with
+  | BDocument _ -> Document
+  | BElement _ -> Element
+  | BAttribute _ -> Attribute
+  | BText _ -> Text
+  | BComment _ -> Comment
+  | BPi _ -> Pi
+
+let id n = n.id
+let parent n = n.parent
+
+let append_child p c =
+  (match c.body with
+   | BAttribute _ -> invalid_arg "Node.append_child: attribute child"
+   | BDocument _ -> invalid_arg "Node.append_child: document child"
+   | BElement _ | BText _ | BComment _ | BPi _ -> ());
+  match p.body with
+  | BDocument d -> c.parent <- Some p; d.rev_children <- c :: d.rev_children
+  | BElement e -> c.parent <- Some p; e.rev_children <- c :: e.rev_children
+  | BAttribute _ | BText _ | BComment _ | BPi _ ->
+    invalid_arg "Node.append_child: receiver cannot have children"
+
+let set_attribute p a =
+  match p.body, a.body with
+  | BElement e, BAttribute { name; _ } ->
+    let dup other =
+      match other.body with
+      | BAttribute { name = n'; _ } -> Xname.equal n' name
+      | _ -> false
+    in
+    if List.exists dup e.rev_attributes then
+      Xerror.failf XQDY0025 "duplicate attribute %s" (Xname.to_string name);
+    a.parent <- Some p;
+    e.rev_attributes <- a :: e.rev_attributes
+  | BElement _, _ -> invalid_arg "Node.set_attribute: not an attribute"
+  | _, _ -> invalid_arg "Node.set_attribute: receiver not an element"
+
+let children n =
+  match n.body with
+  | BDocument d -> List.rev d.rev_children
+  | BElement e -> List.rev e.rev_children
+  | BAttribute _ | BText _ | BComment _ | BPi _ -> []
+
+let attributes n =
+  match n.body with
+  | BElement e -> List.rev e.rev_attributes
+  | BDocument _ | BAttribute _ | BText _ | BComment _ | BPi _ -> []
+
+let name n =
+  match n.body with
+  | BElement e -> Some e.name
+  | BAttribute a -> Some a.name
+  | BDocument _ | BText _ | BComment _ | BPi _ -> None
+
+let local_name n =
+  match n.body with
+  | BElement e -> e.name.Xname.local
+  | BAttribute a -> a.name.Xname.local
+  | BPi p -> p.target
+  | BDocument _ | BText _ | BComment _ -> ""
+
+let is_element n = match n.body with BElement _ -> true | _ -> false
+let is_attribute n = match n.body with BAttribute _ -> true | _ -> false
+let is_text n = match n.body with BText _ -> true | _ -> false
+
+let attribute_value n =
+  match n.body with
+  | BAttribute a -> a.value
+  | _ -> invalid_arg "Node.attribute_value: not an attribute"
+
+let text_content n =
+  match n.body with
+  | BText t -> t.text
+  | _ -> invalid_arg "Node.text_content: not a text node"
+
+let comment_text n =
+  match n.body with
+  | BComment s -> s
+  | _ -> invalid_arg "Node.comment_text: not a comment"
+
+let pi_target n =
+  match n.body with
+  | BPi p -> p.target
+  | _ -> invalid_arg "Node.pi_target: not a PI"
+
+let pi_data n =
+  match n.body with
+  | BPi p -> p.data
+  | _ -> invalid_arg "Node.pi_data: not a PI"
+
+let string_value n =
+  match n.body with
+  | BAttribute a -> a.value
+  | BText t -> t.text
+  | BComment s -> s
+  | BPi p -> p.data
+  | BDocument _ | BElement _ ->
+    let buf = Buffer.create 64 in
+    let rec go n =
+      match n.body with
+      | BText t -> Buffer.add_string buf t.text
+      | BElement e -> List.iter go (List.rev e.rev_children)
+      | BDocument d -> List.iter go (List.rev d.rev_children)
+      | BAttribute _ | BComment _ | BPi _ -> ()
+    in
+    go n;
+    Buffer.contents buf
+
+let typed_value n =
+  match n.body with
+  | BComment s -> Atomic.Str s
+  | BPi p -> Atomic.Str p.data
+  | BDocument _ | BElement _ | BAttribute _ | BText _ ->
+    Atomic.Untyped (string_value n)
+
+let copy n =
+  let rec go n =
+    match n.body with
+    | BDocument _ ->
+      let d = document () in
+      List.iter (fun c -> append_child d (go c)) (children n);
+      d
+    | BElement e ->
+      let el = element e.name in
+      List.iter (fun a -> set_attribute el (go a)) (attributes n);
+      List.iter (fun c -> append_child el (go c)) (children n);
+      el
+    | BAttribute a -> attribute a.name a.value
+    | BText t -> text t.text
+    | BComment s -> comment s
+    | BPi p -> pi ~target:p.target ~data:p.data
+  in
+  go n
+
+let rec root n =
+  match n.parent with
+  | None -> n
+  | Some p -> root p
+
+let descendants n =
+  let rec go acc n =
+    List.fold_left (fun acc c -> go (c :: acc) c) acc (children n)
+  in
+  List.rev (go [] n)
+
+let descendant_or_self n = n :: descendants n
+
+let ancestors n =
+  let rec go acc n =
+    match n.parent with
+    | None -> List.rev acc
+    | Some p -> go (p :: acc) p
+  in
+  go [] n
+
+let siblings_of n =
+  match n.parent with
+  | None -> []
+  | Some p -> if is_attribute n then [] else children p
+
+let following_siblings n =
+  let rec after = function
+    | [] -> []
+    | c :: rest -> if c == n then rest else after rest
+  in
+  after (siblings_of n)
+
+let preceding_siblings n =
+  let rec before acc = function
+    | [] -> []
+    | c :: rest -> if c == n then acc else before (c :: acc) rest
+  in
+  before [] (siblings_of n)
+
+let doc_order_compare a b = Int.compare a.id b.id
+
+let same a b = a.id = b.id
+
+let sort_in_doc_order nodes =
+  (* Path steps almost always produce already-ordered, duplicate-free
+     results; detect that in one pass before paying for a sort. *)
+  let rec strictly_sorted = function
+    | a :: (b :: _ as rest) -> a.id < b.id && strictly_sorted rest
+    | [ _ ] | [] -> true
+  in
+  if strictly_sorted nodes then nodes
+  else begin
+    let sorted = List.sort doc_order_compare nodes in
+    let rec dedup = function
+      | a :: (b :: _ as rest) when a.id = b.id -> dedup rest
+      | a :: rest -> a :: dedup rest
+      | [] -> []
+    in
+    dedup sorted
+  end

@@ -1,0 +1,109 @@
+(** XML tree nodes with identity and document order.
+
+    Every node carries a process-wide unique [id] assigned at creation.
+    Parsers and builders create nodes in preorder, so within one tree the
+    ids coincide with document order; across trees the ids give an
+    arbitrary but stable implementation-defined order, as the XQuery data
+    model permits. Element construction in queries copies its content
+    (fresh ids), matching the XQuery constructor semantics.
+
+    The representation is abstract so children can be stored for O(1)
+    append; inspect nodes through {!kind} and the accessors. *)
+
+type t
+
+type kind = Document | Element | Attribute | Text | Comment | Pi
+
+(** {1 Construction} *)
+
+val document : unit -> t
+val element : Xname.t -> t
+val attribute : Xname.t -> string -> t
+val text : string -> t
+val comment : string -> t
+val pi : target:string -> data:string -> t
+
+(** Append a child (sets its parent); O(1). Raises [Invalid_argument]
+    when the receiver cannot have children or the child is an attribute
+    or document. *)
+val append_child : t -> t -> unit
+
+(** Attach an attribute to an element (sets its parent). Raises
+    [Xerror.Error (XQDY0025, _)] on a duplicate attribute name and
+    [Invalid_argument] when the receiver is not an element or the
+    argument not an attribute. *)
+val set_attribute : t -> t -> unit
+
+(** Deep copy with fresh ids assigned in preorder (used by element
+    constructors). *)
+val copy : t -> t
+
+(** {1 Accessors} *)
+
+val id : t -> int
+val kind : t -> kind
+val parent : t -> t option
+
+(** Children in document order (empty for childless kinds). *)
+val children : t -> t list
+
+(** Attribute nodes of an element (empty otherwise). *)
+val attributes : t -> t list
+
+(** Element or attribute name. *)
+val name : t -> Xname.t option
+
+(** [local-name()]: empty string for unnamed kinds. *)
+val local_name : t -> string
+
+val is_element : t -> bool
+val is_attribute : t -> bool
+val is_text : t -> bool
+
+(** Content of an attribute node. Raises [Invalid_argument] otherwise. *)
+val attribute_value : t -> string
+
+(** Content of a text node. Raises [Invalid_argument] otherwise. *)
+val text_content : t -> string
+
+val comment_text : t -> string
+val pi_target : t -> string
+val pi_data : t -> string
+
+(** The string-value: concatenated descendant text for documents and
+    elements; the value for attributes; the content for text, comments
+    and PIs. *)
+val string_value : t -> string
+
+(** The typed value of a schemaless node: [Untyped (string_value n)],
+    except comments and PIs whose value is a string. *)
+val typed_value : t -> Atomic.t
+
+(** {1 Navigation} *)
+
+val root : t -> t
+
+(** Descendants in document order, excluding [n] and attributes. *)
+val descendants : t -> t list
+
+(** [n] followed by its descendants. *)
+val descendant_or_self : t -> t list
+
+(** Ancestors from parent to root. *)
+val ancestors : t -> t list
+
+val following_siblings : t -> t list
+val preceding_siblings : t -> t list
+
+(** Document order within a tree; across trees, a stable arbitrary order. *)
+val doc_order_compare : t -> t -> int
+
+(** Identity (the [is] operator). *)
+val same : t -> t -> bool
+
+(** Sort into document order and drop duplicate identities (the implicit
+    semantics of path-expression results). *)
+val sort_in_doc_order : t list -> t list
+
+(** Reset the global id counter — test-only helper for reproducibility. *)
+val reset_ids_for_testing : unit -> unit

@@ -1,0 +1,230 @@
+type t = {
+  year : int;
+  month : int;
+  day : int;
+  hour : int;
+  minute : int;
+  second : float;
+  tz_minutes : int option;
+}
+
+type date = { d_year : int; d_month : int; d_day : int; d_tz : int option }
+
+let is_leap_year y = (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0
+
+let days_in_month ~year ~month =
+  match month with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if is_leap_year year then 29 else 28
+  | _ -> Xerror.failf FODT0001 "invalid month %d" month
+
+(* Howard Hinnant's days_from_civil, shifted so 1970-01-01 = 0. *)
+let days_from_civil ~year ~month ~day =
+  let y = if month <= 2 then year - 1 else year in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - era * 400 in
+  let mp = (month + 9) mod 12 in
+  let doy = (153 * mp + 2) / 5 + day - 1 in
+  let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy in
+  era * 146097 + doe - 719468
+
+let check_range code name lo hi v =
+  if v < lo || v > hi then
+    Xerror.failf code "%s %d out of range [%d, %d]" name v lo hi
+
+let make_date_time ?tz_minutes ~year ~month ~day ~hour ~minute ~second () =
+  check_range FODT0001 "month" 1 12 month;
+  check_range FODT0001 "day" 1 (days_in_month ~year ~month) day;
+  check_range FODT0001 "hour" 0 23 hour;
+  check_range FODT0001 "minute" 0 59 minute;
+  if second < 0. || second >= 60. then
+    Xerror.failf FODT0001 "second %g out of range [0, 60)" second;
+  { year; month; day; hour; minute; second; tz_minutes }
+
+let make_date ?tz_minutes ~year ~month ~day () =
+  check_range FODT0001 "month" 1 12 month;
+  check_range FODT0001 "day" 1 (days_in_month ~year ~month) day;
+  { d_year = year; d_month = month; d_day = day; d_tz = tz_minutes }
+
+(* --- parsing --------------------------------------------------------- *)
+
+type cursor = { s : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let eat c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1; true
+  | Some _ | None -> false
+
+let digits c n =
+  (* Read exactly [n] digits as an int, or None. *)
+  if c.pos + n > String.length c.s then None
+  else begin
+    let ok = ref true in
+    let v = ref 0 in
+    for i = c.pos to c.pos + n - 1 do
+      let ch = c.s.[i] in
+      if ch < '0' || ch > '9' then ok := false
+      else v := (!v * 10) + (Char.code ch - Char.code '0')
+    done;
+    if !ok then begin c.pos <- c.pos + n; Some !v end else None
+  end
+
+let parse_tz c =
+  (* Returns [Some None] for no timezone, [Some (Some offset)] for one,
+     [None] for a malformed timezone. *)
+  match peek c with
+  | Some 'Z' -> c.pos <- c.pos + 1; Some (Some 0)
+  | Some ('+' | '-') ->
+    let sign = if c.s.[c.pos] = '-' then -1 else 1 in
+    c.pos <- c.pos + 1;
+    (match digits c 2 with
+     | None -> None
+     | Some h ->
+       if not (eat c ':') then None
+       else
+         match digits c 2 with
+         | None -> None
+         | Some m ->
+           if h > 14 || m > 59 then None
+           else Some (Some (sign * (h * 60 + m))))
+  | Some _ | None -> Some None
+
+let at_end c = c.pos = String.length c.s
+
+let parse_ymd c =
+  let neg = eat c '-' in
+  match digits c 4 with
+  | None -> None
+  | Some y ->
+    let y = if neg then -y else y in
+    if not (eat c '-') then None
+    else
+      match digits c 2 with
+      | None -> None
+      | Some mo ->
+        if not (eat c '-') then None
+        else
+          match digits c 2 with
+          | None -> None
+          | Some d -> Some (y, mo, d)
+
+let valid_ymd (y, mo, d) =
+  mo >= 1 && mo <= 12 && d >= 1 && d <= days_in_month ~year:y ~month:mo
+
+let parse_date s =
+  let c = { s; pos = 0 } in
+  match parse_ymd c with
+  | None -> None
+  | Some ((y, mo, d) as ymd) when valid_ymd ymd ->
+    (match parse_tz c with
+     | Some tz when at_end c ->
+       Some { d_year = y; d_month = mo; d_day = d; d_tz = tz }
+     | Some _ | None -> None)
+  | Some _ -> None
+
+let parse_seconds c =
+  match digits c 2 with
+  | None -> None
+  | Some whole ->
+    if eat c '.' then begin
+      let start = c.pos in
+      while (match peek c with Some ('0' .. '9') -> true | _ -> false) do
+        c.pos <- c.pos + 1
+      done;
+      if c.pos = start then None
+      else
+        let frac = String.sub c.s start (c.pos - start) in
+        Some (float_of_int whole +. float_of_string ("0." ^ frac))
+    end
+    else Some (float_of_int whole)
+
+let parse_date_time s =
+  let c = { s; pos = 0 } in
+  match parse_ymd c with
+  | None -> None
+  | Some ((y, mo, d) as ymd) when valid_ymd ymd ->
+    if not (eat c 'T') then None
+    else begin
+      match digits c 2 with
+      | None -> None
+      | Some h when h <= 23 ->
+        if not (eat c ':') then None
+        else begin
+          match digits c 2 with
+          | None -> None
+          | Some mi when mi <= 59 ->
+            if not (eat c ':') then None
+            else begin
+              match parse_seconds c with
+              | Some sec when sec < 60. -> begin
+                match parse_tz c with
+                | Some tz when at_end c ->
+                  Some { year = y; month = mo; day = d; hour = h;
+                         minute = mi; second = sec; tz_minutes = tz }
+                | Some _ | None -> None
+              end
+              | Some _ | None -> None
+            end
+          | Some _ -> None
+        end
+      | Some _ -> None
+    end
+  | Some _ -> None
+
+(* --- printing -------------------------------------------------------- *)
+
+let tz_to_string = function
+  | None -> ""
+  | Some 0 -> "Z"
+  | Some m ->
+    let sign = if m < 0 then '-' else '+' in
+    let m = abs m in
+    Printf.sprintf "%c%02d:%02d" sign (m / 60) (m mod 60)
+
+let seconds_to_string sec =
+  let whole = int_of_float sec in
+  if Float.equal sec (float_of_int whole) then Printf.sprintf "%02d" whole
+  else begin
+    (* canonical: no trailing zeros in the fraction *)
+    let s = Printf.sprintf "%09.6f" sec in
+    let s = ref s in
+    while String.length !s > 0 && !s.[String.length !s - 1] = '0' do
+      s := String.sub !s 0 (String.length !s - 1)
+    done;
+    !s
+  end
+
+let date_time_to_string dt =
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%s%s" dt.year dt.month dt.day
+    dt.hour dt.minute (seconds_to_string dt.second)
+    (tz_to_string dt.tz_minutes)
+
+let date_to_string d =
+  Printf.sprintf "%04d-%02d-%02d%s" d.d_year d.d_month d.d_day
+    (tz_to_string d.d_tz)
+
+(* --- comparison ------------------------------------------------------ *)
+
+let normalized_seconds dt =
+  let days = days_from_civil ~year:dt.year ~month:dt.month ~day:dt.day in
+  let tz = match dt.tz_minutes with None -> 0 | Some m -> m in
+  (float_of_int days *. 86400.)
+  +. (float_of_int dt.hour *. 3600.)
+  +. (float_of_int ((dt.minute - tz) * 60))
+  +. dt.second
+
+let compare_date_time a b = Float.compare (normalized_seconds a) (normalized_seconds b)
+
+let normalized_minutes_of_date d =
+  let days = days_from_civil ~year:d.d_year ~month:d.d_month ~day:d.d_day in
+  let tz = match d.d_tz with None -> 0 | Some m -> m in
+  (days * 1440) - tz
+
+let compare_date a b =
+  Int.compare (normalized_minutes_of_date a) (normalized_minutes_of_date b)
+
+let date_of_date_time dt =
+  { d_year = dt.year; d_month = dt.month; d_day = dt.day; d_tz = dt.tz_minutes }

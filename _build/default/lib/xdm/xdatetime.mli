@@ -1,0 +1,58 @@
+(** xs:dateTime and xs:date values.
+
+    Lexical forms follow ISO 8601 as used by XML Schema:
+    [YYYY-MM-DDThh:mm:ss(.fff)?(Z|±hh:mm)?] and [YYYY-MM-DD(Z|±hh:mm)?].
+    Timezone offsets are parsed and normalized away for comparison;
+    values without a timezone compare as if in UTC (a documented
+    simplification of the implicit-timezone machinery). *)
+
+type t = {
+  year : int;
+  month : int;   (** 1..12 *)
+  day : int;     (** 1..31, validated against month length *)
+  hour : int;    (** 0..23 *)
+  minute : int;  (** 0..59 *)
+  second : float;(** 0. <= s < 60. *)
+  tz_minutes : int option;  (** offset from UTC in minutes *)
+}
+
+type date = {
+  d_year : int;
+  d_month : int;
+  d_day : int;
+  d_tz : int option;
+}
+
+val make_date_time :
+  ?tz_minutes:int -> year:int -> month:int -> day:int ->
+  hour:int -> minute:int -> second:float -> unit -> t
+(** Raises [Xerror.Error (FODT0001, _)] on out-of-range components. *)
+
+val make_date : ?tz_minutes:int -> year:int -> month:int -> day:int -> unit -> date
+
+val parse_date_time : string -> t option
+val parse_date : string -> date option
+
+val date_time_to_string : t -> string
+val date_to_string : date -> string
+
+(** Total order after normalizing timezones to UTC. *)
+val compare_date_time : t -> t -> int
+
+(** Seconds since 1970-01-01T00:00:00 UTC after timezone normalization;
+    equal under {!compare_date_time} iff equal here. *)
+val normalized_seconds : t -> float
+
+(** Minutes since epoch after timezone normalization (for dates). *)
+val normalized_minutes_of_date : date -> int
+
+val compare_date : date -> date -> int
+
+val date_of_date_time : t -> date
+
+(** Days since civil epoch 1970-01-01 (proleptic Gregorian); used for
+    normalization and property tests. *)
+val days_from_civil : year:int -> month:int -> day:int -> int
+
+val is_leap_year : int -> bool
+val days_in_month : year:int -> month:int -> int

@@ -1,0 +1,40 @@
+type code =
+  | XPST0003
+  | XPST0008
+  | XPST0017
+  | XQST0094
+  | XPTY0004
+  | XPDY0002
+  | FORG0001
+  | FORG0006
+  | FOAR0001
+  | FOCA0002
+  | FODT0001
+  | XQDY0025
+
+exception Error of code * string
+
+let code_to_string = function
+  | XPST0003 -> "XPST0003"
+  | XPST0008 -> "XPST0008"
+  | XPST0017 -> "XPST0017"
+  | XQST0094 -> "XQST0094"
+  | XPTY0004 -> "XPTY0004"
+  | XPDY0002 -> "XPDY0002"
+  | FORG0001 -> "FORG0001"
+  | FORG0006 -> "FORG0006"
+  | FOAR0001 -> "FOAR0001"
+  | FOCA0002 -> "FOCA0002"
+  | FODT0001 -> "FODT0001"
+  | XQDY0025 -> "XQDY0025"
+
+let to_message code msg = Printf.sprintf "[%s] %s" (code_to_string code) msg
+
+let fail code msg = raise (Error (code, msg))
+
+let failf code fmt = Format.kasprintf (fun msg -> fail code msg) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Error (code, msg) -> Some (to_message code msg)
+    | _ -> None)

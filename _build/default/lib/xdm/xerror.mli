@@ -1,0 +1,31 @@
+(** Typed XQuery error conditions.
+
+    Codes follow the W3C error-code naming (XPST* static, XPTY*/XPDY*
+    type/dynamic, FO* functions-and-operators). *)
+
+type code =
+  | XPST0003  (** static: syntax error *)
+  | XPST0008  (** static: undefined variable *)
+  | XPST0017  (** static: unknown function name / arity *)
+  | XQST0094  (** static: illegal variable reference across group by *)
+  | XPTY0004  (** type error *)
+  | XPDY0002  (** dynamic: absent context item *)
+  | FORG0001  (** invalid cast / constructor argument *)
+  | FORG0006  (** invalid argument type (e.g. effective boolean value) *)
+  | FOAR0001  (** division by zero *)
+  | FOCA0002  (** invalid lexical value *)
+  | FODT0001  (** date/time overflow *)
+  | XQDY0025  (** duplicate attribute name in constructor *)
+
+exception Error of code * string
+
+val code_to_string : code -> string
+
+(** Raise [Error (code, msg)]. *)
+val fail : code -> string -> 'a
+
+(** [failf code fmt ...] — formatted variant of {!fail}. *)
+val failf : code -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** ["[CODE] message"] rendering, used by CLI and tests. *)
+val to_message : code -> string -> string

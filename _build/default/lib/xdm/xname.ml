@@ -1,0 +1,32 @@
+type t = { prefix : string option; local : string }
+
+let make ?prefix local = { prefix; local }
+
+let of_string s =
+  match String.index_opt s ':' with
+  | None -> { prefix = None; local = s }
+  | Some i ->
+    { prefix = Some (String.sub s 0 i);
+      local = String.sub s (i + 1) (String.length s - i - 1) }
+
+let to_string n =
+  match n.prefix with
+  | None -> n.local
+  | Some p -> p ^ ":" ^ n.local
+
+let equal a b =
+  a.local = b.local
+  && (match a.prefix, b.prefix with
+      | None, None -> true
+      | Some p, Some q -> p = q
+      | None, Some _ | Some _, None -> false)
+
+let compare a b =
+  match String.compare a.local b.local with
+  | 0 -> Option.compare String.compare a.prefix b.prefix
+  | c -> c
+
+let is_default_fn n =
+  match n.prefix with
+  | None | Some "fn" -> true
+  | Some _ -> false

@@ -1,0 +1,25 @@
+(** Qualified names.
+
+    Namespace prefixes are compared literally (no URI resolution); this is
+    a documented simplification — the paper's queries only use the
+    [local:], [fn:] and [xs:] prefixes, which are significant as spelled. *)
+
+type t = {
+  prefix : string option;  (** [None] for unprefixed names *)
+  local : string;
+}
+
+val make : ?prefix:string -> string -> t
+
+(** Parse a lexical QName, splitting on the first [':']. *)
+val of_string : string -> t
+
+(** [prefix:local] or [local]. *)
+val to_string : t -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** True when [t] has no prefix (or the [fn:] prefix, which is the default
+    function namespace) — used to look up built-in functions. *)
+val is_default_fn : t -> bool

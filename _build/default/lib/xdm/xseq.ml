@@ -1,0 +1,55 @@
+type t = Item.t list
+
+let empty = []
+let singleton i = [ i ]
+let concat = List.concat
+let atomize seq = List.map Item.atomize seq
+
+let effective_boolean_value = function
+  | [] -> false
+  | Item.Node _ :: _ -> true
+  | [ Item.Atomic a ] -> begin
+    match a with
+    | Atomic.Bool b -> b
+    | Atomic.Str s | Atomic.Untyped s -> s <> ""
+    | Atomic.Int i -> i <> 0
+    | Atomic.Dec f | Atomic.Dbl f -> not (f = 0. || Float.is_nan f)
+    | Atomic.DateTime _ | Atomic.Date _ | Atomic.QName _ ->
+      Xerror.failf FORG0006 "no effective boolean value for %s"
+        (Atomic.type_name a)
+  end
+  | Item.Atomic _ :: _ :: _ ->
+    Xerror.fail FORG0006
+      "effective boolean value of a multi-item atomic sequence"
+
+let zero_or_one = function
+  | [] -> None
+  | [ x ] -> Some x
+  | _ :: _ :: _ ->
+    Xerror.fail XPTY0004 "expected at most one item"
+
+let exactly_one = function
+  | [ x ] -> x
+  | [] -> Xerror.fail XPTY0004 "expected exactly one item, got ()"
+  | _ :: _ :: _ -> Xerror.fail XPTY0004 "expected exactly one item"
+
+let atomized_opt seq = Option.map Item.atomize (zero_or_one seq)
+
+let nodes seq =
+  List.map
+    (function
+      | Item.Node n -> n
+      | Item.Atomic a ->
+        Xerror.failf XPTY0004 "expected a node, got %s" (Atomic.type_name a))
+    seq
+
+let string_of seq =
+  match zero_or_one seq with
+  | None -> ""
+  | Some it -> Item.string_value it
+
+let of_bool b = [ Item.of_bool b ]
+let of_int i = [ Item.of_int i ]
+let of_double f = [ Item.of_double f ]
+let of_string s = [ Item.of_string s ]
+let of_nodes ns = List.map (fun n -> Item.Node n) ns

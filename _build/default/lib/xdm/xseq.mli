@@ -1,0 +1,43 @@
+(** Sequences — the universal XQuery value. Flat lists of items (the data
+    model has no nested sequences, which is exactly why the paper's [nest]
+    clause concatenates). *)
+
+type t = Item.t list
+
+val empty : t
+val singleton : Item.t -> t
+
+(** Flatten a list of sequences (XQuery [,] semantics). *)
+val concat : t list -> t
+
+(** Atomize every item. *)
+val atomize : t -> Atomic.t list
+
+(** Effective boolean value per XQuery: [()] is false; a sequence whose
+    first item is a node is true; a singleton boolean/string/untyped/
+    numeric follows the usual rules; anything else raises
+    [Xerror.Error (FORG0006, _)]. *)
+val effective_boolean_value : t -> bool
+
+(** Expect at most one item; raises [XPTY0004] otherwise. *)
+val zero_or_one : t -> Item.t option
+
+(** Expect exactly one item; raises [XPTY0004] otherwise. *)
+val exactly_one : t -> Item.t
+
+(** Expect a singleton atomic after atomization, or empty ([None]). *)
+val atomized_opt : t -> Atomic.t option
+
+(** Nodes of the sequence; raises [XPTY0004] if a non-node is present. *)
+val nodes : t -> Node.t list
+
+(** String value of a sequence used where a string is required: empty
+    string for [()], the item's string value for a singleton; raises
+    [XPTY0004] for longer sequences. *)
+val string_of : t -> string
+
+val of_bool : bool -> t
+val of_int : int -> t
+val of_double : float -> t
+val of_string : string -> t
+val of_nodes : Node.t list -> t

@@ -1,0 +1,1 @@
+lib/xml/builder.ml: List Node Xname Xq_xdm

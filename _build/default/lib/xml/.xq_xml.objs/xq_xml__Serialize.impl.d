@@ -1,0 +1,1 @@
+lib/xml/serialize.ml: Atomic Buffer Item List Node String Xname Xq_xdm

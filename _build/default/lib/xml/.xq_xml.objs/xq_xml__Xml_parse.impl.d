@@ -1,0 +1,1 @@
+lib/xml/xml_parse.ml: Buffer Char Node Printf String Uchar Xname Xq_xdm

@@ -1,0 +1,39 @@
+open Xq_xdm
+
+type part =
+  | P_el of string * (string * string) list * part list
+  | P_txt of string
+  | P_attr of string * string
+  | P_comment of string
+
+let el name parts = P_el (name, [], parts)
+let el_text name text = P_el (name, [], [ P_txt text ])
+let el_attrs name attrs parts = P_el (name, attrs, parts)
+let txt s = P_txt s
+let attr name value = P_attr (name, value)
+let comment_part s = P_comment s
+
+let rec build = function
+  | P_el (name, attrs, parts) ->
+    let node = Node.element (Xname.of_string name) in
+    List.iter
+      (fun (k, v) -> Node.set_attribute node (Node.attribute (Xname.of_string k) v))
+      attrs;
+    List.iter
+      (fun p ->
+        match p with
+        | P_attr (k, v) ->
+          Node.set_attribute node (Node.attribute (Xname.of_string k) v)
+        | P_el _ | P_txt _ | P_comment _ -> Node.append_child node (build p))
+      parts;
+    node
+  | P_txt s -> Node.text s
+  | P_attr (k, v) -> Node.attribute (Xname.of_string k) v
+  | P_comment s -> Node.comment s
+
+let build_document parts =
+  let d = Node.document () in
+  List.iter (fun p -> Node.append_child d (build p)) parts;
+  d
+
+let doc part = build_document [ part ]

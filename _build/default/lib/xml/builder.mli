@@ -1,0 +1,36 @@
+(** A terse combinator DSL for building XML trees programmatically — used
+    by the workload generators and tests.
+
+    {[
+      let book =
+        el "book"
+          [ el_text "title" "Transaction Processing";
+            el_text "author" "Jim Gray";
+            el "price" [ txt "59.00" ] ]
+    ]} *)
+
+open Xq_xdm
+
+type part
+
+(** An element with the given (unprefixed) name and parts. *)
+val el : string -> part list -> part
+
+(** An element whose only content is the given text. *)
+val el_text : string -> string -> part
+
+(** An element with attributes and parts. *)
+val el_attrs : string -> (string * string) list -> part list -> part
+
+val txt : string -> part
+val attr : string -> string -> part
+val comment_part : string -> part
+
+(** Realize a part as a node (fresh ids, preorder). *)
+val build : part -> Node.t
+
+(** Wrap parts in a document node. *)
+val build_document : part list -> Node.t
+
+(** Convenience: realize and wrap a single root part. *)
+val doc : part -> Node.t

@@ -1,0 +1,18 @@
+(** XML serialization of nodes, items and sequences. *)
+
+(** Serialize a node. [indent] pretty-prints element content (default
+    false: compact, text-exact output). *)
+val node : ?indent:bool -> Xq_xdm.Node.t -> string
+
+(** Serialize an item: nodes as XML, atomic values as their string value. *)
+val item : ?indent:bool -> Xq_xdm.Item.t -> string
+
+(** Serialize a sequence: adjacent atomic values are separated by a single
+    space (the XQuery serialization rule); nodes are emitted verbatim. *)
+val sequence : ?indent:bool -> Xq_xdm.Xseq.t -> string
+
+(** Escape character data ([& < >]). *)
+val escape_text : string -> string
+
+(** Escape an attribute value (ampersand, less-than, double quote). *)
+val escape_attribute : string -> string

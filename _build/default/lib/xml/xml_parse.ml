@@ -1,0 +1,318 @@
+open Xq_xdm
+
+exception Parse_error of { line : int; column : int; message : string }
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (* offset of beginning of current line *)
+  keep_whitespace : bool;
+}
+
+let error st msg =
+  raise (Parse_error { line = st.line; column = st.pos - st.bol + 1; message = msg })
+
+let at_end st = st.pos >= String.length st.src
+
+let peek st = if at_end st then '\000' else st.src.[st.pos]
+
+let advance st =
+  (if peek st = '\n' then begin
+     st.line <- st.line + 1;
+     st.bol <- st.pos + 1
+   end);
+  st.pos <- st.pos + 1
+
+let eat st c =
+  if peek st = c then advance st
+  else error st (Printf.sprintf "expected %C, found %C" c (peek st))
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let skip_string st s =
+  if looking_at st s then
+    for _ = 1 to String.length s do advance st done
+  else error st (Printf.sprintf "expected %S" s)
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_ws st = while (not (at_end st)) && is_space (peek st) do advance st done
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | c -> Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let read_name st =
+  if not (is_name_start (peek st)) then error st "expected a name";
+  let start = st.pos in
+  while (not (at_end st)) && is_name_char (peek st) do advance st done;
+  String.sub st.src start (st.pos - start)
+
+let read_char_ref st =
+  (* after "&#" *)
+  let hex = peek st = 'x' in
+  if hex then advance st;
+  let start = st.pos in
+  while (not (at_end st)) && peek st <> ';' do advance st done;
+  let digits = String.sub st.src start (st.pos - start) in
+  eat st ';';
+  let code =
+    try int_of_string (if hex then "0x" ^ digits else digits)
+    with Failure _ -> error st "bad character reference"
+  in
+  (* Encode the code point as UTF-8. *)
+  let b = Buffer.create 4 in
+  (try Buffer.add_utf_8_uchar b (Uchar.of_int code)
+   with Invalid_argument _ -> error st "character reference out of range");
+  Buffer.contents b
+
+let read_entity st =
+  (* after '&' *)
+  if peek st = '#' then begin advance st; read_char_ref st end
+  else begin
+    let name = read_name st in
+    eat st ';';
+    match name with
+    | "lt" -> "<"
+    | "gt" -> ">"
+    | "amp" -> "&"
+    | "apos" -> "'"
+    | "quot" -> "\""
+    | other -> error st (Printf.sprintf "unknown entity &%s;" other)
+  end
+
+let read_attr_value st =
+  let quote = peek st in
+  if quote <> '"' && quote <> '\'' then error st "expected a quoted value";
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if at_end st then error st "unterminated attribute value"
+    else if peek st = quote then advance st
+    else if peek st = '&' then begin
+      advance st;
+      Buffer.add_string buf (read_entity st);
+      go ()
+    end
+    else if peek st = '<' then error st "'<' in attribute value"
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let skip_comment st =
+  (* after "<!--" *)
+  let start = st.pos in
+  let rec go () =
+    if at_end st then error st "unterminated comment"
+    else if looking_at st "-->" then begin
+      let body = String.sub st.src start (st.pos - start) in
+      skip_string st "-->";
+      body
+    end
+    else begin advance st; go () end
+  in
+  go ()
+
+let read_cdata st =
+  (* after "<![CDATA[" *)
+  let start = st.pos in
+  let rec go () =
+    if at_end st then error st "unterminated CDATA section"
+    else if looking_at st "]]>" then begin
+      let body = String.sub st.src start (st.pos - start) in
+      skip_string st "]]>";
+      body
+    end
+    else begin advance st; go () end
+  in
+  go ()
+
+let read_pi st =
+  (* after "<?" *)
+  let target = read_name st in
+  skip_ws st;
+  let start = st.pos in
+  let rec go () =
+    if at_end st then error st "unterminated processing instruction"
+    else if looking_at st "?>" then begin
+      let data = String.sub st.src start (st.pos - start) in
+      skip_string st "?>";
+      (target, data)
+    end
+    else begin advance st; go () end
+  in
+  go ()
+
+let skip_doctype st =
+  (* after "<!DOCTYPE"; skip to matching '>' tracking bracket depth *)
+  let depth = ref 0 in
+  let rec go () =
+    if at_end st then error st "unterminated DOCTYPE"
+    else
+      match peek st with
+      | '[' -> incr depth; advance st; go ()
+      | ']' -> decr depth; advance st; go ()
+      | '>' when !depth = 0 -> advance st
+      | _ -> advance st; go ()
+  in
+  go ()
+
+let rec parse_element st =
+  (* at '<' of a start tag *)
+  eat st '<';
+  let name = read_name st in
+  let el = Node.element (Xname.of_string name) in
+  let rec attrs () =
+    skip_ws st;
+    match peek st with
+    | '>' -> advance st; parse_content st el name
+    | '/' -> advance st; eat st '>'
+    | c when is_name_start c ->
+      let aname = read_name st in
+      skip_ws st;
+      eat st '=';
+      skip_ws st;
+      let v = read_attr_value st in
+      Node.set_attribute el (Node.attribute (Xname.of_string aname) v);
+      attrs ()
+    | _ -> error st "malformed start tag"
+  in
+  attrs ();
+  el
+
+and parse_content st el name =
+  let buf = Buffer.create 16 in
+  let had_entity = ref false in
+  let flush_text () =
+    if Buffer.length buf > 0 then begin
+      let s = Buffer.contents buf in
+      let keep =
+        st.keep_whitespace || !had_entity
+        || not (String.for_all is_space s)
+      in
+      if keep then Node.append_child el (Node.text s);
+      Buffer.clear buf;
+      had_entity := false
+    end
+  in
+  let rec go () =
+    if at_end st then error st (Printf.sprintf "unterminated element <%s>" name)
+    else if looking_at st "</" then begin
+      flush_text ();
+      skip_string st "</";
+      let close = read_name st in
+      if close <> name then
+        error st (Printf.sprintf "mismatched end tag </%s>, expected </%s>" close name);
+      skip_ws st;
+      eat st '>'
+    end
+    else if looking_at st "<!--" then begin
+      flush_text ();
+      skip_string st "<!--";
+      Node.append_child el (Node.comment (skip_comment st));
+      go ()
+    end
+    else if looking_at st "<![CDATA[" then begin
+      skip_string st "<![CDATA[";
+      Buffer.add_string buf (read_cdata st);
+      had_entity := true;  (* CDATA forces the text to be kept *)
+      go ()
+    end
+    else if looking_at st "<?" then begin
+      flush_text ();
+      skip_string st "<?";
+      let target, data = read_pi st in
+      Node.append_child el (Node.pi ~target ~data);
+      go ()
+    end
+    else if peek st = '<' then begin
+      flush_text ();
+      Node.append_child el (parse_element st);
+      go ()
+    end
+    else if peek st = '&' then begin
+      advance st;
+      Buffer.add_string buf (read_entity st);
+      had_entity := true;
+      go ()
+    end
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let parse_misc st doc =
+  (* prolog / epilog items: comments, PIs, whitespace *)
+  let rec go () =
+    skip_ws st;
+    if looking_at st "<!--" then begin
+      skip_string st "<!--";
+      Node.append_child doc (Node.comment (skip_comment st));
+      go ()
+    end
+    else if looking_at st "<?xml" then begin
+      skip_string st "<?";
+      let _ = read_pi st in
+      go ()
+    end
+    else if looking_at st "<?" then begin
+      skip_string st "<?";
+      let target, data = read_pi st in
+      Node.append_child doc (Node.pi ~target ~data);
+      go ()
+    end
+    else if looking_at st "<!DOCTYPE" then begin
+      skip_string st "<!DOCTYPE";
+      skip_doctype st;
+      go ()
+    end
+  in
+  go ()
+
+let make_state ?(keep_whitespace = false) src =
+  { src; pos = 0; line = 1; bol = 0; keep_whitespace }
+
+let parse ?keep_whitespace src =
+  let st = make_state ?keep_whitespace src in
+  let doc = Node.document () in
+  parse_misc st doc;
+  if at_end st || peek st <> '<' then error st "expected a root element";
+  Node.append_child doc (parse_element st);
+  parse_misc st doc;
+  if not (at_end st) then error st "content after the root element";
+  doc
+
+let parse_fragment ?keep_whitespace src =
+  let st = make_state ?keep_whitespace src in
+  skip_ws st;
+  if at_end st || peek st <> '<' then error st "expected an element";
+  let el = parse_element st in
+  skip_ws st;
+  if not (at_end st) then error st "content after the element";
+  el
+
+let parse_file ?keep_whitespace path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse ?keep_whitespace s
+
+let error_to_string = function
+  | Parse_error { line; column; message } ->
+    Some (Printf.sprintf "XML parse error at %d:%d: %s" line column message)
+  | _ -> None

@@ -1,0 +1,26 @@
+(** A non-validating XML 1.0 parser producing {!Xq_xdm.Node} trees.
+
+    Supported: elements, single- or double-quoted attributes, character
+    data, the five
+    predefined entities plus decimal/hex character references, CDATA
+    sections, comments, processing instructions, an XML declaration and a
+    DOCTYPE (both skipped). Not supported (out of scope for the paper's
+    workloads): DTD-defined entities, namespaces-by-URI resolution.
+
+    Whitespace policy: text that consists purely of whitespace between two
+    element tags is dropped when [keep_whitespace] is false (the default),
+    matching how data-oriented XQuery engines load data documents. *)
+
+exception Parse_error of { line : int; column : int; message : string }
+
+(** Parse a complete document; the result is a [Document] node. *)
+val parse : ?keep_whitespace:bool -> string -> Xq_xdm.Node.t
+
+(** Parse a single element fragment (no XML declaration required),
+    returning the element node itself. *)
+val parse_fragment : ?keep_whitespace:bool -> string -> Xq_xdm.Node.t
+
+val parse_file : ?keep_whitespace:bool -> string -> Xq_xdm.Node.t
+
+(** Render the error position and message. *)
+val error_to_string : exn -> string option

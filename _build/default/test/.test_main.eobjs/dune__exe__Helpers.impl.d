@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Xerror Xq_engine Xq_xdm Xq_xml

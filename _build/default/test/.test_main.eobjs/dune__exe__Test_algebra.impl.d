@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Ast Helpers List Parser Printf QCheck QCheck_alcotest String Xq_algebra Xq_engine Xq_lang Xq_xdm Xq_xml

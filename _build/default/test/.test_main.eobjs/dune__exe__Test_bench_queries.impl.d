@@ -1,0 +1,1 @@
+test/test_bench_queries.ml: Alcotest Helpers List Printf String Xq Xq_algebra Xq_lang Xq_rewrite Xq_workload Xq_xdm

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Ast Helpers List Parser Pretty Static String Xq Xq_engine Xq_lang Xq_rewrite Xq_xdm Xq_xml

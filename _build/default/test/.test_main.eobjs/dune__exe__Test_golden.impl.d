@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Array Filename Helpers List String Sys

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Ast Atomic Fn_sigs Helpers Lexer List Parser Pretty Printf Static String Xerror Xname Xq_engine Xq_lang Xq_xdm

@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Helpers Printf

@@ -1,0 +1,1 @@
+test/test_props.ml: Ast Atomic Deep_equal Float Item List Node Option Parser Pretty Printf QCheck QCheck_alcotest String Xdatetime Xerror Xname Xq Xq_engine Xq_lang Xq_rewrite Xq_xdm Xq_xml Xseq

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Ast Helpers List Parser Printf Static Xq Xq_lang Xq_rewrite

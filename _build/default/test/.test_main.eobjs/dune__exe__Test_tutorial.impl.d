@@ -1,0 +1,1 @@
+test/test_tutorial.ml: Alcotest Filename Helpers List Printf String Sys

@@ -1,0 +1,1 @@
+test/test_use_cases.ml: Alcotest Helpers List Printf Xq Xq_algebra Xq_engine Xq_workload Xq_xdm Xq_xml

@@ -1,0 +1,1 @@
+test/test_window.ml: Alcotest Ast Helpers List Parser Pretty Printf QCheck QCheck_alcotest Static String Xq_algebra Xq_engine Xq_lang Xq_rewrite Xq_xdm Xq_xml

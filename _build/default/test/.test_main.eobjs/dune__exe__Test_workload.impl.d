@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Bibliography Deep_equal Fun Helpers List Orders Printf Prng Sales String Xq_workload Xq_xdm

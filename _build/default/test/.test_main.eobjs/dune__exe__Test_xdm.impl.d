@@ -1,0 +1,1 @@
+test/test_xdm.ml: Alcotest Atomic Deep_equal Float Helpers Item List Node Option Xdatetime Xerror Xname Xq_xdm Xseq

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Deep_equal Helpers List Node String Xname Xq_xdm Xq_xml

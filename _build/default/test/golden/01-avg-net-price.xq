@@ -1,0 +1,7 @@
+(: fixture: bib :)
+(: Paper Q1: average net price per publisher and year. :)
+for $b in //book
+group by $b/publisher into $p, $b/year into $y
+nest $b/price - $b/discount into $netprices
+order by string($p), string($y)
+return <group>{$p, $y}<avg>{avg($netprices)}</avg></group>

@@ -1,0 +1,9 @@
+(: fixture: bib :)
+(: Paper Q4: post-group let and where. :)
+for $b in //book
+group by $b/publisher into $pub
+nest $b/price into $prices
+let $avgprice := avg($prices)
+where $avgprice > 50
+order by $avgprice descending
+return <pub>{string($pub)}:{round($avgprice)}</pub>

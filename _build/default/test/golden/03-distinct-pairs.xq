@@ -1,0 +1,6 @@
+(: fixture: bib :)
+(: Paper Q5: SELECT DISTINCT via group by without nest. :)
+for $b in //book
+group by $b/publisher into $pub, $b/year into $year
+order by string($pub), string($year)
+return <pair>{string($pub)}/{string($year)}</pair>

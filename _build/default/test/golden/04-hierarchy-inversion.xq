@@ -1,0 +1,10 @@
+(: fixture: bib :)
+(: Paper Q7: invert book->publisher into publisher->books. :)
+for $b in //book
+group by $b/publisher into $pub
+nest $b/title into $titles
+order by string($pub)
+return
+  <publisher name="{string($pub)}">
+    {for $t in $titles order by string($t) return <t>{string($t)}</t>}
+  </publisher>

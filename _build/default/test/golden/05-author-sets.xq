@@ -1,0 +1,7 @@
+(: fixture: bib :)
+(: Paper Q2a: group by the author sequence (permutations distinct). :)
+for $b in //book
+group by $b/author into $a
+nest $b/title into $titles
+order by string($a[1]), count($a)
+return <g n="{count($a)}">{count($titles)}</g>

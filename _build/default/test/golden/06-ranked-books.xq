@@ -1,0 +1,6 @@
+(: fixture: bib :)
+(: Paper Q9b-style ranking with output numbering. :)
+for $b in //book
+order by number($b/price) descending
+return at $rank
+  <book rank="{$rank}">{string($b/title)}</book>

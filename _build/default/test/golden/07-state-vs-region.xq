@@ -1,0 +1,15 @@
+(: fixture: sales :)
+(: Paper Q3: two-level aggregation, state inside region-year. :)
+for $s in //sale
+group by $s/region into $region,
+         year-from-dateTime($s/timestamp) into $year
+nest $s into $region-sales
+let $region-sum := sum($region-sales/(quantity * price))
+order by $year, $region
+return
+  for $s in $region-sales
+  group by $s/state into $state
+  nest $s into $state-sales
+  let $state-sum := sum($state-sales/(quantity * price))
+  order by $state
+  return <s>{$year}{string($region)}/{string($state)}={round($state-sum * 100 div $region-sum)}</s>

@@ -1,0 +1,13 @@
+(: fixture: sales :)
+(: Paper Q8: previous-sales window over a time-ordered nest. :)
+for $s in //sale
+group by $s/region into $region
+nest $s order by $s/timestamp into $rs
+order by string($region)
+return
+  <region name="{string($region)}">
+    {for $s1 at $i in $rs
+     return <w>{sum(for $s2 at $j in $rs
+                    where $j < $i and $j >= $i - 10
+                    return $s2/quantity * $s2/price)}</w>}
+  </region>

@@ -1,0 +1,16 @@
+(: fixture: sales :)
+(: Paper Q10: months in order, regions ranked inside each month. :)
+for $s in //sale
+group by year-from-dateTime($s/timestamp) into $year,
+         month-from-dateTime($s/timestamp) into $month
+nest $s into $ms
+order by $year, $month
+return
+  <m ym="{$year}-{$month}">
+    {for $x in $ms
+     group by $x/region into $region
+     nest $x/quantity * $x/price into $amounts
+     let $sum := sum($amounts)
+     order by $sum descending
+     return at $rank concat($rank, ":", string($region))}
+  </m>

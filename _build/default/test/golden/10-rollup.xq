@@ -1,0 +1,13 @@
+(: fixture: bib-categories :)
+(: Paper Q11: rollup along a ragged hierarchy via local:paths. :)
+declare function local:paths($cats as item()*) as xs:string* {
+  for $c in $cats
+  let $n := local-name($c)
+  return ($n, for $p in local:paths($c/*) return concat($n, "/", $p))
+};
+for $b in //book
+for $c in local:paths($b/categories/*)
+group by $c into $category
+nest $b/price into $prices
+order by string($category)
+return <r>{$category}={avg($prices)}</r>

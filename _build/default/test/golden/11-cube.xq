@@ -1,0 +1,15 @@
+(: fixture: bib :)
+(: Paper Q12: datacube over (publisher, year) via local:cube. :)
+declare function local:cube($dims as item()*) as item()* {
+  if (empty($dims)) then <dims/>
+  else
+    let $rest := local:cube(subsequence($dims, 2))
+    return ($rest, for $g in $rest return <dims>{$dims[1], $g/*}</dims>)
+};
+for $b in //book
+let $pub := if (empty($b/publisher)) then <publisher/> else $b/publisher
+for $d in local:cube(($pub, $b/year))
+group by $d into $dims
+nest $b/price into $prices
+order by count($dims/*), string($dims), count($prices)
+return <r d="{count($dims/*)}">{count($prices)}</r>

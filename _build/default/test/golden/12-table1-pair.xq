@@ -1,0 +1,7 @@
+(: fixture: orders :)
+(: Section 6, Table 1 two-element template (explicit form). :)
+for $litem in //order/lineitem
+group by $litem/a into $a, $litem/b into $b
+nest $litem into $items
+order by string($a), string($b)
+return <r>{string($a)},{string($b)}:{count($items)}</r>

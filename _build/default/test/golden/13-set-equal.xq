@@ -1,0 +1,11 @@
+(: fixture: bib :)
+(: Section 3.3: custom grouping equality merging author permutations. :)
+declare function local:set-equal($s as item()*, $t as item()*) as xs:boolean {
+  (every $i in $s satisfies some $j in $t satisfies $i eq $j)
+  and (every $j in $t satisfies some $i in $s satisfies $i eq $j)
+};
+for $b in //book
+group by $b/author into $a using local:set-equal
+nest $b into $bs
+order by string($a[1])
+return count($bs)

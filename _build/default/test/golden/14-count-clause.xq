@@ -1,0 +1,7 @@
+(: fixture: bib :)
+(: Extension: the XQuery 3.0-style count clause numbering groups. :)
+for $b in //book
+group by $b/year into $year
+count $n
+order by $year
+return <y n="{$n}">{string($year)}</y>

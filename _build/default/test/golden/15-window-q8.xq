@@ -1,0 +1,13 @@
+(: fixture: sales :)
+(: Q8 restated with the XQuery 3.0 sliding window clause. :)
+for $s in //sale
+group by $s/region into $region
+nest $s order by $s/timestamp into $rs
+order by string($region)
+return
+  <region name="{string($region)}">
+    {for sliding window $w in $rs
+     start $cur at $i when true()
+     end at $e when $e - $i = 2
+     return <x>{round(sum($w/(quantity * price)))}</x>}
+  </region>

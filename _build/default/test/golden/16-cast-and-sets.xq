@@ -1,0 +1,7 @@
+(: fixture: bib :)
+(: Sequence types and node-set operators over grouped data. :)
+for $b in //book
+let $price := $b/price cast as xs:decimal
+where $b/author instance of element()+ and $price castable as xs:integer
+order by $price
+return count(($b/author | $b/title) except $b/title)

@@ -1,0 +1,16 @@
+(: fixture: sales :)
+(: Sessionize each region's sales: a new tumbling window opens whenever
+   the year changes relative to the previous sale. :)
+for $s in //sale
+group by $s/region into $region
+nest $s order by $s/timestamp into $rs
+order by string($region)
+return
+  <region name="{string($region)}">
+    {for tumbling window $w in $rs
+     start $first previous $prev when
+       empty($prev) or
+       year-from-dateTime(xs:dateTime($first/timestamp)) !=
+       year-from-dateTime(xs:dateTime($prev/timestamp))
+     return <session y="{year-from-dateTime(xs:dateTime($first/timestamp))}">{count($w)}</session>}
+  </region>

@@ -1,0 +1,238 @@
+(* Systematic edge-case corpus for the F&O subset and core expression
+   semantics — conformance-style, one behaviour per assertion, organized
+   by specification area. *)
+
+open Helpers
+
+let data =
+  {|<r>
+  <n>  42  </n>
+  <neg>-7</neg>
+  <dec>3.14</dec>
+  <empty></empty>
+  <ws>   </ws>
+  <dup>x</dup><dup>x</dup><dup>y</dup>
+  <mixed>a<inner>b</inner>c</mixed>
+  <dt>2004-02-29T23:59:59.5Z</dt>
+</r>|}
+
+let q query expected name = check_query ~data query expected name
+
+(* --- casting and numeric edges ------------------------------------------ *)
+
+let numeric_tests =
+  [
+    test "whitespace-tolerant numeric casts" (fun () ->
+        q "xs:integer(//n)" "42" "trimmed int";
+        q "number(//n) + 1" "43" "trimmed number";
+        q "xs:integer(//neg)" "-7" "negative");
+    test "integer overflow boundaries" (fun () ->
+        q "4611686018427387903 + 0" "4611686018427387903" "max_int ok";
+        q "2 * 1073741824" "2147483648" "past 32-bit");
+    test "float special values" (fun () ->
+        q "string(1e308 * 10)" "INF" "overflow to INF";
+        q "string(-1e308 * 10)" "-INF" "neg INF";
+        q "string(0e0 div 0)" "NaN" "0/0";
+        q "xs:double(\"INF\") > 1e300" "true" "INF literal";
+        q "number(\"NaN\") = number(\"NaN\")" "false" "NaN never equals");
+    test "idiv and mod sign behaviour" (fun () ->
+        q "7 idiv -2" "-3" "trunc toward zero";
+        q "-7 mod 2" "-1" "mod keeps dividend sign";
+        q "7.5 idiv 2" "3" "decimal idiv");
+    test "decimal formatting drops trailing zeros" (fun () ->
+        q "1.50 + 0" "1.5" "trailing zero";
+        q "2.0 * 2" "4" "integral decimal");
+    test "unary minus chains" (fun () ->
+        q "--5" "5" "double minus";
+        q "-+-5" "5" "mixed signs");
+    test "range edge cases" (fun () ->
+        q "count(1 to 0)" "0" "empty";
+        q "count(-2 to 2)" "5" "negative lo";
+        q "(1 to 3)[last()]" "3" "range + last");
+  ]
+
+(* --- strings --------------------------------------------------------------- *)
+
+let string_tests =
+  [
+    test "substring boundary conditions" (fun () ->
+        q "substring(\"abcde\", 0, 3)" "ab" "start clamps, len from 0";
+        q "substring(\"abcde\", 4, 99)" "de" "len clamps";
+        q "substring(\"abcde\", 6)" "" "past end";
+        q "substring(\"abcde\", 2.5, 2)" "cd" "fractional rounds";
+        q "substring(\"\", 1)" "" "empty input");
+    test "substring-before/after absent needle" (fun () ->
+        q "substring-before(\"abc\", \"x\")" "" "before missing";
+        q "substring-after(\"abc\", \"x\")" "" "after missing";
+        q "substring-before(\"abc\", \"\")" "" "before empty";
+        q "substring-after(\"abc\", \"\")" "abc" "after empty");
+    test "string-join corner cases" (fun () ->
+        q "string-join((), \",\")" "" "empty seq";
+        q "string-join((\"a\"), \",\")" "a" "singleton";
+        q "string-join((\"a\", \"\", \"b\"), \"-\")" "a--b" "empty member");
+    test "normalize-space handles all whitespace kinds" (fun () ->
+        q "normalize-space(\"\ta  b\nc\r\")" "a b c" "tabs newlines";
+        q "normalize-space(//ws)" "" "ws-only node");
+    test "contains/starts/ends degenerate cases" (fun () ->
+        q "contains(\"\", \"\")" "true" "both empty";
+        q "starts-with(\"a\", \"\")" "true" "empty prefix";
+        q "ends-with(\"\", \"a\")" "false" "needle longer");
+    test "translate longer from-string deletes" (fun () ->
+        q "translate(\"abcdabcd\", \"abcd\", \"AB\")" "ABAB" "tail deleted");
+    test "string-length of node values" (fun () ->
+        q "string-length(//mixed)" "3" "mixed content abc";
+        q "string-length(())" "0" "empty seq");
+    test "codepoint round trips through entities" (fun () ->
+        q "string-to-codepoints(\"&#65;\")" "65" "charref in literal");
+  ]
+
+(* --- sequences ---------------------------------------------------------------- *)
+
+let sequence_tests =
+  [
+    test "distinct-values keeps first occurrence order" (fun () ->
+        q "distinct-values((3, 1, 3, 2, 1))" "3 1 2" "first wins");
+    test "distinct-values over node values" (fun () ->
+        q "count(distinct-values(//dup))" "2" "x and y");
+    test "index-of compares by eq not identity" (fun () ->
+        q "index-of((1, 2.0, 3), 2)" "2" "numeric promotion";
+        q "index-of((\"a\", \"b\"), \"c\")" "" "absent");
+    test "insert-before clamps positions" (fun () ->
+        q "insert-before((1, 2), 0, 99)" "99 1 2" "pos 0 → front";
+        q "insert-before((1, 2), 99, 3)" "1 2 3" "pos past end");
+    test "remove out-of-range is identity" (fun () ->
+        q "remove((1, 2), 0)" "1 2" "zero";
+        q "remove((1, 2), 9)" "1 2" "past end");
+    test "subsequence fractional and negative starts" (fun () ->
+        q "subsequence((1, 2, 3, 4), 1.5)" "2 3 4" "rounds to 2";
+        q "subsequence((1, 2, 3, 4), -1, 4)" "1 2" "negative start eats length";
+        q "subsequence((1, 2, 3), 2, 0)" "" "zero length");
+    test "reverse of empty and singleton" (fun () ->
+        q "reverse(())" "" "empty";
+        q "reverse((7))" "7" "singleton");
+    test "cardinality guards" (fun () ->
+        expect_error Xq_xdm.Xerror.FORG0006 ~data "exactly-one(())" "e-o empty";
+        expect_error Xq_xdm.Xerror.FORG0006 ~data "zero-or-one((1,2))" "z-o-o two";
+        expect_error Xq_xdm.Xerror.FORG0006 ~data "one-or-more(())" "o-o-m empty");
+  ]
+
+(* --- aggregates ------------------------------------------------------------------ *)
+
+let aggregate_tests =
+  [
+    test "sum/avg type propagation" (fun () ->
+        q "sum((1, 2, 3)) instance of xs:integer" "true" "int sum";
+        q "sum((1, 2.5)) instance of xs:decimal" "true" "decimal taint";
+        q "sum((1, 2e0)) instance of xs:double" "true" "double taint";
+        q "avg((2, 4)) instance of xs:decimal" "true" "avg of ints is decimal");
+    test "aggregates over untyped node content" (fun () ->
+        q "sum((//n, //neg))" "35" "42 + -7";
+        q "min((//n, //neg))" "-7" "min casts to double";
+        q "max((//dec, //n))" "42" "max mixed");
+    test "aggregate error on non-numeric" (fun () ->
+        expect_error Xq_xdm.Xerror.FORG0006 ~data "sum((1, \"x\"))" "sum string");
+    test "count never fails" (fun () ->
+        q "count((1, \"x\", //r, 2.5))" "4" "heterogeneous");
+    test "min/max keep first of ties" (fun () ->
+        q "min((1, 1.0))" "1" "tie";
+        q "max((2.0, 2))" "2" "tie2");
+  ]
+
+(* --- comparisons and EBV ------------------------------------------------------------ *)
+
+let comparison_tests =
+  [
+    test "general comparison over empty is always false" (fun () ->
+        q "() = 1" "false" "lhs empty";
+        q "1 != ()" "false" "rhs empty (even !=)";
+        q "() != ()" "false" "both");
+    test "general != is not the negation of =" (fun () ->
+        q "(1, 2) = (1, 2) and (1, 2) != (1, 2)" "true" "both hold");
+    test "dateTime comparisons normalize zones" (fun () ->
+        q "xs:dateTime(//dt) eq xs:dateTime(\"2004-03-01T00:59:59.5+01:00\")"
+          "true" "leap-day vs zoned next day");
+    test "boolean comparisons" (fun () ->
+        q "true() gt false()" "true" "ordering on booleans";
+        q "not(()) " "true" "not of empty");
+    test "EBV in predicates vs where" (fun () ->
+        q "count(//dup[\"\"])" "0" "empty string false";
+        q "count(//dup[\"x\"])" "3" "non-empty string true";
+        q "for $x in 1 where \"0\" return $x" "1"
+          "string zero is still true (non-empty)");
+    test "string comparisons are codepoint-wise" (fun () ->
+        q "\"B\" lt \"a\"" "true" "uppercase sorts first";
+        q "\"abc\" lt \"abd\"" "true" "lexicographic");
+  ]
+
+(* --- nodes, paths, constructors ------------------------------------------------------ *)
+
+let node_tests =
+  [
+    test "empty element vs missing element" (fun () ->
+        q "count(//empty)" "1" "empty exists";
+        q "string(//empty)" "" "empty value";
+        q "//empty = \"\"" "true" "compares as empty string";
+        q "count(//absent)" "0" "missing");
+    test "mixed content navigation" (fun () ->
+        q "string(//mixed)" "abc" "string value";
+        q "count(//mixed/text())" "2" "two text nodes";
+        q "string(//mixed/inner)" "b" "inner");
+    test "attribute axis edge cases" (fun () ->
+        check_query ~data:"<r><e a=\"\" b=\"2\"/></r>" "count(//e/@*)" "2" "@*";
+        check_query ~data:"<r><e a=\"\"/></r>" "//e/@a = \"\"" "true" "empty attr";
+        check_query ~data:"<r/>" "count(//r/@nope)" "0" "absent attr");
+    test "parent of root is empty" (fun () ->
+        q "count(/..)" "0" "no parent");
+    test "predicates with last() on empty axis" (fun () ->
+        q "count(//absent[last()])" "0" "vacuous");
+    test "constructors copy, never move" (fun () ->
+        q "count(//dup) + count(<w>{//dup}</w>/dup)" "6" "originals intact");
+    test "attribute value normalization in constructors" (fun () ->
+        q "<a x=\"{(1, 2, 3)}\"/>" "<a x=\"1 2 3\"/>" "space-joined";
+        q "<a x=\"{()}\"/>" "<a x=\"\"/>" "empty");
+    test "comments and PIs are invisible to value but present as nodes" (fun () ->
+        check_query ~data:"<r>a<!--c-->b<?p d?></r>" "string(/r)" "ab" "value";
+        check_query ~data:"<r>a<!--c-->b<?p d?></r>" "count(/r/node())" "4" "nodes");
+    test "document node behaviours" (fun () ->
+        q "count(/)" "1" "document";
+        q "name(/)" "" "no name";
+        q "string(/) = string(/r)" "true" "value equals root element");
+    test "deep-equal is not node identity" (fun () ->
+        q "deep-equal(//dup[1], //dup[2])" "true" "same shape";
+        q "//dup[1] is //dup[2]" "false" "different nodes");
+  ]
+
+(* --- FLWOR misc ----------------------------------------------------------------------- *)
+
+let flwor_tests =
+  [
+    test "let of empty sequence still produces a tuple" (fun () ->
+        q "let $x := () return count($x)" "0" "empty let");
+    test "for over singleton binds once" (fun () ->
+        q "for $x in 5 return $x * 2" "10" "scalar for");
+    test "where never errors on empty" (fun () ->
+        q "for $x in (1, 2) where //absent return $x" "" "empty ebv false");
+    test "nested flwors see outer bindings" (fun () ->
+        q "for $x in (1, 2) return for $y in (10) return $x + $y" "11 12"
+          "closure");
+    test "group by constant makes one group" (fun () ->
+        q "for $x in (1, 2, 3) group by 1 into $k nest $x into $xs return \
+           count($xs)" "3" "single group");
+    test "group by over empty input yields no groups" (fun () ->
+        q "for $x in () group by $x into $k return 1" "" "no tuples");
+    test "order by with all-equal keys preserves binding order" (fun () ->
+        q "for $x in (3, 1, 2) order by 1 return $x" "3 1 2" "stable ties");
+    test "positional at over nested sequences flattens first" (fun () ->
+        q "for $x at $i in ((1, 2), 3) return $i" "1 2 3" "flattened");
+  ]
+
+let suites =
+  [
+    ("conformance.numeric", numeric_tests);
+    ("conformance.strings", string_tests);
+    ("conformance.sequences", sequence_tests);
+    ("conformance.aggregates", aggregate_tests);
+    ("conformance.comparisons", comparison_tests);
+    ("conformance.nodes", node_tests);
+    ("conformance.flwor", flwor_tests);
+  ]

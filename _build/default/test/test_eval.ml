@@ -1,0 +1,383 @@
+(* Tests for expression evaluation: literals, arithmetic, comparisons,
+   paths, predicates, constructors, builtins. *)
+
+open Helpers
+
+let data = "<r><a>1</a><a>2</a><b x=\"7\">3</b><c><d>4</d></c></r>"
+
+let q query expected name = check_query ~data query expected name
+
+(* --- scalars and arithmetic --------------------------------------------- *)
+
+let arith_tests =
+  [
+    test "integer arithmetic stays integer" (fun () ->
+        q "1 + 2 * 3" "7" "prec";
+        q "7 idiv 2" "3" "idiv";
+        q "-7 idiv 2" "-3" "idiv trunc";
+        q "7 mod 3" "1" "mod";
+        q "-1 - 2" "-3" "neg");
+    test "integer div yields decimal" (fun () ->
+        q "7 div 2" "3.5" "div";
+        q "6 div 2" "3" "exact");
+    test "decimal and double promotion" (fun () ->
+        q "1.5 + 1" "2.5" "dec+int";
+        q "1e1 + 1" "11" "dbl+int";
+        q "0.1 + 0.2 < 0.4" "true" "float-ish");
+    test "untyped operands cast to double" (fun () ->
+        q "//a[1] + 1" "2" "node+int";
+        q "//b + //a[1]" "4" "node+node");
+    test "division by zero" (fun () ->
+        expect_error Xq_xdm.Xerror.FOAR0001 ~data "1 div 0" "int div0";
+        q "1e0 div 0" "INF" "double div0");
+    test "empty operand propagates" (fun () ->
+        q "() + 1" "" "empty+1";
+        q "//nothing * 2" "" "missing*2");
+    test "unary minus" (fun () ->
+        q "-(3)" "-3" "neg int";
+        q "-(//a[1])" "-1" "neg node");
+    test "range expression" (fun () ->
+        q "1 to 4" "1 2 3 4" "range";
+        q "3 to 1" "" "empty range";
+        q "2 to 2" "2" "singleton");
+  ]
+
+(* --- comparisons ----------------------------------------------------------- *)
+
+let cmp_tests =
+  [
+    test "general comparison is existential" (fun () ->
+        q "//a = 2" "true" "some eq";
+        q "//a = 3" "false" "none eq";
+        q "(1, 2) != (1, 2)" "true" "ne pairs";
+        q "() = ()" "false" "empty");
+    test "general comparison casts untyped" (fun () ->
+        q "//b/@x = 7" "true" "attr num";
+        q "//b/@x = \"7\"" "true" "attr str");
+    test "value comparisons need singletons" (fun () ->
+        q "1 eq 1" "true" "eq";
+        q "2 lt 10" "true" "numeric lt";
+        q "\"2\" lt \"10\"" "false" "string lt";
+        q "() eq 1" "" "empty is empty";
+        expect_error Xq_xdm.Xerror.XPTY0004 ~data "//a eq 1" "multi");
+    test "value comparison type error" (fun () ->
+        expect_error Xq_xdm.Xerror.XPTY0004 ~data "1 eq \"1\"" "int vs str");
+    test "node comparisons" (fun () ->
+        q "//a[1] is //a[1]" "true" "is";
+        q "//a[1] is //a[2]" "false" "is not";
+        q "//a[1] << //a[2]" "true" "precedes";
+        q "//a[2] >> //a[1]" "true" "follows";
+        q "() is //a[1]" "" "empty");
+    test "and or with ebv" (fun () ->
+        q "1 and \"x\"" "true" "truthy";
+        q "0 or ()" "false" "falsy";
+        q "//a and //nothing" "false" "nodes");
+    test "if uses ebv" (fun () ->
+        q "if (//a) then \"y\" else \"n\"" "y" "nodes true";
+        q "if (0) then \"y\" else \"n\"" "n" "zero false");
+    test "quantified" (fun () ->
+        q "some $x in //a satisfies $x = 2" "true" "some";
+        q "every $x in //a satisfies $x < 3" "true" "every";
+        q "every $x in () satisfies 1 = 2" "true" "vacuous every";
+        q "some $x in () satisfies 1 = 1" "false" "vacuous some";
+        q "some $x in (1,2), $y in (2,3) satisfies $x = $y" "true" "pairs");
+  ]
+
+(* --- paths and predicates ---------------------------------------------------- *)
+
+let nested = {|<lib>
+  <shelf id="s1"><book><title>A</title><price>10</price></book>
+                 <book><title>B</title><price>20</price></book></shelf>
+  <shelf id="s2"><book><title>C</title><price>30</price></book></shelf>
+</lib>|}
+
+let path_tests =
+  [
+    test "child and descendant steps" (fun () ->
+        check_query ~data:nested "count(/lib/shelf)" "2" "child";
+        check_query ~data:nested "count(//book)" "3" "descendant";
+        check_query ~data:nested "count(//shelf/book/title)" "3" "chain");
+    test "wildcard and kind tests" (fun () ->
+        check_query ~data:nested "count(//shelf/*)" "3" "star";
+        check_query ~data:nested "count(//book/node())" "6" "node()";
+        check_query ~data:nested "string((//title/text())[1])" "A" "text()");
+    test "attributes" (fun () ->
+        check_query ~data:nested "string(//shelf[1]/@id)" "s1" "attr";
+        check_query ~data:nested "count(//@id)" "2" "all attrs";
+        check_query ~data:nested "//shelf[@id = \"s2\"]/book/title" "<title>C</title>" "attr pred");
+    test "parent and ancestor axes" (fun () ->
+        check_query ~data:nested "string(//title[. = \"C\"]/../../@id)" "s2" "parent";
+        check_query ~data:nested
+          "count(//title[. = \"A\"]/ancestor::*)" "3" "ancestors");
+    test "self and descendant-or-self" (fun () ->
+        check_query ~data:nested "count(//book/descendant-or-self::*)" "9" "dos";
+        check_query ~data:nested "name((//book)[1]/self::book)" "book" "self");
+    test "sibling axes" (fun () ->
+        check_query ~data:nested
+          "string(//title[. = \"A\"]/following-sibling::price)" "10" "following";
+        check_query ~data:nested
+          "string(//price[. = 20]/preceding-sibling::title)" "B" "preceding");
+    test "positional predicates" (fun () ->
+        check_query ~data:nested "string((//book)[1]/title)" "A" "first";
+        check_query ~data:nested "string((//book)[3]/title)" "C" "third";
+        check_query ~data:nested "string((//book)[last()]/title)" "C" "last()";
+        check_query ~data:nested "count((//book)[position() > 1])" "2" "position()");
+    test "step predicates count per context node (XPath semantics)" (fun () ->
+        (* //book[1] picks the first book of EACH shelf *)
+        check_query ~data:nested "count(//book[1])" "2" "per-shelf first";
+        check_query ~data:nested
+          "for $t in //book[1]/title return string($t)" "A C" "per-shelf titles";
+        check_query ~data:nested "count(//shelf/book[last()])" "2" "per-shelf last");
+    test "boolean predicates" (fun () ->
+        check_query ~data:nested "//book[price > 15]/title"
+          "<title>B</title><title>C</title>" "boolean pred";
+        check_query ~data:nested "count(//book[title])" "3" "exists pred");
+    test "doc order and dedupe of path results" (fun () ->
+        check_query ~data:nested
+          "count((//book | //book/title)/ancestor-or-self::book)" "3" "dedupe");
+    test "path mixing nodes and atomics is an error" (fun () ->
+        expect_error Xq_xdm.Xerror.XPTY0004 ~data:nested
+          "//book/(title, 1)" "mixed");
+    test "atomics allowed as final step" (fun () ->
+        check_query ~data:nested "sum(//book/(price * 2))" "120" "computed last step");
+    test "root expression" (fun () ->
+        check_query ~data:nested "count(/)" "1" "root";
+        check_query ~data:nested "name(/lib)" "lib" "root child");
+    test "filter on sequences" (fun () ->
+        q "(1 to 10)[. mod 3 = 0]" "3 6 9" "filter";
+        q "(5, 6, 7)[2]" "6" "positional filter");
+  ]
+
+(* --- constructors ------------------------------------------------------------ *)
+
+let ctor_tests =
+  [
+    test "direct element with text" (fun () ->
+        q "<a>hi</a>" "<a>hi</a>" "text");
+    test "enclosed expressions: atomics joined with spaces" (fun () ->
+        q "<a>{1, 2, 3}</a>" "<a>1 2 3</a>" "atomics";
+        q "<a>{1}{2}</a>" "<a>12</a>" "separate exprs abut");
+    test "enclosed node content is copied" (fun () ->
+        q "<w>{//b}</w>" "<w><b x=\"7\">3</b></w>" "copy";
+        q "<w>{//b}</w>/b is //b" "false" "fresh identity");
+    test "attributes with embedded expressions" (fun () ->
+        q "<a k=\"v{1 + 1}w\"/>" "<a k=\"v2w\"/>" "attr expr";
+        q "<a k=\"{(1, 2)}\"/>" "<a k=\"1 2\"/>" "attr seq");
+    test "nested direct elements" (fun () ->
+        q "<a><b>{1}</b><c/></a>" "<a><b>1</b><c/></a>" "nested");
+    test "computed element and attribute" (fun () ->
+        q "element {concat(\"a\", \"b\")} {1 + 1}" "<ab>2</ab>" "comp elem";
+        q "<x>{attribute k {7}}</x>" "<x k=\"7\"/>" "comp attr in content";
+        q "element foo {attribute bar {1}, \"body\"}" "<foo bar=\"1\">body</foo>"
+          "named comp");
+    test "computed text node" (fun () ->
+        q "<a>{text {\"t\"}}</a>" "<a>t</a>" "text ctor");
+    test "document content unwrapped" (fun () ->
+        q "<w>{/}</w>" "<w><r><a>1</a><a>2</a><b x=\"7\">3</b><c><d>4</d></c></r></w>"
+          "doc copy");
+    test "constructed element string value" (fun () ->
+        q "string(<a>x<b>y</b>z</a>)" "xyz" "string value");
+    test "escaped braces" (fun () ->
+        q "<a>{{x}}</a>" "<a>{x}</a>" "braces");
+  ]
+
+(* --- builtin functions --------------------------------------------------------- *)
+
+let builtin_tests =
+  [
+    test "count sum avg min max" (fun () ->
+        q "count(//a)" "2" "count";
+        q "sum((1, 2, 3))" "6" "sum";
+        q "sum(())" "0" "sum empty";
+        q "avg((1, 2, 3, 4))" "2.5" "avg";
+        q "avg(())" "" "avg empty";
+        q "min((3, 1, 2))" "1" "min";
+        q "max((3, 1, 2))" "3" "max";
+        q "min(())" "" "min empty");
+    test "aggregates over node values" (fun () ->
+        q "sum(//a)" "3" "sum nodes";
+        q "avg(//a)" "1.5" "avg nodes";
+        q "max(//a)" "2" "max untyped → double");
+    test "min/max on strings" (fun () ->
+        q "min((\"b\", \"a\"))" "a" "min str";
+        q "max((\"b\", \"a\"))" "b" "max str");
+    test "distinct-values" (fun () ->
+        q "distinct-values((1, 2, 1, 3, 2))" "1 2 3" "ints";
+        q "distinct-values((\"a\", \"b\", \"a\"))" "a b" "strings";
+        q "distinct-values((1, 1.0, \"1\"))" "1 1" "numeric eq, string differs";
+        q "count(distinct-values(//a))" "2" "nodes");
+    test "deep-equal builtin" (fun () ->
+        q "deep-equal((1, 2), (1, 2))" "true" "seq";
+        q "deep-equal((1, 2), (2, 1))" "false" "permuted";
+        q "deep-equal(<a x=\"1\">t</a>, <a x=\"1\">t</a>)" "true" "nodes";
+        q "deep-equal((), ())" "true" "empty");
+    test "empty exists not boolean" (fun () ->
+        q "empty(())" "true" "empty";
+        q "empty(//a)" "false" "nonempty";
+        q "exists(//nothing)" "false" "exists";
+        q "not(0)" "true" "not";
+        q "boolean(\"x\")" "true" "ebv");
+    test "string functions" (fun () ->
+        q "string-length(\"hello\")" "5" "len";
+        q "concat(\"a\", \"b\", \"c\")" "abc" "concat";
+        q "concat(\"a\", (), \"c\")" "ac" "concat empty";
+        q "contains(\"hello\", \"ell\")" "true" "contains";
+        q "contains(\"hello\", \"\")" "true" "contains empty";
+        q "starts-with(\"hello\", \"he\")" "true" "starts";
+        q "ends-with(\"hello\", \"lo\")" "true" "ends";
+        q "substring(\"hello\", 2)" "ello" "substring 2";
+        q "substring(\"hello\", 2, 3)" "ell" "substring 2 3";
+        q "substring(\"hello\", 0)" "hello" "substring clamps";
+        q "substring-before(\"a/b\", \"/\")" "a" "before";
+        q "substring-after(\"a/b\", \"/\")" "b" "after";
+        q "string-join((\"a\", \"b\"), \"-\")" "a-b" "join";
+        q "upper-case(\"aB\")" "AB" "upper";
+        q "lower-case(\"aB\")" "ab" "lower";
+        q "normalize-space(\"  a   b \")" "a b" "normalize";
+        q "translate(\"abc\", \"abc\", \"xyz\")" "xyz" "translate";
+        q "translate(\"abc\", \"b\", \"\")" "ac" "translate delete";
+        q "tokenize(\"a/b/c\", \"/\")" "a b c" "tokenize");
+    test "string() of things" (fun () ->
+        q "string(42)" "42" "int";
+        q "string(//b)" "3" "node";
+        q "string(())" "" "empty");
+    test "number functions" (fun () ->
+        q "number(\"3.5\")" "3.5" "number";
+        q "string(number(\"abc\"))" "NaN" "NaN";
+        q "abs(-3)" "3" "abs";
+        q "ceiling(1.2)" "2" "ceiling";
+        q "floor(1.8)" "1" "floor";
+        q "round(2.5)" "3" "round half up";
+        q "round(-2.5)" "-2" "round negative half";
+        q "abs(())" "" "empty");
+    test "sequence functions" (fun () ->
+        q "reverse((1, 2, 3))" "3 2 1" "reverse";
+        q "subsequence((1, 2, 3, 4), 2)" "2 3 4" "subseq 2";
+        q "subsequence((1, 2, 3, 4), 2, 2)" "2 3" "subseq 2 2";
+        q "insert-before((1, 3), 2, 2)" "1 2 3" "insert";
+        q "remove((1, 2, 3), 2)" "1 3" "remove";
+        q "index-of((10, 20, 10), 10)" "1 3" "index-of";
+        q "exactly-one(5)" "5" "exactly-one";
+        q "zero-or-one(())" "" "zero-or-one");
+    test "node functions" (fun () ->
+        q "local-name(//b)" "b" "local-name";
+        q "name(//b)" "b" "name";
+        q "string(node-name(//b))" "b" "node-name";
+        q "count(root(//d))" "1" "root";
+        q "data(//a)" "1 2" "data");
+    test "date and time accessors" (fun () ->
+        q "year-from-dateTime(xs:dateTime(\"2004-01-31T11:32:07\"))" "2004" "year";
+        q "month-from-dateTime(xs:dateTime(\"2004-01-31T11:32:07\"))" "1" "month";
+        q "day-from-dateTime(xs:dateTime(\"2004-01-31T11:32:07\"))" "31" "day";
+        q "hours-from-dateTime(xs:dateTime(\"2004-01-31T11:32:07\"))" "11" "hours";
+        q "minutes-from-dateTime(xs:dateTime(\"2004-01-31T11:32:07\"))" "32" "minutes";
+        q "seconds-from-dateTime(xs:dateTime(\"2004-01-31T11:32:07\"))" "7" "seconds";
+        q "year-from-date(xs:date(\"1993-06-01\"))" "1993" "date year";
+        q "year-from-dateTime(\"2004-01-31T11:32:07\")" "2004" "untyped cast");
+    test "xs constructors" (fun () ->
+        q "xs:integer(\"42\") + 1" "43" "integer";
+        q "xs:double(\"1.5\") * 2" "3" "double";
+        q "xs:decimal(\"1.25\")" "1.25" "decimal";
+        q "xs:date(\"2004-02-29\") lt xs:date(\"2004-03-01\")" "true" "date cmp";
+        q "xs:dateTime(\"2004-06-01T10:00:00Z\") eq xs:dateTime(\"2004-06-01T05:00:00-05:00\")"
+          "true" "tz normalize");
+    test "user function calls and recursion" (fun () ->
+        q "declare function local:fact($n as xs:integer) as xs:integer { if \
+           ($n le 1) then 1 else $n * local:fact($n - 1) }; local:fact(6)"
+          "720" "factorial");
+    test "user functions shadow nothing and see globals" (fun () ->
+        q "declare variable $g := 10; declare function local:f($x) { $x + $g \
+           }; local:f(5)"
+          "15" "globals visible");
+    test "functions do not see caller locals" (fun () ->
+        (* $y is not bound inside the function — static error *)
+        expect_error Xq_xdm.Xerror.XPST0008 ~data
+          "declare function local:f($x) { $x + $y }; for $y in (1) return local:f($y)"
+          "no dynamic scope");
+  ]
+
+(* --- sequence types and set operators ------------------------------------ *)
+
+let type_tests =
+  [
+    test "instance of atomic types" (fun () ->
+        q "5 instance of xs:integer" "true" "int";
+        q "5 instance of xs:decimal" "true" "int ⊆ decimal";
+        q "5.0 instance of xs:integer" "false" "decimal not integer";
+        q "5e0 instance of xs:double" "true" "double";
+        q "\"x\" instance of xs:string" "true" "string";
+        q "//a[1]/text() instance of text()" "true" "text node";
+        q "5 instance of xs:anyAtomicType" "true" "anyAtomic");
+    test "instance of occurrence indicators" (fun () ->
+        q "() instance of xs:integer?" "true" "empty optional";
+        q "() instance of xs:integer" "false" "empty not one";
+        q "(1, 2) instance of xs:integer+" "true" "plus";
+        q "(1, 2) instance of xs:integer" "false" "two not one";
+        q "() instance of empty-sequence()" "true" "empty-sequence";
+        q "1 instance of empty-sequence()" "false" "nonempty");
+    test "instance of node kinds" (fun () ->
+        q "//b instance of element()" "true" "element";
+        q "//b instance of element(b)" "true" "named element";
+        q "//b instance of element(c)" "false" "wrong name";
+        q "//b/@x instance of attribute()" "true" "attribute";
+        q "(/) instance of document-node()" "true" "document";
+        q "//b instance of item()+" "true" "item");
+    test "cast as" (fun () ->
+        q "\"42\" cast as xs:integer" "42" "str→int";
+        q "5 cast as xs:string" "5" "int→str";
+        q "\"2004-01-31\" cast as xs:date" "2004-01-31" "str→date";
+        q "() cast as xs:integer?" "" "empty optional";
+        q "1.9 cast as xs:integer" "1" "dec→int truncates");
+    test "cast as failure" (fun () ->
+        expect_error Xq_xdm.Xerror.FORG0001 ~data "\"x\" cast as xs:integer" "bad int");
+    test "castable as" (fun () ->
+        q "\"42\" castable as xs:integer" "true" "yes";
+        q "\"4x\" castable as xs:integer" "false" "no";
+        q "\"2004-02-30\" castable as xs:date" "false" "bad date");
+    test "treat as" (fun () ->
+        q "(5 treat as xs:integer) + 1" "6" "pass-through";
+        expect_error Xq_xdm.Xerror.XPTY0004 ~data
+          "(//a treat as xs:integer) + 1" "mismatch");
+    test "intersect and except" (fun () ->
+        q "count(//a intersect //a)" "2" "self intersect";
+        q "count((//a | //b) intersect //a)" "2" "narrowing";
+        q "count(//a except //a[1])" "1" "except";
+        q "count((//a | //b) except //b)" "2" "except b";
+        q "count(//a intersect //b)" "0" "disjoint");
+  ]
+
+(* --- newer string/diagnostic builtins -------------------------------------- *)
+
+let extra_builtin_tests =
+  [
+    test "compare" (fun () ->
+        q "compare(\"a\", \"b\")" "-1" "lt";
+        q "compare(\"b\", \"a\")" "1" "gt";
+        q "compare(\"a\", \"a\")" "0" "eq";
+        q "compare((), \"a\")" "" "empty");
+    test "matches and replace (literal semantics)" (fun () ->
+        q "matches(\"banana\", \"nan\")" "true" "match";
+        q "matches(\"banana\", \"xyz\")" "false" "no match";
+        q "replace(\"banana\", \"an\", \"o\")" "booa" "replace";
+        q "replace(\"aaa\", \"aa\", \"b\")" "ba" "greedy left");
+    test "codepoints" (fun () ->
+        q "string-to-codepoints(\"AB\")" "65 66" "to";
+        q "codepoints-to-string((72, 105))" "Hi" "from";
+        q "codepoints-to-string(string-to-codepoints(\"round\"))" "round" "roundtrip");
+    test "sum with zero value" (fun () ->
+        q "sum((), 0.0)" "0" "custom zero";
+        q "sum((1, 2), 99)" "3" "ignored when nonempty");
+    test "trace is identity" (fun () ->
+        q "trace((1, 2), \"label\")" "1 2" "identity");
+  ]
+
+let suites =
+  [
+    ("eval.arith", arith_tests);
+    ("eval.compare", cmp_tests);
+    ("eval.paths", path_tests);
+    ("eval.constructors", ctor_tests);
+    ("eval.builtins", builtin_tests);
+    ("eval.types", type_tests);
+    ("eval.extra-builtins", extra_builtin_tests);
+  ]

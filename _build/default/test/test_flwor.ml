@@ -1,0 +1,204 @@
+(* FLWOR semantics: iteration, binding order, order by, and the paper's
+   extensions — group by / nest / using / nest-order-by / post-group
+   clauses / return at. *)
+
+open Helpers
+
+let data = "<r><v>3</v><v>1</v><v>2</v><v>1</v></r>"
+
+let q query expected name = check_query ~data query expected name
+
+let basic_tests =
+  [
+    test "for iterates in binding order" (fun () ->
+        q "for $x in //v return string($x)" "3 1 2 1" "order");
+    test "nested for is a cross product" (fun () ->
+        q "for $x in (1, 2) for $y in (10, 20) return $x + $y"
+          "11 21 12 22" "cross");
+    test "multiple bindings in one for" (fun () ->
+        q "for $x in (1, 2), $y in ($x, 10) return $y" "1 10 2 10" "dependent");
+    test "let binds whole sequence" (fun () ->
+        q "let $s := //v return count($s)" "4" "let");
+    test "where filters tuples" (fun () ->
+        q "for $x in //v where $x > 1 return string($x)" "3 2" "where");
+    test "for over empty source yields nothing" (fun () ->
+        q "for $x in () return 1" "" "empty");
+    test "positional at reflects input order" (fun () ->
+        q "for $x at $i in //v return $i" "1 2 3 4" "positions";
+        q "for $x at $i in //v where $x = 2 return $i" "3" "pos of match");
+    test "order by ascending and descending" (fun () ->
+        q "for $x in //v order by $x return string($x)" "1 1 2 3" "asc";
+        q "for $x in //v order by $x descending return string($x)" "3 2 1 1" "desc");
+    test "order by is stable" (fun () ->
+        (* equal keys keep binding order: first 1 before second 1 *)
+        q "for $x at $i in //v order by $x return $i" "2 4 3 1" "stable ties");
+    test "order by multiple keys" (fun () ->
+        q "for $x in (1, 2), $y in (2, 1) order by $x descending, $y return \
+           concat($x, \"-\", $y)"
+          "2-1 2-2 1-1 1-2" "multi");
+    test "order by untyped compares as string" (fun () ->
+        check_query ~data:"<r><v>10</v><v>9</v></r>"
+          "for $x in //v order by $x return string($x)"
+          "10 9" "string order");
+    test "order by numeric after cast" (fun () ->
+        check_query ~data:"<r><v>10</v><v>9</v></r>"
+          "for $x in //v order by number($x) return string($x)"
+          "9 10" "numeric order");
+    test "order by empty least by default" (fun () ->
+        check_query ~data:"<r><b><p>2</p></b><b/><b><p>1</p></b></r>"
+          "for $b in //b order by $b/p return count($b/p)"
+          "0 1 1" "empty first");
+    test "order by empty greatest" (fun () ->
+        check_query ~data:"<r><b><p>2</p></b><b/><b><p>1</p></b></r>"
+          "for $b in //b order by $b/p empty greatest return count($b/p)"
+          "1 1 0" "empty last");
+    test "positional in for reflects input not output (Q9a)" (fun () ->
+        q "for $x at $i in //v order by $x return $i" "2 4 3 1" "input numbering");
+    test "return at numbers output order (Q9b)" (fun () ->
+        q "for $x in //v order by $x return at $r $r" "1 2 3 4" "output numbering";
+        q "for $x in //v order by $x descending return at $r concat($r, \":\", string($x))"
+          "1:3 2:2 3:1 4:1" "rank pairs");
+    test "return at with where numbering after filter" (fun () ->
+        q "for $x in //v where $x >= 2 order by $x return at $r $r" "1 2" "filtered");
+  ]
+
+(* --- group by ------------------------------------------------------------- *)
+
+let books =
+  {|<bib>
+  <book><publisher>MK</publisher><year>1993</year><price>65.00</price></book>
+  <book><publisher>MK</publisher><year>1993</year><price>43.00</price></book>
+  <book><publisher>MK</publisher><year>1995</year><price>34.00</price></book>
+  <book><publisher>AW</publisher><year>1993</year><price>48.00</price></book>
+  <book><year>1993</year><price>10.00</price></book>
+</bib>|}
+
+let group_tests =
+  [
+    test "single-key grouping partitions input" (fun () ->
+        check_query ~data:books
+          "for $b in //book group by $b/publisher into $p nest $b into $bs \
+           order by count($bs) descending return count($bs)"
+          "3 1 1" "partition sizes");
+    test "empty sequence is a distinct grouping value (3.1)" (fun () ->
+        check_query ~data:books
+          "for $b in //book group by $b/publisher into $p nest $b into $bs \
+           where empty($p) return count($bs)"
+          "1" "empty group present");
+    test "two-key grouping (Q1 shape)" (fun () ->
+        check_query ~data:books
+          "for $b in //book group by $b/publisher into $p, $b/year into $y \
+           nest $b/price into $prices order by string($p), $y \
+           return <g>{string($p), string($y), avg($prices)}</g>"
+          "<g> 1993 10</g><g>AW 1993 48</g><g>MK 1993 54</g><g>MK 1995 34</g>"
+          "pub-year groups");
+    test "grouping variable bound to representative value" (fun () ->
+        check_query ~data:books
+          "for $b in //book group by $b/publisher into $p where string($p) = \
+           \"MK\" return name($p)"
+          "publisher" "rep is a node");
+    test "nest concatenates in input order" (fun () ->
+        check_query ~data:books
+          "for $b in //book group by $b/publisher into $p nest $b/price into \
+           $prices where string($p) = \"MK\" return string-join(for $x in \
+           $prices return string($x), \",\")"
+          "65.00,43.00,34.00" "input order");
+    test "multiple nest variables may differ in cardinality" (fun () ->
+        check_query ~data:"<r><i><a>1</a></i><i><a>2</a><a>3</a></i></r>"
+          "for $i in //i group by 1 into $k nest $i into $is, $i/a into $as \
+           return concat(count($is), \"-\", count($as))"
+          "2-3" "cardinalities");
+    test "empty nesting expressions vanish (Q6 discussion)" (fun () ->
+        check_query ~data:books
+          "for $b in //book group by $b/year into $y nest $b/publisher into \
+           $pubs, $b into $bs order by $y return concat(count($pubs), \"/\", count($bs))"
+          "3/4 1/1" "missing publisher dropped from nest");
+    test "group by without nest acts as distinct (Q5)" (fun () ->
+        check_query ~data:books
+          "for $b in //book group by $b/year into $y order by $y return string($y)"
+          "1993 1995" "distinct years");
+    test "groups of sequences: permutations distinct (Q2a)" (fun () ->
+        check_query ~data:{|<r>
+            <b><a>X</a><a>Y</a><p>1</p></b>
+            <b><a>Y</a><a>X</a><p>2</p></b>
+            <b><a>X</a><a>Y</a><p>3</p></b></r>|}
+          "for $b in //b group by $b/a into $as nest $b/p into $ps order by \
+           count($ps) descending return count($ps)"
+          "2 1" "XY vs YX distinct");
+    test "using set-equal merges permutations (3.3)" (fun () ->
+        check_query ~data:{|<r>
+            <b><a>X</a><a>Y</a><p>1</p></b>
+            <b><a>Y</a><a>X</a><p>2</p></b>
+            <b><a>Z</a><p>3</p></b></r>|}
+          "declare function local:set-equal($s as item()*, $t as item()*) as \
+           xs:boolean { (every $i in $s satisfies some $j in $t satisfies $i \
+           eq $j) and (every $j in $t satisfies some $i in $s satisfies $i eq \
+           $j) }; for $b in //b group by $b/a into $as using local:set-equal \
+           nest $b/p into $ps order by count($ps) descending return count($ps)"
+          "2 1" "set semantics");
+    test "using builtin deep-equal behaves like default" (fun () ->
+        check_query ~data:books
+          "for $b in //book group by $b/year into $y using deep-equal \
+           order by $y return string($y)"
+          "1993 1995" "builtin using");
+    test "post-group let and where (Q4 shape)" (fun () ->
+        check_query ~data:books
+          "for $b in //book group by $b/publisher into $p nest $b/price into \
+           $prices let $avg := avg($prices) where $avg > 40 order by $avg \
+           descending return <g>{string($p), $avg}</g>"
+          "<g>AW 48</g><g>MK 47.3333333333</g>" "post clauses");
+    test "nest with order by (3.4.1)" (fun () ->
+        check_query ~data:books
+          "for $b in //book group by $b/publisher into $p nest $b/price \
+           order by number($b/price) into $prices where string($p) = \"MK\" \
+           return string-join(for $x in $prices return string($x), \",\")"
+          "34.00,43.00,65.00" "ordered nest");
+    test "nest order by descending" (fun () ->
+        check_query ~data:books
+          "for $b in //book group by $b/publisher into $p nest $b/price \
+           order by number($b/price) descending into $prices where string($p) \
+           = \"MK\" return string((\"\", $prices)[2])"
+          "65.00" "desc nest");
+    test "rebinding input variable name (Q7 hierarchy inversion)" (fun () ->
+        check_query ~data:books
+          "for $b in //book group by $b/publisher into $p nest $b into $b \
+           order by string($p) descending return <pub>{string($p), count($b)}</pub>"
+          "<pub>MK 3</pub><pub>AW 1</pub><pub> 1</pub>" "rebound");
+    test "grouped flwor ignores binding order without order by (3.4.2)" (fun () ->
+        (* we keep first-occurrence order — just assert the group set *)
+        check_query ~data:books
+          "count(for $b in //book group by $b/year into $y return $y)"
+          "2" "group count");
+    test "group keys compared after atomization of nodes? no — nodes \
+          deep-equal structurally" (fun () ->
+        (* publisher elements with same text are deep-equal as nodes *)
+        check_query ~data:"<r><b><p>X</p></b><b><p>X</p></b></r>"
+          "count(for $b in //b group by $b/p into $p return $p)"
+          "1" "structural equality");
+    test "group by on computed keys" (fun () ->
+        check_query ~data:books
+          "for $b in //book group by number($b/price) > 40 into $big nest $b \
+           into $bs order by string($big) return concat(string($big), \":\", \
+           count($bs))"
+          "false:2 true:3" "boolean key");
+    test "return at combines with grouping (Q10 shape)" (fun () ->
+        check_query ~data:books
+          "for $b in //book group by $b/publisher into $p nest $b/price into \
+           $prices let $sum := sum($prices) order by $sum descending return \
+           at $rank concat($rank, \":\", string($p))"
+          "1:MK 2:AW 3:" "ranked groups");
+    test "nested FLWOR with second grouping (3.5)" (fun () ->
+        check_query ~data:books
+          "for $b in //book group by $b/year into $y nest $b into $bs order \
+           by $y return <yr>{string($y)}{for $c in $bs group by $c/publisher \
+           into $p order by string($p) return <p>{string($p)}</p>}</yr>"
+          "<yr>1993<p/><p>AW</p><p>MK</p></yr><yr>1995<p>MK</p></yr>"
+          "nested group");
+    test "group by respects outer variables" (fun () ->
+        q "let $k := 1 return for $x in //v group by $x mod 2 into $m nest $x \
+           into $xs order by $m return concat($m + $k, \":\", count($xs))"
+          "1:1 2:3" "outer var");
+  ]
+
+let suites =
+  [ ("flwor.basics", basic_tests); ("flwor.group-by", group_tests) ]

@@ -1,0 +1,84 @@
+(* Golden corpus: every test/golden/NN-name.xq runs against the fixture
+   named in its first-line "(: fixture: … :)" comment and must serialize
+   exactly to the paired NN-name.expected file. The .xq files are plain
+   queries — they also run through the CLI. *)
+
+open Helpers
+
+let fixture_of_name = function
+  | "bib" -> bib
+  | "sales" -> sales
+  | "bib-categories" ->
+    {|<bib>
+  <book><title>TP</title><price>59.00</price>
+    <categories><software><db><concurrency/></db><distributed/></software></categories>
+  </book>
+  <book><title>Readings</title><price>65.00</price>
+    <categories><software><db/></software><anthology/></categories>
+  </book>
+</bib>|}
+  | "orders" ->
+    {|<orders>
+  <order><lineitem><a>A1</a><b>B1</b></lineitem>
+         <lineitem><a>A1</a><b>B2</b></lineitem></order>
+  <order><lineitem><a>A2</a><b>B1</b></lineitem>
+         <lineitem><a>A1</a><b>B1</b></lineitem>
+         <lineitem><a>A2</a></lineitem></order>
+</orders>|}
+  | other -> Alcotest.failf "unknown fixture %S" other
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let fixture_header source =
+  (* first line: "(: fixture: NAME :)" *)
+  let line =
+    match String.index_opt source '\n' with
+    | Some i -> String.sub source 0 i
+    | None -> source
+  in
+  match String.split_on_char ':' line with
+  | [ _; _; name; _ ] -> String.trim name
+  | _ -> Alcotest.failf "missing fixture header in %S" line
+
+let golden_dir = Filename.concat (Filename.dirname Sys.executable_name) "golden"
+
+(* When running via dune, the executable sits next to the copied golden
+   tree; fall back to the source path for direct runs. *)
+let dir =
+  if Sys.file_exists golden_dir && Sys.is_directory golden_dir then golden_dir
+  else "golden"
+
+let cases =
+  if Sys.file_exists dir && Sys.is_directory dir then
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".xq")
+    |> List.sort compare
+  else []
+
+let golden_tests =
+  if cases = [] then
+    [ test "golden corpus present" (fun () ->
+          Alcotest.failf "no golden queries found under %s (cwd %s)" dir
+            (Sys.getcwd ())) ]
+  else
+    List.map
+      (fun file ->
+        test file (fun () ->
+            let source = read_file (Filename.concat dir file) in
+            let expected =
+              String.trim
+                (read_file
+                   (Filename.concat dir
+                      (Filename.chop_suffix file ".xq" ^ ".expected")))
+            in
+            let data = fixture_of_name (fixture_header source) in
+            let actual = String.trim (run_xml ~data source) in
+            Alcotest.(check string) file expected actual))
+      cases
+
+let suites = [ ("golden", golden_tests) ]

@@ -1,0 +1,396 @@
+(* Tests for the language front end: lexer, parser, pretty-printer,
+   static checker. *)
+
+open Xq_xdm
+open Xq_lang
+open Helpers
+
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- lexer -------------------------------------------------------------- *)
+
+let tokens_of src =
+  let lx = Lexer.create src in
+  let rec go acc =
+    match Lexer.next lx with
+    | Lexer.T_eof -> List.rev acc
+    | t -> go (t :: acc)
+  in
+  go []
+
+let lexer_tests =
+  [
+    test "numbers: integer, decimal, double" (fun () ->
+        match tokens_of "42 4.2 .5 4. 1e3 1.5E-2" with
+        | [ T_int 42; T_dec a; T_dec b; T_dec c; T_dbl d; T_dbl e ] ->
+          check_bool "4.2" true (a = 4.2);
+          check_bool ".5" true (b = 0.5);
+          check_bool "4." true (c = 4.0);
+          check_bool "1e3" true (d = 1000.0);
+          check_bool "1.5E-2" true (e = 0.015)
+        | _ -> Alcotest.fail "wrong tokens");
+    test "strings with escapes and entities" (fun () ->
+        match tokens_of {|"a""b" 'c''d' "x&amp;y"|} with
+        | [ T_string a; T_string b; T_string c ] ->
+          check_string "doubled dq" "a\"b" a;
+          check_string "doubled sq" "c'd" b;
+          check_string "entity" "x&y" c
+        | _ -> Alcotest.fail "wrong tokens");
+    test "names with dashes and dots" (fun () ->
+        match tokens_of "year-from-dateTime distinct-values a.b" with
+        | [ T_name a; T_name b; T_name c ] ->
+          check_string "fn1" "year-from-dateTime" a;
+          check_string "fn2" "distinct-values" b;
+          check_string "dotted" "a.b" c
+        | _ -> Alcotest.fail "wrong tokens");
+    test "qnames vs axis separators" (fun () ->
+        match tokens_of "local:f child::x p:*" with
+        | [ T_name f; T_name ax; T_axis_sep; T_name x; T_prefix_star p ] ->
+          check_string "qname" "local:f" f;
+          check_string "axis" "child" ax;
+          check_string "test" "x" x;
+          check_string "wildcard prefix" "p" p
+        | _ -> Alcotest.fail "wrong tokens");
+    test "operators" (fun () ->
+        match tokens_of ":= // .. << >= != |" with
+        | [ T_assign; T_dslash; T_ddot; T_ll; T_ge; T_ne; T_bar ] -> ()
+        | _ -> Alcotest.fail "wrong tokens");
+    test "variables" (fun () ->
+        match tokens_of "$x $region-sales" with
+        | [ T_var a; T_var b ] ->
+          check_string "x" "x" a;
+          check_string "dashed" "region-sales" b
+        | _ -> Alcotest.fail "wrong tokens");
+    test "nested comments skipped" (fun () ->
+        match tokens_of "1 (: outer (: inner :) still :) 2" with
+        | [ T_int 1; T_int 2 ] -> ()
+        | _ -> Alcotest.fail "wrong tokens");
+    test "syntax error carries position" (fun () ->
+        match tokens_of "\n  #" with
+        | _ -> Alcotest.fail "expected XPST0003"
+        | exception Xerror.Error (Xerror.XPST0003, msg) ->
+          check_bool "line 2" true
+            (String.length msg >= 6 && String.sub msg 0 6 = "line 2"));
+  ]
+
+(* --- parser -------------------------------------------------------------- *)
+
+let parse_expr = Parser.parse_expr
+
+let parser_tests =
+  [
+    test "operator precedence: or < and < cmp < add < mul" (fun () ->
+        match parse_expr "1 + 2 * 3 = 7 and 1 < 2 or 0" with
+        | Ast.Or (Ast.And (Ast.General_cmp (Ast.Gen_eq, Ast.Arith (Ast.Add, _, Ast.Arith (Ast.Mul, _, _)), _), _), _) ->
+          ()
+        | _ -> Alcotest.fail "wrong tree");
+    test "value vs general comparison" (fun () ->
+        (match parse_expr "$a eq $b" with
+         | Ast.Value_cmp (Ast.Val_eq, _, _) -> ()
+         | _ -> Alcotest.fail "eq");
+        match parse_expr "$a = $b" with
+        | Ast.General_cmp (Ast.Gen_eq, _, _) -> ()
+        | _ -> Alcotest.fail "=");
+    test "keyword names usable as element steps" (fun () ->
+        (* "order", "group", "div" are not reserved *)
+        match parse_expr "//order/group" with
+        | Ast.Slash (Ast.Slash (Ast.Slash (Ast.Root, _), Ast.Step (Ast.Child, Ast.Name_test o, _)), Ast.Step (Ast.Child, Ast.Name_test g, _)) ->
+          check_string "order" "order" o.Xname.local;
+          check_string "group" "group" g.Xname.local
+        | _ -> Alcotest.fail "wrong tree");
+    test "div as step then operator" (fun () ->
+        match parse_expr "//div div 2" with
+        | Ast.Arith (Ast.Div, _, Ast.Literal (Atomic.Int 2)) -> ()
+        | _ -> Alcotest.fail "wrong tree");
+    test "range and union" (fun () ->
+        (match parse_expr "1 to 5" with
+         | Ast.Range _ -> ()
+         | _ -> Alcotest.fail "range");
+        match parse_expr "$a | $b union $c" with
+        | Ast.Union (Ast.Union _, _) -> ()
+        | _ -> Alcotest.fail "union");
+    test "predicates attach to steps and filters" (fun () ->
+        (match parse_expr "//book[price > 50][2]" with
+         | Ast.Slash (_, Ast.Step (Ast.Child, _, [ _; _ ])) -> ()
+         | _ -> Alcotest.fail "step preds");
+        match parse_expr "(1, 2, 3)[. mod 2 = 1]" with
+        | Ast.Filter (Ast.Sequence _, [ _ ]) -> ()
+        | _ -> Alcotest.fail "filter preds");
+    test "attribute and parent steps" (fun () ->
+        (match parse_expr "@id" with
+         | Ast.Step (Ast.Attribute_axis, Ast.Name_test _, []) -> ()
+         | _ -> Alcotest.fail "@");
+        match parse_expr "../x" with
+        | Ast.Slash (Ast.Step (Ast.Parent, Ast.Kind_node, []), _) -> ()
+        | _ -> Alcotest.fail "..");
+    test "explicit axes" (fun () ->
+        match parse_expr "ancestor-or-self::node()" with
+        | Ast.Step (Ast.Ancestor_or_self, Ast.Kind_node, []) -> ()
+        | _ -> Alcotest.fail "axis step");
+    test "kind tests" (fun () ->
+        (match parse_expr "//text()" with
+         | Ast.Slash (_, Ast.Step (Ast.Child, Ast.Kind_text, [])) -> ()
+         | _ -> Alcotest.fail "text()");
+        match parse_expr "self::element(book)" with
+        | Ast.Step (Ast.Self, Ast.Kind_element (Some _), []) -> ()
+        | _ -> Alcotest.fail "element(book)");
+    test "flwor with all paper clauses" (fun () ->
+        let q =
+          parse_expr
+            "for $b in //book group by $b/publisher into $p using local:eq \
+             nest $b/price order by $b/price descending into $prices \
+             let $n := count($prices) where $n > 1 order by $p return <r/>"
+        in
+        match q with
+        | Ast.Flwor f ->
+          check_int "clauses" 5 (List.length f.Ast.clauses);
+          check_bool "grouped" true (Ast.is_grouped f)
+        | _ -> Alcotest.fail "expected flwor");
+    test "return at positional variable" (fun () ->
+        match parse_expr "for $x in (1,2) return at $i $i" with
+        | Ast.Flwor { return_at = Some "i"; _ } -> ()
+        | _ -> Alcotest.fail "return at");
+    test "for with positional at" (fun () ->
+        match parse_expr "for $x at $i in (1,2) return $i" with
+        | Ast.Flwor { clauses = [ Ast.For [ { positional = Some "i"; _ } ] ]; _ } -> ()
+        | _ -> Alcotest.fail "for at");
+    test "quantified expressions" (fun () ->
+        match parse_expr "some $x in (1,2), $y in (3,4) satisfies $x < $y" with
+        | Ast.Quantified (Ast.Some_quant, [ _; _ ], _) -> ()
+        | _ -> Alcotest.fail "quantified");
+    test "if then else" (fun () ->
+        match parse_expr "if (1) then 2 else 3" with
+        | Ast.If _ -> ()
+        | _ -> Alcotest.fail "if");
+    test "direct constructor with nested content" (fun () ->
+        match parse_expr {|<a x="u{1}v"><b/>{2} t</a>|} with
+        | Ast.Direct_elem d ->
+          check_int "attrs" 1 (List.length d.Ast.attrs);
+          check_int "content" 3 (List.length d.Ast.content)
+        | _ -> Alcotest.fail "direct");
+    test "boundary whitespace dropped, interior kept" (fun () ->
+        match parse_expr "<a> <b/> x </a>" with
+        | Ast.Direct_elem d -> begin
+          match d.Ast.content with
+          | [ Ast.Content_elem _; Ast.Content_text " x " ] -> ()
+          | _ -> Alcotest.fail "content shape"
+        end
+        | _ -> Alcotest.fail "direct");
+    test "escaped braces in constructors" (fun () ->
+        match parse_expr "<a>{{literal}}</a>" with
+        | Ast.Direct_elem { content = [ Ast.Content_text "{literal}" ]; _ } -> ()
+        | _ -> Alcotest.fail "braces");
+    test "computed constructors" (fun () ->
+        (match parse_expr "element {\"x\"} {1}" with
+         | Ast.Comp_elem _ -> ()
+         | _ -> Alcotest.fail "element{}");
+        (match parse_expr "element foo {1}" with
+         | Ast.Comp_elem (Ast.Literal (Atomic.Str "foo"), _) -> ()
+         | _ -> Alcotest.fail "element name");
+        (match parse_expr "attribute size {7}" with
+         | Ast.Comp_attr _ -> ()
+         | _ -> Alcotest.fail "attribute");
+        match parse_expr "text {\"x\"}" with
+        | Ast.Comp_text _ -> ()
+        | _ -> Alcotest.fail "text{}");
+    test "prolog declarations" (fun () ->
+        let q =
+          Parser.parse_query
+            "declare ordering unordered; \
+             declare function local:f($x as item()*) as xs:integer { count($x) }; \
+             declare variable $g := 10; \
+             local:f((1, 2)) + $g"
+        in
+        check_int "functions" 1 (List.length q.Ast.prolog.Ast.functions);
+        check_int "globals" 1 (List.length q.Ast.prolog.Ast.global_vars);
+        check_bool "ordering" true (q.Ast.prolog.Ast.ordering = Some Ast.Unordered));
+    test "group by syntax errors" (fun () ->
+        (match Parser.parse_query "for $x in (1) group $x into $y return $y" with
+         | _ -> Alcotest.fail "expected error"
+         | exception Xerror.Error (Xerror.XPST0003, _) -> ());
+        match Parser.parse_query "for $x in (1) group by $x return $x" with
+        | _ -> Alcotest.fail "expected error (missing into)"
+        | exception Xerror.Error (Xerror.XPST0003, _) -> ());
+    test "unbalanced constructor is an error" (fun () ->
+        match Parser.parse_query "<a><b></a></b>" with
+        | _ -> Alcotest.fail "expected error"
+        | exception Xerror.Error (Xerror.XPST0003, _) -> ());
+    test "trailing garbage is an error" (fun () ->
+        match Parser.parse_query "1 + 2 )" with
+        | _ -> Alcotest.fail "expected error"
+        | exception Xerror.Error (Xerror.XPST0003, _) -> ());
+  ]
+
+(* --- pretty-printer round-trips ------------------------------------------- *)
+
+let roundtrip_queries =
+  [
+    "for $b in //book group by $b/publisher into $p, $b/year into $y nest \
+     $b/price - $b/discount into $n return <g>{$p, $y, avg($n)}</g>";
+    "for $s in //sale group by $s/region into $r nest $s order by \
+     $s/timestamp into $rs return count($rs)";
+    "for $b at $i in //book order by $b/price descending return at $rank \
+     <r>{$rank, $i}</r>";
+    "some $x in (1, 2) satisfies every $y in (3, 4) satisfies $x lt $y";
+    "if (empty(//a)) then <none/> else (1 to 10)[. mod 2 = 0]";
+    "declare function local:f($x as item()*) as item()* { $x[1] }; local:f((1, 2))";
+    "$a/(quantity * price)";
+    "//book[publisher = \"X\" and year = 1993]/title";
+    "element {concat(\"a\", \"b\")} {attribute k {1}, text {\"v\"}}";
+    "<out attr=\"{sum((1, 2))}\">{//x} tail</out>";
+    "-(1 + 2) * 3";
+    "$a instance of xs:integer+ and ($b castable as xs:date)";
+    "($a treat as element(book)*) except $b";
+    "(//a | //b) intersect //c";
+    "\"5\" cast as xs:integer?";
+    "for $x in (1, 2) count $c where $c > 1 return $c";
+  ]
+
+let pretty_tests =
+  List.mapi
+    (fun i q ->
+      test (Printf.sprintf "roundtrip %d" i) (fun () ->
+          let ast = Parser.parse_query q in
+          let printed = Pretty.query ast in
+          let reparsed = Parser.parse_query printed in
+          if reparsed <> ast then
+            Alcotest.failf "roundtrip mismatch:\n%s\n-- printed --\n%s" q printed))
+    roundtrip_queries
+
+(* --- static checks ---------------------------------------------------------- *)
+
+let expect_static code src name =
+  match Static.check_query (Parser.parse_query src) with
+  | () -> Alcotest.failf "%s: expected %s" name (Xerror.code_to_string code)
+  | exception Xerror.Error (actual, _) ->
+    Alcotest.(check string)
+      name
+      (Xerror.code_to_string code)
+      (Xerror.code_to_string actual)
+
+let ok_static src name =
+  match Static.check_query (Parser.parse_query src) with
+  | () -> ()
+  | exception Xerror.Error (c, msg) ->
+    Alcotest.failf "%s: unexpected %s: %s" name (Xerror.code_to_string c) msg
+
+let static_tests =
+  [
+    test "undefined variable" (fun () ->
+        expect_static Xerror.XPST0008 "$nope" "undefined");
+    test "unknown function" (fun () ->
+        expect_static Xerror.XPST0017 "local:nothing(1)" "unknown fn");
+    test "builtin wrong arity" (fun () ->
+        expect_static Xerror.XPST0017 "count(1, 2)" "count/2");
+    test "concat variadic accepted" (fun () ->
+        ok_static "concat(\"a\", \"b\", \"c\", \"d\")" "concat/4");
+    test "pre-group variable hidden after group by (3.2)" (fun () ->
+        expect_static Xerror.XQST0094
+          "for $b in //book let $x := 1 group by $b/year into $y return $x"
+          "hidden after group");
+    test "for variable hidden after group by" (fun () ->
+        expect_static Xerror.XQST0094
+          "for $b in //book group by $b/year into $y return $b/title"
+          "for var hidden");
+    test "grouping variable rebinding same name is fine (Q7)" (fun () ->
+        ok_static
+          "for $b in //book group by $b/publisher into $pub nest $b into $b \
+           order by $pub return <p>{$b}</p>"
+          "rebind");
+    test "outer variables stay visible after group by" (fun () ->
+        ok_static
+          "for $o in //order return (for $l in $o/lineitem group by $l/a \
+           into $a return ($o/orderkey, $a))"
+          "outer visible");
+    test "grouping expr may not reference its own grouping vars" (fun () ->
+        expect_static Xerror.XPST0008
+          "for $b in //book group by $b/x into $p, $p into $q return $q"
+          "key scope");
+    test "nest order-by sees pre-group variables" (fun () ->
+        ok_static
+          "for $s in //sale group by $s/region into $r nest $s order by \
+           $s/timestamp into $rs return $rs"
+          "nest order scope");
+    test "post-group let and where see group vars" (fun () ->
+        ok_static
+          "for $b in //book group by $b/publisher into $p nest $b/price into \
+           $prices let $a := avg($prices) where $a > 10 return $a"
+          "post-group scope");
+    test "return at variable in scope" (fun () ->
+        ok_static "for $x in (1, 2) return at $i $i" "return at");
+    test "using function must exist" (fun () ->
+        expect_static Xerror.XPST0017
+          "for $b in //book group by $b/author into $a using local:nope \
+           return $a"
+          "using unknown");
+    test "using builtin deep-equal accepted" (fun () ->
+        ok_static
+          "for $b in //book group by $b/author into $a using deep-equal \
+           return $a"
+          "using builtin");
+    test "clause order: two group by clauses rejected" (fun () ->
+        expect_static Xerror.XPST0003
+          "for $b in //book group by $b/x into $p group by $p into $q return 1"
+          "two groups");
+    test "clause order: for after group by rejected" (fun () ->
+        expect_static Xerror.XPST0003
+          "for $b in //book group by $b/x into $p for $c in //book return 1"
+          "for after group");
+    test "clause order: order by must be last" (fun () ->
+        expect_static Xerror.XPST0003
+          "for $b in //book order by $b where 1 return 1"
+          "order then where");
+    test "quantified binding scopes" (fun () ->
+        ok_static "some $x in (1,2) satisfies $x = 1" "quantified";
+        expect_static Xerror.XPST0008
+          "(some $x in (1,2) satisfies $x = 1) and $x = 1"
+          "quantified leak");
+    test "function params in scope in body, not outside" (fun () ->
+        ok_static "declare function local:f($x) { $x }; local:f(1)" "param scope";
+        expect_static Xerror.XPST0008
+          "declare function local:f($x) { $x }; $x"
+          "param leak");
+    test "recursive and mutually recursive functions" (fun () ->
+        ok_static
+          "declare function local:odd($n) { if ($n = 0) then false() else \
+           local:even($n - 1) }; declare function local:even($n) { if ($n = \
+           0) then true() else local:odd($n - 1) }; local:even(10)"
+          "mutual recursion");
+    test "global variables visible in order" (fun () ->
+        ok_static "declare variable $a := 1; declare variable $b := $a + 1; $b"
+          "globals";
+        expect_static Xerror.XPST0008
+          "declare variable $b := $a; declare variable $a := 1; $b"
+          "forward global");
+  ]
+
+(* --- Fn_sigs / Builtins coverage ------------------------------------------- *)
+
+let coverage_tests =
+  [
+    test "every declared builtin is implemented" (fun () ->
+        List.iter
+          (fun s ->
+            check_bool
+              (Printf.sprintf "fn:%s implemented" s.Fn_sigs.sig_name)
+              true
+              (Xq_engine.Builtins.implemented s.Fn_sigs.sig_name))
+          Fn_sigs.all);
+    test "accepts checks prefix and arity" (fun () ->
+        check_bool "fn:count/1" true (Fn_sigs.accepts (Xname.of_string "fn:count") 1);
+        check_bool "count/2" false (Fn_sigs.accepts (Xname.of_string "count") 2);
+        check_bool "local:count/1" false
+          (Fn_sigs.accepts (Xname.of_string "local:count") 1);
+        check_bool "concat/9" true (Fn_sigs.accepts (Xname.of_string "concat") 9));
+  ]
+
+let suites =
+  [
+    ("lang.lexer", lexer_tests);
+    ("lang.parser", parser_tests);
+    ("lang.pretty", pretty_tests);
+    ("lang.static", static_tests);
+    ("lang.fn-sigs", coverage_tests);
+  ]

@@ -1,0 +1,164 @@
+(* Tests for the implicit-group-by rewrite pass. *)
+
+open Xq_lang
+open Helpers
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let detects src =
+  match Parser.parse_expr src with
+  | Ast.Flwor f -> Xq_rewrite.Rewrite.detect f <> None
+  | _ -> false
+
+let q_filter_form =
+  {|for $a in distinct-values(//order/lineitem/a)
+    let $items := //order/lineitem[a = $a]
+    return <r>{$a, count($items)}</r>|}
+
+let q_flwor_form =
+  {|for $a in distinct-values(//order/lineitem/a)
+    let $items := for $i in //order/lineitem where $i/a = $a return $i
+    return <r>{$a, count($items)}</r>|}
+
+let q_two_keys =
+  {|for $a in distinct-values(//order/lineitem/a),
+        $b in distinct-values(//order/lineitem/b)
+    let $items := for $i in //order/lineitem
+                  where $i/a = $a and $i/b = $b return $i
+    where exists($items)
+    return <r>{$a, $b, count($items)}</r>|}
+
+let detection_tests =
+  [
+    test "detects the filter form" (fun () ->
+        check_bool "detected" true (detects q_filter_form));
+    test "detects the inner-FLWOR form" (fun () ->
+        check_bool "detected" true (detects q_flwor_form));
+    test "detects two grouping variables" (fun () ->
+        check_bool "detected" true (detects q_two_keys));
+    test "detects reversed equality operands" (fun () ->
+        check_bool "detected" true
+          (detects
+             {|for $a in distinct-values(//l/a)
+               let $items := //l[$a = a]
+               return count($items)|}));
+    test "accepts a trailing order by" (fun () ->
+        check_bool "detected" true
+          (detects
+             {|for $a in distinct-values(//l/a)
+               let $items := //l[a = $a]
+               order by $a
+               return count($items)|}));
+    test "rejects mismatched sources" (fun () ->
+        check_bool "not detected" false
+          (detects
+             {|for $a in distinct-values(//x/a)
+               let $items := //y[a = $a]
+               return count($items)|}));
+    test "rejects predicates that are not pure key equalities" (fun () ->
+        check_bool "not detected" false
+          (detects
+             {|for $a in distinct-values(//l/a)
+               let $items := //l[a = $a and b > 3]
+               return count($items)|}));
+    test "rejects missing key coverage" (fun () ->
+        check_bool "not detected" false
+          (detects
+             {|for $a in distinct-values(//l/a),
+                   $b in distinct-values(//l/b)
+               let $items := //l[a = $a]
+               return count($items)|}));
+    test "rejects extra clauses between let and return" (fun () ->
+        check_bool "not detected" false
+          (detects
+             {|for $a in distinct-values(//l/a)
+               let $items := //l[a = $a]
+               let $other := 1
+               return count($items)|}));
+    test "rejects ordinary FLWORs" (fun () ->
+        check_bool "not detected" false
+          (detects "for $x in //a return $x"));
+    test "count_rewrites counts nested matches" (fun () ->
+        let e = Parser.parse_expr (Printf.sprintf "(%s, %s)" q_filter_form q_flwor_form) in
+        check_int "two" 2 (Xq_rewrite.Rewrite.count_rewrites e));
+  ]
+
+let structure_tests =
+  [
+    test "rewritten FLWOR has group by with nest" (fun () ->
+        match Parser.parse_expr q_two_keys with
+        | Ast.Flwor f -> begin
+          match Xq_rewrite.Rewrite.detect f with
+          | Some f' -> begin
+            check_bool "grouped" true (Ast.is_grouped f');
+            match f'.Ast.clauses with
+            | [ Ast.For [ fb ]; Ast.Group_by g; Ast.Where _ ] ->
+              check_bool "no positional" true (fb.Ast.positional = None);
+              check_int "two keys" 2 (List.length g.Ast.keys);
+              check_int "one nest" 1 (List.length g.Ast.nests);
+              check_string "items var" "items"
+                (List.hd g.Ast.nests).Ast.nest_var
+            | _ -> Alcotest.fail "unexpected clause shape"
+          end
+          | None -> Alcotest.fail "not detected"
+        end
+        | _ -> Alcotest.fail "not a flwor");
+    test "rewritten query passes the static checker" (fun () ->
+        let q = Parser.parse_query q_two_keys in
+        let q' = Xq_rewrite.Rewrite.rewrite_query q in
+        Static.check_query q');
+    test "item variable avoids collisions" (fun () ->
+        (* BODY mentions $item, so the fresh variable must differ *)
+        match
+          Parser.parse_expr
+            {|for $a in distinct-values(//l/a)
+              let $items := //l[a = $a]
+              return count($items)|}
+        with
+        | Ast.Flwor f -> begin
+          match Xq_rewrite.Rewrite.detect f with
+          | Some { Ast.clauses = Ast.For [ fb ] :: _; _ } ->
+            check_string "fresh name" "item" fb.Ast.for_var
+          | _ -> Alcotest.fail "not detected"
+        end
+        | _ -> Alcotest.fail "not a flwor");
+  ]
+
+let orders_data =
+  {|<orders>
+  <order><lineitem><a>A1</a><b>B1</b></lineitem>
+         <lineitem><a>A1</a><b>B2</b></lineitem></order>
+  <order><lineitem><a>A2</a><b>B1</b></lineitem>
+         <lineitem><a>A1</a><b>B1</b></lineitem>
+         <lineitem><b>B9</b></lineitem></order>
+</orders>|}
+
+let equivalence_tests =
+  [
+    test "rewritten result equals original (filter form)" (fun () ->
+        let doc = Xq.load_string orders_data in
+        let sorted q = Printf.sprintf "for $r in (%s) order by string($r) return $r" q in
+        let original = Xq.to_xml (Xq.run doc (sorted q_filter_form)) in
+        let rewritten = Xq.to_xml (Xq.run_rewritten doc (sorted q_filter_form)) in
+        check_string "equal" original rewritten);
+    test "rewritten result equals original (two keys, missing children)" (fun () ->
+        let doc = Xq.load_string orders_data in
+        let sorted q = Printf.sprintf "for $r in (%s) order by string($r) return $r" q in
+        let original = Xq.to_xml (Xq.run doc (sorted q_two_keys)) in
+        let rewritten = Xq.to_xml (Xq.run_rewritten doc (sorted q_two_keys)) in
+        check_string "equal" original rewritten);
+    test "non-matching queries run unchanged" (fun () ->
+        let doc = Xq.load_string orders_data in
+        let q = "for $l in //lineitem order by string($l/a) return string($l/a)" in
+        check_string "identity" (Xq.to_xml (Xq.run doc q))
+          (Xq.to_xml (Xq.run_rewritten doc q)));
+  ]
+
+let suites =
+  [
+    ("rewrite.detection", detection_tests);
+    ("rewrite.structure", structure_tests);
+    ("rewrite.equivalence", equivalence_tests);
+  ]

@@ -1,0 +1,95 @@
+(* Doc tests: every ```xquery block in docs/TUTORIAL.md runs against the
+   fixture named in its leading comment and must serialize exactly to the
+   following ```output block. *)
+
+open Helpers
+
+let fixture_of_name = function
+  | "bib" -> bib
+  | "sales" -> sales
+  | "authors" ->
+    {|<r><b><a>X</a><a>Y</a><t>1</t></b>
+         <b><a>Y</a><a>X</a><t>2</t></b>
+         <b><a>Z</a><t>3</t></b></r>|}
+  | "categories" ->
+    {|<bib>
+  <book><title>TP</title><price>59.00</price>
+    <categories><software><db><concurrency/></db><distributed/></software></categories>
+  </book>
+  <book><title>Readings</title><price>65.00</price>
+    <categories><software><db/></software><anthology/></categories>
+  </book>
+</bib>|}
+  | other -> Alcotest.failf "unknown tutorial fixture %S" other
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let tutorial_path =
+  let near_exe =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      "docs/TUTORIAL.md"
+  in
+  if Sys.file_exists near_exe then Some near_exe
+  else if Sys.file_exists "../docs/TUTORIAL.md" then Some "../docs/TUTORIAL.md"
+  else if Sys.file_exists "docs/TUTORIAL.md" then Some "docs/TUTORIAL.md"
+  else None
+
+(* Extract (query, expected-output) pairs: each ```xquery fence followed
+   by a ```output fence. *)
+let snippets source =
+  let lines = String.split_on_char '\n' source in
+  let rec scan acc pending = function
+    | [] -> List.rev acc
+    | "```xquery" :: rest ->
+      let block, rest = take_block [] rest in
+      scan acc (Some block) rest
+    | "```output" :: rest -> begin
+      let block, rest = take_block [] rest in
+      match pending with
+      | Some q -> scan ((q, String.concat "\n" block) :: acc) None rest
+      | None -> scan acc None rest
+    end
+    | _ :: rest -> scan acc pending rest
+  and take_block acc = function
+    | "```" :: rest -> (List.rev acc, rest)
+    | line :: rest -> take_block (line :: acc) rest
+    | [] -> (List.rev acc, [])
+  in
+  scan [] None lines
+
+let fixture_header = function
+  | first :: _ when String.length first > 3 -> begin
+    (* "(: fixture: NAME :)" *)
+    match String.split_on_char ':' first with
+    | [ _; _; name; _ ] -> String.trim name
+    | _ -> Alcotest.failf "tutorial block missing fixture header: %s" first
+  end
+  | _ -> Alcotest.fail "empty tutorial block"
+
+let tutorial_tests =
+  match tutorial_path with
+  | None ->
+    [ test "tutorial present" (fun () ->
+          Alcotest.failf "docs/TUTORIAL.md not found from %s" (Sys.getcwd ())) ]
+  | Some path ->
+    let pairs = snippets (read_file path) in
+    test "tutorial has doc-tested snippets" (fun () ->
+        Alcotest.(check bool) "several" true (List.length pairs >= 8))
+    :: List.mapi
+         (fun i (query_lines, expected) ->
+           test (Printf.sprintf "snippet %d" (i + 1)) (fun () ->
+               let data = fixture_of_name (fixture_header query_lines) in
+               let source = String.concat "\n" query_lines in
+               let actual = String.trim (run_xml ~data source) in
+               Alcotest.(check string)
+                 (Printf.sprintf "snippet %d output" (i + 1))
+                 (String.trim expected) actual))
+         pairs
+
+let suites = [ ("tutorial", tutorial_tests) ]

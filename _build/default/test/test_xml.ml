@@ -1,0 +1,167 @@
+(* Tests for the XML parser, serializer and builder. *)
+
+open Xq_xdm
+open Helpers
+
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let parse = Xq_xml.Xml_parse.parse
+let parse_fragment = Xq_xml.Xml_parse.parse_fragment
+let serialize = Xq_xml.Serialize.node
+
+let roundtrip src = serialize (List.hd (Node.children (parse src)))
+
+let parser_tests =
+  [
+    test "simple element" (fun () ->
+        check_string "rt" "<a><b>x</b></a>" (roundtrip "<a><b>x</b></a>"));
+    test "attributes both quote styles" (fun () ->
+        check_string "rt" {|<a x="1" y="two"/>|} (roundtrip "<a x='1' y=\"two\"/>"));
+    test "self-closing vs empty pair serialize alike" (fun () ->
+        check_string "rt" "<a/>" (roundtrip "<a></a>"));
+    test "predefined entities" (fun () ->
+        let el = parse_fragment "<a>&lt;&gt;&amp;&apos;&quot;</a>" in
+        check_string "decoded" "<>&'\"" (Node.string_value el));
+    test "character references" (fun () ->
+        let el = parse_fragment "<a>&#65;&#x42;</a>" in
+        check_string "decoded" "AB" (Node.string_value el));
+    test "CDATA" (fun () ->
+        let el = parse_fragment "<a><![CDATA[<not> & markup]]></a>" in
+        check_string "cdata" "<not> & markup" (Node.string_value el));
+    test "comments preserved" (fun () ->
+        let el = parse_fragment "<a><!--note--><b/></a>" in
+        match Node.children el with
+        | [ c; b ] ->
+          check_bool "comment" true (Node.kind c = Node.Comment);
+          check_string "text" "note" (Node.comment_text c);
+          check_string "b" "b" (Node.local_name b)
+        | _ -> Alcotest.fail "expected comment + element");
+    test "processing instructions" (fun () ->
+        let el = parse_fragment "<a><?php echo ?></a>" in
+        match Node.children el with
+        | [ p ] ->
+          check_string "target" "php" (Node.pi_target p);
+          check_string "data" "echo " (Node.pi_data p)
+        | _ -> Alcotest.fail "expected a PI");
+    test "whitespace-only text dropped by default" (fun () ->
+        let el = parse_fragment "<a>\n  <b/>\n  <c/>\n</a>" in
+        check_int "children" 2 (List.length (Node.children el)));
+    test "whitespace kept on request" (fun () ->
+        let el = parse_fragment ~keep_whitespace:true "<a> <b/> </a>" in
+        check_int "children" 3 (List.length (Node.children el)));
+    test "mixed content keeps interior whitespace" (fun () ->
+        let el = parse_fragment "<a>hello <b/> world</a>" in
+        check_string "sv" "hello  world" (Node.string_value el));
+    test "XML declaration and DOCTYPE skipped" (fun () ->
+        let d = parse "<?xml version=\"1.0\"?><!DOCTYPE a [<!ELEMENT a ANY>]><a/>" in
+        match Node.children d with
+        | [ a ] -> check_string "root" "a" (Node.local_name a)
+        | _ -> Alcotest.fail "expected one root");
+    test "attribute entities" (fun () ->
+        let el = parse_fragment "<a x=\"1 &amp; 2\"/>" in
+        match Node.attributes el with
+        | [ at ] -> check_string "value" "1 & 2" (Node.attribute_value at)
+        | _ -> Alcotest.fail "expected one attribute");
+    test "deep nesting" (fun () ->
+        let el = parse_fragment "<a><b><c><d><e>deep</e></d></c></b></a>" in
+        check_string "sv" "deep" (Node.string_value el));
+    test "ids assigned in document order" (fun () ->
+        let d = parse "<a><b/><c><d/></c></a>" in
+        let ids = List.map Node.id (Node.descendant_or_self d) in
+        check_bool "preorder" true (List.sort compare ids = ids));
+  ]
+
+let parse_error line col src name =
+  match parse src with
+  | _ -> Alcotest.failf "%s: expected a parse error" name
+  | exception Xq_xml.Xml_parse.Parse_error { line = l; column = c; _ } ->
+    Alcotest.(check (pair int int)) name (line, col) (l, c)
+
+let error_tests =
+  [
+    test "mismatched end tag" (fun () ->
+        match parse "<a><b></a></b>" with
+        | _ -> Alcotest.fail "expected error"
+        | exception Xq_xml.Xml_parse.Parse_error { message; _ } ->
+          check_bool "mentions tags" true (String.length message > 0));
+    test "unterminated element" (fun () ->
+        match parse "<a><b>" with
+        | _ -> Alcotest.fail "expected error"
+        | exception Xq_xml.Xml_parse.Parse_error _ -> ());
+    test "unknown entity" (fun () ->
+        match parse "<a>&nope;</a>" with
+        | _ -> Alcotest.fail "expected error"
+        | exception Xq_xml.Xml_parse.Parse_error _ -> ());
+    test "content after root" (fun () ->
+        match parse "<a/><b/>" with
+        | _ -> Alcotest.fail "expected error"
+        | exception Xq_xml.Xml_parse.Parse_error _ -> ());
+    test "lt in attribute" (fun () ->
+        match parse "<a x=\"<\"/>" with
+        | _ -> Alcotest.fail "expected error"
+        | exception Xq_xml.Xml_parse.Parse_error _ -> ());
+    test "error position is 1-based" (fun () ->
+        parse_error 1 1 "" "empty input");
+  ]
+
+let serializer_tests =
+  [
+    test "escapes text" (fun () ->
+        let el = Node.element (Xname.of_string "a") in
+        Node.append_child el (Node.text "x < y & z > w");
+        check_string "escaped" "<a>x &lt; y &amp; z &gt; w</a>" (serialize el));
+    test "escapes attributes" (fun () ->
+        let el = Node.element (Xname.of_string "a") in
+        Node.set_attribute el (Node.attribute (Xname.of_string "x") "say \"hi\" & go");
+        check_string "escaped" {|<a x="say &quot;hi&quot; &amp; go"/>|} (serialize el));
+    test "sequence: atomics space-separated, nodes abut" (fun () ->
+        let seq =
+          [ Xq_xdm.Item.of_int 1; Xq_xdm.Item.of_int 2;
+            Xq_xdm.Item.Node (Node.text "t"); Xq_xdm.Item.of_int 3 ]
+        in
+        check_string "serialized" "1 2t3" (Xq_xml.Serialize.sequence seq));
+    test "indent mode produces newlines" (fun () ->
+        let el = parse_fragment "<a><b>x</b><c/></a>" in
+        let s = Xq_xml.Serialize.node ~indent:true el in
+        check_bool "has newline" true (String.contains s '\n'));
+    test "escape helpers" (fun () ->
+        check_string "text" "&amp;&lt;&gt;" (Xq_xml.Serialize.escape_text "&<>");
+        check_string "attr" "&amp;&lt;&quot;" (Xq_xml.Serialize.escape_attribute "&<\""));
+  ]
+
+let builder_tests =
+  [
+    test "builder constructs expected tree" (fun () ->
+        let open Xq_xml.Builder in
+        let n =
+          build
+            (el_attrs "book" [ ("id", "7") ]
+               [ el_text "title" "T"; el "empty" []; txt "tail" ])
+        in
+        check_string "xml" {|<book id="7"><title>T</title><empty/>tail</book>|}
+          (serialize n));
+    test "builder document wrapper" (fun () ->
+        let open Xq_xml.Builder in
+        let d = doc (el "root" []) in
+        check_bool "is doc" true (Node.kind d = Node.Document);
+        check_int "one child" 1 (List.length (Node.children d)));
+    test "builder attr part" (fun () ->
+        let open Xq_xml.Builder in
+        let n = build (el "a" [ attr "k" "v"; txt "x" ]) in
+        check_string "xml" {|<a k="v">x</a>|} (serialize n));
+    test "parse of builder output is deep-equal" (fun () ->
+        let open Xq_xml.Builder in
+        let n = build (el "a" [ el_text "b" "x"; el_attrs "c" [ ("k", "v") ] [] ]) in
+        let reparsed = parse_fragment (serialize n) in
+        check_bool "deep-equal" true (Deep_equal.nodes n reparsed));
+  ]
+
+let suites =
+  [
+    ("xml.parser", parser_tests);
+    ("xml.errors", error_tests);
+    ("xml.serializer", serializer_tests);
+    ("xml.builder", builder_tests);
+  ]

@@ -12,6 +12,7 @@
      dune exec bench/main.exe -- ablation-counts    — the §3.1 count optimization
      dune exec bench/main.exe -- ablation-index     — element-name index (off in §6)
      dune exec bench/main.exe -- ablation-algebra   — plan-layer overhead
+     dune exec bench/main.exe -- ablation-strategy  — hash vs sort vs fused-sort grouping
      dune exec bench/main.exe -- bechamel      — bechamel OLS run of the six pairs
      dune exec bench/main.exe -- figure6 --full    — larger sweep (slow)
 
@@ -272,6 +273,45 @@ let ablation_algebra () =
         (t_algebra /. t_direct))
     Queries.experiments
 
+(* --- Ablation H: grouping strategy ------------------------------------------- *)
+
+let ablation_strategy () =
+  Timing.header
+    "Ablation H: hash vs sort vs auto (fused-sort) grouping across group counts";
+  (* The group-by feeds an order-by on its key, so `auto` can fuse the
+     sort into the grouping operator; tax cardinality controls the
+     number of groups. *)
+  let q_src =
+    {|for $litem in //order/lineitem
+group by $litem/tax into $a
+nest $litem into $items
+order by $a
+return <r>{$a, count($items)}</r>|}
+  in
+  let query = Xq.parse q_src in
+  Xq.check query;
+  List.iter
+    (fun tax_card ->
+      let doc = orders_doc ~tax_card 4_000 in
+      let run strategy =
+        Timing.measure_ms ~runs:3 (fun () ->
+            Xq.Algebra.Exec.eval_query ~check:false ~strategy ~context_node:doc
+              query)
+      in
+      let groups =
+        Xq.length
+          (Xq.Algebra.Exec.eval_query ~check:false ~context_node:doc query)
+      in
+      let t_hash = run Xq.Algebra.Optimizer.Hash in
+      let t_sort = run Xq.Algebra.Optimizer.Sort in
+      let t_auto = run Xq.Algebra.Optimizer.Auto in
+      Printf.printf
+        "tax_card=%4d groups=%4d  hash+sort=%10s  sort-group=%10s  \
+         auto(fused)=%10s  sort/hash %.2fx  fused/hash %.2fx\n%!"
+        tax_card groups (Timing.fmt_ms t_hash) (Timing.fmt_ms t_sort)
+        (Timing.fmt_ms t_auto) (t_sort /. t_hash) (t_auto /. t_hash))
+    [ 5; 25; 100; 400 ]
+
 (* --- bechamel run of the six Qgb/Q pairs ------------------------------------- *)
 
 let bechamel_run () =
@@ -313,5 +353,6 @@ let () =
   if want "ablation-counts" then ablation_counts ();
   if want "ablation-index" then ablation_index ();
   if want "ablation-algebra" then ablation_algebra ();
+  if want "ablation-strategy" then ablation_strategy ();
   if (not all) && List.mem "bechamel" cmds then bechamel_run ();
   Printf.printf "\nDone.\n%!"

@@ -55,11 +55,39 @@ let time_flag =
   let doc = "Report evaluation wall-clock time on stderr." in
   Arg.(value & flag & info [ "time" ] ~doc)
 
+let explain_analyze_flag =
+  let doc =
+    "EXPLAIN ANALYZE: execute the query through the plan algebra and \
+     print the executed operator tree annotated with per-operator rows \
+     in/out, groups built, comparator calls and CPU time, instead of the \
+     query result."
+  in
+  Arg.(value & flag & info [ "explain-analyze" ] ~doc)
+
+let strategy_opt =
+  let doc =
+    "Grouping strategy for the plan algebra: $(b,hash) (one-pass hash), \
+     $(b,sort) (sort-based grouping) or $(b,auto) (sort when a \
+     downstream order-by on the group keys can be fused). Defaults to \
+     the $(b,XQ_GROUP_STRATEGY) environment variable, else hash."
+  in
+  Arg.(
+    value
+    & opt
+        (some
+           (enum
+              [ ("hash", Xq.Algebra.Optimizer.Hash);
+                ("sort", Xq.Algebra.Optimizer.Sort);
+                ("auto", Xq.Algebra.Optimizer.Auto) ]))
+        None
+    & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+
 let load_input = function
   | Some path -> Xq.load_file path
   | None -> Xq.load_string "<empty/>"
 
-let run_common ~source ~input ~rewrite ~indent ~time =
+let run_common ~source ~input ~rewrite ~indent ~time ~explain_analyze ~strategy
+    =
   with_errors (fun () ->
       let doc = load_input input in
       let query = Xq.parse source in
@@ -67,35 +95,42 @@ let run_common ~source ~input ~rewrite ~indent ~time =
       let query =
         if rewrite then Xq.Rewrite.Rewrite.rewrite_query query else query
       in
-      let t0 = Sys.time () in
-      let result = Xq.run_query ~check:false doc query in
-      let elapsed = (Sys.time () -. t0) *. 1000.0 in
-      print_endline (Xq.to_xml ~indent result);
-      if time then
-        Printf.eprintf "evaluated in %.1f ms (%d items)\n" elapsed
-          (Xq.length result))
+      if explain_analyze then
+        print_string
+          (Xq.Rewrite.Explain.analyze_query ?strategy ~context_node:doc query)
+      else begin
+        let t0 = Sys.time () in
+        let result = Xq.run_query ~check:false doc query in
+        let elapsed = (Sys.time () -. t0) *. 1000.0 in
+        print_endline (Xq.to_xml ~indent result);
+        if time then
+          Printf.eprintf "evaluated in %.1f ms (%d items)\n" elapsed
+            (Xq.length result)
+      end)
 
 (* --- commands ----------------------------------------------------------- *)
 
 let run_cmd =
-  let action qf input rewrite indent time =
+  let action qf input rewrite indent time explain_analyze strategy =
     run_common ~source:(read_file qf) ~input ~rewrite ~indent ~time
+      ~explain_analyze ~strategy
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a query file against an XML document.")
     Term.(
       const action $ query_file $ input_file $ rewrite_flag $ indent_flag
-      $ time_flag)
+      $ time_flag $ explain_analyze_flag $ strategy_opt)
 
 let eval_cmd =
-  let action expr input rewrite indent time =
-    run_common ~source:expr ~input ~rewrite ~indent ~time
+  let action expr input rewrite indent time explain_analyze strategy =
+    run_common ~source:expr ~input ~rewrite ~indent ~time ~explain_analyze
+      ~strategy
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a query given on the command line.")
     Term.(
       const action $ query_string $ input_file $ rewrite_flag $ indent_flag
-      $ time_flag)
+      $ time_flag $ explain_analyze_flag $ strategy_opt)
 
 let check_cmd =
   let action qf =
@@ -143,7 +178,7 @@ let plan_optimize_flag =
   Arg.(value & flag & info [ "optimize" ] ~doc)
 
 let profile_cmd =
-  let action qf input optimize =
+  let action qf input optimize strategy =
     with_errors (fun () ->
         let doc = load_input input in
         let query = Xq.parse (read_file qf) in
@@ -152,21 +187,31 @@ let profile_cmd =
         | Xq.Lang.Ast.Flwor f ->
           let plan = Xq.Algebra.Plan.of_flwor f in
           let plan =
+            let strategy =
+              match strategy with
+              | Some s -> s
+              | None -> Xq.Algebra.Optimizer.strategy_from_env ()
+            in
+            Xq.Algebra.Optimizer.apply_strategy strategy plan
+          in
+          let plan =
             if optimize then Xq.Algebra.Optimizer.optimize plan else plan
           in
-          let ctx =
-            Xq.Engine.Context.with_focus
-              (Xq.Engine.Context.of_prolog query.Xq.Lang.Ast.prolog)
-              { Xq.Engine.Context.item = Xq.Xdm.Item.Node doc;
-                position = 1; size = 1 }
-          in
+          let ctx = Xq.Algebra.Exec.query_context ~context_node:doc query in
           print_string (Xq.Algebra.Plan.to_string plan);
-          let result, stats = Xq.Algebra.Exec.run_profiled ctx plan in
-          Printf.printf "\n%-24s %10s %12s\n" "operator" "tuples" "cpu ms";
+          let result, stats = Xq.Algebra.Exec.run_instrumented ctx plan in
+          Printf.printf "\n%-24s %10s %10s %10s %10s %12s\n" "operator"
+            "rows in" "rows out" "groups" "cmp" "cpu ms";
           List.iter
-            (fun (s : Xq.Algebra.Exec.operator_stat) ->
-              Printf.printf "%-24s %10d %12.2f\n" s.Xq.Algebra.Exec.op_label
-                s.Xq.Algebra.Exec.tuples_out s.Xq.Algebra.Exec.elapsed_ms)
+            (fun (s : Xq.Algebra.Exec.Stats.entry) ->
+              Printf.printf "%-24s %10d %10d %10s %10d %12.2f\n"
+                s.Xq.Algebra.Exec.Stats.label s.Xq.Algebra.Exec.Stats.rows_in
+                s.Xq.Algebra.Exec.Stats.rows_out
+                (match s.Xq.Algebra.Exec.Stats.groups_built with
+                 | Some g -> string_of_int g
+                 | None -> "-")
+                s.Xq.Algebra.Exec.Stats.cmp_calls
+                s.Xq.Algebra.Exec.Stats.elapsed_ms)
             stats;
           Printf.printf "\nresult: %d item(s)\n" (Xq.length result)
         | _ ->
@@ -175,8 +220,10 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:"Compile the query to a plan, execute it and report per-operator \
-             tuple counts and CPU time.")
-    Term.(const action $ query_file $ input_file $ plan_optimize_flag)
+             row counts, comparator calls and CPU time.")
+    Term.(
+      const action $ query_file $ input_file $ plan_optimize_flag
+      $ strategy_opt)
 
 let gen_cmd =
   let workload =

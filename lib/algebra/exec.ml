@@ -10,9 +10,11 @@ let ctx_with_tuple ctx tuple =
 
 let eval_in ctx tuple e = Xq_engine.Eval.eval (ctx_with_tuple ctx tuple) e
 
+let tick = function Some r -> incr r | None -> ()
+
 (* Sort tuples by order specs — same semantics as the engine's order by
    (stable; untyped keys as strings; empty least unless specified). *)
-let sort_tuples ctx specs tuples =
+let sort_tuples ?tally ctx specs tuples =
   let keyed =
     List.map
       (fun tuple ->
@@ -26,6 +28,7 @@ let sort_tuples ctx specs tuples =
       tuples
   in
   let compare_keys (ka, _) (kb, _) =
+    tick tally;
     let rec go = function
       | [] -> 0
       | ((a, modifier), (b, _)) :: rest ->
@@ -36,7 +39,7 @@ let sort_tuples ctx specs tuples =
   in
   List.map snd (List.stable_sort compare_keys keyed)
 
-let group_output ctx (shape : Plan.group_shape) groups =
+let group_output ?tally ctx (shape : Plan.group_shape) groups =
   List.map
     (fun (grp : tuple Xq_engine.Group.group) ->
       let out =
@@ -49,7 +52,9 @@ let group_output ctx (shape : Plan.group_shape) groups =
         (fun out (n : Ast.nest_spec) ->
           let members =
             if n.Ast.nest_order = [] then grp.Xq_engine.Group.members
-            else sort_tuples ctx n.Ast.nest_order grp.Xq_engine.Group.members
+            else
+              sort_tuples ?tally ctx n.Ast.nest_order
+                grp.Xq_engine.Group.members
           in
           let value =
             Xseq.concat
@@ -67,8 +72,15 @@ let apply_equality ctx fname a b =
   Xseq.effective_boolean_value
     (Xq_engine.Eval.eval ctx (Ast.Call (fname, [ Ast.Var va; Ast.Var vb ])))
 
-(* Apply one operator to its (already materialized) input stream. *)
-let step ctx (op : Plan.op) (input : tuple list) : tuple list =
+let shape_keys_of ctx (shape : Plan.group_shape) tuple =
+  List.map
+    (fun (k : Ast.group_key) -> eval_in ctx tuple k.Ast.key_expr)
+    shape.Plan.keys
+
+(* Apply one operator to its (already materialized) input stream. [tally]
+   counts the operator's comparator work (key equality tests, sort
+   comparisons). *)
+let step ?tally ctx (op : Plan.op) (input : tuple list) : tuple list =
   match op with
   | Plan.Unit -> [ Smap.empty ]
   | Plan.For_expand { var; positional; source; _ } ->
@@ -102,20 +114,16 @@ let step ctx (op : Plan.op) (input : tuple list) : tuple list =
           (Xq_engine.Eval.expand_window_bindings ctx window
              (Smap.bindings tuple)))
       input
-  | Plan.Sort { specs; _ } -> sort_tuples ctx specs input
+  | Plan.Sort { specs; _ } -> sort_tuples ?tally ctx specs input
   | Plan.Hash_group shape ->
-    let keys_of tuple =
-      List.map
-        (fun (k : Ast.group_key) -> eval_in ctx tuple k.Ast.key_expr)
-        shape.Plan.keys
-    in
-    group_output ctx shape (Xq_engine.Group.group_hash ~keys_of input)
+    group_output ?tally ctx shape
+      (Xq_engine.Group.group_hash ?tally ~keys_of:(shape_keys_of ctx shape)
+         input)
+  | Plan.Sort_group { shape; sorted_output } ->
+    group_output ?tally ctx shape
+      (Xq_engine.Group.group_sort ?tally ~sorted_output
+         ~keys_of:(shape_keys_of ctx shape) input)
   | Plan.Scan_group shape ->
-    let keys_of tuple =
-      List.map
-        (fun (k : Ast.group_key) -> eval_in ctx tuple k.Ast.key_expr)
-        shape.Plan.keys
-    in
     let comparators =
       Array.of_list
         (List.map
@@ -125,46 +133,40 @@ let step ctx (op : Plan.op) (input : tuple list) : tuple list =
              | Some fname -> fun a b -> apply_equality ctx fname a b)
            shape.Plan.keys)
     in
-    group_output ctx shape
-      (Xq_engine.Group.group_scan ~keys_of
+    group_output ?tally ctx shape
+      (Xq_engine.Group.group_scan ?tally ~keys_of:(shape_keys_of ctx shape)
          ~equal:(fun i a b -> comparators.(i) a b)
          input)
 
 (* The pipeline is a linear chain; list its operators innermost first. *)
 let linearize op =
   let rec go acc (op : Plan.op) =
-    match op with
-    | Plan.Unit -> op :: acc
-    | Plan.For_expand { input; _ }
-    | Plan.Let_bind { input; _ }
-    | Plan.Select { input; _ }
-    | Plan.Number { input; _ }
-    | Plan.Window_expand { input; _ }
-    | Plan.Sort { input; _ } ->
-      go (op :: acc) input
-    | Plan.Hash_group { input; _ } | Plan.Scan_group { input; _ } ->
-      go (op :: acc) input
+    match Plan.input_of op with
+    | None -> op :: acc
+    | Some input -> go (op :: acc) input
   in
   go [] op
 
 let rec tuples ctx (op : Plan.op) : tuple list =
-  match op with
-  | Plan.Unit -> step ctx op []
-  | Plan.For_expand { input; _ }
-  | Plan.Let_bind { input; _ }
-  | Plan.Select { input; _ }
-  | Plan.Number { input; _ }
-  | Plan.Window_expand { input; _ }
-  | Plan.Sort { input; _ } ->
-    step ctx op (tuples ctx input)
-  | Plan.Hash_group { input; _ } | Plan.Scan_group { input; _ } ->
-    step ctx op (tuples ctx input)
+  match Plan.input_of op with
+  | None -> step ctx op []
+  | Some input -> step ctx op (tuples ctx input)
 
-type operator_stat = {
-  op_label : string;
-  tuples_out : int;
-  elapsed_ms : float;
-}
+(* --- instrumentation ------------------------------------------------------ *)
+
+module Stats = struct
+  type entry = {
+    label : string;
+    rows_in : int;
+    rows_out : int;
+    groups_built : int option;
+    cmp_calls : int;
+    elapsed_ms : float;
+  }
+
+  (* Innermost operator first, the return clause last — execution order. *)
+  type t = entry list
+end
 
 let op_label (op : Plan.op) =
   match op with
@@ -177,8 +179,20 @@ let op_label (op : Plan.op) =
   | Plan.Sort _ -> "SORT"
   | Plan.Hash_group _ -> "HASH-GROUP"
   | Plan.Scan_group _ -> "SCAN-GROUP"
+  | Plan.Sort_group _ -> "SORT-GROUP"
 
-let run_profiled ctx (plan : Plan.plan) =
+let is_grouping = function
+  | Plan.Hash_group _ | Plan.Scan_group _ | Plan.Sort_group _ -> true
+  | Plan.Unit | Plan.For_expand _ | Plan.Let_bind _ | Plan.Select _
+  | Plan.Number _ | Plan.Window_expand _ | Plan.Sort _ ->
+    false
+
+let number_stream plan stream =
+  match plan.Plan.return_at with
+  | None -> stream
+  | Some v -> List.mapi (fun i t -> Smap.add v (Xseq.of_int (i + 1)) t) stream
+
+let run_instrumented ctx (plan : Plan.plan) =
   (* CPU-time profile per operator, innermost first (Sys.time keeps the
      library free of clock dependencies; the bench harness uses the
      monotonic clock for wall time). *)
@@ -186,21 +200,26 @@ let run_profiled ctx (plan : Plan.plan) =
   let stream =
     List.fold_left
       (fun input op ->
+        let tally = ref 0 in
+        let rows_in = List.length input in
         let t0 = Sys.time () in
-        let out = step ctx op input in
+        let out = step ~tally ctx op input in
         let elapsed_ms = (Sys.time () -. t0) *. 1000.0 in
+        let rows_out = List.length out in
         stats :=
-          { op_label = op_label op; tuples_out = List.length out; elapsed_ms }
+          {
+            Stats.label = op_label op;
+            rows_in;
+            rows_out;
+            groups_built = (if is_grouping op then Some rows_out else None);
+            cmp_calls = !tally;
+            elapsed_ms;
+          }
           :: !stats;
         out)
       [] (linearize plan.Plan.pipeline)
   in
-  let numbered =
-    match plan.Plan.return_at with
-    | None -> stream
-    | Some v ->
-      List.mapi (fun i t -> Smap.add v (Xseq.of_int (i + 1)) t) stream
-  in
+  let numbered = number_stream plan stream in
   let t0 = Sys.time () in
   let result =
     Xseq.concat
@@ -208,48 +227,77 @@ let run_profiled ctx (plan : Plan.plan) =
   in
   let elapsed_ms = (Sys.time () -. t0) *. 1000.0 in
   stats :=
-    { op_label = "RETURN"; tuples_out = List.length numbered; elapsed_ms }
+    {
+      Stats.label = "RETURN";
+      rows_in = List.length numbered;
+      rows_out = List.length result;
+      groups_built = None;
+      cmp_calls = 0;
+      elapsed_ms;
+    }
     :: !stats;
   (result, List.rev !stats)
 
+type operator_stat = {
+  op_label : string;
+  tuples_out : int;
+  elapsed_ms : float;
+}
+
+let run_profiled ctx (plan : Plan.plan) =
+  let result, stats = run_instrumented ctx plan in
+  ( result,
+    List.map
+      (fun (e : Stats.entry) ->
+        {
+          op_label = e.Stats.label;
+          tuples_out = e.Stats.rows_out;
+          elapsed_ms = e.Stats.elapsed_ms;
+        })
+      stats )
+
 let run ctx (plan : Plan.plan) =
-  let stream = tuples ctx plan.Plan.pipeline in
-  let numbered =
-    match plan.Plan.return_at with
-    | None -> stream
-    | Some v ->
-      List.mapi (fun i t -> Smap.add v (Xseq.of_int (i + 1)) t) stream
-  in
+  let numbered = number_stream plan (tuples ctx plan.Plan.pipeline) in
   Xseq.concat
     (List.map (fun t -> eval_in ctx t plan.Plan.return_expr) numbered)
 
 (* The body's top-level FLWORs (including members of a top-level sequence)
    execute through plans; other expressions — and FLWORs nested inside
    them — evaluate through the engine, which has identical semantics. *)
-let rec eval_top ~optimize ctx (e : Ast.expr) =
+let rec eval_top ~optimize ~strategy ctx (e : Ast.expr) =
   match e with
   | Ast.Flwor f ->
     let plan = Plan.of_flwor f in
+    let plan = Optimizer.apply_strategy strategy plan in
     let plan = if optimize then Optimizer.optimize plan else plan in
     run ctx plan
-  | Ast.Sequence es -> Xseq.concat (List.map (eval_top ~optimize ctx) es)
+  | Ast.Sequence es ->
+    Xseq.concat (List.map (eval_top ~optimize ~strategy ctx) es)
   | _ -> Xq_engine.Eval.eval ctx e
 
-let eval_query ?(check = true) ?(optimize = false) ~context_node
-    (q : Ast.query) =
-  if check then Static.check_query q;
+(* Dynamic context for a query: prolog, focus on the context node, then
+   the prolog's global variables (evaluated in order). *)
+let query_context ~context_node (q : Ast.query) =
   let ctx = Xq_engine.Context.of_prolog q.Ast.prolog in
   let focus =
     { Xq_engine.Context.item = Item.Node context_node; position = 1; size = 1 }
   in
   let ctx = Xq_engine.Context.with_focus ctx focus in
-  let ctx =
-    List.fold_left
-      (fun ctx (v, e) ->
-        Xq_engine.Context.bind_global ctx v (Xq_engine.Eval.eval ctx e))
-      ctx q.Ast.prolog.Ast.global_vars
-  in
-  eval_top ~optimize ctx q.Ast.body
+  List.fold_left
+    (fun ctx (v, e) ->
+      Xq_engine.Context.bind_global ctx v (Xq_engine.Eval.eval ctx e))
+    ctx q.Ast.prolog.Ast.global_vars
 
-let run_string ?optimize ~context_node src =
-  eval_query ?optimize ~context_node (Parser.parse_query src)
+let eval_query ?(check = true) ?(optimize = false) ?strategy ~context_node
+    (q : Ast.query) =
+  if check then Static.check_query q;
+  let strategy =
+    match strategy with
+    | Some s -> s
+    | None -> Optimizer.strategy_from_env ()
+  in
+  let ctx = query_context ~context_node q in
+  eval_top ~optimize ~strategy ctx q.Ast.body
+
+let run_string ?optimize ?strategy ~context_node src =
+  eval_query ?optimize ?strategy ~context_node (Parser.parse_query src)

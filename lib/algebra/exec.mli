@@ -8,7 +8,32 @@ open Xq_xdm
 (** Execute a plan in a dynamic context (as built by the engine). *)
 val run : Xq_engine.Context.t -> Plan.plan -> Xseq.t
 
-(** {1 Profiling} *)
+(** {1 Instrumentation}
+
+    [run_instrumented] executes the plan while collecting per-operator
+    runtime statistics — what EXPLAIN ANALYZE renders. *)
+
+module Stats : sig
+  type entry = {
+    label : string;        (** e.g. ["HASH-GROUP"], ["FOR-EXPAND $x"] *)
+    rows_in : int;         (** cardinality of the operator's input stream *)
+    rows_out : int;        (** cardinality of its output stream *)
+    groups_built : int option;
+        (** groups emitted, for grouping operators only *)
+    cmp_calls : int;
+        (** comparator work: key equality tests and sort comparisons *)
+    elapsed_ms : float;    (** CPU time spent in this operator *)
+  }
+
+  (** Innermost operator first, the return clause last — execution
+      order. *)
+  type t = entry list
+end
+
+val run_instrumented :
+  Xq_engine.Context.t -> Plan.plan -> Xseq.t * Stats.t
+
+(** {1 Profiling (legacy summary view)} *)
 
 type operator_stat = {
   op_label : string;    (** e.g. ["HASH-GROUP"], ["FOR-EXPAND $x"] *)
@@ -17,22 +42,35 @@ type operator_stat = {
 }
 
 (** Execute and report per-operator statistics, innermost operator first
-    and the return clause last. *)
+    and the return clause last. A projection of {!run_instrumented}. *)
 val run_profiled :
   Xq_engine.Context.t -> Plan.plan -> Xseq.t * operator_stat list
+
+(** Build the dynamic context a query executes in: prolog functions, the
+    focus on [context_node], and the prolog's global variables. *)
+val query_context :
+  context_node:Node.t -> Xq_lang.Ast.query -> Xq_engine.Context.t
 
 (** Compile and execute a whole query against a context node — the
     algebra-backed counterpart of [Xq_engine.Eval.eval_query]: the body's
     top-level FLWORs (including members of a top-level sequence) execute
     through {!Plan} operators; FLWORs nested inside other expressions
     evaluate through the engine, which has identical semantics.
-    [optimize] runs {!Optimizer.optimize} on each compiled plan. *)
+    [optimize] runs {!Optimizer.optimize} on each compiled plan.
+    [strategy] selects the grouping operator (default: the
+    [XQ_GROUP_STRATEGY] environment variable, else hash). *)
 val eval_query :
   ?check:bool ->
   ?optimize:bool ->
+  ?strategy:Optimizer.group_strategy ->
   context_node:Node.t ->
   Xq_lang.Ast.query ->
   Xseq.t
 
 (** Parse, check, compile and execute. *)
-val run_string : ?optimize:bool -> context_node:Node.t -> string -> Xseq.t
+val run_string :
+  ?optimize:bool ->
+  ?strategy:Optimizer.group_strategy ->
+  context_node:Node.t ->
+  string ->
+  Xseq.t

@@ -97,6 +97,12 @@ let rec pass live (op : Plan.op) : Plan.op =
     Plan.Hash_group { shape with input = pass (group_free shape) shape.input }
   | Plan.Scan_group shape ->
     Plan.Scan_group { shape with input = pass (group_free shape) shape.input }
+  | Plan.Sort_group { shape; sorted_output } ->
+    Plan.Sort_group
+      {
+        shape = { shape with input = pass (group_free shape) shape.input };
+        sorted_output;
+      }
 
 let optimize (plan : Plan.plan) =
   rewrites := 0;
@@ -112,3 +118,86 @@ let optimize (plan : Plan.plan) =
     if !rewrites = before then op' else fix op'
   in
   { plan with Plan.pipeline = fix plan.Plan.pipeline }
+
+(* --- grouping-strategy selection ----------------------------------------- *)
+
+type group_strategy = Hash | Sort | Auto
+
+let strategy_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "hash" -> Some Hash
+  | "sort" -> Some Sort
+  | "auto" -> Some Auto
+  | _ -> None
+
+let strategy_to_string = function
+  | Hash -> "hash"
+  | Sort -> "sort"
+  | Auto -> "auto"
+
+let strategy_from_env () =
+  match Sys.getenv_opt "XQ_GROUP_STRATEGY" with
+  | None -> Hash
+  | Some s -> Option.value (strategy_of_string s) ~default:Hash
+
+(* [auto] fuses a downstream sort into the grouping only when the sort
+   is exactly on the group's key variables, ascending with default empty
+   handling — the one case where the run order of the sort-grouping
+   matches order-by semantics on singleton keys. *)
+let default_modifier (m : Ast.order_modifier) =
+  (not m.Ast.descending)
+  && (match m.Ast.empty_greatest with None -> true | Some g -> not g)
+
+let specs_cover_keys specs (keys : Ast.group_key list) =
+  List.length specs = List.length keys
+  && List.for_all2
+       (fun (e, m) (k : Ast.group_key) ->
+         default_modifier m
+         && (match e with Ast.Var v -> v = k.Ast.key_var | _ -> false))
+       specs keys
+
+let rec map_strategy strategy (op : Plan.op) : Plan.op =
+  match strategy, op with
+  | Sort, Plan.Hash_group shape ->
+    Plan.Sort_group
+      {
+        shape = { shape with Plan.input = map_strategy strategy shape.Plan.input };
+        sorted_output = false;
+      }
+  | Auto, Plan.Sort { specs; input = Plan.Hash_group shape; _ }
+    when specs_cover_keys specs shape.Plan.keys ->
+    Plan.Sort_group
+      {
+        shape = { shape with Plan.input = map_strategy strategy shape.Plan.input };
+        sorted_output = true;
+      }
+  | _, Plan.Unit -> Plan.Unit
+  | _, Plan.For_expand r ->
+    Plan.For_expand { r with input = map_strategy strategy r.input }
+  | _, Plan.Let_bind r ->
+    Plan.Let_bind { r with input = map_strategy strategy r.input }
+  | _, Plan.Select r ->
+    Plan.Select { r with input = map_strategy strategy r.input }
+  | _, Plan.Number r ->
+    Plan.Number { r with input = map_strategy strategy r.input }
+  | _, Plan.Window_expand r ->
+    Plan.Window_expand { r with input = map_strategy strategy r.input }
+  | _, Plan.Sort r -> Plan.Sort { r with input = map_strategy strategy r.input }
+  | _, Plan.Hash_group shape ->
+    Plan.Hash_group
+      { shape with Plan.input = map_strategy strategy shape.Plan.input }
+  | _, Plan.Scan_group shape ->
+    Plan.Scan_group
+      { shape with Plan.input = map_strategy strategy shape.Plan.input }
+  | _, Plan.Sort_group { shape; sorted_output } ->
+    Plan.Sort_group
+      {
+        shape = { shape with Plan.input = map_strategy strategy shape.Plan.input };
+        sorted_output;
+      }
+
+let apply_strategy strategy (plan : Plan.plan) =
+  match strategy with
+  | Hash -> plan
+  | Sort | Auto ->
+    { plan with Plan.pipeline = map_strategy strategy plan.Plan.pipeline }

@@ -24,3 +24,27 @@ val optimize : Plan.plan -> Plan.plan
 (** Number of rule applications the optimizer performed (for tests and
     plan output). *)
 val last_rewrite_count : unit -> int
+
+(** {1 Grouping-strategy selection}
+
+    Which physical operator executes a default-equality [group by]:
+    - [Hash] (the default): the paper's one-pass hash grouping;
+    - [Sort]: {!Plan.Sort_group} — sort by atomized keys and emit groups
+      from runs; results are identical to hash;
+    - [Auto]: keep hash, except when the grouping feeds a sort on
+      exactly its key variables (ascending, default empty handling) — in
+      that case the sort is fused away and the grouping emits groups
+      already in key order.
+
+    Groupings with a [using] comparator always stay {!Plan.Scan_group}. *)
+
+type group_strategy = Hash | Sort | Auto
+
+val strategy_of_string : string -> group_strategy option
+val strategy_to_string : group_strategy -> string
+
+(** Reads [XQ_GROUP_STRATEGY] ([hash]/[sort]/[auto]); [Hash] when unset
+    or unrecognized. *)
+val strategy_from_env : unit -> group_strategy
+
+val apply_strategy : group_strategy -> Plan.plan -> Plan.plan

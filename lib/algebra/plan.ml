@@ -19,6 +19,7 @@ type op =
     }
   | Hash_group of group_shape
   | Scan_group of group_shape
+  | Sort_group of { shape : group_shape; sorted_output : bool }
 
 and group_shape = {
   keys : Ast.group_key list;
@@ -69,16 +70,71 @@ let of_flwor (f : Ast.flwor) =
     return_expr = f.Ast.return_expr;
   }
 
-let rec size = function
-  | Unit -> 1
+let input_of = function
+  | Unit -> None
   | For_expand { input; _ }
   | Let_bind { input; _ }
   | Select { input; _ }
   | Number { input; _ }
   | Window_expand { input; _ }
-  | Sort { input; _ } ->
-    1 + size input
-  | Hash_group { input; _ } | Scan_group { input; _ } -> 1 + size input
+  | Sort { input; _ }
+  | Hash_group { input; _ }
+  | Scan_group { input; _ }
+  | Sort_group { shape = { input; _ }; _ } ->
+    Some input
+
+let rec size op =
+  match input_of op with None -> 1 | Some input -> 1 + size input
+
+let short e =
+  let s = Pretty.expr e in
+  let s = String.map (function '\n' -> ' ' | c -> c) s in
+  if String.length s <= 48 then s else String.sub s 0 45 ^ "..."
+
+let group_fields (shape : group_shape) =
+  Printf.sprintf "keys=[%s] nests=[%s]"
+    (String.concat "; "
+       (List.map
+          (fun (k : Ast.group_key) ->
+            Printf.sprintf "%s -> $%s%s" (short k.Ast.key_expr) k.Ast.key_var
+              (match k.Ast.using with
+               | Some f -> " using " ^ Xq_xdm.Xname.to_string f
+               | None -> ""))
+          shape.keys))
+    (String.concat "; "
+       (List.map (fun (n : Ast.nest_spec) -> "$" ^ n.Ast.nest_var) shape.nests))
+
+let op_line = function
+  | Unit -> "UNIT"
+  | For_expand { var; positional; source; _ } ->
+    Printf.sprintf "FOR-EXPAND $%s%s <- %s" var
+      (match positional with Some p -> " at $" ^ p | None -> "")
+      (short source)
+  | Let_bind { var; expr; _ } ->
+    Printf.sprintf "LET-BIND $%s := %s" var (short expr)
+  | Select { pred; _ } -> Printf.sprintf "SELECT %s" (short pred)
+  | Number { var; _ } -> Printf.sprintf "NUMBER $%s" var
+  | Window_expand { window; _ } ->
+    Printf.sprintf "WINDOW-%s $%s over %s"
+      (match window.Ast.w_kind with
+       | Ast.Tumbling -> "TUMBLING"
+       | Ast.Sliding -> "SLIDING")
+      window.Ast.w_var (short window.Ast.w_src)
+  | Sort { stable; specs; _ } ->
+    Printf.sprintf "SORT%s [%s]"
+      (if stable then " stable" else "")
+      (String.concat "; " (List.map (fun (e, _) -> short e) specs))
+  | Hash_group shape -> "HASH-GROUP " ^ group_fields shape
+  | Scan_group shape -> "SCAN-GROUP " ^ group_fields shape
+  | Sort_group { shape; sorted_output } ->
+    Printf.sprintf "SORT-GROUP%s %s"
+      (if sorted_output then " (sorted output, fused sort)" else "")
+      (group_fields shape)
+
+let return_line plan =
+  Printf.sprintf "RETURN%s %s"
+    (match plan.return_at with Some v -> " at $" ^ v | None -> "")
+    (short plan.return_expr)
 
 let to_string plan =
   let buf = Buffer.create 256 in
@@ -87,73 +143,10 @@ let to_string plan =
     Buffer.add_string buf s;
     Buffer.add_char buf '\n'
   in
-  let short e =
-    let s = Pretty.expr e in
-    let s = String.map (function '\n' -> ' ' | c -> c) s in
-    if String.length s <= 48 then s else String.sub s 0 45 ^ "..."
-  in
-  line 0
-    (Printf.sprintf "RETURN%s %s"
-       (match plan.return_at with Some v -> " at $" ^ v | None -> "")
-       (short plan.return_expr));
+  line 0 (return_line plan);
   let rec go depth op =
-    match op with
-    | Unit -> line depth "UNIT"
-    | For_expand { var; positional; source; input } ->
-      line depth
-        (Printf.sprintf "FOR-EXPAND $%s%s <- %s" var
-           (match positional with Some p -> " at $" ^ p | None -> "")
-           (short source));
-      go (depth + 1) input
-    | Let_bind { var; expr; input } ->
-      line depth (Printf.sprintf "LET-BIND $%s := %s" var (short expr));
-      go (depth + 1) input
-    | Select { pred; input } ->
-      line depth (Printf.sprintf "SELECT %s" (short pred));
-      go (depth + 1) input
-    | Number { var; input } ->
-      line depth (Printf.sprintf "NUMBER $%s" var);
-      go (depth + 1) input
-    | Window_expand { window; input } ->
-      line depth
-        (Printf.sprintf "WINDOW-%s $%s over %s"
-           (match window.Ast.w_kind with
-            | Ast.Tumbling -> "TUMBLING"
-            | Ast.Sliding -> "SLIDING")
-           window.Ast.w_var (short window.Ast.w_src));
-      go (depth + 1) input
-    | Sort { stable; specs; input } ->
-      line depth
-        (Printf.sprintf "SORT%s [%s]"
-           (if stable then " stable" else "")
-           (String.concat "; " (List.map (fun (e, _) -> short e) specs)));
-      go (depth + 1) input
-    | Hash_group { keys; nests; input } ->
-      line depth
-        (Printf.sprintf "HASH-GROUP keys=[%s] nests=[%s]"
-           (String.concat "; "
-              (List.map
-                 (fun (k : Ast.group_key) ->
-                   Printf.sprintf "%s -> $%s" (short k.Ast.key_expr) k.Ast.key_var)
-                 keys))
-           (String.concat "; "
-              (List.map (fun (n : Ast.nest_spec) -> "$" ^ n.Ast.nest_var) nests)));
-      go (depth + 1) input
-    | Scan_group { keys; nests; input } ->
-      line depth
-        (Printf.sprintf "SCAN-GROUP keys=[%s] nests=[%s]"
-           (String.concat "; "
-              (List.map
-                 (fun (k : Ast.group_key) ->
-                   Printf.sprintf "%s -> $%s%s" (short k.Ast.key_expr)
-                     k.Ast.key_var
-                     (match k.Ast.using with
-                      | Some f -> " using " ^ Xq_xdm.Xname.to_string f
-                      | None -> ""))
-                 keys))
-           (String.concat "; "
-              (List.map (fun (n : Ast.nest_spec) -> "$" ^ n.Ast.nest_var) nests)));
-      go (depth + 1) input
+    line depth (op_line op);
+    match input_of op with None -> () | Some input -> go (depth + 1) input
   in
   go 1 plan.pipeline;
   Buffer.contents buf

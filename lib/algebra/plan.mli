@@ -34,6 +34,11 @@ type op =
     }
   | Hash_group of group_shape  (** all keys use fn:deep-equal *)
   | Scan_group of group_shape  (** some key has a [using] comparator *)
+  | Sort_group of { shape : group_shape; sorted_output : bool }
+      (** sort by atomized keys, emit groups from equal runs (deep-equal
+          tie-break within a run keeps results identical to
+          [Hash_group]); [sorted_output] leaves groups in key order — a
+          downstream sort on the keys has been fused away *)
 
 and group_shape = {
   keys : Ast.group_key list;
@@ -56,6 +61,16 @@ val of_flwor : Ast.flwor -> plan
 
 (** Operator count (plan size), for tests and plan output. *)
 val size : op -> int
+
+(** The operator's input (pipelines are linear chains); [None] for
+    {!Unit}. *)
+val input_of : op -> op option
+
+(** One-line rendering of a single operator (no children). *)
+val op_line : op -> string
+
+(** One-line rendering of the plan's return clause. *)
+val return_line : plan -> string
 
 (** Render the operator tree, one operator per line, leaves last. *)
 val to_string : plan -> string

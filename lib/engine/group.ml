@@ -13,13 +13,15 @@ let hash_keys keys = Hashtbl.hash (List.map Deep_equal.hash_sequence keys)
 
 let keys_deep_equal a b = List.for_all2 Deep_equal.sequences a b
 
-let group_hash ~keys_of tuples =
+let tick = function Some r -> incr r | None -> ()
+
+let group_hash ?(hash = hash_keys) ?tally ~keys_of tuples =
   let table : (int, 'a cell list ref) Hashtbl.t = Hashtbl.create 64 in
   let order = ref [] in
   List.iter
     (fun tuple ->
       let keys = keys_of tuple in
-      let h = hash_keys keys in
+      let h = hash keys in
       let bucket =
         match Hashtbl.find_opt table h with
         | Some b -> b
@@ -29,7 +31,11 @@ let group_hash ~keys_of tuples =
           b
       in
       match
-        List.find_opt (fun cell -> keys_deep_equal cell.c_keys keys) !bucket
+        List.find_opt
+          (fun cell ->
+            tick tally;
+            keys_deep_equal cell.c_keys keys)
+          !bucket
       with
       | Some cell -> cell.rev_members <- tuple :: cell.rev_members
       | None ->
@@ -39,15 +45,24 @@ let group_hash ~keys_of tuples =
     tuples;
   finalize !order
 
-let group_scan ~keys_of ~equal tuples =
+let group_scan ?tally ~keys_of ~equal tuples =
   let order = ref [] in
   List.iter
     (fun tuple ->
+      (* hoist the key list once per tuple; compare against a candidate
+         cell without rebuilding index/pair lists, short-circuiting on a
+         length mismatch (unequal arity can never match) *)
       let keys = keys_of tuple in
       let same cell =
-        List.for_all
-          (fun (i, a, b) -> equal i a b)
-          (List.mapi (fun i (a, b) -> (i, a, b)) (List.combine keys cell.c_keys))
+        let rec go i ks cs =
+          match ks, cs with
+          | [], [] -> true
+          | k :: ks, c :: cs ->
+            tick tally;
+            equal i k c && go (i + 1) ks cs
+          | [], _ :: _ | _ :: _, [] -> false
+        in
+        go 0 keys cell.c_keys
       in
       match List.find_opt same !order with
       | Some cell -> cell.rev_members <- tuple :: cell.rev_members
@@ -55,3 +70,126 @@ let group_scan ~keys_of ~equal tuples =
     tuples;
   (* !order is newest-first; finalize reverses *)
   finalize !order
+
+(* --- sort-based grouping ------------------------------------------------- *)
+
+(* A total preorder on key lists, consistent with deep-equal: deep-equal
+   keys always compare 0 (the converse need not hold — a run that
+   conflates distinct keys is split by a deep-equal pass afterwards, so
+   the groups produced are exactly the hash strategy's). Nodes sort by
+   string value; untyped sorts with strings; all numerics sort on one
+   axis so Int/Dec/Dbl values that deep-equal land together. *)
+
+let atom_rank = function
+  | Atomic.Bool _ -> 0
+  | Atomic.Int _ | Atomic.Dec _ | Atomic.Dbl _ -> 1
+  | Atomic.Untyped _ | Atomic.Str _ -> 2
+  | Atomic.DateTime _ -> 3
+  | Atomic.Date _ -> 4
+  | Atomic.QName _ -> 5
+
+let compare_atoms a b =
+  let ra = atom_rank a and rb = atom_rank b in
+  if ra <> rb then Int.compare ra rb
+  else
+    match a, b with
+    | Atomic.Bool x, Atomic.Bool y -> Bool.compare x y
+    | ( (Atomic.Int _ | Atomic.Dec _ | Atomic.Dbl _),
+        (Atomic.Int _ | Atomic.Dec _ | Atomic.Dbl _) ) ->
+      let is_nan = function
+        | Atomic.Dec f | Atomic.Dbl f -> Float.is_nan f
+        | _ -> false
+      in
+      (match is_nan a, is_nan b with
+       | true, true -> 0
+       | true, false -> -1
+       | false, true -> 1
+       | false, false -> Float.compare (Atomic.number a) (Atomic.number b))
+    | (Atomic.Untyped x | Atomic.Str x), (Atomic.Untyped y | Atomic.Str y) ->
+      String.compare x y
+    | Atomic.DateTime x, Atomic.DateTime y -> Xdatetime.compare_date_time x y
+    | Atomic.Date x, Atomic.Date y -> Xdatetime.compare_date x y
+    | Atomic.QName x, Atomic.QName y -> Xname.compare x y
+    | _ -> 0 (* unreachable: differing ranks are handled above *)
+
+let item_sort_atom = function
+  | Item.Atomic a -> a
+  | Item.Node _ as it -> Atomic.Str (Item.string_value it)
+
+let compare_sequences a b =
+  let rec go a b =
+    match a, b with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | x :: xs, y :: ys ->
+      let c = compare_atoms (item_sort_atom x) (item_sort_atom y) in
+      if c <> 0 then c else go xs ys
+  in
+  go a b
+
+let compare_key_lists a b =
+  let rec go a b =
+    match a, b with
+    | [], [] -> 0
+    | [], _ :: _ -> -1
+    | _ :: _, [] -> 1
+    | x :: xs, y :: ys ->
+      let c = compare_sequences x y in
+      if c <> 0 then c else go xs ys
+  in
+  go a b
+
+let group_sort ?tally ?(sorted_output = false) ~keys_of tuples =
+  let decorated = List.mapi (fun i tuple -> (i, keys_of tuple, tuple)) tuples in
+  let sorted =
+    List.stable_sort
+      (fun (_, ka, _) (_, kb, _) ->
+        tick tally;
+        compare_key_lists ka kb)
+      decorated
+  in
+  (* After the stable sort, equal-comparing keys are adjacent and their
+     tuples are in input order. Emit cells from the runs, splitting each
+     run with deep-equal so sort-order conflations never merge groups. *)
+  let cells = ref [] in (* (first input index, cell), newest run first *)
+  let run_repr = ref None in
+  let run_cells = ref [] in
+  let flush () =
+    cells := !run_cells @ !cells;
+    run_cells := []
+  in
+  List.iter
+    (fun (i, keys, tuple) ->
+      let same_run =
+        match !run_repr with
+        | None -> false
+        | Some repr ->
+          tick tally;
+          compare_key_lists repr keys = 0
+      in
+      if not same_run then begin
+        flush ();
+        run_repr := Some keys
+      end;
+      match
+        List.find_opt
+          (fun (_, cell) ->
+            tick tally;
+            keys_deep_equal cell.c_keys keys)
+          !run_cells
+      with
+      | Some (_, cell) -> cell.rev_members <- tuple :: cell.rev_members
+      | None ->
+        run_cells :=
+          (i, { c_keys = keys; rev_members = [ tuple ] }) :: !run_cells)
+    sorted;
+  flush ();
+  let in_emit_order =
+    if sorted_output then List.rev !cells
+    else List.sort (fun (i, _) (j, _) -> Int.compare i j) !cells
+  in
+  List.map
+    (fun (_, cell) ->
+      { keys = cell.c_keys; members = List.rev cell.rev_members })
+    in_emit_order

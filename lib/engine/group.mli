@@ -1,17 +1,23 @@
 (** The grouping operator underlying the [group by] clause.
 
-    Two strategies, matching Section 3.3 of the paper:
+    Three strategies, the first two matching Section 3.3 of the paper:
     - {!group_hash}: used when every key compares with the default
       [fn:deep-equal] — one pass, hash on the key sequences, deep-equal
       within buckets;
     - {!group_scan}: used when any key has a [using] function — compares
       each tuple against the representatives of the existing groups with
       the per-key equality (user functions are opaque, so no hashing is
-      possible).
+      possible);
+    - {!group_sort}: an alternative to {!group_hash} — sort tuples by a
+      total order on atomized keys, emit groups from equal runs,
+      splitting any run the sort order conflates with the same
+      deep-equal the hash strategy uses, so the groups (and, by default,
+      their order) are identical to {!group_hash}'s.
 
-    Both preserve first-occurrence order of groups and the input order of
-    members within each group (which is what the [nest] clause
-    concatenates, per Section 3.4.1). *)
+    All strategies preserve first-occurrence order of groups and the
+    input order of members within each group (which is what the [nest]
+    clause concatenates, per Section 3.4.1); {!group_sort} can instead
+    emit groups in key order for fusion with a downstream sort. *)
 
 open Xq_xdm
 
@@ -20,11 +26,41 @@ type 'a group = {
   members : 'a list;   (** in input order *)
 }
 
-val group_hash : keys_of:('a -> Xseq.t list) -> 'a list -> 'a group list
+(** The bucket hash used by {!group_hash}: consistent with deep-equal
+    (deep-equal key lists hash equally). Exposed so tests can force
+    collisions. *)
+val hash_keys : Xseq.t list -> int
+
+(** [tally], on every strategy, counts comparator work: one increment
+    per equality test / comparator invocation. [hash] overrides the
+    bucket hash (tests use a constant to force collisions). *)
+val group_hash :
+  ?hash:(Xseq.t list -> int) ->
+  ?tally:int ref ->
+  keys_of:('a -> Xseq.t list) ->
+  'a list ->
+  'a group list
 
 (** [equal i] compares values of the [i]-th key. *)
 val group_scan :
+  ?tally:int ref ->
   keys_of:('a -> Xseq.t list) ->
   equal:(int -> Xseq.t -> Xseq.t -> bool) ->
   'a list ->
   'a group list
+
+(** Sort-based grouping. With [sorted_output:false] (the default) the
+    result is identical to {!group_hash} — groups in first-occurrence
+    order; with [sorted_output:true] groups stay in ascending key order
+    (the order the sort produced), which lets a downstream sort on the
+    same keys be elided. *)
+val group_sort :
+  ?tally:int ref ->
+  ?sorted_output:bool ->
+  keys_of:('a -> Xseq.t list) ->
+  'a list ->
+  'a group list
+
+(** The total preorder {!group_sort} sorts by — deep-equal key lists
+    always compare 0. Exposed for tests. *)
+val compare_key_lists : Xseq.t list -> Xseq.t list -> int

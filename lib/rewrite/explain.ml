@@ -177,3 +177,71 @@ let query (q : Ast.query) =
     q.prolog.functions;
   Buffer.add_string buf (expr q.body);
   Buffer.contents buf
+
+(* --- EXPLAIN ANALYZE ------------------------------------------------------ *)
+
+module Plan = Xq_algebra.Plan
+module Exec = Xq_algebra.Exec
+module Optimizer = Xq_algebra.Optimizer
+
+let fmt_stat ~timings (e : Exec.Stats.entry) =
+  Printf.sprintf "  [in=%d out=%d%s%s%s]" e.Exec.Stats.rows_in
+    e.Exec.Stats.rows_out
+    (match e.Exec.Stats.groups_built with
+     | Some g -> Printf.sprintf " groups=%d" g
+     | None -> "")
+    (if e.Exec.Stats.cmp_calls > 0 then
+       Printf.sprintf " cmp=%d" e.Exec.Stats.cmp_calls
+     else "")
+    (if timings then Printf.sprintf " %.2fms" e.Exec.Stats.elapsed_ms else "")
+
+let analyzed ?(timings = true) (plan : Plan.plan) (stats : Exec.Stats.t) =
+  let buf = Buffer.create 256 in
+  match List.rev stats with
+  | [] -> Plan.to_string plan
+  | ret :: outer_first ->
+    (* stats run innermost-first with RETURN last; the tree prints RETURN
+       first, then outermost down — i.e. the reversed stats order. *)
+    add buf 0 (Plan.return_line plan ^ fmt_stat ~timings ret);
+    let rec go depth op stats =
+      let annotation, rest =
+        match stats with
+        | s :: rest -> (fmt_stat ~timings s, rest)
+        | [] -> ("", [])
+      in
+      add buf depth (Plan.op_line op ^ annotation);
+      match Plan.input_of op with
+      | None -> ()
+      | Some input -> go (depth + 1) input rest
+    in
+    go 1 plan.Plan.pipeline outer_first;
+    Buffer.contents buf
+
+let analyze_query ?(timings = true) ?(optimize = false) ?strategy ~context_node
+    (q : Ast.query) =
+  let strategy =
+    match strategy with
+    | Some s -> s
+    | None -> Optimizer.strategy_from_env ()
+  in
+  let ctx = Exec.query_context ~context_node q in
+  let buf = Buffer.create 256 in
+  let total = ref 0 in
+  let rec go (e : Ast.expr) =
+    match e with
+    | Flwor f ->
+      let plan = Plan.of_flwor f in
+      let plan = Optimizer.apply_strategy strategy plan in
+      let plan = if optimize then Optimizer.optimize plan else plan in
+      let result, stats = Exec.run_instrumented ctx plan in
+      total := !total + List.length result;
+      Buffer.add_string buf (analyzed ~timings plan stats)
+    | Sequence es -> List.iter go es
+    | other ->
+      let result = Xq_engine.Eval.eval ctx other in
+      total := !total + List.length result;
+      add buf 0 "(non-FLWOR expression: evaluated directly)"
+  in
+  go q.body;
+  add buf 0 (Printf.sprintf "result: %d item(s)" !total);
+  Buffer.contents buf

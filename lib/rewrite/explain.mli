@@ -10,3 +10,27 @@ open Xq_lang
 
 val expr : Ast.expr -> string
 val query : Ast.query -> string
+
+(** {1 EXPLAIN ANALYZE}
+
+    Renders the plan tree that actually executed, each operator
+    annotated with its runtime counters — rows in/out, groups built,
+    comparator calls, and (unless [timings:false], which golden tests
+    use for determinism) per-operator CPU time. *)
+
+(** Render one executed plan with its statistics. *)
+val analyzed :
+  ?timings:bool -> Xq_algebra.Plan.plan -> Xq_algebra.Exec.Stats.t -> string
+
+(** Compile, execute and render every top-level FLWOR of the query body
+    (non-FLWOR parts evaluate directly and are noted as such), ending
+    with the total result cardinality. [strategy] defaults to
+    [XQ_GROUP_STRATEGY] (else hash); [optimize] runs the plan
+    optimizer first. *)
+val analyze_query :
+  ?timings:bool ->
+  ?optimize:bool ->
+  ?strategy:Xq_algebra.Optimizer.group_strategy ->
+  context_node:Xq_xdm.Node.t ->
+  Ast.query ->
+  string

@@ -1,0 +1,5 @@
+(: fixture: orders :)
+for $l in //order/lineitem
+group by $l/a into $a
+nest $l/b into $bs
+return <g>{$a}<n>{count($bs)}</n></g>

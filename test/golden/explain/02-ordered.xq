@@ -1,0 +1,6 @@
+(: fixture: sales :)
+for $s in //sale
+group by $s/region into $r
+nest $s/quantity into $qs
+order by $r
+return <region>{$r}<total>{sum($qs)}</total></region>

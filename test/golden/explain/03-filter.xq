@@ -1,0 +1,7 @@
+(: fixture: bib :)
+for $b in //book
+where $b/price > 40
+count $n
+group by $b/year into $y
+nest $b/title into $ts
+return <y>{$y}<c>{count($ts)}</c></y>

@@ -1,0 +1,5 @@
+(: fixture: bib :)
+for $b in //book
+group by $b/publisher into $p using deep-equal
+nest $b/title into $ts
+return <p>{$p}<n>{count($ts)}</n></p>

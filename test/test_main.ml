@@ -15,10 +15,12 @@ let () =
          Test_algebra.suites;
          Test_use_cases.suites;
          Test_golden.suites;
+         Test_explain_golden.suites;
          Test_tutorial.suites;
          Test_conformance.suites;
          Test_window.suites;
          Test_bench_queries.suites;
          Test_workload.suites;
          Test_props.suites;
+         Test_strategies.suites;
        ])

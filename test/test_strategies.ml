@@ -1,0 +1,397 @@
+(* Cross-strategy differential tests: the same randomized workloads run
+   through the direct evaluator and through the plan executor under every
+   grouping strategy (hash / sort / auto with sort fusion), and must
+   serialize identically.  Plus direct unit tests of the grouping
+   operators: forced hash collisions, comparator-scan grouping, and the
+   run-splitting that keeps sort-based grouping exact. *)
+
+open Xq_xdm
+open Helpers
+module Plan = Xq_algebra.Plan
+module Exec = Xq_algebra.Exec
+module Optimizer = Xq_algebra.Optimizer
+module Group = Xq_engine.Group
+module Prng = Xq_workload.Prng
+
+let check_int = Alcotest.(check int)
+let serialize = Xq_xml.Serialize.sequence
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+(* --- randomized differential tests ---------------------------------------- *)
+
+(* A random <r><i><k>…</k><v>…</v></i>…</r> document.  Keys are drawn
+   from a small pool so groups have several members; the pool mixes
+   plain integers, letters and zero-padded numerals (so "07" and "7"
+   stay distinct keys), and the occasional item has no <k> at all
+   (grouping on the empty sequence). *)
+let random_doc rng =
+  let open Xq_xml.Builder in
+  let pool = 1 + Prng.int rng 8 in
+  let n = 1 + Prng.int rng 50 in
+  let key () =
+    match Prng.int rng 4 with
+    | 0 -> string_of_int (Prng.int rng pool)
+    | 1 -> String.make 1 (Char.chr (Char.code 'a' + Prng.int rng pool))
+    | 2 -> Printf.sprintf "%02d" (Prng.int rng pool)
+    | _ -> string_of_int (10 * Prng.int rng pool)
+  in
+  let item _ =
+    el "i"
+      ((if Prng.one_in rng 12 then [] else [ el_text "k" (key ()) ])
+       @ [ el_text "v" (string_of_int (Prng.int rng 100)) ])
+  in
+  doc (el "r" (List.init n item))
+
+let q_plain =
+  "for $i in //i group by $i/k into $k nest $i/v into $vs \
+   return <g>{$k}<n>{count($vs)}</n><s>{sum($vs)}</s></g>"
+
+(* The order-by is on exactly the (bare, ascending) group key, so the
+   Auto strategy fuses it into a sorted-output sort grouping. *)
+let q_ordered =
+  "for $i in //i group by $i/k into $k nest $i/v into $vs \
+   order by $k return <g>{$k}{$vs}</g>"
+
+(* Two keys, ordered by both — multi-key fusion. *)
+let q_multi =
+  "for $i in //i group by $i/k into $k, $i/v into $v nest $i into $is \
+   order by $k, $v return <g>{$k}{$v}<n>{count($is)}</n></g>"
+
+(* A [using] comparator forces the scan-group operator under every
+   strategy. *)
+let q_using =
+  "for $i in //i group by $i/k into $k using deep-equal \
+   nest $i/v into $vs return <g>{$k}{$vs}</g>"
+
+let strategies =
+  [ ("hash", Optimizer.Hash); ("sort", Optimizer.Sort); ("auto", Optimizer.Auto) ]
+
+let seeds = 120
+
+let differential name query =
+  test (Printf.sprintf "%s agrees across strategies (%d seeds)" name seeds)
+    (fun () ->
+      for seed = 0 to seeds - 1 do
+        let rng = Prng.create (0x5eed + seed) in
+        let doc = random_doc rng in
+        let expected = serialize (Xq_engine.Eval.run ~context_node:doc query) in
+        List.iter
+          (fun (label, strategy) ->
+            let got =
+              serialize (Exec.run_string ~strategy ~context_node:doc query)
+            in
+            if got <> expected then
+              Alcotest.failf "seed %d, strategy %s:\nexpected %s\ngot      %s"
+                seed label expected got;
+            (* the plan optimizer must not disturb any strategy either *)
+            let optimized =
+              serialize
+                (Exec.run_string ~optimize:true ~strategy ~context_node:doc
+                   query)
+            in
+            if optimized <> expected then
+              Alcotest.failf "seed %d, strategy %s (optimized):\nexpected %s\ngot      %s"
+                seed label expected optimized)
+          strategies
+      done)
+
+let differential_tests =
+  [
+    differential "plain grouping" q_plain;
+    differential "ordered grouping (sort fusion)" q_ordered;
+    differential "multi-key ordered grouping" q_multi;
+    differential "using-comparator grouping" q_using;
+  ]
+
+(* --- hash collisions ------------------------------------------------------- *)
+
+let seq_int n : Xseq.t = [ Item.Atomic (Atomic.Int n) ]
+
+let members g = List.map snd g.Group.members
+
+let collision_tests =
+  [
+    test "distinct keys stay separate under forced hash collisions" (fun () ->
+        let tuples = [ (1, "a"); (2, "b"); (1, "c"); (2, "d"); (3, "e") ] in
+        let keys_of (k, _) = [ seq_int k ] in
+        let grouped hash = Group.group_hash ?hash ~keys_of tuples in
+        let collided = grouped (Some (fun _ -> 42)) in
+        check_int "groups despite collisions" 3 (List.length collided);
+        Alcotest.(check (list (list string)))
+          "same groups as the honest hash"
+          (List.map members (grouped None))
+          (List.map members collided);
+        Alcotest.(check (list string))
+          "first group keeps input order" [ "a"; "c" ]
+          (members (List.hd collided)));
+    test "collision probing is counted as comparator work" (fun () ->
+        let tally = ref 0 in
+        let tuples = [ (1, "a"); (2, "b"); (3, "c") ] in
+        ignore
+          (Group.group_hash ~hash:(fun _ -> 0) ~tally
+             ~keys_of:(fun (k, _) -> [ seq_int k ])
+             tuples);
+        (* everything lands in one bucket: tuple 2 probes group 1, tuple 3
+           probes groups 1 and 2 *)
+        check_int "deep-equal probes" 3 !tally);
+  ]
+
+(* --- comparator-scan grouping ---------------------------------------------- *)
+
+let scan_tests =
+  [
+    test "scan grouping with a mod-3 comparator" (fun () ->
+        let tally = ref 0 in
+        let equal _i a b =
+          match (a, b) with
+          | [ Item.Atomic (Atomic.Int x) ], [ Item.Atomic (Atomic.Int y) ] ->
+            x mod 3 = y mod 3
+          | _ -> false
+        in
+        let tuples = [ (1, "a"); (4, "b"); (2, "c"); (7, "d"); (3, "e") ] in
+        let groups =
+          Group.group_scan ~tally ~keys_of:(fun (k, _) -> [ seq_int k ])
+            ~equal tuples
+        in
+        check_int "groups" 3 (List.length groups);
+        Alcotest.(check (list (list string)))
+          "members, first-occurrence order"
+          [ [ "a"; "b"; "d" ]; [ "c" ]; [ "e" ] ]
+          (List.map members groups);
+        (* representative key is the first member's *)
+        (match (List.hd groups).Group.keys with
+         | [ [ Item.Atomic (Atomic.Int 1) ] ] -> ()
+         | _ -> Alcotest.fail "representative key should be the first tuple's");
+        (* newest-first probing: b:1, c:1, d:2 (misses group c first), e:2 *)
+        check_int "comparator calls" 6 !tally);
+    test "scan grouping short-circuits on key-arity mismatch" (fun () ->
+        let tally = ref 0 in
+        let keys_of (ks, _) = List.map seq_int ks in
+        let equal _i a b = a = b in
+        let groups =
+          Group.group_scan ~tally ~keys_of ~equal
+            [ ([ 1; 2 ], "a"); ([ 1 ], "b") ]
+        in
+        check_int "groups" 2 (List.length groups);
+        (* the first keys match (1 call), then the arity mismatch is
+           detected without invoking the comparator again *)
+        check_int "comparator calls" 1 !tally);
+  ]
+
+(* --- sort-based grouping --------------------------------------------------- *)
+
+let node_key text : Xseq.t =
+  [ Item.Node (Xq_xml.Builder.(build (el_text "k" text))) ]
+
+let str_key text : Xseq.t = [ Item.Atomic (Atomic.Str text) ]
+
+let sort_group_tests =
+  [
+    test "sort grouping splits runs the sort order conflates" (fun () ->
+        (* a <k>a</k> element and the string "a" compare 0 under the sort
+           order (nodes order by string value) but are not deep-equal, so
+           they must land in different groups *)
+        check_int "sort order conflates node and string"
+          0
+          (Group.compare_key_lists [ node_key "a" ] [ str_key "a" ]);
+        let tuples =
+          [ (node_key "a", 1); (str_key "a", 2); (node_key "a", 3) ]
+        in
+        let keys_of (k, _) = [ k ] in
+        let sorted = Group.group_sort ~keys_of tuples in
+        let hashed = Group.group_hash ~keys_of tuples in
+        Alcotest.(check (list (list int)))
+          "same groups as hash" (List.map members hashed)
+          (List.map members sorted);
+        check_int "two groups" 2 (List.length sorted));
+    test "sorted_output emits groups in nondecreasing key order" (fun () ->
+        let tuples =
+          List.map (fun k -> (seq_int k, k)) [ 5; 1; 3; 1; 5; 2; 3 ]
+        in
+        let groups =
+          Group.group_sort ~sorted_output:true ~keys_of:(fun (k, _) -> [ k ])
+            tuples
+        in
+        check_int "groups" 4 (List.length groups);
+        let keys = List.map (fun g -> g.Group.keys) groups in
+        let rec nondecreasing = function
+          | a :: (b :: _ as rest) ->
+            Group.compare_key_lists a b <= 0 && nondecreasing rest
+          | _ -> true
+        in
+        Alcotest.(check bool) "key order" true (nondecreasing keys);
+        Alcotest.(check (list (list int)))
+          "members follow input order within each group"
+          [ [ 1; 1 ]; [ 2 ]; [ 3; 3 ]; [ 5; 5 ] ]
+          (List.map members groups));
+  ]
+
+(* --- plan shapes under each strategy --------------------------------------- *)
+
+let plan_of src =
+  match (Xq_lang.Parser.parse_query src).Xq_lang.Ast.body with
+  | Xq_lang.Ast.Flwor f -> Plan.of_flwor f
+  | _ -> Alcotest.fail "expected a FLWOR body"
+
+let pipeline_under strategy src =
+  (Optimizer.apply_strategy strategy (plan_of src)).Plan.pipeline
+
+let shape_tests =
+  [
+    test "sort strategy turns hash grouping into sort grouping" (fun () ->
+        match
+          pipeline_under Optimizer.Sort
+            "for $x in //i group by $x/k into $k return $k"
+        with
+        | Plan.Sort_group { sorted_output = false; _ } -> ()
+        | _ -> Alcotest.fail "expected SORT-GROUP without sorted output");
+    test "auto fuses an order-by on exactly the group keys" (fun () ->
+        match
+          pipeline_under Optimizer.Auto
+            "for $x in //i group by $x/k into $k nest $x into $is order by \
+             $k return $k"
+        with
+        | Plan.Sort_group { sorted_output = true; _ } -> ()
+        | _ -> Alcotest.fail "expected the sort to fuse into SORT-GROUP");
+    test "auto keeps the sort when it is not on the bare keys" (fun () ->
+        match
+          pipeline_under Optimizer.Auto
+            "for $x in //i group by $x/k into $k nest $x into $is order by \
+             number($k) return $k"
+        with
+        | Plan.Sort { input = Plan.Hash_group _; _ } -> ()
+        | _ -> Alcotest.fail "number($k) must not be fused");
+    test "auto keeps the sort when it is descending" (fun () ->
+        match
+          pipeline_under Optimizer.Auto
+            "for $x in //i group by $x/k into $k nest $x into $is order by \
+             $k descending return $k"
+        with
+        | Plan.Sort { input = Plan.Hash_group _; _ } -> ()
+        | _ -> Alcotest.fail "a descending sort must not be fused");
+    test "strategies leave using-comparator groupings as scans" (fun () ->
+        let src =
+          "for $x in //i group by $x/k into $k using deep-equal return $k"
+        in
+        match
+          (pipeline_under Optimizer.Sort src, pipeline_under Optimizer.Auto src)
+        with
+        | Plan.Scan_group _, Plan.Scan_group _ -> ()
+        | _ -> Alcotest.fail "scan groupings must survive every strategy");
+  ]
+
+(* --- instrumentation ------------------------------------------------------- *)
+
+let instrumentation_tests =
+  [
+    test "run_instrumented reports per-operator rows and groups" (fun () ->
+        let doc =
+          Xq_xml.Xml_parse.parse
+            "<r><i><k>a</k></i><i><k>b</k></i><i><k>a</k></i></r>"
+        in
+        let q =
+          Xq_lang.Parser.parse_query
+            "for $i in //i group by $i/k into $k nest $i into $is return $k"
+        in
+        let plan =
+          match q.Xq_lang.Ast.body with
+          | Xq_lang.Ast.Flwor f -> Plan.of_flwor f
+          | _ -> Alcotest.fail "expected FLWOR"
+        in
+        let ctx = Exec.query_context ~context_node:doc q in
+        let result, stats = Exec.run_instrumented ctx plan in
+        check_int "one entry per operator plus RETURN"
+          (Plan.size plan.Plan.pipeline + 1)
+          (List.length stats);
+        let last = List.nth stats (List.length stats - 1) in
+        Alcotest.(check string) "RETURN last" "RETURN" last.Exec.Stats.label;
+        check_int "RETURN emits the result" (List.length result)
+          last.Exec.Stats.rows_out;
+        let by_label l =
+          List.find (fun (s : Exec.Stats.entry) -> s.Exec.Stats.label = l) stats
+        in
+        let group = by_label "HASH-GROUP" in
+        check_int "group rows in" 3 group.Exec.Stats.rows_in;
+        check_int "group rows out" 2 group.Exec.Stats.rows_out;
+        Alcotest.(check (option int))
+          "groups built" (Some 2) group.Exec.Stats.groups_built;
+        Alcotest.(check bool)
+          "duplicate keys force deep-equal probes" true
+          (group.Exec.Stats.cmp_calls > 0);
+        check_int "expand rows out" 3 (by_label "FOR-EXPAND $i").Exec.Stats.rows_out);
+    test "run_instrumented matches plain execution under every strategy"
+      (fun () ->
+        let rng = Prng.create 7 in
+        let doc = random_doc rng in
+        let q = Xq_lang.Parser.parse_query q_ordered in
+        let ctx = Exec.query_context ~context_node:doc q in
+        let expected = serialize (Exec.run_string ~context_node:doc q_ordered) in
+        List.iter
+          (fun (label, strategy) ->
+            let plan =
+              match q.Xq_lang.Ast.body with
+              | Xq_lang.Ast.Flwor f ->
+                Optimizer.apply_strategy strategy (Plan.of_flwor f)
+              | _ -> Alcotest.fail "expected FLWOR"
+            in
+            let result, stats = Exec.run_instrumented ctx plan in
+            Alcotest.(check string) label expected (serialize result);
+            let grouping =
+              List.find
+                (fun (s : Exec.Stats.entry) ->
+                  s.Exec.Stats.groups_built <> None)
+                stats
+            in
+            Alcotest.(check bool)
+              (label ^ " counts comparator work") true
+              (grouping.Exec.Stats.cmp_calls >= 0))
+          strategies);
+  ]
+
+(* --- order invariants of the sort comparator (qcheck) ---------------------- *)
+
+let order_props =
+  [
+    QCheck.Test.make ~count:500
+      ~name:"deep-equal key lists compare 0 under the sort order"
+      (QCheck.pair Test_props.arb_sequence Test_props.arb_sequence)
+      (fun (a, b) ->
+        (not (Deep_equal.sequences a b))
+        || Group.compare_key_lists [ a ] [ b ] = 0);
+    QCheck.Test.make ~count:500 ~name:"the sort order is antisymmetric"
+      (QCheck.pair Test_props.arb_sequence Test_props.arb_sequence)
+      (fun (a, b) ->
+        let sign n = compare n 0 in
+        sign (Group.compare_key_lists [ a ] [ b ])
+        = -sign (Group.compare_key_lists [ b ] [ a ]));
+    QCheck.Test.make ~count:300
+      ~name:"group_sort ≡ group_hash on random key sequences"
+      (QCheck.list_of_size (QCheck.Gen.int_range 0 25) Test_props.arb_sequence)
+      (fun keys ->
+        let tuples = List.mapi (fun i k -> (k, i)) keys in
+        let keys_of (k, _) = [ k ] in
+        List.map members (Group.group_sort ~keys_of tuples)
+        = List.map members (Group.group_hash ~keys_of tuples));
+    QCheck.Test.make ~count:300
+      ~name:"sorted_output is the same partition, reordered"
+      (QCheck.list_of_size (QCheck.Gen.int_range 0 25) Test_props.arb_sequence)
+      (fun keys ->
+        let tuples = List.mapi (fun i k -> (k, i)) keys in
+        let keys_of (k, _) = [ k ] in
+        let as_multiset groups =
+          List.sort compare (List.map members groups)
+        in
+        as_multiset (Group.group_sort ~sorted_output:true ~keys_of tuples)
+        = as_multiset (Group.group_hash ~keys_of tuples));
+  ]
+
+let suites =
+  [
+    ("strategies.differential", differential_tests);
+    ("strategies.collisions", collision_tests);
+    ("strategies.scan", scan_tests);
+    ("strategies.sort-group", sort_group_tests);
+    ("strategies.plans", shape_tests);
+    ("strategies.instrumentation", instrumentation_tests);
+    ("strategies.order", List.map to_alcotest order_props);
+  ]

@@ -13,8 +13,10 @@
      dune exec bench/main.exe -- ablation-index     — element-name index (off in §6)
      dune exec bench/main.exe -- ablation-algebra   — plan-layer overhead
      dune exec bench/main.exe -- ablation-strategy  — hash vs sort vs fused-sort grouping
+     dune exec bench/main.exe -- ablation-parallel  — domain-pool degree 1/2/4 per strategy
      dune exec bench/main.exe -- bechamel      — bechamel OLS run of the six pairs
      dune exec bench/main.exe -- figure6 --full    — larger sweep (slow)
+     dune exec bench/main.exe -- ... --json results.json  — also dump samples as JSON
 
    Absolute numbers are engine- and machine-specific; the paper's claim
    is the *shape*: t(Q)/t(Qgb) grows with the number of groups because
@@ -23,14 +25,58 @@
 let lineitems_default = 8_000
 
 let parse_flags () =
-  let args = Array.to_list Sys.argv in
-  let full = List.mem "--full" args in
-  let cmds =
-    List.filter
-      (fun a -> a <> Sys.argv.(0) && not (String.length a > 1 && a.[0] = '-'))
-      args
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec go cmds full json = function
+    | [] -> (List.rev cmds, full, json)
+    | "--full" :: rest -> go cmds true json rest
+    | "--json" :: path :: rest -> go cmds full (Some path) rest
+    | a :: rest when String.length a > 1 && a.[0] = '-' -> go cmds full json rest
+    | a :: rest -> go (a :: cmds) full json rest
   in
-  (cmds, full)
+  go [] false None args
+
+(* --- machine-readable samples (--json FILE) ----------------------------- *)
+
+type sample = {
+  s_bench : string;
+  s_query : string;
+  s_size : int;
+  s_groups : int;
+  s_strategy : string;
+  s_parallel : int;
+  s_ms : float;
+}
+
+let samples : sample list ref = ref []
+
+let record ~bench ~query ~size ~groups ~strategy ~parallel ~ms =
+  samples :=
+    { s_bench = bench; s_query = query; s_size = size; s_groups = groups;
+      s_strategy = strategy; s_parallel = parallel; s_ms = ms }
+    :: !samples
+
+(* All recorded strings are plain ASCII identifiers, so OCaml's %S
+   escaping is valid JSON here. *)
+let write_json path =
+  let oc = open_out path in
+  output_string oc "[\n";
+  List.iteri
+    (fun i s ->
+      if i > 0 then output_string oc ",\n";
+      Printf.fprintf oc
+        "  {\"bench\": %S, \"query\": %S, \"size\": %d, \"groups\": %d, \
+         \"strategy\": %S, \"parallel\": %d, \"ms\": %.3f}"
+        s.s_bench s.s_query s.s_size s.s_groups s.s_strategy s.s_parallel
+        s.s_ms)
+    (List.rev !samples);
+  output_string oc "\n]\n";
+  close_out oc;
+  Printf.printf "wrote %d sample(s) to %s\n%!" (List.length !samples) path
+
+let strategy_name = function
+  | Xq.Algebra.Optimizer.Hash -> "hash"
+  | Xq.Algebra.Optimizer.Sort -> "sort"
+  | Xq.Algebra.Optimizer.Auto -> "auto"
 
 let orders_doc ?(tax_card = Xq_workload.Orders.default.Xq_workload.Orders.tax_card)
     lineitems =
@@ -293,14 +339,19 @@ return <r>{$a, count($items)}</r>|}
   List.iter
     (fun tax_card ->
       let doc = orders_doc ~tax_card 4_000 in
-      let run strategy =
-        Timing.measure_ms ~runs:3 (fun () ->
-            Xq.Algebra.Exec.eval_query ~check:false ~strategy ~context_node:doc
-              query)
-      in
       let groups =
         Xq.length
           (Xq.Algebra.Exec.eval_query ~check:false ~context_node:doc query)
+      in
+      let run strategy =
+        let ms =
+          Timing.measure_ms ~runs:3 (fun () ->
+              Xq.Algebra.Exec.eval_query ~check:false ~strategy
+                ~context_node:doc query)
+        in
+        record ~bench:"ablation-strategy" ~query:"tax-group-order" ~size:4_000
+          ~groups ~strategy:(strategy_name strategy) ~parallel:1 ~ms;
+        ms
       in
       let t_hash = run Xq.Algebra.Optimizer.Hash in
       let t_sort = run Xq.Algebra.Optimizer.Sort in
@@ -311,6 +362,65 @@ return <r>{$a, count($items)}</r>|}
         tax_card groups (Timing.fmt_ms t_hash) (Timing.fmt_ms t_sort)
         (Timing.fmt_ms t_auto) (t_sort /. t_hash) (t_auto /. t_hash))
     [ 5; 25; 100; 400 ]
+
+(* --- Ablation I: multicore parallel grouping ---------------------------------- *)
+
+let ablation_parallel ~full () =
+  Timing.header
+    "Ablation I: domain-pool degree 1/2/4 (parallel grouping + sort), per \
+     strategy";
+  Printf.printf
+    "(speedups depend on available cores: nproc=%d on this machine)\n%!"
+    (Domain.recommended_domain_count ());
+  let q_src =
+    {|for $litem in //order/lineitem
+group by $litem/tax into $a
+nest $litem into $items
+order by $a
+return <r>{$a, count($items)}</r>|}
+  in
+  let query = Xq.parse q_src in
+  Xq.check query;
+  let degrees = [ 1; 2; 4 ] in
+  let workloads =
+    if full then [ (100, 8_000); (400, 16_000); (400, 32_000) ]
+    else [ (100, 8_000); (400, 16_000) ]
+  in
+  List.iter
+    (fun (tax_card, lineitems) ->
+      let doc = orders_doc ~tax_card lineitems in
+      let groups =
+        Xq.length
+          (Xq.Algebra.Exec.eval_query ~check:false ~context_node:doc query)
+      in
+      List.iter
+        (fun strategy ->
+          let times =
+            List.map
+              (fun parallel ->
+                let ms =
+                  Timing.measure_ms ~runs:3 (fun () ->
+                      Xq.Algebra.Exec.eval_query ~check:false ~strategy
+                        ~parallel ~context_node:doc query)
+                in
+                record ~bench:"ablation-parallel" ~query:"tax-group-order"
+                  ~size:lineitems ~groups ~strategy:(strategy_name strategy)
+                  ~parallel ~ms;
+                (parallel, ms))
+              degrees
+          in
+          let base = List.assoc 1 times in
+          Printf.printf "tax_card=%4d n=%6d groups=%4d %-5s  %s\n%!" tax_card
+            lineitems groups (strategy_name strategy)
+            (String.concat "  "
+               (List.map
+                  (fun (p, ms) ->
+                    Printf.sprintf "p%d=%s (%.2fx)" p (Timing.fmt_ms ms)
+                      (base /. ms))
+                  times)))
+        [ Xq.Algebra.Optimizer.Hash; Xq.Algebra.Optimizer.Sort;
+          Xq.Algebra.Optimizer.Auto ])
+    workloads
 
 (* --- bechamel run of the six Qgb/Q pairs ------------------------------------- *)
 
@@ -341,7 +451,7 @@ let bechamel_run () =
     results
 
 let () =
-  let cmds, full = parse_flags () in
+  let cmds, full, json = parse_flags () in
   let all = cmds = [] in
   let want name = all || List.mem name cmds in
   if want "table1" then table1 ();
@@ -354,5 +464,7 @@ let () =
   if want "ablation-index" then ablation_index ();
   if want "ablation-algebra" then ablation_algebra ();
   if want "ablation-strategy" then ablation_strategy ();
+  if want "ablation-parallel" then ablation_parallel ~full ();
   if (not all) && List.mem "bechamel" cmds then bechamel_run ();
+  (match json with Some path -> write_json path | None -> ());
   Printf.printf "\nDone.\n%!"

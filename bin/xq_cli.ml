@@ -82,13 +82,29 @@ let strategy_opt =
         None
     & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
 
+let parallel_opt =
+  let doc =
+    "Domain-pool degree for grouping and sorting (stdlib multicore \
+     domains). 1 (the default) is the sequential code path; any degree \
+     produces byte-identical output. Defaults to the $(b,XQ_PARALLEL) \
+     environment variable, else 1."
+  in
+  Arg.(value & opt (some int) None & info [ "parallel" ] ~docv:"N" ~doc)
+
 let load_input = function
   | Some path -> Xq.load_file path
   | None -> Xq.load_string "<empty/>"
 
+(* Make --parallel the process default so both the direct evaluator and
+   the plan algebra honor it. *)
+let apply_parallel = function
+  | Some n -> Xq.Par.set_default_degree n
+  | None -> ()
+
 let run_common ~source ~input ~rewrite ~indent ~time ~explain_analyze ~strategy
-    =
+    ~parallel =
   with_errors (fun () ->
+      apply_parallel parallel;
       let doc = load_input input in
       let query = Xq.parse source in
       Xq.check query;
@@ -97,7 +113,8 @@ let run_common ~source ~input ~rewrite ~indent ~time ~explain_analyze ~strategy
       in
       if explain_analyze then
         print_string
-          (Xq.Rewrite.Explain.analyze_query ?strategy ~context_node:doc query)
+          (Xq.Rewrite.Explain.analyze_query ?strategy ?parallel
+             ~context_node:doc query)
       else begin
         let t0 = Sys.time () in
         let result = Xq.run_query ~check:false doc query in
@@ -111,26 +128,26 @@ let run_common ~source ~input ~rewrite ~indent ~time ~explain_analyze ~strategy
 (* --- commands ----------------------------------------------------------- *)
 
 let run_cmd =
-  let action qf input rewrite indent time explain_analyze strategy =
+  let action qf input rewrite indent time explain_analyze strategy parallel =
     run_common ~source:(read_file qf) ~input ~rewrite ~indent ~time
-      ~explain_analyze ~strategy
+      ~explain_analyze ~strategy ~parallel
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a query file against an XML document.")
     Term.(
       const action $ query_file $ input_file $ rewrite_flag $ indent_flag
-      $ time_flag $ explain_analyze_flag $ strategy_opt)
+      $ time_flag $ explain_analyze_flag $ strategy_opt $ parallel_opt)
 
 let eval_cmd =
-  let action expr input rewrite indent time explain_analyze strategy =
+  let action expr input rewrite indent time explain_analyze strategy parallel =
     run_common ~source:expr ~input ~rewrite ~indent ~time ~explain_analyze
-      ~strategy
+      ~strategy ~parallel
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a query given on the command line.")
     Term.(
       const action $ query_string $ input_file $ rewrite_flag $ indent_flag
-      $ time_flag $ explain_analyze_flag $ strategy_opt)
+      $ time_flag $ explain_analyze_flag $ strategy_opt $ parallel_opt)
 
 let check_cmd =
   let action qf =
@@ -178,8 +195,9 @@ let plan_optimize_flag =
   Arg.(value & flag & info [ "optimize" ] ~doc)
 
 let profile_cmd =
-  let action qf input optimize strategy =
+  let action qf input optimize strategy parallel =
     with_errors (fun () ->
+        apply_parallel parallel;
         let doc = load_input input in
         let query = Xq.parse (read_file qf) in
         Xq.check query;
@@ -199,18 +217,22 @@ let profile_cmd =
           in
           let ctx = Xq.Algebra.Exec.query_context ~context_node:doc query in
           print_string (Xq.Algebra.Plan.to_string plan);
-          let result, stats = Xq.Algebra.Exec.run_instrumented ctx plan in
-          Printf.printf "\n%-24s %10s %10s %10s %10s %12s\n" "operator"
-            "rows in" "rows out" "groups" "cmp" "cpu ms";
+          let result, stats =
+            Xq.Algebra.Exec.run_instrumented ?parallel ctx plan
+          in
+          Printf.printf "\n%-24s %10s %10s %10s %10s %10s %5s %12s\n"
+            "operator" "rows in" "rows out" "groups" "cmp" "walks" "par"
+            "cpu ms";
           List.iter
             (fun (s : Xq.Algebra.Exec.Stats.entry) ->
-              Printf.printf "%-24s %10d %10d %10s %10d %12.2f\n"
+              Printf.printf "%-24s %10d %10d %10s %10d %10d %5d %12.2f\n"
                 s.Xq.Algebra.Exec.Stats.label s.Xq.Algebra.Exec.Stats.rows_in
                 s.Xq.Algebra.Exec.Stats.rows_out
                 (match s.Xq.Algebra.Exec.Stats.groups_built with
                  | Some g -> string_of_int g
                  | None -> "-")
                 s.Xq.Algebra.Exec.Stats.cmp_calls
+                s.Xq.Algebra.Exec.Stats.key_walks s.Xq.Algebra.Exec.Stats.par
                 s.Xq.Algebra.Exec.Stats.elapsed_ms)
             stats;
           Printf.printf "\nresult: %d item(s)\n" (Xq.length result)
@@ -223,7 +245,7 @@ let profile_cmd =
              row counts, comparator calls and CPU time.")
     Term.(
       const action $ query_file $ input_file $ plan_optimize_flag
-      $ strategy_opt)
+      $ strategy_opt $ parallel_opt)
 
 let gen_cmd =
   let workload =

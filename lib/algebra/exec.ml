@@ -2,6 +2,7 @@ open Xq_xdm
 open Xq_lang
 
 module Smap = Map.Make (String)
+module Par = Xq_par.Par
 
 type tuple = Xseq.t Smap.t
 
@@ -13,8 +14,11 @@ let eval_in ctx tuple e = Xq_engine.Eval.eval (ctx_with_tuple ctx tuple) e
 let tick = function Some r -> incr r | None -> ()
 
 (* Sort tuples by order specs — same semantics as the engine's order by
-   (stable; untyped keys as strings; empty least unless specified). *)
-let sort_tuples ?tally ctx specs tuples =
+   (stable; untyped keys as strings; empty least unless specified). With
+   [parallel] > 1 the stable sort runs on the domain pool (key
+   evaluation stays sequential — order expressions are arbitrary);
+   output is byte-identical at any degree. *)
+let sort_tuples ?tally ?(parallel = 1) ctx specs tuples =
   let keyed =
     List.map
       (fun tuple ->
@@ -37,7 +41,12 @@ let sort_tuples ?tally ctx specs tuples =
     in
     go (List.combine ka kb)
   in
-  List.map snd (List.stable_sort compare_keys keyed)
+  if parallel <= 1 then List.map snd (List.stable_sort compare_keys keyed)
+  else begin
+    let arr = Array.of_list keyed in
+    Par.sort ~degree:parallel compare_keys arr;
+    List.map snd (Array.to_list arr)
+  end
 
 let group_output ?tally ctx (shape : Plan.group_shape) groups =
   List.map
@@ -77,10 +86,20 @@ let shape_keys_of ctx (shape : Plan.group_shape) tuple =
     (fun (k : Ast.group_key) -> eval_in ctx tuple k.Ast.key_expr)
     shape.Plan.keys
 
+(* May grouping evaluate this shape's key expressions on the pool?
+   Delegated to the engine's static check. *)
+let shape_parallel_keys ctx (shape : Plan.group_shape) =
+  List.for_all
+    (fun (k : Ast.group_key) -> Xq_engine.Eval.parallel_safe ctx k.Ast.key_expr)
+    shape.Plan.keys
+
 (* Apply one operator to its (already materialized) input stream. [tally]
    counts the operator's comparator work (key equality tests, sort
-   comparisons). *)
-let step ?tally ctx (op : Plan.op) (input : tuple list) : tuple list =
+   comparisons). [parallel] is the domain-pool degree; 1 (the default)
+   is the sequential code path, and any degree produces byte-identical
+   output. *)
+let step ?tally ?(parallel = 1) ctx (op : Plan.op) (input : tuple list) :
+    tuple list =
   match op with
   | Plan.Unit -> [ Smap.empty ]
   | Plan.For_expand { var; positional; source; _ } ->
@@ -114,27 +133,35 @@ let step ?tally ctx (op : Plan.op) (input : tuple list) : tuple list =
           (Xq_engine.Eval.expand_window_bindings ctx window
              (Smap.bindings tuple)))
       input
-  | Plan.Sort { specs; _ } -> sort_tuples ?tally ctx specs input
+  | Plan.Sort { specs; _ } -> sort_tuples ?tally ~parallel ctx specs input
   | Plan.Hash_group shape ->
     group_output ?tally ctx shape
-      (Xq_engine.Group.group_hash ?tally ~keys_of:(shape_keys_of ctx shape)
-         input)
+      (Xq_engine.Group.group_hash ?tally ~parallel
+         ~parallel_keys:(parallel > 1 && shape_parallel_keys ctx shape)
+         ~keys_of:(shape_keys_of ctx shape) input)
   | Plan.Sort_group { shape; sorted_output } ->
     group_output ?tally ctx shape
-      (Xq_engine.Group.group_sort ?tally ~sorted_output
+      (Xq_engine.Group.group_sort ?tally ~sorted_output ~parallel
+         ~parallel_keys:(parallel > 1 && shape_parallel_keys ctx shape)
          ~keys_of:(shape_keys_of ctx shape) input)
   | Plan.Scan_group shape ->
+    let module Key = Xq_engine.Key in
     let comparators =
       Array.of_list
         (List.map
            (fun (k : Ast.group_key) ->
              match k.Ast.using with
-             | None -> fun a b -> Deep_equal.sequences a b
-             | Some fname -> fun a b -> apply_equality ctx fname a b)
+             | None ->
+               fun (a : Key.single) (b : Key.single) -> Key.equal_single a b
+             | Some fname ->
+               fun (a : Key.single) (b : Key.single) ->
+                 apply_equality ctx fname a.Key.orig b.Key.orig)
            shape.Plan.keys)
     in
     group_output ?tally ctx shape
-      (Xq_engine.Group.group_scan ?tally ~keys_of:(shape_keys_of ctx shape)
+      (Xq_engine.Group.group_scan ?tally ~parallel
+         ~parallel_keys:(parallel > 1 && shape_parallel_keys ctx shape)
+         ~keys_of:(shape_keys_of ctx shape)
          ~equal:(fun i a b -> comparators.(i) a b)
          input)
 
@@ -147,10 +174,10 @@ let linearize op =
   in
   go [] op
 
-let rec tuples ctx (op : Plan.op) : tuple list =
+let rec tuples ?parallel ctx (op : Plan.op) : tuple list =
   match Plan.input_of op with
-  | None -> step ctx op []
-  | Some input -> step ctx op (tuples ctx input)
+  | None -> step ?parallel ctx op []
+  | Some input -> step ?parallel ctx op (tuples ?parallel ctx input)
 
 (* --- instrumentation ------------------------------------------------------ *)
 
@@ -161,6 +188,8 @@ module Stats = struct
     rows_out : int;
     groups_built : int option;
     cmp_calls : int;
+    key_walks : int;
+    par : int;
     elapsed_ms : float;
   }
 
@@ -192,7 +221,12 @@ let number_stream plan stream =
   | None -> stream
   | Some v -> List.mapi (fun i t -> Smap.add v (Xseq.of_int (i + 1)) t) stream
 
-let run_instrumented ctx (plan : Plan.plan) =
+(* Which operators can actually use the pool (the [par=] annotation). *)
+let op_parallelizable = function
+  | Plan.Sort _ -> true
+  | op -> is_grouping op
+
+let run_instrumented ?(parallel = 1) ctx (plan : Plan.plan) =
   (* CPU-time profile per operator, innermost first (Sys.time keeps the
      library free of clock dependencies; the bench harness uses the
      monotonic clock for wall time). *)
@@ -202,8 +236,9 @@ let run_instrumented ctx (plan : Plan.plan) =
       (fun input op ->
         let tally = ref 0 in
         let rows_in = List.length input in
+        let walks0 = Xq_engine.Key.walk_count () in
         let t0 = Sys.time () in
-        let out = step ~tally ctx op input in
+        let out = step ~tally ~parallel ctx op input in
         let elapsed_ms = (Sys.time () -. t0) *. 1000.0 in
         let rows_out = List.length out in
         stats :=
@@ -213,6 +248,8 @@ let run_instrumented ctx (plan : Plan.plan) =
             rows_out;
             groups_built = (if is_grouping op then Some rows_out else None);
             cmp_calls = !tally;
+            key_walks = Xq_engine.Key.walk_count () - walks0;
+            par = (if op_parallelizable op then parallel else 1);
             elapsed_ms;
           }
           :: !stats;
@@ -233,6 +270,8 @@ let run_instrumented ctx (plan : Plan.plan) =
       rows_out = List.length result;
       groups_built = None;
       cmp_calls = 0;
+      key_walks = 0;
+      par = 1;
       elapsed_ms;
     }
     :: !stats;
@@ -244,8 +283,8 @@ type operator_stat = {
   elapsed_ms : float;
 }
 
-let run_profiled ctx (plan : Plan.plan) =
-  let result, stats = run_instrumented ctx plan in
+let run_profiled ?parallel ctx (plan : Plan.plan) =
+  let result, stats = run_instrumented ?parallel ctx plan in
   ( result,
     List.map
       (fun (e : Stats.entry) ->
@@ -256,23 +295,23 @@ let run_profiled ctx (plan : Plan.plan) =
         })
       stats )
 
-let run ctx (plan : Plan.plan) =
-  let numbered = number_stream plan (tuples ctx plan.Plan.pipeline) in
+let run ?parallel ctx (plan : Plan.plan) =
+  let numbered = number_stream plan (tuples ?parallel ctx plan.Plan.pipeline) in
   Xseq.concat
     (List.map (fun t -> eval_in ctx t plan.Plan.return_expr) numbered)
 
 (* The body's top-level FLWORs (including members of a top-level sequence)
    execute through plans; other expressions — and FLWORs nested inside
    them — evaluate through the engine, which has identical semantics. *)
-let rec eval_top ~optimize ~strategy ctx (e : Ast.expr) =
+let rec eval_top ~optimize ~strategy ~parallel ctx (e : Ast.expr) =
   match e with
   | Ast.Flwor f ->
     let plan = Plan.of_flwor f in
     let plan = Optimizer.apply_strategy strategy plan in
     let plan = if optimize then Optimizer.optimize plan else plan in
-    run ctx plan
+    run ~parallel ctx plan
   | Ast.Sequence es ->
-    Xseq.concat (List.map (eval_top ~optimize ~strategy ctx) es)
+    Xseq.concat (List.map (eval_top ~optimize ~strategy ~parallel ctx) es)
   | _ -> Xq_engine.Eval.eval ctx e
 
 (* Dynamic context for a query: prolog, focus on the context node, then
@@ -288,16 +327,22 @@ let query_context ~context_node (q : Ast.query) =
       Xq_engine.Context.bind_global ctx v (Xq_engine.Eval.eval ctx e))
     ctx q.Ast.prolog.Ast.global_vars
 
-let eval_query ?(check = true) ?(optimize = false) ?strategy ~context_node
-    (q : Ast.query) =
+let eval_query ?(check = true) ?(optimize = false) ?strategy ?parallel
+    ~context_node (q : Ast.query) =
   if check then Static.check_query q;
   let strategy =
     match strategy with
     | Some s -> s
     | None -> Optimizer.strategy_from_env ()
   in
+  let parallel =
+    match parallel with
+    | Some p -> p
+    | None -> Par.default_degree ()
+  in
   let ctx = query_context ~context_node q in
-  eval_top ~optimize ~strategy ctx q.Ast.body
+  eval_top ~optimize ~strategy ~parallel ctx q.Ast.body
 
-let run_string ?optimize ?strategy ~context_node src =
-  eval_query ?optimize ?strategy ~context_node (Parser.parse_query src)
+let run_string ?optimize ?strategy ?parallel ~context_node src =
+  eval_query ?optimize ?strategy ?parallel ~context_node
+    (Parser.parse_query src)

@@ -5,8 +5,11 @@
 
 open Xq_xdm
 
-(** Execute a plan in a dynamic context (as built by the engine). *)
-val run : Xq_engine.Context.t -> Plan.plan -> Xseq.t
+(** Execute a plan in a dynamic context (as built by the engine).
+    [parallel] is the domain-pool degree for grouping and sorting
+    operators (default: [Par.default_degree ()], i.e. [XQ_PARALLEL] or
+    1); output is byte-identical at any degree. *)
+val run : ?parallel:int -> Xq_engine.Context.t -> Plan.plan -> Xseq.t
 
 (** {1 Instrumentation}
 
@@ -22,6 +25,12 @@ module Stats : sig
         (** groups emitted, for grouping operators only *)
     cmp_calls : int;
         (** comparator work: key equality tests and sort comparisons *)
+    key_walks : int;
+        (** key node subtrees materialized (canonicalization walks) —
+            grouping walks each key node exactly once, comparisons none *)
+    par : int;
+        (** domain-pool degree available to this operator (1 when the
+            operator cannot parallelize) *)
     elapsed_ms : float;    (** CPU time spent in this operator *)
   }
 
@@ -31,7 +40,7 @@ module Stats : sig
 end
 
 val run_instrumented :
-  Xq_engine.Context.t -> Plan.plan -> Xseq.t * Stats.t
+  ?parallel:int -> Xq_engine.Context.t -> Plan.plan -> Xseq.t * Stats.t
 
 (** {1 Profiling (legacy summary view)} *)
 
@@ -44,7 +53,10 @@ type operator_stat = {
 (** Execute and report per-operator statistics, innermost operator first
     and the return clause last. A projection of {!run_instrumented}. *)
 val run_profiled :
-  Xq_engine.Context.t -> Plan.plan -> Xseq.t * operator_stat list
+  ?parallel:int ->
+  Xq_engine.Context.t ->
+  Plan.plan ->
+  Xseq.t * operator_stat list
 
 (** Build the dynamic context a query executes in: prolog functions, the
     focus on [context_node], and the prolog's global variables. *)
@@ -58,11 +70,14 @@ val query_context :
     evaluate through the engine, which has identical semantics.
     [optimize] runs {!Optimizer.optimize} on each compiled plan.
     [strategy] selects the grouping operator (default: the
-    [XQ_GROUP_STRATEGY] environment variable, else hash). *)
+    [XQ_GROUP_STRATEGY] environment variable, else hash). [parallel]
+    sets the domain-pool degree (default: [XQ_PARALLEL], else 1 —
+    sequential); results are byte-identical at any degree. *)
 val eval_query :
   ?check:bool ->
   ?optimize:bool ->
   ?strategy:Optimizer.group_strategy ->
+  ?parallel:int ->
   context_node:Node.t ->
   Xq_lang.Ast.query ->
   Xseq.t
@@ -71,6 +86,7 @@ val eval_query :
 val run_string :
   ?optimize:bool ->
   ?strategy:Optimizer.group_strategy ->
+  ?parallel:int ->
   context_node:Node.t ->
   string ->
   Xseq.t

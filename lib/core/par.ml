@@ -1,0 +1,134 @@
+(* A minimal fork-join pool over stdlib domains (no domainslib). Degree 1
+   always takes the caller's thread and touches no Domain API, so the
+   default configuration is byte-for-byte the sequential code path. *)
+
+let degree_cap = 64
+
+let parse_degree s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Some (min n degree_cap)
+  | Some _ | None -> None
+
+(* Read once: the environment cannot change under a running process, and
+   reading lazily keeps [default_degree] allocation-free on hot paths. *)
+let env_degree =
+  lazy
+    (match Sys.getenv_opt "XQ_PARALLEL" with
+     | None -> 1
+     | Some s -> ( match parse_degree s with Some n -> n | None -> 1))
+
+let override = Atomic.make 0 (* 0 = no override, fall back to XQ_PARALLEL *)
+
+let set_default_degree n = Atomic.set override (max 1 (min n degree_cap))
+
+let default_degree () =
+  match Atomic.get override with
+  | 0 -> Lazy.force env_degree
+  | n -> n
+
+(* Run every task to completion: task 0 on the calling domain, the rest
+   on fresh domains. If several tasks raise, re-raise the lowest-indexed
+   exception — for chunked maps this is exactly the exception sequential
+   left-to-right evaluation would have raised first. *)
+let run_tasks (tasks : (unit -> unit) array) =
+  let nt = Array.length tasks in
+  if nt = 0 then ()
+  else if nt = 1 then tasks.(0) ()
+  else begin
+    let errs = Array.make nt None in
+    let guarded i () = try tasks.(i) () with e -> errs.(i) <- Some e in
+    let domains = Array.init (nt - 1) (fun i -> Domain.spawn (guarded (i + 1))) in
+    guarded 0 ();
+    Array.iter Domain.join domains;
+    Array.iter (function Some e -> raise e | None -> ()) errs
+  end
+
+(* How many chunks to actually use for [n] elements: never more than the
+   requested degree, never chunks smaller than [min_chunk]. *)
+let pieces ~degree ~min_chunk n =
+  let d = max 1 (min degree degree_cap) in
+  max 1 (min d (n / max 1 min_chunk))
+
+let map ?(degree = 1) ?(min_chunk = 16) f src =
+  let n = Array.length src in
+  if n = 0 then [||]
+  else begin
+    let p = pieces ~degree ~min_chunk n in
+    if p <= 1 then Array.map f src
+    else begin
+      (* Seed the result with element 0 computed on the caller — it both
+         avoids a dummy value and preserves fail-first semantics for an
+         exception at index 0. The remaining n-1 elements are chunked. *)
+      let dst = Array.make n (f src.(0)) in
+      let m = n - 1 in
+      run_tasks
+        (Array.init p (fun c ->
+             let lo = 1 + (c * m / p) and hi = 1 + ((c + 1) * m / p) in
+             fun () ->
+               for i = lo to hi - 1 do
+                 dst.(i) <- f src.(i)
+               done));
+      dst
+    end
+  end
+
+(* In-place stable parallel merge sort: sort chunks concurrently, then
+   merge adjacent runs pairwise (left run wins ties, preserving input
+   order) until one run remains. Falls back to Array.stable_sort when
+   the array is too small to be worth splitting. *)
+let sort ?(degree = 1) ?(min_chunk = 512) cmp a =
+  let n = Array.length a in
+  let p = pieces ~degree ~min_chunk n in
+  if p <= 1 then Array.stable_sort cmp a
+  else begin
+    let bounds = Array.init (p + 1) (fun i -> i * n / p) in
+    run_tasks
+      (Array.init p (fun c ->
+           let lo = bounds.(c) and hi = bounds.(c + 1) in
+           fun () ->
+             let sub = Array.sub a lo (hi - lo) in
+             Array.stable_sort cmp sub;
+             Array.blit sub 0 a lo (hi - lo)));
+    let buf = Array.copy a in
+    let merge src dst lo mid hi =
+      let i = ref lo and j = ref mid in
+      for k = lo to hi - 1 do
+        if !i < mid && (!j >= hi || cmp src.(!i) src.(!j) <= 0) then begin
+          dst.(k) <- src.(!i);
+          incr i
+        end
+        else begin
+          dst.(k) <- src.(!j);
+          incr j
+        end
+      done
+    in
+    let rec rounds src dst (bs : int array) =
+      let runs = Array.length bs - 1 in
+      if runs <= 1 then begin
+        if src != a then Array.blit src 0 a 0 n
+      end
+      else begin
+        let tasks = ref [] and next = ref [ bs.(0) ] in
+        let r = ref 0 in
+        while !r < runs do
+          if !r + 1 < runs then begin
+            let lo = bs.(!r) and mid = bs.(!r + 1) and hi = bs.(!r + 2) in
+            tasks := (fun () -> merge src dst lo mid hi) :: !tasks;
+            next := hi :: !next;
+            r := !r + 2
+          end
+          else begin
+            (* odd run out: carry it to the next round unchanged *)
+            let lo = bs.(!r) and hi = bs.(!r + 1) in
+            tasks := (fun () -> Array.blit src lo dst lo (hi - lo)) :: !tasks;
+            next := hi :: !next;
+            incr r
+          end
+        done;
+        run_tasks (Array.of_list (List.rev !tasks));
+        rounds dst src (Array.of_list (List.rev !next))
+      end
+    in
+    rounds a buf bounds
+  end

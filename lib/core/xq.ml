@@ -4,6 +4,7 @@ module Lang = Xq_lang
 module Engine = Xq_engine
 module Rewrite = Xq_rewrite
 module Algebra = Xq_algebra
+module Par = Xq_par.Par
 
 type doc = Xq_xdm.Node.t
 type result = Xq_xdm.Xseq.t

@@ -22,6 +22,9 @@ module Engine = Xq_engine
 module Rewrite = Xq_rewrite
 module Algebra = Xq_algebra
 
+(** Fork-join domain pool behind [--parallel] / [XQ_PARALLEL]. *)
+module Par = Xq_par.Par
+
 (** A loaded document (its document node). *)
 type doc = Xq_xdm.Node.t
 

@@ -121,11 +121,31 @@ let arith op left right =
   match Xseq.atomized_opt left, Xseq.atomized_opt right with
   | None, _ | _, None -> Xseq.empty
   | Some (Atomic.Int x), Some (Atomic.Int y) -> begin
-    (* exact integer arithmetic *)
+    (* exact integer arithmetic; detect 63-bit wraparound and raise
+       FOCA0002 like the float path does instead of silently wrapping *)
+    let overflow () = Xerror.fail FOCA0002 "integer overflow" in
+    let checked_add x y =
+      let r = x + y in
+      if x >= 0 = (y >= 0) && r >= 0 <> (x >= 0) then overflow () else r
+    in
+    let checked_sub x y =
+      let r = x - y in
+      if x >= 0 <> (y >= 0) && r >= 0 <> (x >= 0) then overflow () else r
+    in
+    let checked_mul x y =
+      if x = 0 || y = 0 then 0
+      else if (x = -1 && y = min_int) || (y = -1 && x = min_int) then
+        (* min_int / -1 wraps, so the division check below misses it *)
+        overflow ()
+      else begin
+        let r = x * y in
+        if r / x <> y then overflow () else r
+      end
+    in
     match (op : Ast.arith_op) with
-    | Add -> [ Item.of_int (x + y) ]
-    | Sub -> [ Item.of_int (x - y) ]
-    | Mul -> [ Item.of_int (x * y) ]
+    | Add -> [ Item.of_int (checked_add x y) ]
+    | Sub -> [ Item.of_int (checked_sub x y) ]
+    | Mul -> [ Item.of_int (checked_mul x y) ]
     | Div ->
       if y = 0 then Xerror.fail FOAR0001 "division by zero"
       else [ Item.Atomic (Atomic.Dec (float_of_int x /. float_of_int y)) ]

@@ -59,6 +59,24 @@ let test_matches axis test node =
 
 (* --- main evaluator ---------------------------------------------------- *)
 
+(* May [e] be evaluated concurrently on several domains? The evaluator
+   is functional except for node construction ([Node.fresh_id] bumps a
+   global non-atomic counter), so an expression is parallel-safe when it
+   constructs no nodes anywhere — including inside the functions it
+   calls. User function bodies are opaque here, so any call resolved by
+   the context disqualifies; builtins are safe except the registry
+   readers and [fn:trace] (observable output order). Conservative by
+   design: grouping falls back to sequential key evaluation, never the
+   other way. *)
+let parallel_safe ctx e =
+  (not (Ast_utils.constructs_nodes e))
+  && List.for_all
+       (fun ((name : Xname.t), arity) ->
+         Context.find_function ctx name arity = None
+         && Xname.is_default_fn name
+         && not (List.mem name.Xname.local [ "doc"; "collection"; "trace" ]))
+       (Ast_utils.call_sites e)
+
 let rec eval ctx (e : Ast.expr) : Xseq.t =
   match e with
   | Literal a -> [ Item.Atomic a ]
@@ -492,20 +510,30 @@ and eval_group_by ctx tuples (g : Ast.group_clause) =
     let tctx = ctx_with_tuple ctx tuple in
     List.map (fun (k : Ast.group_key) -> eval tctx k.key_expr) g.keys
   in
+  let parallel = Xq_par.Par.default_degree () in
+  let parallel_keys =
+    parallel > 1
+    && List.for_all
+         (fun (k : Ast.group_key) -> parallel_safe ctx k.key_expr)
+         g.keys
+  in
   let any_using =
     List.exists (fun (k : Ast.group_key) -> k.using <> None) g.keys
   in
   let groups =
-    if not any_using then Group.group_hash ~keys_of tuples
+    if not any_using then
+      Group.group_hash ~parallel ~parallel_keys ~keys_of tuples
     else begin
       let comparators =
         Array.of_list
           (List.map
              (fun (k : Ast.group_key) ->
                match k.using with
-               | None -> fun a b -> Deep_equal.sequences a b
+               | None ->
+                 fun (a : Key.single) (b : Key.single) -> Key.equal_single a b
                | Some fname ->
-                 fun a b ->
+                 fun (a : Key.single) (b : Key.single) ->
+                   let a = a.Key.orig and b = b.Key.orig in
                    let result =
                      match Context.find_function ctx fname 2 with
                      | Some f -> apply_user_function ctx f [ a; b ]
@@ -520,7 +548,7 @@ and eval_group_by ctx tuples (g : Ast.group_clause) =
                    Xseq.effective_boolean_value result)
              g.keys)
       in
-      Group.group_scan ~keys_of
+      Group.group_scan ~parallel ~parallel_keys ~keys_of
         ~equal:(fun i a b -> comparators.(i) a b)
         tuples
     end

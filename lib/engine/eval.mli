@@ -8,6 +8,13 @@ open Xq_lang
 (** Evaluate an expression in a context. *)
 val eval : Context.t -> Ast.expr -> Xseq.t
 
+(** True when evaluating the expression concurrently on several domains
+    is safe: it constructs no nodes (node ids come from a global
+    non-atomic counter) and calls no user functions nor the
+    registry-reading or tracing builtins. Conservative — used to decide
+    whether grouping may evaluate key expressions on the {!Par} pool. *)
+val parallel_safe : Context.t -> Ast.expr -> bool
+
 (** Expand one FLWOR tuple (as variable/value bindings) into one tuple
     per window of the clause — exposed for the algebra executor so both
     back ends share the XQuery 3.0 window semantics. *)

@@ -1,27 +1,65 @@
 open Xq_xdm
+module Par = Xq_par.Par
 
 type 'a group = { keys : Xseq.t list; members : 'a list }
 
-type 'a cell = { c_keys : Xseq.t list; mutable rev_members : 'a list }
+(* Parallelism thresholds: below these sizes a fork-join round costs more
+   than it saves, so the sequential path runs even when a degree > 1 is
+   requested. Deliberately low so small randomized test workloads still
+   exercise the parallel code paths. *)
+let par_keys_min_chunk = 16
+let par_build_min = 32
+let par_sort_min_chunk = 32
 
-let finalize order =
-  List.rev_map
-    (fun cell -> { keys = cell.c_keys; members = List.rev cell.rev_members })
-    order
-
-let hash_keys keys = Hashtbl.hash (List.map Deep_equal.hash_sequence keys)
-
-let keys_deep_equal a b = List.for_all2 Deep_equal.sequences a b
+let hash_keys keys =
+  List.fold_left
+    (fun h k -> Key.mix h (Deep_equal.hash_sequence k))
+    (Key.mix Key.hash_seed (List.length keys))
+    keys
 
 let tick = function Some r -> incr r | None -> ()
 
-let group_hash ?(hash = hash_keys) ?tally ~keys_of tuples =
+(* --- canonicalization --------------------------------------------------- *)
+
+(* Evaluate and canonicalize every tuple's key list. Key evaluation runs
+   on the pool only when the caller vouches it is thread-safe
+   ([parallel_keys] — the evaluator checks the key expressions construct
+   no nodes); canonicalization itself only reads the tree and always
+   parallelizes. *)
+let canonicalized ~parallel ~parallel_keys ~keys_of tuples =
+  let arr = Array.of_list tuples in
+  if parallel > 1 && parallel_keys then
+    Par.map ~degree:parallel ~min_chunk:par_keys_min_chunk
+      (fun t -> (Key.canonicalize (keys_of t), t))
+      arr
+  else begin
+    let keys = Array.map keys_of arr in
+    let canon =
+      Par.map ~degree:parallel ~min_chunk:par_keys_min_chunk Key.canonicalize
+        keys
+    in
+    Array.map2 (fun k t -> (k, t)) canon arr
+  end
+
+(* --- hash-based building ------------------------------------------------ *)
+
+type 'a cell = {
+  c_key : Key.t;
+  c_first : int; (* input index of the first member — the group's rank *)
+  mutable rev_members : 'a list;
+}
+
+(* One hash-grouping pass over the indices whose hash [accept]s; buckets
+   key on the full hash value, probes compare canonical keys. Returns
+   cells in first-encounter order. *)
+let build_seq ?tally keyed hashes accept =
   let table : (int, 'a cell list ref) Hashtbl.t = Hashtbl.create 64 in
   let order = ref [] in
-  List.iter
-    (fun tuple ->
-      let keys = keys_of tuple in
-      let h = hash keys in
+  let n = Array.length keyed in
+  for i = 0 to n - 1 do
+    let h = hashes.(i) in
+    if accept h then begin
+      let key, tuple = keyed.(i) in
       let bucket =
         match Hashtbl.find_opt table h with
         | Some b -> b
@@ -34,162 +72,119 @@ let group_hash ?(hash = hash_keys) ?tally ~keys_of tuples =
         List.find_opt
           (fun cell ->
             tick tally;
-            keys_deep_equal cell.c_keys keys)
+            Key.equal cell.c_key key)
           !bucket
       with
       | Some cell -> cell.rev_members <- tuple :: cell.rev_members
       | None ->
-        let cell = { c_keys = keys; rev_members = [ tuple ] } in
+        let cell = { c_key = key; c_first = i; rev_members = [ tuple ] } in
         bucket := cell :: !bucket;
-        order := cell :: !order)
-    tuples;
-  finalize !order
+        order := cell :: !order
+    end
+  done;
+  List.rev !order
 
-let group_scan ?tally ~keys_of ~equal tuples =
+(* Hash-partitioned parallel build: domain [j] owns the tuples whose key
+   hash is ≡ j (mod degree), so equal keys always land in one partition
+   and each partition's Hashtbl sees exactly the probes the sequential
+   build would have made for those tuples — the summed tally is
+   identical. The merged group order (ascending first-member index) is
+   the sequential first-encounter order. *)
+let build ?tally ~parallel keyed hashes =
+  let n = Array.length keyed in
+  let p = if n >= par_build_min then max 1 (min parallel n) else 1 in
+  if p <= 1 then build_seq ?tally keyed hashes (fun _ -> true)
+  else begin
+    let parts = Array.make p [] in
+    let tallies = Array.make p 0 in
+    Par.run_tasks
+      (Array.init p (fun j ->
+           fun () ->
+             let t = ref 0 in
+             parts.(j) <-
+               build_seq ~tally:t keyed hashes (fun h -> (h land max_int) mod p = j);
+             tallies.(j) <- !t));
+    (match tally with
+     | Some r -> r := !r + Array.fold_left ( + ) 0 tallies
+     | None -> ());
+    List.sort
+      (fun a b -> Int.compare a.c_first b.c_first)
+      (List.concat (Array.to_list parts))
+  end
+
+let to_groups cells =
+  List.map
+    (fun c -> { keys = Key.originals c.c_key; members = List.rev c.rev_members })
+    cells
+
+(* --- strategies --------------------------------------------------------- *)
+
+let group_hash ?hash ?tally ?(parallel = 1) ?(parallel_keys = false) ~keys_of
+    tuples =
+  let keyed = canonicalized ~parallel ~parallel_keys ~keys_of tuples in
+  let hashes =
+    match hash with
+    | None -> Array.map (fun (k, _) -> Key.hash k) keyed
+    | Some h -> Array.map (fun (k, _) -> h (Key.originals k)) keyed
+  in
+  to_groups (build ?tally ~parallel keyed hashes)
+
+let group_sort ?tally ?(sorted_output = false) ?(parallel = 1)
+    ?(parallel_keys = false) ~keys_of tuples =
+  let keyed = canonicalized ~parallel ~parallel_keys ~keys_of tuples in
+  let hashes = Array.map (fun (k, _) -> Key.hash k) keyed in
+  let cells = build ?tally ~parallel keyed hashes in
+  let cells =
+    if not sorted_output then cells
+    else begin
+      (* Only the group representatives are sorted — g·log g canonical
+         comparisons instead of PR 1's n·log n subtree-walking ones. The
+         sort is stable and cells arrive in first-encounter order, so
+         ties (distinct keys the preorder conflates) keep exactly the
+         order the old sort-the-tuples implementation produced. *)
+      let arr = Array.of_list cells in
+      Par.sort ~degree:parallel ~min_chunk:par_sort_min_chunk
+        (fun a b ->
+          tick tally;
+          Key.compare a.c_key b.c_key)
+        arr;
+      Array.to_list arr
+    end
+  in
+  to_groups cells
+
+let group_scan ?tally ?(parallel = 1) ?(parallel_keys = false) ~keys_of ~equal
+    tuples =
+  let keyed = canonicalized ~parallel ~parallel_keys ~keys_of tuples in
   let order = ref [] in
-  List.iter
-    (fun tuple ->
-      (* hoist the key list once per tuple; compare against a candidate
-         cell without rebuilding index/pair lists, short-circuiting on a
-         length mismatch (unequal arity can never match) *)
-      let keys = keys_of tuple in
+  Array.iter
+    (fun ((key : Key.t), tuple) ->
+      (* compare against each existing group's representative, one key
+         position at a time, short-circuiting on the first mismatch
+         (unequal arity can never match) *)
+      let ks = key.Key.singles in
+      let nk = Array.length ks in
       let same cell =
-        let rec go i ks cs =
-          match ks, cs with
-          | [], [] -> true
-          | k :: ks, c :: cs ->
+        let cs = cell.c_key.Key.singles in
+        let nc = Array.length cs in
+        let rec go i =
+          if i >= nk && i >= nc then true
+          else if i >= nk || i >= nc then false
+          else begin
             tick tally;
-            equal i k c && go (i + 1) ks cs
-          | [], _ :: _ | _ :: _, [] -> false
+            equal i ks.(i) cs.(i) && go (i + 1)
+          end
         in
-        go 0 keys cell.c_keys
+        go 0
       in
       match List.find_opt same !order with
       | Some cell -> cell.rev_members <- tuple :: cell.rev_members
-      | None -> order := { c_keys = keys; rev_members = [ tuple ] } :: !order)
-    tuples;
-  (* !order is newest-first; finalize reverses *)
-  finalize !order
-
-(* --- sort-based grouping ------------------------------------------------- *)
-
-(* A total preorder on key lists, consistent with deep-equal: deep-equal
-   keys always compare 0 (the converse need not hold — a run that
-   conflates distinct keys is split by a deep-equal pass afterwards, so
-   the groups produced are exactly the hash strategy's). Nodes sort by
-   string value; untyped sorts with strings; all numerics sort on one
-   axis so Int/Dec/Dbl values that deep-equal land together. *)
-
-let atom_rank = function
-  | Atomic.Bool _ -> 0
-  | Atomic.Int _ | Atomic.Dec _ | Atomic.Dbl _ -> 1
-  | Atomic.Untyped _ | Atomic.Str _ -> 2
-  | Atomic.DateTime _ -> 3
-  | Atomic.Date _ -> 4
-  | Atomic.QName _ -> 5
-
-let compare_atoms a b =
-  let ra = atom_rank a and rb = atom_rank b in
-  if ra <> rb then Int.compare ra rb
-  else
-    match a, b with
-    | Atomic.Bool x, Atomic.Bool y -> Bool.compare x y
-    | ( (Atomic.Int _ | Atomic.Dec _ | Atomic.Dbl _),
-        (Atomic.Int _ | Atomic.Dec _ | Atomic.Dbl _) ) ->
-      let is_nan = function
-        | Atomic.Dec f | Atomic.Dbl f -> Float.is_nan f
-        | _ -> false
-      in
-      (match is_nan a, is_nan b with
-       | true, true -> 0
-       | true, false -> -1
-       | false, true -> 1
-       | false, false -> Float.compare (Atomic.number a) (Atomic.number b))
-    | (Atomic.Untyped x | Atomic.Str x), (Atomic.Untyped y | Atomic.Str y) ->
-      String.compare x y
-    | Atomic.DateTime x, Atomic.DateTime y -> Xdatetime.compare_date_time x y
-    | Atomic.Date x, Atomic.Date y -> Xdatetime.compare_date x y
-    | Atomic.QName x, Atomic.QName y -> Xname.compare x y
-    | _ -> 0 (* unreachable: differing ranks are handled above *)
-
-let item_sort_atom = function
-  | Item.Atomic a -> a
-  | Item.Node _ as it -> Atomic.Str (Item.string_value it)
-
-let compare_sequences a b =
-  let rec go a b =
-    match a, b with
-    | [], [] -> 0
-    | [], _ :: _ -> -1
-    | _ :: _, [] -> 1
-    | x :: xs, y :: ys ->
-      let c = compare_atoms (item_sort_atom x) (item_sort_atom y) in
-      if c <> 0 then c else go xs ys
-  in
-  go a b
-
-let compare_key_lists a b =
-  let rec go a b =
-    match a, b with
-    | [], [] -> 0
-    | [], _ :: _ -> -1
-    | _ :: _, [] -> 1
-    | x :: xs, y :: ys ->
-      let c = compare_sequences x y in
-      if c <> 0 then c else go xs ys
-  in
-  go a b
-
-let group_sort ?tally ?(sorted_output = false) ~keys_of tuples =
-  let decorated = List.mapi (fun i tuple -> (i, keys_of tuple, tuple)) tuples in
-  let sorted =
-    List.stable_sort
-      (fun (_, ka, _) (_, kb, _) ->
-        tick tally;
-        compare_key_lists ka kb)
-      decorated
-  in
-  (* After the stable sort, equal-comparing keys are adjacent and their
-     tuples are in input order. Emit cells from the runs, splitting each
-     run with deep-equal so sort-order conflations never merge groups. *)
-  let cells = ref [] in (* (first input index, cell), newest run first *)
-  let run_repr = ref None in
-  let run_cells = ref [] in
-  let flush () =
-    cells := !run_cells @ !cells;
-    run_cells := []
-  in
-  List.iter
-    (fun (i, keys, tuple) ->
-      let same_run =
-        match !run_repr with
-        | None -> false
-        | Some repr ->
-          tick tally;
-          compare_key_lists repr keys = 0
-      in
-      if not same_run then begin
-        flush ();
-        run_repr := Some keys
-      end;
-      match
-        List.find_opt
-          (fun (_, cell) ->
-            tick tally;
-            keys_deep_equal cell.c_keys keys)
-          !run_cells
-      with
-      | Some (_, cell) -> cell.rev_members <- tuple :: cell.rev_members
       | None ->
-        run_cells :=
-          (i, { c_keys = keys; rev_members = [ tuple ] }) :: !run_cells)
-    sorted;
-  flush ();
-  let in_emit_order =
-    if sorted_output then List.rev !cells
-    else List.sort (fun (i, _) (j, _) -> Int.compare i j) !cells
-  in
-  List.map
-    (fun (_, cell) ->
-      { keys = cell.c_keys; members = List.rev cell.rev_members })
-    in_emit_order
+        order := { c_key = key; c_first = 0; rev_members = [ tuple ] } :: !order)
+    keyed;
+  (* !order is newest-first *)
+  to_groups (List.rev !order)
+
+(* --- raw key-list comparison (tests) ------------------------------------ *)
+
+let compare_key_lists a b = Key.compare (Key.canonicalize a) (Key.canonicalize b)

@@ -8,11 +8,23 @@
       each tuple against the representatives of the existing groups with
       the per-key equality (user functions are opaque, so no hashing is
       possible);
-    - {!group_sort}: an alternative to {!group_hash} — sort tuples by a
-      total order on atomized keys, emit groups from equal runs,
-      splitting any run the sort order conflates with the same
-      deep-equal the hash strategy uses, so the groups (and, by default,
-      their order) are identical to {!group_hash}'s.
+    - {!group_sort}: an alternative to {!group_hash} — identical groups
+      in identical order, but able to emit groups in key order so a
+      downstream sort on the keys can be elided.
+
+    Every strategy first canonicalizes each tuple's key list exactly once
+    ({!Key.canonicalize}): key node subtrees are walked a single time,
+    after which all equality tests and sort comparisons run on canonical
+    keys (hash fast-reject + string compare) — no strategy re-walks a
+    subtree or re-stringifies a node per comparison.
+
+    With [parallel] > 1 the strategies use the {!Par} domain pool:
+    canonicalization is chunked, the hash build is hash-partitioned with
+    a deterministic first-encounter-order merge, and the sorted-output
+    sort is a parallel stable merge sort. Output is byte-identical at
+    any degree; [parallel_keys] additionally evaluates [keys_of] on the
+    pool and must only be set when the caller knows the key expressions
+    are thread-safe (no node construction).
 
     All strategies preserve first-occurrence order of groups and the
     input order of members within each group (which is what the [nest]
@@ -27,40 +39,51 @@ type 'a group = {
 }
 
 (** The bucket hash used by {!group_hash}: consistent with deep-equal
-    (deep-equal key lists hash equally). Exposed so tests can force
+    (deep-equal key lists hash equally). Per-key hashes are combined
+    with {!Key.mix}, so wide key lists don't collapse through a single
+    bounded [Hashtbl.hash] pass. Exposed so tests can force
     collisions. *)
 val hash_keys : Xseq.t list -> int
 
 (** [tally], on every strategy, counts comparator work: one increment
-    per equality test / comparator invocation. [hash] overrides the
-    bucket hash (tests use a constant to force collisions). *)
+    per equality test / comparator invocation (identical at any
+    [parallel] degree). [hash] overrides the bucket hash (tests use a
+    constant to force collisions). *)
 val group_hash :
   ?hash:(Xseq.t list -> int) ->
   ?tally:int ref ->
+  ?parallel:int ->
+  ?parallel_keys:bool ->
   keys_of:('a -> Xseq.t list) ->
   'a list ->
   'a group list
 
-(** [equal i] compares values of the [i]-th key. *)
+(** [equal i] compares canonicalized values of the [i]-th key (their
+    original sequences are in [Key.orig]). *)
 val group_scan :
   ?tally:int ref ->
+  ?parallel:int ->
+  ?parallel_keys:bool ->
   keys_of:('a -> Xseq.t list) ->
-  equal:(int -> Xseq.t -> Xseq.t -> bool) ->
+  equal:(int -> Key.single -> Key.single -> bool) ->
   'a list ->
   'a group list
 
 (** Sort-based grouping. With [sorted_output:false] (the default) the
     result is identical to {!group_hash} — groups in first-occurrence
-    order; with [sorted_output:true] groups stay in ascending key order
-    (the order the sort produced), which lets a downstream sort on the
-    same keys be elided. *)
+    order; with [sorted_output:true] groups stay in ascending key order,
+    which lets a downstream sort on the same keys be elided. Only the
+    group representatives are sorted (g·log g canonical comparisons),
+    not the n tuples. *)
 val group_sort :
   ?tally:int ref ->
   ?sorted_output:bool ->
+  ?parallel:int ->
+  ?parallel_keys:bool ->
   keys_of:('a -> Xseq.t list) ->
   'a list ->
   'a group list
 
-(** The total preorder {!group_sort} sorts by — deep-equal key lists
-    always compare 0. Exposed for tests. *)
+(** The total preorder the sort strategy orders groups by — deep-equal
+    key lists always compare 0. Exposed for tests. *)
 val compare_key_lists : Xseq.t list -> Xseq.t list -> int

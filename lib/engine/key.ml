@@ -1,0 +1,237 @@
+open Xq_xdm
+
+(* Canonical grouping keys.
+
+   Grouping compares each tuple's key list against many others — with
+   deep-equal semantics, and (for the sort strategy) under a total
+   preorder consistent with deep-equal. Both used to re-walk key node
+   subtrees on every single comparison. A canonical key walks each node
+   exactly once, producing:
+
+   - [fp]: a fingerprint string that characterizes the node's
+     deep-equal class exactly — two nodes are [Deep_equal.nodes]-equal
+     iff their fingerprints are equal strings. The encoding is an
+     injective, length-prefixed serialization of precisely the features
+     deep-equal inspects (kinds, element/attribute names via
+     [Xname.equal], attributes as the same sorted [(to_string, value)]
+     pairs [Deep_equal.attrs_equal] compares, text content, and
+     significant children only — comments and PIs inside element content
+     are skipped, mirroring [Deep_equal.significant_children]).
+   - [sv]: the node's string value, memoized so the sort strategy's
+     order (nodes order by string value, exactly as before) costs a
+     string compare instead of a subtree walk.
+
+   Atomic items stay as themselves: [Atomic.deep_eq] is already O(1),
+   and large integers must keep exact 63-bit comparison semantics. *)
+
+type canon =
+  | CAtom of Atomic.t
+  | CNode of { fp : string; sv : string }
+
+type single = { orig : Xseq.t; items : canon array; h : int }
+
+type t = { singles : single array; hash : int }
+
+(* --- instrumentation: how many node subtrees were materialized -------- *)
+
+let walks = Stdlib.Atomic.make 0
+let walk_count () = Stdlib.Atomic.get walks
+let reset_walk_count () = Stdlib.Atomic.set walks 0
+
+(* --- hashing ----------------------------------------------------------- *)
+
+(* FNV-1a-style fold mixer: every ingredient influences the result, so
+   wide key lists cannot degenerate the way a single [Hashtbl.hash] over
+   a long list does (it samples a bounded number of nodes). *)
+let hash_seed = 0x811c9dc5
+let mix h x = (h * 0x01000193) lxor x
+
+(* --- node fingerprints ------------------------------------------------- *)
+
+let add_field buf tag s =
+  Buffer.add_char buf tag;
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let fingerprint n0 =
+  Stdlib.Atomic.incr walks;
+  let fb = Buffer.create 64 and sb = Buffer.create 32 in
+  let add_name fb n =
+    (match n.Xname.prefix with
+     | None -> Buffer.add_char fb 'n'
+     | Some p -> add_field fb 'p' p);
+    add_field fb 'l' n.Xname.local
+  in
+  (* deep-equal compares attributes as sorted (Xname.to_string, value)
+     pairs — reproduce that exact keying, quirks included *)
+  let attr_entries n =
+    List.sort compare
+      (List.map
+         (fun a ->
+           ( (match Node.name a with
+              | Some nm -> Xname.to_string nm
+              | None -> ""),
+             Node.attribute_value a ))
+         (Node.attributes n))
+  in
+  let rec go n =
+    match Node.kind n with
+    | Node.Document ->
+      Buffer.add_char fb 'D';
+      children n
+    | Node.Element ->
+      Buffer.add_char fb 'E';
+      (match Node.name n with Some nm -> add_name fb nm | None -> ());
+      List.iter
+        (fun (k, v) ->
+          add_field fb 'a' k;
+          add_field fb 'v' v)
+        (attr_entries n);
+      children n
+    | Node.Text ->
+      let t = Node.text_content n in
+      add_field fb 'T' t;
+      Buffer.add_string sb t
+    | Node.Comment -> add_field fb 'C' (Node.comment_text n)
+    | Node.Pi ->
+      add_field fb 'P' (Node.pi_target n);
+      add_field fb 'd' (Node.pi_data n)
+    | Node.Attribute ->
+      (match Node.name n with Some nm -> add_name fb nm | None -> ());
+      add_field fb 'A' (Node.attribute_value n)
+  and children n =
+    Buffer.add_char fb '(';
+    List.iter
+      (fun c ->
+        match Node.kind c with
+        | Node.Comment | Node.Pi -> () (* insignificant for deep-equal *)
+        | Node.Document | Node.Element | Node.Attribute | Node.Text -> go c)
+      (Node.children n);
+    Buffer.add_char fb ')'
+  in
+  go n0;
+  let sv =
+    match Node.kind n0 with
+    | Node.Attribute -> Node.attribute_value n0
+    | Node.Comment -> Node.comment_text n0
+    | Node.Pi -> Node.pi_data n0
+    | Node.Document | Node.Element | Node.Text -> Buffer.contents sb
+  in
+  (Buffer.contents fb, sv)
+
+(* --- canonicalization --------------------------------------------------- *)
+
+let canon_of_item = function
+  | Item.Atomic a -> CAtom a
+  | Item.Node n ->
+    let fp, sv = fingerprint n in
+    CNode { fp; sv }
+
+let canon_hash = function
+  | CAtom a -> Atomic.hash a
+  | CNode { fp; _ } -> Hashtbl.hash fp
+
+let canonicalize_single (seq : Xseq.t) =
+  let items = Array.of_list (List.map canon_of_item seq) in
+  let h =
+    Array.fold_left
+      (fun h c -> mix h (canon_hash c))
+      (mix hash_seed (Array.length items))
+      items
+  in
+  { orig = seq; items; h }
+
+let canonicalize (keys : Xseq.t list) =
+  let singles = Array.of_list (List.map canonicalize_single keys) in
+  let hash =
+    Array.fold_left
+      (fun h s -> mix h s.h)
+      (mix hash_seed (Array.length singles))
+      singles
+  in
+  { singles; hash }
+
+let originals k = Array.to_list (Array.map (fun s -> s.orig) k.singles)
+let hash k = k.hash
+
+(* --- equality (deep-equal semantics) ------------------------------------ *)
+
+let canon_equal a b =
+  match a, b with
+  | CAtom x, CAtom y -> Atomic.deep_eq x y
+  | CNode x, CNode y -> String.equal x.fp y.fp
+  | CAtom _, CNode _ | CNode _, CAtom _ -> false
+
+let arrays_for_all2 eq a b =
+  let n = Array.length a in
+  n = Array.length b
+  &&
+  let rec go i = i >= n || (eq (Array.unsafe_get a i) (Array.unsafe_get b i) && go (i + 1)) in
+  go 0
+
+let equal_single a b = a.h = b.h && arrays_for_all2 canon_equal a.items b.items
+
+let equal a b =
+  a.hash = b.hash && arrays_for_all2 equal_single a.singles b.singles
+
+(* --- total preorder (sort strategy) ------------------------------------- *)
+
+(* Same order as PR 1's [Group.compare_key_lists]: nodes sort by string
+   value; untyped sorts with strings; all numerics on one axis so
+   Int/Dec/Dbl values that deep-equal land together; NaN sorts least
+   among numerics. Deep-equal keys always compare 0; the converse need
+   not hold (runs the order conflates are split by {!equal}). *)
+
+let atom_rank = function
+  | Atomic.Bool _ -> 0
+  | Atomic.Int _ | Atomic.Dec _ | Atomic.Dbl _ -> 1
+  | Atomic.Untyped _ | Atomic.Str _ -> 2
+  | Atomic.DateTime _ -> 3
+  | Atomic.Date _ -> 4
+  | Atomic.QName _ -> 5
+
+let compare_atoms a b =
+  let ra = atom_rank a and rb = atom_rank b in
+  if ra <> rb then Int.compare ra rb
+  else
+    match a, b with
+    | Atomic.Bool x, Atomic.Bool y -> Bool.compare x y
+    | ( (Atomic.Int _ | Atomic.Dec _ | Atomic.Dbl _),
+        (Atomic.Int _ | Atomic.Dec _ | Atomic.Dbl _) ) ->
+      let is_nan = function
+        | Atomic.Dec f | Atomic.Dbl f -> Float.is_nan f
+        | _ -> false
+      in
+      (match is_nan a, is_nan b with
+       | true, true -> 0
+       | true, false -> -1
+       | false, true -> 1
+       | false, false -> Float.compare (Atomic.number a) (Atomic.number b))
+    | (Atomic.Untyped x | Atomic.Str x), (Atomic.Untyped y | Atomic.Str y) ->
+      String.compare x y
+    | Atomic.DateTime x, Atomic.DateTime y -> Xdatetime.compare_date_time x y
+    | Atomic.Date x, Atomic.Date y -> Xdatetime.compare_date x y
+    | Atomic.QName x, Atomic.QName y -> Xname.compare x y
+    | _ -> 0 (* unreachable: differing ranks are handled above *)
+
+let sort_atom = function
+  | CAtom a -> a
+  | CNode { sv; _ } -> Atomic.Str sv
+
+let compare_canon a b = compare_atoms (sort_atom a) (sort_atom b)
+
+let compare_arrays cmp a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = cmp a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let compare_single a b = compare_arrays compare_canon a.items b.items
+let compare a b = compare_arrays compare_single a.singles b.singles

@@ -1,0 +1,66 @@
+(** Canonical grouping keys.
+
+    A canonical key is built from a tuple's key list exactly once:
+    node items are atomized into a deep-equal-exact fingerprint plus a
+    memoized string value, and a deep-equal-consistent hash and sort
+    atom are precomputed. After canonicalization no grouping strategy
+    re-walks a key subtree — equality is a hash fast-reject plus string
+    compare, ordering is a string/float compare.
+
+    Invariants (checked by [test/test_key.ml] qcheck properties):
+    - {!equal} coincides exactly with [Deep_equal.sequences] over the
+      original key lists;
+    - deep-equal keys have equal {!hash};
+    - {!compare} is a total preorder in which deep-equal keys compare 0,
+      identical to PR 1's [Group.compare_key_lists] order. *)
+
+open Xq_xdm
+
+(** One canonicalized item. *)
+type canon =
+  | CAtom of Atomic.t
+  | CNode of { fp : string; sv : string }
+      (** [fp]: injective encoding of the node's deep-equal class;
+          [sv]: its string value (the sort key for nodes). *)
+
+(** One canonicalized key sequence (the value of one [group by] key). *)
+type single = { orig : Xseq.t; items : canon array; h : int }
+
+(** A canonicalized key list (all keys of one tuple). *)
+type t = { singles : single array; hash : int }
+
+val canonicalize : Xseq.t list -> t
+
+(** The original key sequences, unchanged (representative values for the
+    grouping variables). *)
+val originals : t -> Xseq.t list
+
+val hash : t -> int
+val equal : t -> t -> bool
+val equal_single : single -> single -> bool
+
+(** Total preorder consistent with deep-equal (see module doc). *)
+val compare : t -> t -> int
+
+val compare_single : single -> single -> int
+
+(** Order on raw atoms underlying {!compare} — exposed for the executor's
+    reuse and for tests. *)
+val compare_atoms : Atomic.t -> Atomic.t -> int
+
+(** {1 Hash mixing}
+
+    FNV-1a-style fold, used to combine per-key hashes so wide key lists
+    don't collapse through a single bounded [Hashtbl.hash] pass. *)
+
+val hash_seed : int
+val mix : int -> int -> int
+
+(** {1 Instrumentation}
+
+    A process-wide counter of node-subtree materializations (fingerprint
+    walks). EXPLAIN ANALYZE reports the per-operator delta; tests assert
+    grouping walks each key node exactly once. *)
+
+val walk_count : unit -> int
+val reset_walk_count : unit -> unit

@@ -135,3 +135,92 @@ let rec pure e =
   | Sequence es -> List.for_all pure es
   | If (c, a, b) -> pure c && pure a && pure b
   | _ -> false
+
+(* Apply [f] to [e] and every subexpression, scope-blind (no binding
+   tracking — callers only inspect syntactic features). *)
+let rec iter_exprs f e =
+  f e;
+  match e with
+  | Literal _ | Var _ | Context_item | Root -> ()
+  | Sequence es -> List.iter (iter_exprs f) es
+  | Range (a, b) | Arith (_, a, b) | General_cmp (_, a, b)
+  | Value_cmp (_, a, b) | Node_cmp (_, a, b) | And (a, b) | Or (a, b)
+  | Union (a, b) | Intersect (a, b) | Except (a, b) | Slash (a, b)
+  | Comp_elem (a, b) | Comp_attr (a, b) ->
+    iter_exprs f a;
+    iter_exprs f b
+  | Neg a | Comp_text a
+  | Instance_of (a, _) | Treat_as (a, _) | Castable_as (a, _)
+  | Cast_as (a, _) ->
+    iter_exprs f a
+  | If (a, b, c) ->
+    iter_exprs f a;
+    iter_exprs f b;
+    iter_exprs f c
+  | Quantified (_, binds, body) ->
+    List.iter (fun (_, src) -> iter_exprs f src) binds;
+    iter_exprs f body
+  | Step (_, _, preds) -> List.iter (iter_exprs f) preds
+  | Filter (e, preds) ->
+    iter_exprs f e;
+    List.iter (iter_exprs f) preds
+  | Call (_, args) -> List.iter (iter_exprs f) args
+  | Direct_elem d -> iter_direct f d
+  | Flwor fl -> iter_flwor f fl
+
+and iter_direct f d =
+  List.iter
+    (fun a ->
+      List.iter
+        (function Attr_text _ -> () | Attr_expr e -> iter_exprs f e)
+        a.attr_value)
+    d.attrs;
+  List.iter
+    (function
+      | Content_text _ | Content_comment _ -> ()
+      | Content_expr e -> iter_exprs f e
+      | Content_elem child -> iter_direct f child)
+    d.content
+
+and iter_flwor f fl =
+  List.iter
+    (fun clause ->
+      match clause with
+      | For bindings -> List.iter (fun fb -> iter_exprs f fb.for_src) bindings
+      | Let bindings -> List.iter (fun (_, e) -> iter_exprs f e) bindings
+      | Where e -> iter_exprs f e
+      | Count _ -> ()
+      | Window w ->
+        iter_exprs f w.w_src;
+        iter_exprs f w.w_start.wc_when;
+        (match w.w_end with
+         | Some { we_cond; _ } -> iter_exprs f we_cond.wc_when
+         | None -> ())
+      | Order_by { specs; _ } -> List.iter (fun (e, _) -> iter_exprs f e) specs
+      | Group_by g ->
+        List.iter (fun k -> iter_exprs f k.key_expr) g.keys;
+        List.iter
+          (fun n ->
+            iter_exprs f n.nest_expr;
+            List.iter (fun (e, _) -> iter_exprs f e) n.nest_order)
+          g.nests)
+    fl.clauses;
+  iter_exprs f fl.return_expr
+
+let constructs_nodes e =
+  let found = ref false in
+  iter_exprs
+    (function
+      | Direct_elem _ | Comp_elem _ | Comp_attr _ | Comp_text _ -> found := true
+      | _ -> ())
+    e;
+  !found
+
+let call_sites e =
+  let acc = ref [] in
+  iter_exprs
+    (function
+      | Call (name, args) -> acc := (name, List.length args) :: !acc
+      | _ -> ())
+    e;
+  !acc

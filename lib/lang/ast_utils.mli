@@ -18,3 +18,17 @@ val flwor_free_vars : Ast.flwor -> Sset.t
     arithmetic (division), casts, function calls and anything containing
     them. *)
 val pure : Ast.expr -> bool
+
+(** Apply a function to an expression and all its subexpressions
+    (scope-blind: bindings are not tracked). *)
+val iter_exprs : (Ast.expr -> unit) -> Ast.expr -> unit
+
+(** True when the expression contains any node constructor (direct or
+    computed). Constructors allocate fresh node ids off a global
+    counter, so expressions containing them must not be evaluated
+    concurrently. *)
+val constructs_nodes : Ast.expr -> bool
+
+(** Every function call in the expression, as [(name, arity)] pairs
+    (duplicates preserved, order unspecified). *)
+val call_sites : Ast.expr -> (Xq_xdm.Xname.t * int) list

@@ -185,13 +185,18 @@ module Exec = Xq_algebra.Exec
 module Optimizer = Xq_algebra.Optimizer
 
 let fmt_stat ~timings (e : Exec.Stats.entry) =
-  Printf.sprintf "  [in=%d out=%d%s%s%s]" e.Exec.Stats.rows_in
+  Printf.sprintf "  [in=%d out=%d%s%s%s%s%s]" e.Exec.Stats.rows_in
     e.Exec.Stats.rows_out
     (match e.Exec.Stats.groups_built with
      | Some g -> Printf.sprintf " groups=%d" g
      | None -> "")
     (if e.Exec.Stats.cmp_calls > 0 then
        Printf.sprintf " cmp=%d" e.Exec.Stats.cmp_calls
+     else "")
+    (if e.Exec.Stats.key_walks > 0 then
+       Printf.sprintf " walks=%d" e.Exec.Stats.key_walks
+     else "")
+    (if e.Exec.Stats.par > 1 then Printf.sprintf " par=%d" e.Exec.Stats.par
      else "")
     (if timings then Printf.sprintf " %.2fms" e.Exec.Stats.elapsed_ms else "")
 
@@ -217,8 +222,8 @@ let analyzed ?(timings = true) (plan : Plan.plan) (stats : Exec.Stats.t) =
     go 1 plan.Plan.pipeline outer_first;
     Buffer.contents buf
 
-let analyze_query ?(timings = true) ?(optimize = false) ?strategy ~context_node
-    (q : Ast.query) =
+let analyze_query ?(timings = true) ?(optimize = false) ?strategy ?parallel
+    ~context_node (q : Ast.query) =
   let strategy =
     match strategy with
     | Some s -> s
@@ -233,7 +238,7 @@ let analyze_query ?(timings = true) ?(optimize = false) ?strategy ~context_node
       let plan = Plan.of_flwor f in
       let plan = Optimizer.apply_strategy strategy plan in
       let plan = if optimize then Optimizer.optimize plan else plan in
-      let result, stats = Exec.run_instrumented ctx plan in
+      let result, stats = Exec.run_instrumented ?parallel ctx plan in
       total := !total + List.length result;
       Buffer.add_string buf (analyzed ~timings plan stats)
     | Sequence es -> List.iter go es

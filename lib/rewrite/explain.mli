@@ -15,8 +15,10 @@ val query : Ast.query -> string
 
     Renders the plan tree that actually executed, each operator
     annotated with its runtime counters — rows in/out, groups built,
-    comparator calls, and (unless [timings:false], which golden tests
-    use for determinism) per-operator CPU time. *)
+    comparator calls, key-subtree walks ([walks=], when any), the
+    domain-pool degree ([par=], when above 1), and (unless
+    [timings:false], which golden tests use for determinism)
+    per-operator CPU time. *)
 
 (** Render one executed plan with its statistics. *)
 val analyzed :
@@ -26,11 +28,13 @@ val analyzed :
     (non-FLWOR parts evaluate directly and are noted as such), ending
     with the total result cardinality. [strategy] defaults to
     [XQ_GROUP_STRATEGY] (else hash); [optimize] runs the plan
-    optimizer first. *)
+    optimizer first; [parallel] sets the domain-pool degree (default
+    [XQ_PARALLEL], else 1). *)
 val analyze_query :
   ?timings:bool ->
   ?optimize:bool ->
   ?strategy:Xq_algebra.Optimizer.group_strategy ->
+  ?parallel:int ->
   context_node:Xq_xdm.Node.t ->
   Ast.query ->
   string

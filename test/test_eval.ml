@@ -40,6 +40,23 @@ let arith_tests =
         q "1 to 4" "1 2 3 4" "range";
         q "3 to 1" "" "empty range";
         q "2 to 2" "2" "singleton");
+    (* 4611686018427387903 is max_int on a 64-bit OCaml (63-bit ints);
+       min_int can't appear as a literal, so it is built by subtraction. *)
+    test "integer overflow raises FOCA0002" (fun () ->
+        expect_error Xq_xdm.Xerror.FOCA0002 ~data "4611686018427387903 + 1"
+          "add overflow";
+        expect_error Xq_xdm.Xerror.FOCA0002 ~data
+          "(0 - 4611686018427387903 - 1) - 1" "sub overflow";
+        expect_error Xq_xdm.Xerror.FOCA0002 ~data "4611686018427387903 * 2"
+          "mul overflow";
+        expect_error Xq_xdm.Xerror.FOCA0002 ~data
+          "(0 - 4611686018427387903 - 1) * (0 - 1)" "min_int negation overflow");
+    test "boundary arithmetic that fits does not overflow" (fun () ->
+        q "4611686018427387902 + 1" "4611686018427387903" "to max_int";
+        q "0 - 4611686018427387903 - 1" "-4611686018427387904" "to min_int";
+        q "2305843009213693951 * 2" "4611686018427387902" "near-max mul";
+        q "(0 - 4611686018427387903 - 1) * 1" "-4611686018427387904"
+          "min_int * 1");
   ]
 
 (* --- comparisons ----------------------------------------------------------- *)

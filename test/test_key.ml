@@ -1,0 +1,210 @@
+(* Canonical grouping keys (Key), the grouping hash mixer and the
+   domain pool (Par).
+
+   The qcheck properties pin the Key invariants: canonical equality
+   coincides exactly with fn:deep-equal over the original sequences,
+   deep-equal keys get equal hashes and compare 0, and the order is
+   antisymmetric. The walk-counter tests assert the tentpole claim:
+   grouping materializes (walks / stringifies) each key node subtree
+   exactly once — comparisons and sorting never touch the tree again. *)
+
+open Xq_xdm
+module Key = Xq_engine.Key
+module Group = Xq_engine.Group
+module Par = Xq.Par
+
+let to_alcotest = QCheck_alcotest.to_alcotest
+let arb_sequence = Test_props.arb_sequence
+let arb_root = Test_props.arb_root
+
+(* --- canonical keys agree with deep-equal ------------------------------- *)
+
+let canon1 s = Key.canonicalize [ s ]
+
+let canonical_props =
+  [
+    QCheck.Test.make ~count:500
+      ~name:"canonical equality = deep-equal (atomic sequences)"
+      (QCheck.pair arb_sequence arb_sequence)
+      (fun (a, b) -> Key.equal (canon1 a) (canon1 b) = Deep_equal.sequences a b);
+    QCheck.Test.make ~count:300
+      ~name:"canonical equality = deep-equal (node sequences)"
+      (QCheck.pair arb_root arb_root)
+      (fun (n1, n2) ->
+        (* each root against the other, and against a fresh copy of
+           itself — copies exercise the equal case on distinct nodes *)
+        let agree a b =
+          Key.equal (canon1 a) (canon1 b) = Deep_equal.sequences a b
+        in
+        agree [ Item.Node n1 ] [ Item.Node n2 ]
+        && agree [ Item.Node n1 ] [ Item.Node (Node.copy n1) ]
+        && agree [ Item.Node n2 ] [ Item.Node (Node.copy n2) ]);
+    QCheck.Test.make ~count:500
+      ~name:"deep-equal keys: equal canonical hash and compare 0"
+      (QCheck.pair arb_sequence arb_sequence)
+      (fun (a, b) ->
+        (not (Deep_equal.sequences a b))
+        ||
+        let ka = canon1 a and kb = canon1 b in
+        Key.hash ka = Key.hash kb && Key.compare ka kb = 0);
+    QCheck.Test.make ~count:200
+      ~name:"node copy: equal canonical hash and compare 0" arb_root
+      (fun n ->
+        let ka = canon1 [ Item.Node n ]
+        and kb = canon1 [ Item.Node (Node.copy n) ] in
+        Key.equal ka kb && Key.hash ka = Key.hash kb && Key.compare ka kb = 0);
+    QCheck.Test.make ~count:300 ~name:"canonical compare is antisymmetric"
+      (QCheck.pair arb_sequence arb_sequence)
+      (fun (a, b) ->
+        let ka = canon1 a and kb = canon1 b in
+        compare (Key.compare ka kb) 0 = -compare (Key.compare kb ka) 0);
+  ]
+
+(* --- walk counter: each key node is materialized exactly once ------------ *)
+
+(* n tuples keyed by a <k>digit</k> element node; 7 distinct key values,
+   so groups have many members and the comparators run constantly. *)
+let node_tuples n =
+  List.init n (fun i ->
+      let node =
+        Xq_xml.Builder.(build (el_text "k" (string_of_int (i mod 7))))
+      in
+      (i, [ [ Item.Node node ] ]))
+
+let keys_of = snd
+
+let counting f =
+  Key.reset_walk_count ();
+  let r = f () in
+  (r, Key.walk_count ())
+
+let member_ids g = List.map fst g.Group.members
+let group_ids gs = List.map member_ids gs
+
+let walk_tests =
+  [
+    Alcotest.test_case "group_hash walks each key node exactly once" `Quick
+      (fun () ->
+        let tuples = node_tuples 200 in
+        let tally = ref 0 in
+        let groups, walks =
+          counting (fun () -> Group.group_hash ~tally ~keys_of tuples)
+        in
+        Alcotest.(check int) "groups" 7 (List.length groups);
+        Alcotest.(check int) "one walk per key node" 200 walks;
+        Alcotest.(check bool) "equality tests ran" true (!tally > 0));
+    Alcotest.test_case
+      "group_sort sorted output: sorting adds zero node walks" `Quick
+      (fun () ->
+        let tuples = node_tuples 200 in
+        let tally = ref 0 in
+        let groups, walks =
+          counting (fun () ->
+              Group.group_sort ~tally ~sorted_output:true ~keys_of tuples)
+        in
+        Alcotest.(check int) "groups" 7 (List.length groups);
+        (* the acceptance criterion: despite !tally comparator calls, no
+           comparison re-walks or re-stringifies a key subtree *)
+        Alcotest.(check int) "one walk per key node" 200 walks;
+        Alcotest.(check bool) "comparator ran" true (!tally > 0));
+    Alcotest.test_case "group_scan default equality: zero extra walks" `Quick
+      (fun () ->
+        let tuples = node_tuples 60 in
+        let groups, walks =
+          counting (fun () ->
+              Group.group_scan ~keys_of
+                ~equal:(fun _ a b -> Key.equal_single a b)
+                tuples)
+        in
+        Alcotest.(check int) "groups" 7 (List.length groups);
+        Alcotest.(check int) "one walk per key node" 60 walks);
+  ]
+
+(* --- parallel grouping: identical output and identical tallies ----------- *)
+
+let parallel_tests =
+  [
+    Alcotest.test_case "group_hash at degree 4 = sequential (incl. tally)"
+      `Quick (fun () ->
+        let tuples = node_tuples 300 in
+        let t1 = ref 0 and t4 = ref 0 in
+        let seq = Group.group_hash ~tally:t1 ~keys_of tuples in
+        let par = Group.group_hash ~tally:t4 ~parallel:4 ~keys_of tuples in
+        Alcotest.(check (list (list int)))
+          "same groups, order and members" (group_ids seq) (group_ids par);
+        Alcotest.(check int) "same comparator tally" !t1 !t4);
+    Alcotest.test_case "group_sort sorted output at degree 4 = sequential"
+      `Quick (fun () ->
+        let tuples = node_tuples 300 in
+        let seq = Group.group_sort ~sorted_output:true ~keys_of tuples in
+        let par =
+          Group.group_sort ~sorted_output:true ~parallel:4 ~keys_of tuples
+        in
+        Alcotest.(check (list (list int)))
+          "same groups, order and members" (group_ids seq) (group_ids par));
+    Alcotest.test_case "group_scan at degree 4 = sequential" `Quick (fun () ->
+        let tuples = node_tuples 120 in
+        let equal _ a b = Key.equal_single a b in
+        let seq = Group.group_scan ~keys_of ~equal tuples in
+        let par = Group.group_scan ~parallel:4 ~keys_of ~equal tuples in
+        Alcotest.(check (list (list int)))
+          "same groups, order and members" (group_ids seq) (group_ids par));
+  ]
+
+(* --- the hash mixer: wide key lists must not collapse -------------------- *)
+
+let hash_tests =
+  [
+    Alcotest.test_case "key lists differing deep in a wide list hash apart"
+      `Quick (fun () ->
+        (* a single bounded Hashtbl.hash pass samples long lists and
+           collided on exactly this pair; the fold mixer must not *)
+        let key i = [ Item.Atomic (Atomic.Int i) ] in
+        let l1 = List.init 30 key in
+        let l2 = List.mapi (fun i k -> if i = 25 then key 999 else k) l1 in
+        Alcotest.(check bool) "hashes differ" true
+          (Group.hash_keys l1 <> Group.hash_keys l2));
+    Alcotest.test_case "hash_keys is deep-equal-consistent" `Quick (fun () ->
+        let l1 = [ [ Item.Atomic (Atomic.Int 3) ]; [ Item.Atomic (Atomic.Str "x") ] ] in
+        let l2 = [ [ Item.Atomic (Atomic.Dbl 3.0) ]; [ Item.Atomic (Atomic.Untyped "x") ] ] in
+        Alcotest.(check bool) "numeric/string promotion hashes equal" true
+          (Group.hash_keys l1 = Group.hash_keys l2));
+  ]
+
+(* --- the domain pool ----------------------------------------------------- *)
+
+let par_tests =
+  [
+    Alcotest.test_case "Par.map = Array.map at degree 4" `Quick (fun () ->
+        let src = Array.init 1003 (fun i -> i) in
+        let f x = x * 37 mod 101 in
+        Alcotest.(check (array int))
+          "map" (Array.map f src)
+          (Par.map ~degree:4 ~min_chunk:8 f src));
+    Alcotest.test_case "Par.sort is stable and = Array.stable_sort" `Quick
+      (fun () ->
+        let n = 2000 in
+        let a = Array.init n (fun i -> (i * 7919 mod 13, i)) in
+        let cmp (k1, _) (k2, _) = compare k1 k2 in
+        let expected = Array.copy a in
+        Array.stable_sort cmp expected;
+        let got = Array.copy a in
+        Par.sort ~degree:4 ~min_chunk:16 cmp got;
+        Alcotest.(check (array (pair int int))) "sorted" expected got);
+    Alcotest.test_case "Par.map raises the earliest failure" `Quick (fun () ->
+        let src = Array.init 100 (fun i -> i) in
+        let f x = if x = 23 || x = 71 then failwith (string_of_int x) else x in
+        match Par.map ~degree:4 ~min_chunk:4 f src with
+        | _ -> Alcotest.fail "expected a failure"
+        | exception Failure m ->
+          Alcotest.(check string) "earliest failing index wins" "23" m);
+  ]
+
+let suites =
+  [
+    ("key.canonical", List.map to_alcotest canonical_props);
+    ("key.walks", walk_tests);
+    ("key.parallel", parallel_tests);
+    ("key.hash", hash_tests);
+    ("key.par-pool", par_tests);
+  ]

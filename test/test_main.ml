@@ -22,5 +22,6 @@ let () =
          Test_bench_queries.suites;
          Test_workload.suites;
          Test_props.suites;
+         Test_key.suites;
          Test_strategies.suites;
        ])

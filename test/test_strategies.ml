@@ -11,6 +11,7 @@ module Plan = Xq_algebra.Plan
 module Exec = Xq_algebra.Exec
 module Optimizer = Xq_algebra.Optimizer
 module Group = Xq_engine.Group
+module Key = Xq_engine.Key
 module Prng = Xq_workload.Prng
 
 let check_int = Alcotest.(check int)
@@ -66,6 +67,10 @@ let q_using =
 let strategies =
   [ ("hash", Optimizer.Hash); ("sort", Optimizer.Sort); ("auto", Optimizer.Auto) ]
 
+(* Every strategy must also be byte-identical at any domain-pool degree
+   (sequential execution is the reference). *)
+let parallels = [ 1; 2; 4 ]
+
 let seeds = 120
 
 let differential name query =
@@ -77,17 +82,23 @@ let differential name query =
         let expected = serialize (Xq_engine.Eval.run ~context_node:doc query) in
         List.iter
           (fun (label, strategy) ->
-            let got =
-              serialize (Exec.run_string ~strategy ~context_node:doc query)
-            in
-            if got <> expected then
-              Alcotest.failf "seed %d, strategy %s:\nexpected %s\ngot      %s"
-                seed label expected got;
+            List.iter
+              (fun parallel ->
+                let got =
+                  serialize
+                    (Exec.run_string ~strategy ~parallel ~context_node:doc
+                       query)
+                in
+                if got <> expected then
+                  Alcotest.failf
+                    "seed %d, strategy %s, parallel %d:\nexpected %s\ngot      %s"
+                    seed label parallel expected got)
+              parallels;
             (* the plan optimizer must not disturb any strategy either *)
             let optimized =
               serialize
-                (Exec.run_string ~optimize:true ~strategy ~context_node:doc
-                   query)
+                (Exec.run_string ~optimize:true ~strategy ~parallel:1
+                   ~context_node:doc query)
             in
             if optimized <> expected then
               Alcotest.failf "seed %d, strategy %s (optimized):\nexpected %s\ngot      %s"
@@ -142,8 +153,8 @@ let scan_tests =
   [
     test "scan grouping with a mod-3 comparator" (fun () ->
         let tally = ref 0 in
-        let equal _i a b =
-          match (a, b) with
+        let equal _i (a : Key.single) (b : Key.single) =
+          match (a.Key.orig, b.Key.orig) with
           | [ Item.Atomic (Atomic.Int x) ], [ Item.Atomic (Atomic.Int y) ] ->
             x mod 3 = y mod 3
           | _ -> false
@@ -167,7 +178,9 @@ let scan_tests =
     test "scan grouping short-circuits on key-arity mismatch" (fun () ->
         let tally = ref 0 in
         let keys_of (ks, _) = List.map seq_int ks in
-        let equal _i a b = a = b in
+        let equal _i (a : Key.single) (b : Key.single) =
+          a.Key.orig = b.Key.orig
+        in
         let groups =
           Group.group_scan ~tally ~keys_of ~equal
             [ ([ 1; 2 ], "a"); ([ 1 ], "b") ]

@@ -14,6 +14,7 @@
      dune exec bench/main.exe -- ablation-algebra   — plan-layer overhead
      dune exec bench/main.exe -- ablation-strategy  — hash vs sort vs fused-sort grouping
      dune exec bench/main.exe -- ablation-parallel  — domain-pool degree 1/2/4 per strategy
+     dune exec bench/main.exe -- ablation-governor  — resource-governor tick overhead
      dune exec bench/main.exe -- bechamel      — bechamel OLS run of the six pairs
      dune exec bench/main.exe -- figure6 --full    — larger sweep (slow)
      dune exec bench/main.exe -- ... --json results.json  — also dump samples as JSON
@@ -422,6 +423,101 @@ return <r>{$a, count($items)}</r>|}
           Xq.Algebra.Optimizer.Auto ])
     workloads
 
+(* --- Ablation J: resource-governor overhead ------------------------------------ *)
+
+let ablation_governor () =
+  Timing.header
+    "Ablation J: governor tick overhead — ungoverned vs armed with \
+     non-tripping budgets";
+  (* Worst-case-for-the-governor configuration: every budget is set (so
+     the slow check computes the deadline AND the Gc-delta memory
+     estimate) but none can trip, on the same grouping query the
+     strategy ablation uses. The claim is <2% overhead. *)
+  let q_src =
+    {|for $litem in //order/lineitem
+group by $litem/tax into $a
+nest $litem into $items
+order by $a
+return <r>{$a, count($items)}</r>|}
+  in
+  let query = Xq.parse q_src in
+  Xq.check query;
+  let armed f =
+    let g =
+      Xq.Governor.create ~timeout_ms:3_600_000 ~max_groups:max_int
+        ~max_mem_mb:1_048_576 ()
+    in
+    Xq.Governor.with_governor g f
+  in
+  let overheads = ref [] in
+  List.iter
+    (fun (tax_card, lineitems) ->
+      let doc = orders_doc ~tax_card lineitems in
+      let groups =
+        Xq.length
+          (Xq.Algebra.Exec.eval_query ~check:false ~context_node:doc query)
+      in
+      List.iter
+        (fun strategy ->
+          let run () =
+            ignore
+              (Xq.Algebra.Exec.eval_query ~check:false ~strategy
+                 ~context_node:doc query)
+          in
+          (* A 2% effect drowns in machine noise if the variants are
+             timed in separate blocks, so measure adjacent pairs — one
+             ungoverned, one armed, each from a freshly majored heap,
+             alternating which goes first — and take the median of the
+             paired differences: adjacent runs share load conditions,
+             so interference cancels in the difference. Compacting
+             first discards heap bloat left by earlier ablations, which
+             would otherwise inflate every GC slice measured here. *)
+          Gc.compact ();
+          run ();
+          armed run;
+          let runs = 21 in
+          let offs = ref [] and diffs = ref [] in
+          for i = 1 to runs do
+            let sample f =
+              Gc.major ();
+              snd (Timing.time_once f)
+            in
+            let off, on =
+              if i land 1 = 0 then
+                let off = sample run in
+                (off, sample (fun () -> armed run))
+              else
+                let on = sample (fun () -> armed run) in
+                (sample run, on)
+            in
+            offs := off :: !offs;
+            diffs := (on -. off) :: !diffs
+          done;
+          let median l = List.nth (List.sort compare l) (runs / 2) in
+          let t_off = median !offs in
+          let t_on = t_off +. median !diffs in
+          record ~bench:"ablation-governor" ~query:"governor-off"
+            ~size:lineitems ~groups ~strategy:(strategy_name strategy)
+            ~parallel:1 ~ms:t_off;
+          record ~bench:"ablation-governor" ~query:"governor-on"
+            ~size:lineitems ~groups ~strategy:(strategy_name strategy)
+            ~parallel:1 ~ms:t_on;
+          let pct = (t_on -. t_off) /. t_off *. 100. in
+          overheads := pct :: !overheads;
+          Printf.printf
+            "tax_card=%4d n=%6d groups=%4d %-5s  off=%10s  on=%10s  \
+             overhead %+.2f%%\n%!"
+            tax_card lineitems groups (strategy_name strategy)
+            (Timing.fmt_ms t_off) (Timing.fmt_ms t_on) pct)
+        [ Xq.Algebra.Optimizer.Hash; Xq.Algebra.Optimizer.Sort;
+          Xq.Algebra.Optimizer.Auto ])
+    [ (100, 8_000); (400, 16_000) ];
+  let mean =
+    List.fold_left ( +. ) 0. !overheads
+    /. float_of_int (List.length !overheads)
+  in
+  Printf.printf "mean overhead across cells: %+.2f%% (claim: < 2%%)\n%!" mean
+
 (* --- bechamel run of the six Qgb/Q pairs ------------------------------------- *)
 
 let bechamel_run () =
@@ -465,6 +561,7 @@ let () =
   if want "ablation-algebra" then ablation_algebra ();
   if want "ablation-strategy" then ablation_strategy ();
   if want "ablation-parallel" then ablation_parallel ~full ();
+  if want "ablation-governor" then ablation_governor ();
   if (not all) && List.mem "bechamel" cmds then bechamel_run ();
   (match json with Some path -> write_json path | None -> ());
   Printf.printf "\nDone.\n%!"

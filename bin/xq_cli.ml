@@ -16,18 +16,29 @@ let read_file path =
   close_in ic;
   s
 
+(* Exit-code taxonomy: 0 ok, 1 usage, 2 static error, 3 dynamic error,
+   4 resource limit. Structured errors carry their class
+   (Xerror.exit_code); a malformed input document is a dynamic error. *)
 let with_errors f =
   match f () with
   | () -> 0
   | exception Xq.Xdm.Xerror.Error (code, msg) ->
     Printf.eprintf "error %s\n"
       (Xq.Xdm.Xerror.to_message code msg);
-    1
+    Xq.Xdm.Xerror.exit_code code
   | exception (Xq.Xml.Xml_parse.Parse_error _ as e) -> begin
     match Xq.Xml.Xml_parse.error_to_string e with
-    | Some m -> Printf.eprintf "%s\n" m; 1
+    | Some m -> Printf.eprintf "%s\n" m; 3
     | None -> raise e
   end
+
+(* Install a governor built from --timeout/--max-groups/--max-mem and the
+   environment for the duration of [f]; [f] receives the governor so
+   commands can report its stats. *)
+let governed ?timeout_ms ?max_groups ?max_mem_mb f =
+  match Xq.Governor.of_limits ?timeout_ms ?max_groups ?max_mem_mb () with
+  | None -> f None
+  | Some g -> Xq.Governor.with_governor g (fun () -> f (Some g))
 
 (* --- arguments -------------------------------------------------------- *)
 
@@ -91,6 +102,47 @@ let parallel_opt =
   in
   Arg.(value & opt (some int) None & info [ "parallel" ] ~docv:"N" ~doc)
 
+(* Limit values must be positive; a bad value is a usage error (exit 1). *)
+let pos_int what =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> Ok n
+    | Some _ | None ->
+      Error (`Msg (Printf.sprintf "%s must be a positive integer, got %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let timeout_opt =
+  let doc =
+    "Abort the query after $(docv) milliseconds of wall-clock time \
+     (error XQENG0001, exit code 4)."
+  in
+  Arg.(
+    value
+    & opt (some (pos_int "--timeout")) None
+    & info [ "timeout" ] ~docv:"MS" ~env:(Cmd.Env.info "XQ_TIMEOUT") ~doc)
+
+let max_groups_opt =
+  let doc =
+    "Abort when grouping materializes more than $(docv) groups (error \
+     XQENG0003, exit code 4)."
+  in
+  Arg.(
+    value
+    & opt (some (pos_int "--max-groups")) None
+    & info [ "max-groups" ] ~docv:"N" ~env:(Cmd.Env.info "XQ_MAX_GROUPS") ~doc)
+
+let max_mem_opt =
+  let doc =
+    "Abort when the query's approximate memory footprint (GC heap growth \
+     plus materialized key bytes) exceeds $(docv) megabytes (error \
+     XQENG0002, exit code 4)."
+  in
+  Arg.(
+    value
+    & opt (some (pos_int "--max-mem")) None
+    & info [ "max-mem" ] ~docv:"MB" ~env:(Cmd.Env.info "XQ_MAX_MEM") ~doc)
+
 let load_input = function
   | Some path -> Xq.load_file path
   | None -> Xq.load_string "<empty/>"
@@ -102,52 +154,69 @@ let apply_parallel = function
   | None -> ()
 
 let run_common ~source ~input ~rewrite ~indent ~time ~explain_analyze ~strategy
-    ~parallel =
+    ~parallel ~timeout ~max_groups ~max_mem =
   with_errors (fun () ->
-      apply_parallel parallel;
-      let doc = load_input input in
-      let query = Xq.parse source in
-      Xq.check query;
-      let query =
-        if rewrite then Xq.Rewrite.Rewrite.rewrite_query query else query
-      in
-      if explain_analyze then
-        print_string
-          (Xq.Rewrite.Explain.analyze_query ?strategy ?parallel
-             ~context_node:doc query)
-      else begin
-        let t0 = Sys.time () in
-        let result = Xq.run_query ~check:false doc query in
-        let elapsed = (Sys.time () -. t0) *. 1000.0 in
-        print_endline (Xq.to_xml ~indent result);
-        if time then
-          Printf.eprintf "evaluated in %.1f ms (%d items)\n" elapsed
-            (Xq.length result)
-      end)
+      governed ?timeout_ms:timeout ?max_groups ?max_mem_mb:max_mem
+        (fun _gov ->
+          apply_parallel parallel;
+          let doc = load_input input in
+          let query = Xq.parse source in
+          Xq.check query;
+          let query =
+            if rewrite then Xq.Rewrite.Rewrite.rewrite_query query else query
+          in
+          if explain_analyze then
+            print_string
+              (Xq.Rewrite.Explain.analyze_query ?strategy ?parallel
+                 ~context_node:doc query)
+          else begin
+            let t0 = Sys.time () in
+            let result =
+              (* an explicit --strategy routes execution through the plan
+                 algebra; the default path is the direct evaluator *)
+              match strategy with
+              | Some s ->
+                Xq.Algebra.Exec.eval_query ~check:false ~strategy:s ?parallel
+                  ~context_node:doc query
+              | None -> Xq.run_query ~check:false doc query
+            in
+            let elapsed = (Sys.time () -. t0) *. 1000.0 in
+            (* serialize fully before writing, so a trip mid-query never
+               leaves partial output on stdout *)
+            let rendered = Xq.to_xml ~indent result in
+            print_endline rendered;
+            if time then
+              Printf.eprintf "evaluated in %.1f ms (%d items)\n" elapsed
+                (Xq.length result)
+          end))
 
 (* --- commands ----------------------------------------------------------- *)
 
 let run_cmd =
-  let action qf input rewrite indent time explain_analyze strategy parallel =
+  let action qf input rewrite indent time explain_analyze strategy parallel
+      timeout max_groups max_mem =
     run_common ~source:(read_file qf) ~input ~rewrite ~indent ~time
-      ~explain_analyze ~strategy ~parallel
+      ~explain_analyze ~strategy ~parallel ~timeout ~max_groups ~max_mem
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a query file against an XML document.")
     Term.(
       const action $ query_file $ input_file $ rewrite_flag $ indent_flag
-      $ time_flag $ explain_analyze_flag $ strategy_opt $ parallel_opt)
+      $ time_flag $ explain_analyze_flag $ strategy_opt $ parallel_opt
+      $ timeout_opt $ max_groups_opt $ max_mem_opt)
 
 let eval_cmd =
-  let action expr input rewrite indent time explain_analyze strategy parallel =
+  let action expr input rewrite indent time explain_analyze strategy parallel
+      timeout max_groups max_mem =
     run_common ~source:expr ~input ~rewrite ~indent ~time ~explain_analyze
-      ~strategy ~parallel
+      ~strategy ~parallel ~timeout ~max_groups ~max_mem
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a query given on the command line.")
     Term.(
       const action $ query_string $ input_file $ rewrite_flag $ indent_flag
-      $ time_flag $ explain_analyze_flag $ strategy_opt $ parallel_opt)
+      $ time_flag $ explain_analyze_flag $ strategy_opt $ parallel_opt
+      $ timeout_opt $ max_groups_opt $ max_mem_opt)
 
 let check_cmd =
   let action qf =
@@ -195,8 +264,10 @@ let plan_optimize_flag =
   Arg.(value & flag & info [ "optimize" ] ~doc)
 
 let profile_cmd =
-  let action qf input optimize strategy parallel =
+  let action qf input optimize strategy parallel timeout max_groups max_mem =
     with_errors (fun () ->
+      governed ?timeout_ms:timeout ?max_groups ?max_mem_mb:max_mem
+        (fun gov ->
         apply_parallel parallel;
         let doc = load_input input in
         let query = Xq.parse (read_file qf) in
@@ -235,9 +306,12 @@ let profile_cmd =
                 s.Xq.Algebra.Exec.Stats.key_walks s.Xq.Algebra.Exec.Stats.par
                 s.Xq.Algebra.Exec.Stats.elapsed_ms)
             stats;
-          Printf.printf "\nresult: %d item(s)\n" (Xq.length result)
+          Printf.printf "\nresult: %d item(s)\n" (Xq.length result);
+          (match gov with
+           | Some g -> Printf.printf "%s\n" (Xq.Governor.summary g)
+           | None -> ())
         | _ ->
-          Printf.eprintf "profile: the query body must be a FLWOR expression\n")
+          Printf.eprintf "profile: the query body must be a FLWOR expression\n"))
   in
   Cmd.v
     (Cmd.info "profile"
@@ -245,7 +319,8 @@ let profile_cmd =
              row counts, comparator calls and CPU time.")
     Term.(
       const action $ query_file $ input_file $ plan_optimize_flag
-      $ strategy_opt $ parallel_opt)
+      $ strategy_opt $ parallel_opt $ timeout_opt $ max_groups_opt
+      $ max_mem_opt)
 
 let gen_cmd =
   let workload =
@@ -282,10 +357,33 @@ let gen_cmd =
     Term.(const action $ workload $ size $ seed)
 
 let () =
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"on success.";
+      Cmd.Exit.info 1 ~doc:"on usage errors (bad command line or option value).";
+      Cmd.Exit.info 2 ~doc:"on static query errors (XPST*, XQST*).";
+      Cmd.Exit.info 3
+        ~doc:"on dynamic errors (type errors, malformed input documents).";
+      Cmd.Exit.info 4
+        ~doc:
+          "on resource-limit trips (XQENG* errors from --timeout, \
+           --max-groups, --max-mem, cancellation or input limits).";
+    ]
+  in
   let info =
-    Cmd.info "xq" ~version:"1.0.0"
+    Cmd.info "xq" ~version:"1.0.0" ~exits
       ~doc:
         "An XQuery engine with the SIGMOD 2005 analytics extensions \
          (group by / nest / using / return at)."
   in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; eval_cmd; check_cmd; plan_cmd; profile_cmd; gen_cmd ]))
+  let cmd =
+    Cmd.group info
+      [ run_cmd; eval_cmd; check_cmd; plan_cmd; profile_cmd; gen_cmd ]
+  in
+  (* Map cmdliner's own failures onto the documented taxonomy: anything
+     wrong with the command line itself is a usage error. *)
+  exit
+    (match Cmd.eval_value cmd with
+     | Ok (`Ok code) -> code
+     | Ok (`Help | `Version) -> 0
+     | Error (`Parse | `Term | `Exn) -> 1)

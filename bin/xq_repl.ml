@@ -27,14 +27,29 @@ type state = {
   mutable last_query : Xq.Lang.Ast.query option;
 }
 
-let print_error = function
-  | Xq.Xdm.Xerror.Error (code, msg) ->
-    Printf.printf "error %s\n%!" (Xq.Xdm.Xerror.to_message code msg)
-  | e -> begin
-    match Xq.Xml.Xml_parse.error_to_string e with
-    | Some m -> Printf.printf "%s\n%!" m
-    | None -> Printf.printf "error: %s\n%!" (Printexc.to_string e)
-  end
+(* The session must survive any exception; backtraces are noise for
+   interactive use, so they only print under XQ_DEBUG=1. *)
+let debug = Sys.getenv_opt "XQ_DEBUG" = Some "1"
+
+let print_error e =
+  let bt = if debug then Printexc.get_backtrace () else "" in
+  (match e with
+   | Xq.Xdm.Xerror.Error (code, msg) ->
+     Printf.printf "error %s\n%!" (Xq.Xdm.Xerror.to_message code msg)
+   | e -> begin
+     match Xq.Xml.Xml_parse.error_to_string e with
+     | Some m -> Printf.printf "%s\n%!" m
+     | None -> Printf.printf "error: %s\n%!" (Printexc.to_string e)
+   end);
+  if bt <> "" then prerr_string bt
+
+(* Resource limits from the environment (XQ_TIMEOUT, XQ_MAX_GROUPS,
+   XQ_MAX_MEM, …) apply per evaluation: each query gets a fresh deadline
+   and budget, and a trip never takes the session down. *)
+let governed f =
+  match Xq.Governor.of_limits () with
+  | None -> f ()
+  | Some g -> Xq.Governor.with_governor g f
 
 let evaluate st source =
   match Xq.parse source with
@@ -44,17 +59,25 @@ let evaluate st source =
     | exception e -> `Static_error e
     | () ->
       st.last_query <- Some query;
-      if st.show_plan then begin
-        match query.Xq.Lang.Ast.body with
-        | Xq.Lang.Ast.Flwor f ->
-          print_string (Xq.Algebra.Plan.to_string (Xq.Algebra.Plan.of_flwor f))
-        | _ -> ()
-      end;
-      (match Xq.run_query ~check:false ~use_index:st.use_index st.doc query with
-       | result ->
-         print_endline (Xq.to_xml ~indent:true result);
-         `Ok
-       | exception e -> `Dynamic_error e)
+      (try
+         if st.show_plan then
+           match query.Xq.Lang.Ast.body with
+           | Xq.Lang.Ast.Flwor f ->
+             print_string
+               (Xq.Algebra.Plan.to_string (Xq.Algebra.Plan.of_flwor f))
+           | _ -> ()
+       with e -> print_error e);
+      (* serialize before printing so an error (from evaluation or from
+         serialization itself) never emits a partial result *)
+      match
+        governed (fun () ->
+            Xq.to_xml ~indent:true
+              (Xq.run_query ~check:false ~use_index:st.use_index st.doc query))
+      with
+      | rendered ->
+        print_endline rendered;
+        `Ok
+      | exception e -> `Dynamic_error e
   end
 
 let directive st line =
@@ -116,6 +139,7 @@ let directive st line =
     `Handled
 
 let () =
+  if debug then Printexc.record_backtrace true;
   print_endline banner;
   let st =
     {
@@ -139,7 +163,12 @@ let () =
       if Buffer.length buffer = 0 && String.length line_trim > 0
          && line_trim.[0] = ':'
       then begin
-        match directive st line_trim with
+        match
+          (try directive st line_trim
+           with e ->
+             print_error e;
+             `Handled)
+        with
         | `Quit -> print_endline "bye"
         | `Handled -> loop ()
       end

@@ -3,6 +3,7 @@ open Xq_lang
 
 module Smap = Map.Make (String)
 module Par = Xq_par.Par
+module Governor = Xq_governor.Governor
 
 type tuple = Xseq.t Smap.t
 
@@ -33,6 +34,7 @@ let sort_tuples ?tally ?(parallel = 1) ctx specs tuples =
   in
   let compare_keys (ka, _) (kb, _) =
     tick tally;
+    Governor.tick ();
     let rec go = function
       | [] -> 0
       | ((a, modifier), (b, _)) :: rest ->
@@ -100,6 +102,7 @@ let shape_parallel_keys ctx (shape : Plan.group_shape) =
    output. *)
 let step ?tally ?(parallel = 1) ctx (op : Plan.op) (input : tuple list) :
     tuple list =
+  Governor.tick ();
   match op with
   | Plan.Unit -> [ Smap.empty ]
   | Plan.For_expand { var; positional; source; _ } ->

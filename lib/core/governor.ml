@@ -1,0 +1,384 @@
+(* Per-query resource governor.
+
+   A [t] carries a wall-clock deadline, a group-cardinality budget, an
+   approximate memory budget and a cooperative cancellation flag. Hot
+   loops everywhere in the engine call the zero-argument [tick], which
+   is a single atomic load (plus a branch) when no governor is
+   installed, so the default configuration pays essentially nothing.
+   When a governor is installed, a tick bumps a per-domain counter, and
+   every [stride]-th tick reads the cancellation flags and runs the
+   expensive checks (clock read, fault draw; the [Gc.quick_stat] memory
+   estimate every [mem_stride]-th time) — a limit is therefore detected
+   within one stride of ticks of being crossed.
+
+   All state is atomics: the installed governor is shared by every
+   domain the [Par] pool spawns, which is what makes cancellation reach
+   sibling tasks.
+
+   Fault injection ([XQ_FAULTS=<seed>:<rate>], or [set_faults]) drives
+   two deterministic splitmix64 streams: one consulted by [Par] before
+   each [Domain.spawn] (an injected failure makes the pool fall back to
+   the sequential path), one consulted at governor tick points (an
+   injected trip raises the same [XQENG0002] a real allocation-pressure
+   trip would). Both are designed so an injected run either completes
+   byte-identically to the clean run or fails closed with a structured
+   [XQENG*] error. *)
+
+module Xerror = Xq_xdm.Xerror
+
+type trip_kind = Timeout | Memory | Groups | Cancelled | Input
+
+let kind_index = function
+  | Timeout -> 0
+  | Memory -> 1
+  | Groups -> 2
+  | Cancelled -> 3
+  | Input -> 4
+
+let kind_name = function
+  | Timeout -> "timeout"
+  | Memory -> "memory"
+  | Groups -> "groups"
+  | Cancelled -> "cancelled"
+  | Input -> "input"
+
+let n_kinds = 5
+
+type t = {
+  deadline : float;  (* absolute wall-clock seconds; [infinity] = none *)
+  max_groups : int;  (* [max_int] = none *)
+  max_mem_bytes : int;  (* [max_int] = none *)
+  max_input_bytes : int option;
+  max_depth : int option;
+  baseline_heap_words : int;
+  ticks : int Atomic.t;
+  groups : int Atomic.t;
+  charged : int Atomic.t;  (* counted materialization bytes (Key/Group) *)
+  peak_mem : int Atomic.t;
+  cancelled : bool Atomic.t;
+  aborts : int Atomic.t;  (* sibling-failure aborts held by Par.run_tasks *)
+  trips : int Atomic.t array;  (* per trip_kind *)
+  injected_allocs : int Atomic.t;
+}
+
+(* How many ticks between expensive checks (clock, fault draw). *)
+let stride = 64
+
+(* [Gc.quick_stat] aggregates across domains and costs ~1µs, so the
+   Gc-delta memory estimate runs only every [mem_stride]-th slow check
+   (every [stride * mem_stride] = 4096 ticks, which amortizes to well
+   under a nanosecond per tick). Counted [charge_bytes] are still
+   checked immediately. *)
+let mem_stride = 64
+
+let now () = Unix.gettimeofday ()
+
+let word_bytes = Sys.word_size / 8
+
+let create ?timeout_ms ?max_groups ?max_mem_mb ?max_input_bytes ?max_depth ()
+    =
+  {
+    deadline =
+      (match timeout_ms with
+       | Some ms when ms > 0 -> now () +. (float_of_int ms /. 1000.0)
+       | Some _ | None -> infinity);
+    max_groups =
+      (match max_groups with Some n when n >= 0 -> n | Some _ | None -> max_int);
+    max_mem_bytes =
+      (match max_mem_mb with
+       | Some n when n >= 0 -> n * 1024 * 1024
+       | Some _ | None -> max_int);
+    max_input_bytes;
+    max_depth;
+    baseline_heap_words = (Gc.quick_stat ()).Gc.heap_words;
+    ticks = Atomic.make 0;
+    groups = Atomic.make 0;
+    charged = Atomic.make 0;
+    peak_mem = Atomic.make 0;
+    cancelled = Atomic.make false;
+    aborts = Atomic.make 0;
+    trips = Array.init n_kinds (fun _ -> Atomic.make 0);
+    injected_allocs = Atomic.make 0;
+  }
+
+(* --- fault injection ----------------------------------------------------- *)
+
+type faults = {
+  f_rate : float;
+  f_seed : int;
+  f_spawn : int64 Atomic.t;
+  f_alloc : int64 Atomic.t;
+}
+
+let parse_faults s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i -> (
+    let seed = String.sub s 0 i
+    and rate = String.sub s (i + 1) (String.length s - i - 1) in
+    match (int_of_string_opt (String.trim seed),
+           float_of_string_opt (String.trim rate))
+    with
+    | Some seed, Some rate when rate >= 0.0 && rate <= 1.0 ->
+      Some
+        {
+          f_rate = rate;
+          f_seed = seed;
+          f_spawn = Atomic.make (Int64.of_int seed);
+          f_alloc = Atomic.make (Int64.of_int (seed + 0x51ed));
+        }
+    | _ -> None)
+
+let faults_config : faults option Atomic.t = Atomic.make None
+let faults_initialized = Atomic.make false
+
+let faults () =
+  if not (Atomic.get faults_initialized) then begin
+    (match Sys.getenv_opt "XQ_FAULTS" with
+     | Some s -> Atomic.set faults_config (parse_faults s)
+     | None -> ());
+    Atomic.set faults_initialized true
+  end;
+  Atomic.get faults_config
+
+let set_faults ~seed ~rate =
+  Atomic.set faults_config (parse_faults (Printf.sprintf "%d:%f" seed rate));
+  Atomic.set faults_initialized true
+
+let clear_faults () =
+  Atomic.set faults_config None;
+  Atomic.set faults_initialized true
+
+let faults_enabled () = faults () <> None
+
+(* splitmix64: advance the stream state with a CAS so concurrent domains
+   never observe the same draw twice. *)
+let splitmix_next st =
+  let open Int64 in
+  let rec advance () =
+    let old = Atomic.get st in
+    let z = add old 0x9E3779B97F4A7C15L in
+    if Atomic.compare_and_set st old z then z else advance ()
+  in
+  let z = advance () in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* A uniform draw in [0,1) from the top 53 bits. *)
+let draw st =
+  Int64.to_float (Int64.shift_right_logical (splitmix_next st) 11)
+  /. 9007199254740992.0
+
+let spawn_fault () =
+  match faults () with
+  | None -> false
+  | Some f -> draw f.f_spawn < f.f_rate
+
+(* --- the installed governor --------------------------------------------- *)
+
+let active : t option Atomic.t = Atomic.make None
+
+(* Per-domain tick counters. The hot path must not do an atomic RMW on
+   a shared cache line (sorts tick from inside their comparators, and
+   under [Par] several domains tick at once), so each domain counts in
+   its own cache-line-padded slot and only reads the shared flags — and
+   runs the expensive checks — once per [stride]. Slots are indexed by
+   domain id modulo the table size; a collision between two live domains
+   merely skews the stride phase, it cannot corrupt anything. The
+   calling domain's counter is reset whenever a governor is installed so
+   that fault draws are deterministic per single-domain run. *)
+let n_slots = 128
+let slot_pad = 8 (* ints: one 64-byte cache line per slot *)
+let counters = Array.make (n_slots * slot_pad) 0
+let slot () = ((Domain.self () :> int) land (n_slots - 1)) * slot_pad
+let reset_local_ticks () = Array.unsafe_set counters (slot ()) 0
+
+let install g =
+  Atomic.set active (Some g);
+  reset_local_ticks ()
+
+let uninstall () = Atomic.set active None
+let current () = Atomic.get active
+
+let with_governor g f =
+  let prev = Atomic.get active in
+  Atomic.set active (Some g);
+  reset_local_ticks ();
+  Fun.protect ~finally:(fun () -> Atomic.set active prev) f
+
+(* --- trips --------------------------------------------------------------- *)
+
+let trip g kind code msg =
+  Atomic.incr g.trips.(kind_index kind);
+  Xerror.fail code msg
+
+let cancel g = Atomic.set g.cancelled true
+let cancelled g = Atomic.get g.cancelled
+
+let begin_abort () =
+  match Atomic.get active with
+  | None -> ()
+  | Some g -> Atomic.incr g.aborts
+
+let end_abort () =
+  match Atomic.get active with
+  | None -> ()
+  | Some g -> Atomic.decr g.aborts
+
+let pending_aborts g = Atomic.get g.aborts
+
+(* --- the check itself ---------------------------------------------------- *)
+
+let mem_estimate g =
+  let heap = (Gc.quick_stat ()).Gc.heap_words in
+  let gc_bytes = (heap - g.baseline_heap_words) * word_bytes in
+  max 0 gc_bytes + Atomic.get g.charged
+
+let rec raise_peak g est =
+  let peak = Atomic.get g.peak_mem in
+  if est > peak && not (Atomic.compare_and_set g.peak_mem peak est) then
+    raise_peak g est
+
+let slow_check g ~mem =
+  if g.deadline < infinity && now () > g.deadline then
+    trip g Timeout Xerror.XQENG0001 "wall-clock deadline exceeded";
+  if mem && g.max_mem_bytes < max_int then begin
+    let est = mem_estimate g in
+    raise_peak g est;
+    if est > g.max_mem_bytes then
+      trip g Memory Xerror.XQENG0002
+        (Printf.sprintf "memory budget exceeded (~%d bytes used, budget %d)"
+           est g.max_mem_bytes)
+  end;
+  match faults () with
+  | Some f when draw f.f_alloc < f.f_rate ->
+    Atomic.incr g.injected_allocs;
+    trip g Memory Xerror.XQENG0002
+      (Printf.sprintf "injected allocation-pressure fault (XQ_FAULTS seed %d)"
+         f.f_seed)
+  | Some _ | None -> ()
+
+let check g =
+  let i = slot () in
+  let c = Array.unsafe_get counters i + 1 in
+  Array.unsafe_set counters i c;
+  if c land (stride - 1) = 0 then begin
+    if Atomic.get g.cancelled then
+      trip g Cancelled Xerror.XQENG0004 "query cancelled";
+    if Atomic.get g.aborts > 0 then
+      trip g Cancelled Xerror.XQENG0004
+        "cancelled: a sibling parallel task failed";
+    let mem = c >= stride * mem_stride in
+    if mem then Array.unsafe_set counters i 0;
+    ignore (Atomic.fetch_and_add g.ticks stride);
+    slow_check g ~mem
+  end
+
+let tick () =
+  match Atomic.get active with None -> () | Some g -> check g
+
+(* --- budget feeds -------------------------------------------------------- *)
+
+let note_groups g n =
+  let total = Atomic.fetch_and_add g.groups n + n in
+  if total > g.max_groups then
+    trip g Groups Xerror.XQENG0003
+      (Printf.sprintf "group cardinality cap exceeded (%d > %d)" total
+         g.max_groups)
+
+let count_groups n =
+  match Atomic.get active with None -> () | Some g -> note_groups g n
+
+let note_charge g n =
+  let c = Atomic.fetch_and_add g.charged n + n in
+  if c > g.max_mem_bytes then
+    trip g Memory Xerror.XQENG0002
+      (Printf.sprintf
+         "memory budget exceeded (%d materialized bytes, budget %d)" c
+         g.max_mem_bytes)
+
+let charge_bytes n =
+  match Atomic.get active with None -> () | Some g -> note_charge g n
+
+(* --- input limits (XML parser) ------------------------------------------- *)
+
+let input_limits () =
+  match Atomic.get active with
+  | None -> (None, None)
+  | Some g -> (g.max_depth, g.max_input_bytes)
+
+let input_trip msg =
+  (match Atomic.get active with
+   | Some g -> Atomic.incr g.trips.(kind_index Input)
+   | None -> ());
+  Xerror.fail Xerror.XQENG0005 msg
+
+(* --- stats ---------------------------------------------------------------- *)
+
+type stats = {
+  s_ticks : int;
+  s_groups : int;
+  s_charged_bytes : int;
+  s_peak_mem_bytes : int;
+  s_trips : (trip_kind * int) list;
+  s_injected_allocs : int;
+}
+
+let stats g =
+  {
+    s_ticks = Atomic.get g.ticks;
+    s_groups = Atomic.get g.groups;
+    s_charged_bytes = Atomic.get g.charged;
+    s_peak_mem_bytes = Atomic.get g.peak_mem;
+    s_trips =
+      List.filter_map
+        (fun k ->
+          let n = Atomic.get g.trips.(kind_index k) in
+          if n > 0 then Some (k, n) else None)
+        [ Timeout; Memory; Groups; Cancelled; Input ];
+    s_injected_allocs = Atomic.get g.injected_allocs;
+  }
+
+let summary g =
+  let s = stats g in
+  let trips =
+    if s.s_trips = [] then "none"
+    else
+      String.concat ","
+        (List.map (fun (k, n) -> Printf.sprintf "%s=%d" (kind_name k) n)
+           s.s_trips)
+  in
+  Printf.sprintf
+    "governor: ticks=%d groups=%d charged=%dB peak-mem=%dB trips=%s%s"
+    s.s_ticks s.s_groups s.s_charged_bytes s.s_peak_mem_bytes trips
+    (if s.s_injected_allocs > 0 then
+       Printf.sprintf " injected-allocs=%d" s.s_injected_allocs
+     else "")
+
+(* --- building a governor from CLI flags and the environment --------------- *)
+
+let env_int name =
+  match Sys.getenv_opt name with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> Some n
+    | Some _ | None -> None)
+
+let of_limits ?timeout_ms ?max_groups ?max_mem_mb () =
+  let first a b = match a with Some _ -> a | None -> b in
+  let timeout_ms = first timeout_ms (env_int "XQ_TIMEOUT") in
+  let max_groups = first max_groups (env_int "XQ_MAX_GROUPS") in
+  let max_mem_mb = first max_mem_mb (env_int "XQ_MAX_MEM") in
+  let max_input_bytes = env_int "XQ_MAX_INPUT" in
+  let max_depth = env_int "XQ_MAX_DEPTH" in
+  if
+    timeout_ms = None && max_groups = None && max_mem_mb = None
+    && max_input_bytes = None && max_depth = None
+    && not (faults_enabled ())
+  then None
+  else
+    Some
+      (create ?timeout_ms ?max_groups ?max_mem_mb ?max_input_bytes ?max_depth
+         ())

@@ -1,0 +1,137 @@
+(** Per-query resource governor: wall-clock deadlines, cardinality and
+    memory budgets, cooperative cancellation, and the seeded
+    fault-injection hook used by the robustness test suites.
+
+    The engine's hot loops call {!tick}, which is a single atomic load
+    when no governor is installed. Install one with {!with_governor}
+    (or build one from CLI flags / environment with {!of_limits});
+    while installed, each tick bumps a cache-line-padded per-domain
+    counter, and every 64th tick reads the cancellation flags and runs
+    the expensive checks (deadline, fault draw, and — less often — the
+    Gc memory estimate), so a crossed limit is detected within one
+    stride of ticks without any shared read-modify-write on the hot
+    path. Trips raise [Xerror.Error] with the [XQENG*] codes:
+    [XQENG0001] timeout, [XQENG0002] memory, [XQENG0003] group
+    cardinality, [XQENG0004] cancelled, [XQENG0005] input limit. *)
+
+type t
+
+type trip_kind = Timeout | Memory | Groups | Cancelled | Input
+
+val kind_name : trip_kind -> string
+
+(** [create ?timeout_ms ?max_groups ?max_mem_mb ?max_input_bytes
+    ?max_depth ()] builds a governor. Omitted limits are unlimited.
+    The memory budget combines a [Gc.quick_stat] heap delta from the
+    governor's creation point with bytes explicitly counted via
+    {!charge_bytes}. *)
+val create :
+  ?timeout_ms:int ->
+  ?max_groups:int ->
+  ?max_mem_mb:int ->
+  ?max_input_bytes:int ->
+  ?max_depth:int ->
+  unit ->
+  t
+
+(** Merge explicit limits with the environment ([XQ_TIMEOUT],
+    [XQ_MAX_GROUPS], [XQ_MAX_MEM], [XQ_MAX_INPUT], [XQ_MAX_DEPTH]).
+    Returns [None] when no limit is set anywhere and fault injection is
+    off — i.e. when running governed would be pure overhead. Returns
+    [Some] of an unlimited governor when only faults are configured, so
+    tick points are armed for injection. *)
+val of_limits :
+  ?timeout_ms:int -> ?max_groups:int -> ?max_mem_mb:int -> unit -> t option
+
+(** {1 Installation} *)
+
+(** [with_governor g f] installs [g] as the process-wide active
+    governor for the duration of [f], restoring the previous one on
+    exit (normal or exceptional). The active governor is shared by all
+    domains, which is what lets a trip in one worker cancel its
+    siblings. *)
+val with_governor : t -> (unit -> 'a) -> 'a
+
+val install : t -> unit
+val uninstall : unit -> unit
+val current : unit -> t option
+
+(** {1 Tick points} *)
+
+(** The cheap check called from hot loops. No-op (one atomic load) when
+    no governor is installed. May raise [Xerror.Error] with an
+    [XQENG*] code. *)
+val tick : unit -> unit
+
+(** [check g] is {!tick} against an explicit governor. *)
+val check : t -> unit
+
+(** [count_groups n] records [n] newly created groups against the
+    installed governor's cardinality budget; raises [XQENG0003] when
+    the budget is exceeded. No-op when no governor is installed. *)
+val count_groups : int -> unit
+
+(** [charge_bytes n] counts [n] materialized bytes (canonical keys,
+    group cells) against the memory budget, checking it immediately;
+    raises [XQENG0002] on exhaustion. No-op when uninstalled. *)
+val charge_bytes : int -> unit
+
+(** {1 Cancellation} *)
+
+(** [cancel g] sets the sticky cancellation flag; every domain ticking
+    against [g] raises [XQENG0004] within one stride of ticks. *)
+val cancel : t -> unit
+
+val cancelled : t -> bool
+
+(** Scoped sibling-abort marks, used by [Par.run_tasks]: while at least
+    one abort mark is held, ticks raise [XQENG0004]; marks are released
+    once the failing pool has joined, so the enclosing query can still
+    report the original error. No-ops when no governor is installed. *)
+val begin_abort : unit -> unit
+
+val end_abort : unit -> unit
+val pending_aborts : t -> int
+
+(** {1 Input limits (XML parser)} *)
+
+(** [(max_depth, max_input_bytes)] of the installed governor, or
+    [(None, None)]. *)
+val input_limits : unit -> int option * int option
+
+(** Record an input-limit trip on the installed governor (if any) and
+    raise [XQENG0005]. *)
+val input_trip : string -> 'a
+
+(** {1 Fault injection} *)
+
+(** [set_faults ~seed ~rate] arms the deterministic fault streams, as
+    does the environment variable [XQ_FAULTS=<seed>:<rate>]. [rate] is
+    a probability in [0,1] applied independently to each draw. *)
+val set_faults : seed:int -> rate:float -> unit
+
+val clear_faults : unit -> unit
+val faults_enabled : unit -> bool
+
+(** Drawn by [Par] before each [Domain.spawn]; [true] means "pretend
+    the spawn failed" and take the sequential fallback. Always [false]
+    when faults are off. *)
+val spawn_fault : unit -> bool
+
+(** {1 Stats} *)
+
+type stats = {
+  s_ticks : int;
+      (** ticks observed so far, counted in stride batches (a domain's
+          partial stride is not flushed), so a lower bound *)
+  s_groups : int;
+  s_charged_bytes : int;
+  s_peak_mem_bytes : int;
+  s_trips : (trip_kind * int) list;  (** only kinds with [n > 0] *)
+  s_injected_allocs : int;
+}
+
+val stats : t -> stats
+
+(** One-line rendering used by EXPLAIN ANALYZE and [profile]. *)
+val summary : t -> string

@@ -26,21 +26,79 @@ let default_degree () =
   | 0 -> Lazy.force env_degree
   | n -> n
 
+module Governor = Xq_governor.Governor
+
+(* One warning per process when spawning fails and we degrade to the
+   sequential path — output stays byte-identical, only the warning on
+   stderr tells the two paths apart. *)
+let warned_fallback = Atomic.make false
+
+let warn_fallback reason =
+  if not (Atomic.exchange warned_fallback true) then
+    Printf.eprintf
+      "xq: warning: Domain.spawn unavailable (%s); falling back to \
+       sequential execution\n%!"
+      reason
+
+let is_cancel = function
+  | Xq_xdm.Xerror.Error (Xq_xdm.Xerror.XQENG0004, _) -> true
+  | _ -> false
+
 (* Run every task to completion: task 0 on the calling domain, the rest
-   on fresh domains. If several tasks raise, re-raise the lowest-indexed
-   exception — for chunked maps this is exactly the exception sequential
-   left-to-right evaluation would have raised first. *)
+   on fresh domains. A spawn failure (real, or injected via XQ_FAULTS)
+   downgrades that task to the caller's domain — same output, no
+   parallelism. A failing task marks an abort on the installed governor
+   so siblings that tick cancel early instead of running to completion;
+   the marks are released once every domain has joined. If several
+   tasks raise, re-raise the lowest-indexed *real* exception — for
+   chunked maps this is exactly the exception sequential left-to-right
+   evaluation would have raised first; sibling cancellations (XQENG0004)
+   provoked by the abort only win when nothing else failed. *)
 let run_tasks (tasks : (unit -> unit) array) =
   let nt = Array.length tasks in
   if nt = 0 then ()
   else if nt = 1 then tasks.(0) ()
   else begin
     let errs = Array.make nt None in
-    let guarded i () = try tasks.(i) () with e -> errs.(i) <- Some e in
-    let domains = Array.init (nt - 1) (fun i -> Domain.spawn (guarded (i + 1))) in
+    let guarded i () =
+      try tasks.(i) ()
+      with e ->
+        errs.(i) <- Some e;
+        Governor.begin_abort ()
+    in
+    let inline = ref [] in
+    let domains =
+      Array.init (nt - 1) (fun k ->
+          let i = k + 1 in
+          if Governor.spawn_fault () then begin
+            warn_fallback "injected fault";
+            inline := i :: !inline;
+            None
+          end
+          else
+            match Domain.spawn (guarded i) with
+            | d -> Some d
+            | exception e ->
+              warn_fallback (Printexc.to_string e);
+              inline := i :: !inline;
+              None)
+    in
     guarded 0 ();
-    Array.iter Domain.join domains;
-    Array.iter (function Some e -> raise e | None -> ()) errs
+    List.iter (fun i -> guarded i ()) (List.rev !inline);
+    Array.iter (function Some d -> Domain.join d | None -> ()) domains;
+    let first_real = ref None and first_any = ref None in
+    Array.iter
+      (function
+        | None -> ()
+        | Some e ->
+          Governor.end_abort ();
+          if Option.is_none !first_any then first_any := Some e;
+          if Option.is_none !first_real && not (is_cancel e) then
+            first_real := Some e)
+      errs;
+    match (!first_real, !first_any) with
+    | Some e, _ | None, Some e -> raise e
+    | None, None -> ()
   end
 
 (* How many chunks to actually use for [n] elements: never more than the

@@ -21,8 +21,15 @@ val set_default_degree : int -> unit
 val parse_degree : string -> int option
 
 (** Run all thunks to completion, task 0 on the calling domain and the
-    rest on fresh domains; re-raises the lowest-indexed exception if any
-    task fails. *)
+    rest on fresh domains. If [Domain.spawn] fails (or a spawn fault is
+    injected via [Governor.set_faults] / [XQ_FAULTS]), the affected
+    tasks run sequentially on the caller instead — one warning on
+    stderr per process, identical output. A failing task marks an abort
+    on the installed governor, cancelling siblings at their next
+    [Governor.tick]; once all domains have joined the marks are
+    released and the lowest-indexed real exception is re-raised
+    (sibling [XQENG0004] cancellations only win when nothing else
+    failed). *)
 val run_tasks : (unit -> unit) array -> unit
 
 (** [map ~degree f src] is [Array.map f src], computed in up to [degree]

@@ -5,6 +5,7 @@ module Engine = Xq_engine
 module Rewrite = Xq_rewrite
 module Algebra = Xq_algebra
 module Par = Xq_par.Par
+module Governor = Xq_governor.Governor
 
 type doc = Xq_xdm.Node.t
 type result = Xq_xdm.Xseq.t

@@ -25,6 +25,10 @@ module Algebra = Xq_algebra
 (** Fork-join domain pool behind [--parallel] / [XQ_PARALLEL]. *)
 module Par = Xq_par.Par
 
+(** Per-query resource governor: deadlines, group/memory budgets,
+    cooperative cancellation, fault injection ([XQ_FAULTS]). *)
+module Governor = Xq_governor.Governor
+
 (** A loaded document (its document node). *)
 type doc = Xq_xdm.Node.t
 

@@ -1,5 +1,6 @@
 open Xq_xdm
 open Xq_lang
+module Governor = Xq_governor.Governor
 
 module Smap = Map.Make (String)
 
@@ -78,6 +79,7 @@ let parallel_safe ctx e =
        (Ast_utils.call_sites e)
 
 let rec eval ctx (e : Ast.expr) : Xseq.t =
+  Governor.tick ();
   match e with
   | Literal a -> [ Item.Atomic a ]
   | Var v -> Context.lookup_exn ctx v
@@ -89,7 +91,10 @@ let rec eval ctx (e : Ast.expr) : Xseq.t =
     | Some x, Some y ->
       let lo = Atomic.cast_to_integer x and hi = Atomic.cast_to_integer y in
       if lo > hi then Xseq.empty
-      else List.init (hi - lo + 1) (fun i -> Item.of_int (lo + i))
+      else
+        List.init (hi - lo + 1) (fun i ->
+            Governor.tick ();
+            Item.of_int (lo + i))
   end
   | Arith (op, a, b) -> Compare.arith op (eval ctx a) (eval ctx b)
   | Neg a -> begin

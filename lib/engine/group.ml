@@ -1,5 +1,6 @@
 open Xq_xdm
 module Par = Xq_par.Par
+module Governor = Xq_governor.Governor
 
 type 'a group = { keys : Xseq.t list; members : 'a list }
 
@@ -59,6 +60,7 @@ let build_seq ?tally keyed hashes accept =
   for i = 0 to n - 1 do
     let h = hashes.(i) in
     if accept h then begin
+      Governor.tick ();
       let key, tuple = keyed.(i) in
       let bucket =
         match Hashtbl.find_opt table h with
@@ -77,6 +79,7 @@ let build_seq ?tally keyed hashes accept =
       with
       | Some cell -> cell.rev_members <- tuple :: cell.rev_members
       | None ->
+        Governor.count_groups 1;
         let cell = { c_key = key; c_first = i; rev_members = [ tuple ] } in
         bucket := cell :: !bucket;
         order := cell :: !order
@@ -146,6 +149,7 @@ let group_sort ?tally ?(sorted_output = false) ?(parallel = 1)
       Par.sort ~degree:parallel ~min_chunk:par_sort_min_chunk
         (fun a b ->
           tick tally;
+          Governor.tick ();
           Key.compare a.c_key b.c_key)
         arr;
       Array.to_list arr
@@ -159,6 +163,7 @@ let group_scan ?tally ?(parallel = 1) ?(parallel_keys = false) ~keys_of ~equal
   let order = ref [] in
   Array.iter
     (fun ((key : Key.t), tuple) ->
+      Governor.tick ();
       (* compare against each existing group's representative, one key
          position at a time, short-circuiting on the first mismatch
          (unequal arity can never match) *)
@@ -180,6 +185,7 @@ let group_scan ?tally ?(parallel = 1) ?(parallel_keys = false) ~keys_of ~equal
       match List.find_opt same !order with
       | Some cell -> cell.rev_members <- tuple :: cell.rev_members
       | None ->
+        Governor.count_groups 1;
         order := { c_key = key; c_first = 0; rev_members = [ tuple ] } :: !order)
     keyed;
   (* !order is newest-first *)

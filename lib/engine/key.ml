@@ -55,6 +55,7 @@ let add_field buf tag s =
   Buffer.add_string buf s
 
 let fingerprint n0 =
+  Xq_governor.Governor.tick ();
   Stdlib.Atomic.incr walks;
   let fb = Buffer.create 64 and sb = Buffer.create 32 in
   let add_name fb n =
@@ -118,7 +119,11 @@ let fingerprint n0 =
     | Node.Pi -> Node.pi_data n0
     | Node.Document | Node.Element | Node.Text -> Buffer.contents sb
   in
-  (Buffer.contents fb, sv)
+  let fp = Buffer.contents fb in
+  (* canonical keys are materialized state the Gc delta may lag behind;
+     count them against the memory budget directly *)
+  Xq_governor.Governor.charge_bytes (String.length fp + String.length sv);
+  (fp, sv)
 
 (* --- canonicalization --------------------------------------------------- *)
 

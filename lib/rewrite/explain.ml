@@ -249,4 +249,9 @@ let analyze_query ?(timings = true) ?(optimize = false) ?strategy ?parallel
   in
   go q.body;
   add buf 0 (Printf.sprintf "result: %d item(s)" !total);
+  (* governor trip counts and peak budgets, only when one is installed —
+     ungoverned runs (and the golden explain corpus) are unchanged *)
+  (match Xq_governor.Governor.current () with
+   | Some g -> add buf 0 (Xq_governor.Governor.summary g)
+   | None -> ());
   Buffer.contents buf

@@ -11,6 +11,11 @@ type code =
   | FOCA0002
   | FODT0001
   | XQDY0025
+  | XQENG0001
+  | XQENG0002
+  | XQENG0003
+  | XQENG0004
+  | XQENG0005
 
 exception Error of code * string
 
@@ -27,6 +32,28 @@ let code_to_string = function
   | FOCA0002 -> "FOCA0002"
   | FODT0001 -> "FODT0001"
   | XQDY0025 -> "XQDY0025"
+  | XQENG0001 -> "XQENG0001"
+  | XQENG0002 -> "XQENG0002"
+  | XQENG0003 -> "XQENG0003"
+  | XQENG0004 -> "XQENG0004"
+  | XQENG0005 -> "XQENG0005"
+
+type severity = Static | Dynamic | Resource
+
+let severity = function
+  | XPST0003 | XPST0008 | XPST0017 | XQST0094 -> Static
+  | XPTY0004 | XPDY0002 | FORG0001 | FORG0006 | FOAR0001 | FOCA0002
+  | FODT0001 | XQDY0025 ->
+    Dynamic
+  | XQENG0001 | XQENG0002 | XQENG0003 | XQENG0004 | XQENG0005 -> Resource
+
+let is_resource code = severity code = Resource
+
+(* The CLI exit-code taxonomy: 0 ok, 1 usage, 2 static, 3 dynamic,
+   4 resource limit. Usage errors never reach this function (they are
+   not [Error]s); everything else maps from its severity. *)
+let exit_code code =
+  match severity code with Static -> 2 | Dynamic -> 3 | Resource -> 4
 
 let to_message code msg = Printf.sprintf "[%s] %s" (code_to_string code) msg
 

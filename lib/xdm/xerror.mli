@@ -1,7 +1,9 @@
 (** Typed XQuery error conditions.
 
     Codes follow the W3C error-code naming (XPST* static, XPTY*/XPDY*
-    type/dynamic, FO* functions-and-operators). *)
+    type/dynamic, FO* functions-and-operators), plus an engine-specific
+    [XQENG*] family for resource-governor trips so callers can
+    distinguish resource exhaustion from query errors. *)
 
 type code =
   | XPST0003  (** static: syntax error *)
@@ -16,10 +18,28 @@ type code =
   | FOCA0002  (** invalid lexical value *)
   | FODT0001  (** date/time overflow *)
   | XQDY0025  (** duplicate attribute name in constructor *)
+  | XQENG0001 (** resource: wall-clock deadline exceeded *)
+  | XQENG0002 (** resource: memory budget exceeded *)
+  | XQENG0003 (** resource: group/tuple cardinality cap exceeded *)
+  | XQENG0004 (** resource: query cancelled *)
+  | XQENG0005 (** resource: input document limit exceeded *)
 
 exception Error of code * string
 
 val code_to_string : code -> string
+
+(** Error classes, as the CLI exit-code taxonomy sees them. *)
+type severity = Static | Dynamic | Resource
+
+val severity : code -> severity
+
+(** [true] exactly for the [XQENG*] resource-governor family. *)
+val is_resource : code -> bool
+
+(** CLI exit code for a raised [code]: 2 static, 3 dynamic, 4 resource
+    limit (0 is success and 1 usage errors, neither of which carries a
+    code). *)
+val exit_code : code -> int
 
 (** Raise [Error (code, msg)]. *)
 val fail : code -> string -> 'a

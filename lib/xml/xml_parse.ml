@@ -1,6 +1,16 @@
 open Xq_xdm
+module Governor = Xq_governor.Governor
 
 exception Parse_error of { line : int; column : int; message : string }
+
+let default_max_depth = 512
+
+(* Where a limit came from decides how a trip surfaces: a limit the
+   caller set (or the built-in default) raises a positioned
+   [Parse_error]; a limit inherited from the installed resource
+   governor raises the structured [XQENG0005] so the CLI's exit-code
+   taxonomy classifies it as a resource trip. *)
+type limit_source = Explicit | Governed | Default
 
 type state = {
   src : string;
@@ -8,6 +18,9 @@ type state = {
   mutable line : int;
   mutable bol : int;  (* offset of beginning of current line *)
   keep_whitespace : bool;
+  mutable depth : int;
+  max_depth : int;
+  depth_src : limit_source;
 }
 
 let error st msg =
@@ -168,9 +181,22 @@ let skip_doctype st =
   in
   go ()
 
+let limit_trip st src msg =
+  match (src : limit_source) with
+  | Governed -> Governor.input_trip msg
+  | Explicit | Default -> error st msg
+
+let enter_element st =
+  Governor.tick ();
+  st.depth <- st.depth + 1;
+  if st.depth > st.max_depth then
+    limit_trip st st.depth_src
+      (Printf.sprintf "element nesting deeper than %d" st.max_depth)
+
 let rec parse_element st =
   (* at '<' of a start tag *)
   eat st '<';
+  enter_element st;
   let name = read_name st in
   let el = Node.element (Xname.of_string name) in
   let rec attrs () =
@@ -189,6 +215,7 @@ let rec parse_element st =
     | _ -> error st "malformed start tag"
   in
   attrs ();
+  st.depth <- st.depth - 1;
   el
 
 and parse_content st el name =
@@ -283,11 +310,40 @@ let parse_misc st doc =
   in
   go ()
 
-let make_state ?(keep_whitespace = false) src =
-  { src; pos = 0; line = 1; bol = 0; keep_whitespace }
+let make_state ?(keep_whitespace = false) ?max_depth ?max_bytes src =
+  let gov_depth, gov_bytes = Governor.input_limits () in
+  let max_depth, depth_src =
+    match (max_depth, gov_depth) with
+    | Some d, _ -> (d, Explicit)
+    | None, Some d -> (d, Governed)
+    | None, None -> (default_max_depth, Default)
+  in
+  let st =
+    {
+      src;
+      pos = 0;
+      line = 1;
+      bol = 0;
+      keep_whitespace;
+      depth = 0;
+      max_depth;
+      depth_src;
+    }
+  in
+  (match (max_bytes, gov_bytes) with
+   | Some cap, _ when String.length src > cap ->
+     limit_trip st Explicit
+       (Printf.sprintf "input of %d bytes exceeds the %d-byte limit"
+          (String.length src) cap)
+   | None, Some cap when String.length src > cap ->
+     limit_trip st Governed
+       (Printf.sprintf "input of %d bytes exceeds the %d-byte limit"
+          (String.length src) cap)
+   | _ -> ());
+  st
 
-let parse ?keep_whitespace src =
-  let st = make_state ?keep_whitespace src in
+let parse ?keep_whitespace ?max_depth ?max_bytes src =
+  let st = make_state ?keep_whitespace ?max_depth ?max_bytes src in
   let doc = Node.document () in
   parse_misc st doc;
   if at_end st || peek st <> '<' then error st "expected a root element";
@@ -296,8 +352,8 @@ let parse ?keep_whitespace src =
   if not (at_end st) then error st "content after the root element";
   doc
 
-let parse_fragment ?keep_whitespace src =
-  let st = make_state ?keep_whitespace src in
+let parse_fragment ?keep_whitespace ?max_depth ?max_bytes src =
+  let st = make_state ?keep_whitespace ?max_depth ?max_bytes src in
   skip_ws st;
   if at_end st || peek st <> '<' then error st "expected an element";
   let el = parse_element st in
@@ -305,12 +361,12 @@ let parse_fragment ?keep_whitespace src =
   if not (at_end st) then error st "content after the element";
   el
 
-let parse_file ?keep_whitespace path =
+let parse_file ?keep_whitespace ?max_depth ?max_bytes path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
   let s = really_input_string ic n in
   close_in ic;
-  parse ?keep_whitespace s
+  parse ?keep_whitespace ?max_depth ?max_bytes s
 
 let error_to_string = function
   | Parse_error { line; column; message } ->

@@ -9,18 +9,47 @@
 
     Whitespace policy: text that consists purely of whitespace between two
     element tags is dropped when [keep_whitespace] is false (the default),
-    matching how data-oriented XQuery engines load data documents. *)
+    matching how data-oriented XQuery engines load data documents.
+
+    Untrusted-input limits: element nesting is capped ([max_depth],
+    default {!default_max_depth}) so hostile documents fail with a
+    positioned {!Parse_error} instead of a stack overflow, and
+    [max_bytes] caps the total input size. Limits passed explicitly (or
+    the built-in depth default) raise {!Parse_error}; limits inherited
+    from an installed resource governor ([XQ_MAX_DEPTH],
+    [XQ_MAX_INPUT]) raise [Xerror.Error XQENG0005] so the CLI can
+    classify the trip as resource exhaustion. While a governor is
+    installed, the parser also ticks it per element, so deadlines and
+    cancellation apply during document loading. *)
 
 exception Parse_error of { line : int; column : int; message : string }
 
+(** Default element-nesting cap (512). *)
+val default_max_depth : int
+
 (** Parse a complete document; the result is a [Document] node. *)
-val parse : ?keep_whitespace:bool -> string -> Xq_xdm.Node.t
+val parse :
+  ?keep_whitespace:bool ->
+  ?max_depth:int ->
+  ?max_bytes:int ->
+  string ->
+  Xq_xdm.Node.t
 
 (** Parse a single element fragment (no XML declaration required),
     returning the element node itself. *)
-val parse_fragment : ?keep_whitespace:bool -> string -> Xq_xdm.Node.t
+val parse_fragment :
+  ?keep_whitespace:bool ->
+  ?max_depth:int ->
+  ?max_bytes:int ->
+  string ->
+  Xq_xdm.Node.t
 
-val parse_file : ?keep_whitespace:bool -> string -> Xq_xdm.Node.t
+val parse_file :
+  ?keep_whitespace:bool ->
+  ?max_depth:int ->
+  ?max_bytes:int ->
+  string ->
+  Xq_xdm.Node.t
 
 (** Render the error position and message. *)
 val error_to_string : exn -> string option

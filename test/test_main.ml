@@ -24,4 +24,6 @@ let () =
          Test_props.suites;
          Test_key.suites;
          Test_strategies.suites;
+         Test_par.suites;
+         Test_governor.suites;
        ])

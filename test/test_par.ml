@@ -1,0 +1,162 @@
+(* Failure semantics of the Par fork-join pool: deterministic exception
+   choice, degenerate inputs, spawn-failure fallback (exercised through
+   the fault-injection hook), and governor-driven sibling
+   cancellation. *)
+
+open Helpers
+module Par = Xq_par.Par
+module Governor = Xq_governor.Governor
+module Xerror = Xq_xdm.Xerror
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+exception Boom of int
+
+let with_faults ~seed ~rate f =
+  Governor.set_faults ~seed ~rate;
+  Fun.protect ~finally:Governor.clear_faults f
+
+let run_tasks_tests =
+  [
+    test "empty task array is a no-op" (fun () -> Par.run_tasks [||]);
+    test "single task runs on the caller" (fun () ->
+        let hit = ref false in
+        Par.run_tasks [| (fun () -> hit := true) |];
+        check_bool "ran" true !hit);
+    test "a raising task re-raises after all siblings complete" (fun () ->
+        let done_ = Array.make 4 false in
+        (match
+           Par.run_tasks
+             (Array.init 4 (fun i ->
+                  fun () ->
+                    if i = 2 then raise (Boom 2) else done_.(i) <- true))
+         with
+        | () -> Alcotest.fail "expected Boom"
+        | exception Boom 2 -> ()
+        | exception e -> raise e);
+        (* every non-raising task ran to completion: domains were joined,
+           none abandoned *)
+        check_bool "task 0 completed" true done_.(0);
+        check_bool "task 1 completed" true done_.(1);
+        check_bool "task 3 completed" true done_.(3));
+    test "several raising tasks: the lowest-indexed exception wins" (fun () ->
+        match
+          Par.run_tasks (Array.init 6 (fun i -> fun () -> raise (Boom i)))
+        with
+        | () -> Alcotest.fail "expected Boom"
+        | exception Boom 0 -> ()
+        | exception Boom i -> Alcotest.failf "expected Boom 0, got Boom %d" i);
+    test "map exception matches sequential left-to-right order" (fun () ->
+        let src = Array.init 100 (fun i -> i) in
+        match
+          Par.map ~degree:4 ~min_chunk:1
+            (fun i -> if i >= 37 then raise (Boom i) else i)
+            src
+        with
+        | _ -> Alcotest.fail "expected Boom"
+        | exception Boom 37 -> ()
+        | exception Boom i -> Alcotest.failf "expected Boom 37, got Boom %d" i);
+    test "map of the empty array" (fun () ->
+        check_int "length" 0 (Array.length (Par.map ~degree:4 succ [||])));
+    test "map of a 1-element array" (fun () ->
+        Alcotest.(check (array int))
+          "mapped" [| 2 |]
+          (Par.map ~degree:4 ~min_chunk:1 succ [| 1 |]));
+  ]
+
+let fallback_tests =
+  [
+    test "spawn faults at rate 1.0 degrade to sequential, same output"
+      (fun () ->
+        let src = Array.init 1000 (fun i -> i) in
+        let expected = Array.map (fun i -> i * i) src in
+        with_faults ~seed:1 ~rate:1.0 (fun () ->
+            Alcotest.(check (array int))
+              "map" expected
+              (Par.map ~degree:4 ~min_chunk:1 (fun i -> i * i) src);
+            let a = Array.init 1000 (fun i -> (i * 7919) mod 1000) in
+            let b = Array.copy a in
+            Par.sort ~degree:4 ~min_chunk:8 compare a;
+            Array.stable_sort compare b;
+            Alcotest.(check (array int)) "sort" b a));
+    test "spawn faults under a raising task still pick the first error"
+      (fun () ->
+        with_faults ~seed:2 ~rate:1.0 (fun () ->
+            match
+              Par.run_tasks
+                (Array.init 4 (fun i -> fun () -> raise (Boom i)))
+            with
+            | () -> Alcotest.fail "expected Boom"
+            | exception Boom 0 -> ()
+            | exception Boom i ->
+              Alcotest.failf "expected Boom 0, got Boom %d" i));
+    test "partial spawn faults (rate 0.5) keep map output intact" (fun () ->
+        let src = Array.init 500 string_of_int in
+        let expected = Array.map (fun s -> s ^ "!") src in
+        for seed = 0 to 9 do
+          with_faults ~seed ~rate:0.5 (fun () ->
+              Alcotest.(check (array string))
+                (Printf.sprintf "seed %d" seed)
+                expected
+                (Par.map ~degree:4 ~min_chunk:1 (fun s -> s ^ "!") src))
+        done);
+  ]
+
+let cancellation_tests =
+  [
+    test "a failing worker cancels ticking siblings via the governor"
+      (fun () ->
+        let g = Governor.create () in
+        Governor.with_governor g (fun () ->
+            let sibling_cancelled = ref false in
+            (match
+               Par.run_tasks
+                 [|
+                   (fun () ->
+                     (* ticks until the sibling's failure marks an abort;
+                        time-bounded so a missed cancellation fails the
+                        test instead of hanging it *)
+                     let deadline = Unix.gettimeofday () +. 10.0 in
+                     try
+                       while Unix.gettimeofday () < deadline do
+                         Governor.tick ()
+                       done
+                     with
+                     | Xerror.Error (Xerror.XQENG0004, _) as e ->
+                       sibling_cancelled := true;
+                       raise e);
+                   (fun () -> raise (Boom 1));
+                 |]
+             with
+            | () -> Alcotest.fail "expected Boom"
+            | exception Boom 1 -> ()
+            | exception e ->
+              Alcotest.failf "expected Boom 1, got %s" (Printexc.to_string e));
+            check_bool "sibling observed the cancellation" true
+              !sibling_cancelled;
+            (* the abort marks were released: the governor is usable again *)
+            check_int "no pending aborts" 0 (Governor.pending_aborts g);
+            Governor.tick ()));
+    test "explicit cancel trips XQENG0004 within one stride of ticks"
+      (fun () ->
+        let g = Governor.create () in
+        Governor.with_governor g (fun () ->
+            Governor.tick ();
+            Governor.cancel g;
+            match
+              (* the cancellation flag is read at stride boundaries *)
+              for _ = 1 to 128 do
+                Governor.tick ()
+              done
+            with
+            | () -> Alcotest.fail "expected XQENG0004"
+            | exception Xerror.Error (Xerror.XQENG0004, _) -> ()));
+  ]
+
+let suites =
+  [
+    ("par.run-tasks", run_tasks_tests);
+    ("par.fallback", fallback_tests);
+    ("par.cancellation", cancellation_tests);
+  ]

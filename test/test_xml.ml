@@ -106,6 +106,99 @@ let error_tests =
         parse_error 1 1 "" "empty input");
   ]
 
+(* --- hostile / malformed input ------------------------------------------ *)
+
+(* <d><d>…x…</d></d>, [n] levels deep. *)
+let deep n =
+  let b = Buffer.create (n * 8) in
+  for _ = 1 to n do Buffer.add_string b "<d>" done;
+  Buffer.add_string b "x";
+  for _ = 1 to n do Buffer.add_string b "</d>" done;
+  Buffer.contents b
+
+let expect_parse_error name src =
+  match parse src with
+  | _ -> Alcotest.failf "%s: expected a parse error" name
+  | exception Xq_xml.Xml_parse.Parse_error _ -> ()
+
+let hostile_tests =
+  [
+    test "nesting beyond the default cap fails, not stack overflow" (fun () ->
+        match parse (deep 2000) with
+        | _ -> Alcotest.fail "expected a parse error"
+        | exception Xq_xml.Xml_parse.Parse_error { message; _ } ->
+          check_bool "mentions nesting" true
+            (String.length message > 0
+             && String.exists (fun c -> c = '5') message));
+    test "nesting exactly at an explicit cap parses" (fun () ->
+        let el = Xq_xml.Xml_parse.parse_fragment ~max_depth:10 (deep 10) in
+        check_string "sv" "x" (Node.string_value el));
+    test "nesting one past an explicit cap fails" (fun () ->
+        match Xq_xml.Xml_parse.parse ~max_depth:10 (deep 11) with
+        | _ -> Alcotest.fail "expected a parse error"
+        | exception Xq_xml.Xml_parse.Parse_error _ -> ());
+    test "governor depth limit raises XQENG0005" (fun () ->
+        let g = Xq_governor.Governor.create ~max_depth:5 () in
+        Xq_governor.Governor.with_governor g (fun () ->
+            match parse (deep 6) with
+            | _ -> Alcotest.fail "expected XQENG0005"
+            | exception Xerror.Error (Xerror.XQENG0005, _) -> ()));
+    test "an explicit cap wins over the governor's" (fun () ->
+        let g = Xq_governor.Governor.create ~max_depth:5 () in
+        Xq_governor.Governor.with_governor g (fun () ->
+            let el =
+              Xq_xml.Xml_parse.parse_fragment ~max_depth:20 (deep 12)
+            in
+            check_string "sv" "x" (Node.string_value el)));
+    test "explicit input-size cap raises a positioned error" (fun () ->
+        match Xq_xml.Xml_parse.parse ~max_bytes:8 "<a>abcdefgh</a>" with
+        | _ -> Alcotest.fail "expected a parse error"
+        | exception Xq_xml.Xml_parse.Parse_error { message; _ } ->
+          check_bool "mentions bytes" true
+            (String.length message > 0));
+    test "governor input-size limit raises XQENG0005" (fun () ->
+        let g = Xq_governor.Governor.create ~max_input_bytes:8 () in
+        Xq_governor.Governor.with_governor g (fun () ->
+            match parse "<a>abcdefgh</a>" with
+            | _ -> Alcotest.fail "expected XQENG0005"
+            | exception Xerror.Error (Xerror.XQENG0005, _) -> ()));
+    test "unterminated start tag" (fun () -> expect_parse_error "tag" "<a");
+    test "unterminated attribute" (fun () ->
+        expect_parse_error "attr" "<a x='v");
+    test "unterminated attribute in nested element" (fun () ->
+        expect_parse_error "nested attr" "<a><b x=\"v</a>");
+    test "unterminated comment" (fun () ->
+        expect_parse_error "comment" "<a><!-- never closed</a>");
+    test "unterminated CDATA" (fun () ->
+        expect_parse_error "cdata" "<a><![CDATA[stuck</a>");
+    test "unterminated DOCTYPE" (fun () ->
+        expect_parse_error "doctype" "<!DOCTYPE a [<a/>");
+    test "truncated entity" (fun () -> expect_parse_error "entity" "<a>&am");
+    test "truncated decimal character reference" (fun () ->
+        expect_parse_error "charref" "<a>&#12");
+    test "truncated hex character reference" (fun () ->
+        expect_parse_error "hex charref" "<a>&#x1F");
+    test "malformed character reference" (fun () ->
+        expect_parse_error "bad charref" "<a>&#xZZ;</a>");
+    test "character reference out of range" (fun () ->
+        expect_parse_error "out of range" "<a>&#x110000;</a>");
+    test "huge attribute value survives" (fun () ->
+        let v = String.make 100_000 'v' in
+        let el = parse_fragment (Printf.sprintf "<a x=\"%s\"/>" v) in
+        match Node.attributes el with
+        | [ at ] ->
+          check_int "attr length" 100_000
+            (String.length (Node.attribute_value at))
+        | _ -> Alcotest.fail "expected one attribute");
+    test "parse ticks the governor (deadline applies to parsing)" (fun () ->
+        let g = Xq_governor.Governor.create ~timeout_ms:1 () in
+        Unix.sleepf 0.005;
+        Xq_governor.Governor.with_governor g (fun () ->
+            match parse (deep 400) with
+            | _ -> Alcotest.fail "expected XQENG0001"
+            | exception Xerror.Error (Xerror.XQENG0001, _) -> ()));
+  ]
+
 let serializer_tests =
   [
     test "escapes text" (fun () ->
@@ -162,6 +255,7 @@ let suites =
   [
     ("xml.parser", parser_tests);
     ("xml.errors", error_tests);
+    ("xml.hostile", hostile_tests);
     ("xml.serializer", serializer_tests);
     ("xml.builder", builder_tests);
   ]

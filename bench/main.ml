@@ -15,6 +15,7 @@
      dune exec bench/main.exe -- ablation-strategy  — hash vs sort vs fused-sort grouping
      dune exec bench/main.exe -- ablation-parallel  — domain-pool degree 1/2/4 per strategy
      dune exec bench/main.exe -- ablation-governor  — resource-governor tick overhead
+     dune exec bench/main.exe -- ablation-spill     — in-memory vs spill-to-disk grouping
      dune exec bench/main.exe -- bechamel      — bechamel OLS run of the six pairs
      dune exec bench/main.exe -- figure6 --full    — larger sweep (slow)
      dune exec bench/main.exe -- ... --json results.json  — also dump samples as JSON
@@ -45,15 +46,20 @@ type sample = {
   s_groups : int;
   s_strategy : string;
   s_parallel : int;
+  s_spilled : int;
+  s_spill_files : int;
+  s_repartitions : int;
   s_ms : float;
 }
 
 let samples : sample list ref = ref []
 
-let record ~bench ~query ~size ~groups ~strategy ~parallel ~ms =
+let record ~bench ~query ~size ~groups ~strategy ~parallel ?(spilled = 0)
+    ?(spill_files = 0) ?(repartitions = 0) ~ms () =
   samples :=
     { s_bench = bench; s_query = query; s_size = size; s_groups = groups;
-      s_strategy = strategy; s_parallel = parallel; s_ms = ms }
+      s_strategy = strategy; s_parallel = parallel; s_spilled = spilled;
+      s_spill_files = spill_files; s_repartitions = repartitions; s_ms = ms }
     :: !samples
 
 (* All recorded strings are plain ASCII identifiers, so OCaml's %S
@@ -66,9 +72,10 @@ let write_json path =
       if i > 0 then output_string oc ",\n";
       Printf.fprintf oc
         "  {\"bench\": %S, \"query\": %S, \"size\": %d, \"groups\": %d, \
-         \"strategy\": %S, \"parallel\": %d, \"ms\": %.3f}"
+         \"strategy\": %S, \"parallel\": %d, \"spilled_bytes\": %d, \
+         \"spill_files\": %d, \"repartitions\": %d, \"ms\": %.3f}"
         s.s_bench s.s_query s.s_size s.s_groups s.s_strategy s.s_parallel
-        s.s_ms)
+        s.s_spilled s.s_spill_files s.s_repartitions s.s_ms)
     (List.rev !samples);
   output_string oc "\n]\n";
   close_out oc;
@@ -351,7 +358,7 @@ return <r>{$a, count($items)}</r>|}
                 ~context_node:doc query)
         in
         record ~bench:"ablation-strategy" ~query:"tax-group-order" ~size:4_000
-          ~groups ~strategy:(strategy_name strategy) ~parallel:1 ~ms;
+          ~groups ~strategy:(strategy_name strategy) ~parallel:1 ~ms ();
         ms
       in
       let t_hash = run Xq.Algebra.Optimizer.Hash in
@@ -406,7 +413,7 @@ return <r>{$a, count($items)}</r>|}
                 in
                 record ~bench:"ablation-parallel" ~query:"tax-group-order"
                   ~size:lineitems ~groups ~strategy:(strategy_name strategy)
-                  ~parallel ~ms;
+                  ~parallel ~ms ();
                 (parallel, ms))
               degrees
           in
@@ -498,10 +505,10 @@ return <r>{$a, count($items)}</r>|}
           let t_on = t_off +. median !diffs in
           record ~bench:"ablation-governor" ~query:"governor-off"
             ~size:lineitems ~groups ~strategy:(strategy_name strategy)
-            ~parallel:1 ~ms:t_off;
+            ~parallel:1 ~ms:t_off ();
           record ~bench:"ablation-governor" ~query:"governor-on"
             ~size:lineitems ~groups ~strategy:(strategy_name strategy)
-            ~parallel:1 ~ms:t_on;
+            ~parallel:1 ~ms:t_on ();
           let pct = (t_on -. t_off) /. t_off *. 100. in
           overheads := pct :: !overheads;
           Printf.printf
@@ -517,6 +524,72 @@ return <r>{$a, count($items)}</r>|}
     /. float_of_int (List.length !overheads)
   in
   Printf.printf "mean overhead across cells: %+.2f%% (claim: < 2%%)\n%!" mean
+
+(* --- Ablation K: spill-to-disk external grouping -------------------------------- *)
+
+let ablation_spill () =
+  Timing.header
+    "Ablation K: external grouping — in-memory vs spilling at a tight \
+     watermark (byte-identical output, bounded memory)";
+  let q_src =
+    {|for $litem in //order/lineitem
+group by $litem/tax into $a
+nest $litem into $items
+order by $a
+return <r>{$a, count($items)}</r>|}
+  in
+  let query = Xq.parse q_src in
+  Xq.check query;
+  List.iter
+    (fun (tax_card, lineitems) ->
+      let doc = orders_doc ~tax_card lineitems in
+      let groups =
+        Xq.length
+          (Xq.Algebra.Exec.eval_query ~check:false ~context_node:doc query)
+      in
+      List.iter
+        (fun strategy ->
+          List.iter
+            (fun parallel ->
+              let t_mem =
+                Timing.measure_ms ~runs:3 (fun () ->
+                    Xq.Algebra.Exec.eval_query ~check:false ~strategy ~parallel
+                      ~context_node:doc query)
+              in
+              record ~bench:"ablation-spill" ~query:"tax-group-order-mem"
+                ~size:lineitems ~groups ~strategy:(strategy_name strategy)
+                ~parallel ~ms:t_mem ();
+              (* A fresh governor per run so the recorded spill counters
+                 are one run's, not the sum over warm-up + samples. *)
+              let last_gov = ref None in
+              let t_spill =
+                Timing.measure_ms ~runs:3 (fun () ->
+                    let gov =
+                      Xq.Governor.create
+                        ~spill_watermark_bytes:(256 * 1024) ()
+                    in
+                    last_gov := Some gov;
+                    Xq.Governor.with_governor gov (fun () ->
+                        Xq.Algebra.Exec.eval_query ~check:false ~strategy
+                          ~parallel ~context_node:doc query))
+              in
+              let s = Xq.Governor.stats (Option.get !last_gov) in
+              record ~bench:"ablation-spill" ~query:"tax-group-order-spill"
+                ~size:lineitems ~groups ~strategy:(strategy_name strategy)
+                ~parallel ~spilled:s.Xq.Governor.s_spilled_bytes
+                ~spill_files:s.Xq.Governor.s_spill_files
+                ~repartitions:s.Xq.Governor.s_repartitions ~ms:t_spill ();
+              Printf.printf
+                "tax_card=%4d n=%6d groups=%4d %-5s p%d  mem=%10s  \
+                 spill=%10s (%.2fx slower, %dB in %d file(s), %d \
+                 repartition(s))\n%!"
+                tax_card lineitems groups (strategy_name strategy) parallel
+                (Timing.fmt_ms t_mem) (Timing.fmt_ms t_spill)
+                (t_spill /. t_mem) s.Xq.Governor.s_spilled_bytes
+                s.Xq.Governor.s_spill_files s.Xq.Governor.s_repartitions)
+            [ 1; 2 ])
+        [ Xq.Algebra.Optimizer.Hash; Xq.Algebra.Optimizer.Sort ])
+    [ (100, 8_000); (400, 16_000) ]
 
 (* --- bechamel run of the six Qgb/Q pairs ------------------------------------- *)
 
@@ -562,6 +635,7 @@ let () =
   if want "ablation-strategy" then ablation_strategy ();
   if want "ablation-parallel" then ablation_parallel ~full ();
   if want "ablation-governor" then ablation_governor ();
+  if want "ablation-spill" then ablation_spill ();
   if (not all) && List.mem "bechamel" cmds then bechamel_run ();
   (match json with Some path -> write_json path | None -> ());
   Printf.printf "\nDone.\n%!"

@@ -32,13 +32,38 @@ let with_errors f =
     | None -> raise e
   end
 
-(* Install a governor built from --timeout/--max-groups/--max-mem and the
-   environment for the duration of [f]; [f] receives the governor so
-   commands can report its stats. *)
-let governed ?timeout_ms ?max_groups ?max_mem_mb f =
-  match Xq.Governor.of_limits ?timeout_ms ?max_groups ?max_mem_mb () with
+(* Install a governor built from --timeout/--max-groups/--max-mem/
+   --spill-at and the environment for the duration of [f]; [f] receives
+   the governor so commands can report its stats. *)
+let governed ?timeout_ms ?max_groups ?max_mem_mb ?spill_watermark_bytes f =
+  match
+    Xq.Governor.of_limits ?timeout_ms ?max_groups ?max_mem_mb
+      ?spill_watermark_bytes ()
+  with
   | None -> f None
   | Some g -> Xq.Governor.with_governor g (fun () -> f (Some g))
+
+(* Route --spill-dir / --no-spill to the spill-file manager before any
+   grouping runs. *)
+let apply_spill ~spill_dir ~no_spill =
+  (match spill_dir with
+   | Some _ as d -> Xq.Spill.set_dir d
+   | None -> ());
+  if no_spill then Xq.Spill.set_enabled false
+
+(* One stderr line when the query actually spilled, so operators see the
+   degraded mode without turning on profiling. *)
+let report_spill = function
+  | None -> ()
+  | Some g ->
+    let s = Xq.Governor.stats g in
+    if s.Xq.Governor.s_spill_files > 0 then
+      Printf.eprintf "xq: spilled %d bytes across %d file(s)%s\n"
+        s.Xq.Governor.s_spilled_bytes s.Xq.Governor.s_spill_files
+        (if s.Xq.Governor.s_repartitions > 0 then
+           Printf.sprintf " (%d repartition pass(es))"
+             s.Xq.Governor.s_repartitions
+         else "")
 
 (* --- arguments -------------------------------------------------------- *)
 
@@ -143,6 +168,36 @@ let max_mem_opt =
     & opt (some (pos_int "--max-mem")) None
     & info [ "max-mem" ] ~docv:"MB" ~env:(Cmd.Env.info "XQ_MAX_MEM") ~doc)
 
+let spill_at_opt =
+  let doc =
+    "Soft memory watermark in megabytes: when grouping's charged bytes \
+     cross it, in-memory groups spill to disk and the query keeps \
+     running instead of tripping XQENG0002. Defaults to half of \
+     $(b,--max-mem) when that is set; spilling is off otherwise."
+  in
+  Arg.(
+    value
+    & opt (some (pos_int "--spill-at")) None
+    & info [ "spill-at" ] ~docv:"MB" ~env:(Cmd.Env.info "XQ_SPILL_AT") ~doc)
+
+let spill_dir_opt =
+  let doc =
+    "Directory for spill files (default: $(b,TMPDIR), else /tmp). Files \
+     are unlinked at creation where possible, so a crash leaves nothing \
+     behind."
+  in
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "spill-dir" ] ~docv:"DIR" ~env:(Cmd.Env.info "XQ_SPILL_DIR") ~doc)
+
+let no_spill_flag =
+  let doc =
+    "Disable spilling: memory pressure trips XQENG0002 (exit 4) as it \
+     would with no spill directory."
+  in
+  Arg.(value & flag & info [ "no-spill" ] ~doc)
+
 let load_input = function
   | Some path -> Xq.load_file path
   | None -> Xq.load_string "<empty/>"
@@ -154,12 +209,19 @@ let apply_parallel = function
   | None -> ()
 
 let run_common ~source ~input ~rewrite ~indent ~time ~explain_analyze ~strategy
-    ~parallel ~timeout ~max_groups ~max_mem =
+    ~parallel ~timeout ~max_groups ~max_mem ~spill_at ~spill_dir ~no_spill =
   with_errors (fun () ->
+      apply_spill ~spill_dir ~no_spill;
       governed ?timeout_ms:timeout ?max_groups ?max_mem_mb:max_mem
-        (fun _gov ->
+        ?spill_watermark_bytes:
+          (Option.map (fun mb -> mb * 1024 * 1024) spill_at)
+        (fun gov ->
           apply_parallel parallel;
           let doc = load_input input in
+          (* Budget the query's own materializations, not the document. *)
+          (match gov with
+           | Some g -> Xq.Governor.rebaseline g
+           | None -> ());
           let query = Xq.parse source in
           Xq.check query;
           let query =
@@ -188,35 +250,40 @@ let run_common ~source ~input ~rewrite ~indent ~time ~explain_analyze ~strategy
             if time then
               Printf.eprintf "evaluated in %.1f ms (%d items)\n" elapsed
                 (Xq.length result)
-          end))
+          end;
+          report_spill gov))
 
 (* --- commands ----------------------------------------------------------- *)
 
 let run_cmd =
   let action qf input rewrite indent time explain_analyze strategy parallel
-      timeout max_groups max_mem =
+      timeout max_groups max_mem spill_at spill_dir no_spill =
     run_common ~source:(read_file qf) ~input ~rewrite ~indent ~time
       ~explain_analyze ~strategy ~parallel ~timeout ~max_groups ~max_mem
+      ~spill_at ~spill_dir ~no_spill
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a query file against an XML document.")
     Term.(
       const action $ query_file $ input_file $ rewrite_flag $ indent_flag
       $ time_flag $ explain_analyze_flag $ strategy_opt $ parallel_opt
-      $ timeout_opt $ max_groups_opt $ max_mem_opt)
+      $ timeout_opt $ max_groups_opt $ max_mem_opt $ spill_at_opt
+      $ spill_dir_opt $ no_spill_flag)
 
 let eval_cmd =
   let action expr input rewrite indent time explain_analyze strategy parallel
-      timeout max_groups max_mem =
+      timeout max_groups max_mem spill_at spill_dir no_spill =
     run_common ~source:expr ~input ~rewrite ~indent ~time ~explain_analyze
-      ~strategy ~parallel ~timeout ~max_groups ~max_mem
+      ~strategy ~parallel ~timeout ~max_groups ~max_mem ~spill_at ~spill_dir
+      ~no_spill
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a query given on the command line.")
     Term.(
       const action $ query_string $ input_file $ rewrite_flag $ indent_flag
       $ time_flag $ explain_analyze_flag $ strategy_opt $ parallel_opt
-      $ timeout_opt $ max_groups_opt $ max_mem_opt)
+      $ timeout_opt $ max_groups_opt $ max_mem_opt $ spill_at_opt
+      $ spill_dir_opt $ no_spill_flag)
 
 let check_cmd =
   let action qf =
@@ -264,12 +331,19 @@ let plan_optimize_flag =
   Arg.(value & flag & info [ "optimize" ] ~doc)
 
 let profile_cmd =
-  let action qf input optimize strategy parallel timeout max_groups max_mem =
+  let action qf input optimize strategy parallel timeout max_groups max_mem
+      spill_at spill_dir no_spill =
     with_errors (fun () ->
+      apply_spill ~spill_dir ~no_spill;
       governed ?timeout_ms:timeout ?max_groups ?max_mem_mb:max_mem
+        ?spill_watermark_bytes:
+          (Option.map (fun mb -> mb * 1024 * 1024) spill_at)
         (fun gov ->
         apply_parallel parallel;
         let doc = load_input input in
+        (match gov with
+         | Some g -> Xq.Governor.rebaseline g
+         | None -> ());
         let query = Xq.parse (read_file qf) in
         Xq.check query;
         match query.Xq.Lang.Ast.body with
@@ -320,7 +394,7 @@ let profile_cmd =
     Term.(
       const action $ query_file $ input_file $ plan_optimize_flag
       $ strategy_opt $ parallel_opt $ timeout_opt $ max_groups_opt
-      $ max_mem_opt)
+      $ max_mem_opt $ spill_at_opt $ spill_dir_opt $ no_spill_flag)
 
 let gen_cmd =
   let workload =
@@ -367,7 +441,8 @@ let () =
       Cmd.Exit.info 4
         ~doc:
           "on resource-limit trips (XQENG* errors from --timeout, \
-           --max-groups, --max-mem, cancellation or input limits).";
+           --max-groups, --max-mem, cancellation, input limits or \
+           spill-file I/O failures).";
     ]
   in
   let info =

@@ -10,6 +10,33 @@ type tuple = Xseq.t Smap.t
 let ctx_with_tuple ctx tuple =
   Smap.fold (fun v value ctx -> Xq_engine.Context.bind ctx v value) tuple ctx
 
+(* Spill codec for executor tuples — same wire shape as the evaluator's
+   (sorted variable/sequence bindings), letting grouping operators
+   degrade to the external build under memory pressure. *)
+let tuple_codec : tuple Xq_engine.Group.codec =
+  {
+    Xq_engine.Group.enc =
+      (fun reg buf tup ->
+        Binio.put_varint buf (Smap.cardinal tup);
+        Smap.iter
+          (fun v value ->
+            Binio.put_string buf v;
+            Binio.put_seq reg buf value)
+          tup);
+    dec =
+      (fun reg r ->
+        let n = Binio.get_varint r in
+        let rec go acc i =
+          if i >= n then acc
+          else begin
+            let v = Binio.get_string r in
+            let value = Binio.get_seq reg r in
+            go (Smap.add v value acc) (i + 1)
+          end
+        in
+        go Smap.empty 0);
+  }
+
 let eval_in ctx tuple e = Xq_engine.Eval.eval (ctx_with_tuple ctx tuple) e
 
 let tick = function Some r -> incr r | None -> ()
@@ -139,12 +166,13 @@ let step ?tally ?(parallel = 1) ctx (op : Plan.op) (input : tuple list) :
   | Plan.Sort { specs; _ } -> sort_tuples ?tally ~parallel ctx specs input
   | Plan.Hash_group shape ->
     group_output ?tally ctx shape
-      (Xq_engine.Group.group_hash ?tally ~parallel
+      (Xq_engine.Group.group_hash ?tally ~spill:tuple_codec ~parallel
          ~parallel_keys:(parallel > 1 && shape_parallel_keys ctx shape)
          ~keys_of:(shape_keys_of ctx shape) input)
   | Plan.Sort_group { shape; sorted_output } ->
     group_output ?tally ctx shape
-      (Xq_engine.Group.group_sort ?tally ~sorted_output ~parallel
+      (Xq_engine.Group.group_sort ?tally ~sorted_output ~spill:tuple_codec
+         ~parallel
          ~parallel_keys:(parallel > 1 && shape_parallel_keys ctx shape)
          ~keys_of:(shape_keys_of ctx shape) input)
   | Plan.Scan_group shape ->
@@ -192,6 +220,9 @@ module Stats = struct
     groups_built : int option;
     cmp_calls : int;
     key_walks : int;
+    spilled_bytes : int;
+    spill_files : int;
+    repartitions : int;
     par : int;
     elapsed_ms : float;
   }
@@ -199,6 +230,18 @@ module Stats = struct
   (* Innermost operator first, the return clause last — execution order. *)
   type t = entry list
 end
+
+(* Spill counters of the installed governor, for per-operator deltas
+   (mirrors the key_walks delta pattern). All zero when ungoverned, so
+   the fields stay silent in EXPLAIN ANALYZE output. *)
+let spill_now () =
+  match Governor.current () with
+  | None -> (0, 0, 0)
+  | Some g ->
+    let s = Governor.stats g in
+    ( s.Governor.s_spilled_bytes,
+      s.Governor.s_spill_files,
+      s.Governor.s_repartitions )
 
 let op_label (op : Plan.op) =
   match op with
@@ -240,9 +283,11 @@ let run_instrumented ?(parallel = 1) ctx (plan : Plan.plan) =
         let tally = ref 0 in
         let rows_in = List.length input in
         let walks0 = Xq_engine.Key.walk_count () in
+        let sb0, sf0, rp0 = spill_now () in
         let t0 = Sys.time () in
         let out = step ~tally ~parallel ctx op input in
         let elapsed_ms = (Sys.time () -. t0) *. 1000.0 in
+        let sb1, sf1, rp1 = spill_now () in
         let rows_out = List.length out in
         stats :=
           {
@@ -252,6 +297,9 @@ let run_instrumented ?(parallel = 1) ctx (plan : Plan.plan) =
             groups_built = (if is_grouping op then Some rows_out else None);
             cmp_calls = !tally;
             key_walks = Xq_engine.Key.walk_count () - walks0;
+            spilled_bytes = sb1 - sb0;
+            spill_files = sf1 - sf0;
+            repartitions = rp1 - rp0;
             par = (if op_parallelizable op then parallel else 1);
             elapsed_ms;
           }
@@ -274,6 +322,9 @@ let run_instrumented ?(parallel = 1) ctx (plan : Plan.plan) =
       groups_built = None;
       cmp_calls = 0;
       key_walks = 0;
+      spilled_bytes = 0;
+      spill_files = 0;
+      repartitions = 0;
       par = 1;
       elapsed_ms;
     }

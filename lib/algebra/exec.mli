@@ -28,6 +28,12 @@ module Stats : sig
     key_walks : int;
         (** key node subtrees materialized (canonicalization walks) —
             grouping walks each key node exactly once, comparisons none *)
+    spilled_bytes : int;
+        (** bytes this operator wrote to spill files (0 when grouping
+            stayed in memory or no governor is installed) *)
+    spill_files : int;   (** spill files this operator created *)
+    repartitions : int;
+        (** recursive repartition passes over oversized spill files *)
     par : int;
         (** domain-pool degree available to this operator (1 when the
             operator cannot parallelize) *)

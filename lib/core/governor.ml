@@ -26,7 +26,7 @@
 
 module Xerror = Xq_xdm.Xerror
 
-type trip_kind = Timeout | Memory | Groups | Cancelled | Input
+type trip_kind = Timeout | Memory | Groups | Cancelled | Input | SpillIo
 
 let kind_index = function
   | Timeout -> 0
@@ -34,6 +34,7 @@ let kind_index = function
   | Groups -> 2
   | Cancelled -> 3
   | Input -> 4
+  | SpillIo -> 5
 
 let kind_name = function
   | Timeout -> "timeout"
@@ -41,16 +42,19 @@ let kind_name = function
   | Groups -> "groups"
   | Cancelled -> "cancelled"
   | Input -> "input"
+  | SpillIo -> "spill-io"
 
-let n_kinds = 5
+let n_kinds = 6
 
 type t = {
   deadline : float;  (* absolute wall-clock seconds; [infinity] = none *)
   max_groups : int;  (* [max_int] = none *)
   max_mem_bytes : int;  (* [max_int] = none *)
+  spill_watermark : int;  (* soft pressure threshold on charged bytes;
+                             [max_int] = spilling off *)
   max_input_bytes : int option;
   max_depth : int option;
-  baseline_heap_words : int;
+  baseline_heap_words : int Atomic.t;  (* reset by [rebaseline] *)
   ticks : int Atomic.t;
   groups : int Atomic.t;
   charged : int Atomic.t;  (* counted materialization bytes (Key/Group) *)
@@ -59,6 +63,9 @@ type t = {
   aborts : int Atomic.t;  (* sibling-failure aborts held by Par.run_tasks *)
   trips : int Atomic.t array;  (* per trip_kind *)
   injected_allocs : int Atomic.t;
+  spilled_bytes : int Atomic.t;
+  spill_files : int Atomic.t;
+  repartitions : int Atomic.t;
 }
 
 (* How many ticks between expensive checks (clock, fault draw). *)
@@ -75,8 +82,13 @@ let now () = Unix.gettimeofday ()
 
 let word_bytes = Sys.word_size / 8
 
-let create ?timeout_ms ?max_groups ?max_mem_mb ?max_input_bytes ?max_depth ()
-    =
+let create ?timeout_ms ?max_groups ?max_mem_mb ?spill_watermark_bytes
+    ?max_input_bytes ?max_depth () =
+  let max_mem_bytes =
+    match max_mem_mb with
+    | Some n when n >= 0 -> n * 1024 * 1024
+    | Some _ | None -> max_int
+  in
   {
     deadline =
       (match timeout_ms with
@@ -84,13 +96,14 @@ let create ?timeout_ms ?max_groups ?max_mem_mb ?max_input_bytes ?max_depth ()
        | Some _ | None -> infinity);
     max_groups =
       (match max_groups with Some n when n >= 0 -> n | Some _ | None -> max_int);
-    max_mem_bytes =
-      (match max_mem_mb with
-       | Some n when n >= 0 -> n * 1024 * 1024
+    max_mem_bytes;
+    spill_watermark =
+      (match spill_watermark_bytes with
+       | Some n when n >= 0 -> n
        | Some _ | None -> max_int);
     max_input_bytes;
     max_depth;
-    baseline_heap_words = (Gc.quick_stat ()).Gc.heap_words;
+    baseline_heap_words = Atomic.make (Gc.quick_stat ()).Gc.heap_words;
     ticks = Atomic.make 0;
     groups = Atomic.make 0;
     charged = Atomic.make 0;
@@ -99,7 +112,16 @@ let create ?timeout_ms ?max_groups ?max_mem_mb ?max_input_bytes ?max_depth ()
     aborts = Atomic.make 0;
     trips = Array.init n_kinds (fun _ -> Atomic.make 0);
     injected_allocs = Atomic.make 0;
+    spilled_bytes = Atomic.make 0;
+    spill_files = Atomic.make 0;
+    repartitions = Atomic.make 0;
   }
+
+(* Reset the Gc-delta baseline to the current heap: the CLI calls this
+   after loading the input document, so --max-mem budgets the query's own
+   materializations (the input is governed separately by XQ_MAX_INPUT). *)
+let rebaseline g =
+  Atomic.set g.baseline_heap_words (Gc.quick_stat ()).Gc.heap_words
 
 (* --- fault injection ----------------------------------------------------- *)
 
@@ -108,6 +130,7 @@ type faults = {
   f_seed : int;
   f_spawn : int64 Atomic.t;
   f_alloc : int64 Atomic.t;
+  f_io : int64 Atomic.t;
 }
 
 let parse_faults s =
@@ -126,6 +149,9 @@ let parse_faults s =
           f_seed = seed;
           f_spawn = Atomic.make (Int64.of_int seed);
           f_alloc = Atomic.make (Int64.of_int (seed + 0x51ed));
+          (* distinct offset keeps the spawn/alloc streams — and so the
+             outcomes of every pre-spill fault test — unchanged *)
+          f_io = Atomic.make (Int64.of_int (seed + 0x10f0));
         }
     | _ -> None)
 
@@ -174,6 +200,13 @@ let spawn_fault () =
   match faults () with
   | None -> false
   | Some f -> draw f.f_spawn < f.f_rate
+
+(* Drawn by [Spill] before each file open and each frame write; [Some
+   seed] means "pretend the I/O operation failed". *)
+let io_fault () =
+  match faults () with
+  | None -> None
+  | Some f -> if draw f.f_io < f.f_rate then Some f.f_seed else None
 
 (* --- the installed governor --------------------------------------------- *)
 
@@ -228,11 +261,46 @@ let end_abort () =
 
 let pending_aborts g = Atomic.get g.aborts
 
+(* --- memory pressure ------------------------------------------------------ *)
+
+(* Per-domain pressure callbacks. A grouping operator registers a
+   callback for the duration of its build; when this domain's charges —
+   or the whole-process memory estimate, checked on the slow tick path —
+   cross the soft watermark the callback runs (it spills and uncharges)
+   before the hard budget is checked. Slots are indexed like the tick
+   counters: a collision between two live domains means one may be asked
+   to spill on the other's charge, which is safe — spilling early is
+   always correct. The [in_pressure] guard stops a callback's own
+   charges from re-entering it. *)
+let pressure_cbs : (unit -> unit) option array = Array.make n_slots None
+let in_pressure = Array.make n_slots false
+let cb_slot () = (Domain.self () :> int) land (n_slots - 1)
+
+let with_pressure_callback f body =
+  let i = cb_slot () in
+  let prev = pressure_cbs.(i) in
+  pressure_cbs.(i) <- Some f;
+  Fun.protect ~finally:(fun () -> pressure_cbs.(i) <- prev) body
+
+(* Run the current domain's callback unconditionally (the caller has
+   already established pressure). *)
+let fire_pressure () =
+  let i = cb_slot () in
+  if not in_pressure.(i) then
+    match pressure_cbs.(i) with
+    | None -> ()
+    | Some f ->
+      in_pressure.(i) <- true;
+      Fun.protect ~finally:(fun () -> in_pressure.(i) <- false) f
+
+let maybe_pressure g =
+  if Atomic.get g.charged > g.spill_watermark then fire_pressure ()
+
 (* --- the check itself ---------------------------------------------------- *)
 
 let mem_estimate g =
   let heap = (Gc.quick_stat ()).Gc.heap_words in
-  let gc_bytes = (heap - g.baseline_heap_words) * word_bytes in
+  let gc_bytes = (heap - Atomic.get g.baseline_heap_words) * word_bytes in
   max 0 gc_bytes + Atomic.get g.charged
 
 let rec raise_peak g est =
@@ -243,9 +311,19 @@ let rec raise_peak g est =
 let slow_check g ~mem =
   if g.deadline < infinity && now () > g.deadline then
     trip g Timeout Xerror.XQENG0001 "wall-clock deadline exceeded";
-  if mem && g.max_mem_bytes < max_int then begin
+  if mem && (g.max_mem_bytes < max_int || g.spill_watermark < max_int) then begin
     let est = mem_estimate g in
     raise_peak g est;
+    (* Gc growth counts toward pressure, not just charged bytes: a flush
+       frees keys and group cells so the heap is reused instead of
+       growing, which is what actually averts the hard trip when the
+       estimate is Gc-dominated. *)
+    if est > g.spill_watermark then fire_pressure ();
+    let est =
+      if g.spill_watermark < max_int && est > g.max_mem_bytes then
+        mem_estimate g (* a flush may just have averted the trip *)
+      else est
+    in
     if est > g.max_mem_bytes then
       trip g Memory Xerror.XQENG0002
         (Printf.sprintf "memory budget exceeded (~%d bytes used, budget %d)"
@@ -290,8 +368,13 @@ let note_groups g n =
 let count_groups n =
   match Atomic.get active with None -> () | Some g -> note_groups g n
 
+(* --- budget feeds (memory) ------------------------------------------------ *)
+
 let note_charge g n =
   let c = Atomic.fetch_and_add g.charged n + n in
+  if c > g.spill_watermark then maybe_pressure g;
+  (* re-read: a pressure callback uncharges what it spilled *)
+  let c = if c > g.spill_watermark then Atomic.get g.charged else c in
   if c > g.max_mem_bytes then
     trip g Memory Xerror.XQENG0002
       (Printf.sprintf
@@ -300,6 +383,44 @@ let note_charge g n =
 
 let charge_bytes n =
   match Atomic.get active with None -> () | Some g -> note_charge g n
+
+let uncharge_bytes n =
+  match Atomic.get active with
+  | None -> ()
+  | Some g -> ignore (Atomic.fetch_and_add g.charged (-n))
+
+let spill_armed () =
+  match Atomic.get active with
+  | None -> false
+  | Some g -> g.spill_watermark < max_int
+
+(* The installed soft watermark in bytes ([max_int] when off); spill
+   paths size their replay/repartition thresholds from it. *)
+let spill_watermark () =
+  match Atomic.get active with None -> max_int | Some g -> g.spill_watermark
+
+let under_pressure () =
+  match Atomic.get active with
+  | None -> false
+  | Some g -> Atomic.get g.charged > g.spill_watermark
+
+let note_spill ~bytes ~files ~repartitions =
+  match Atomic.get active with
+  | None -> ()
+  | Some g ->
+    if bytes <> 0 then ignore (Atomic.fetch_and_add g.spilled_bytes bytes);
+    if files <> 0 then ignore (Atomic.fetch_and_add g.spill_files files);
+    if repartitions <> 0 then
+      ignore (Atomic.fetch_and_add g.repartitions repartitions)
+
+(* Record a spill-I/O trip on the installed governor (if any) and raise
+   XQENG0006. Used by [Spill] for real I/O errors and injected faults
+   alike, so both fail closed through the same path. *)
+let spill_trip msg =
+  (match Atomic.get active with
+   | Some g -> Atomic.incr g.trips.(kind_index SpillIo)
+   | None -> ());
+  Xerror.fail Xerror.XQENG0006 msg
 
 (* --- input limits (XML parser) ------------------------------------------- *)
 
@@ -323,6 +444,9 @@ type stats = {
   s_peak_mem_bytes : int;
   s_trips : (trip_kind * int) list;
   s_injected_allocs : int;
+  s_spilled_bytes : int;
+  s_spill_files : int;
+  s_repartitions : int;
 }
 
 let stats g =
@@ -336,8 +460,11 @@ let stats g =
         (fun k ->
           let n = Atomic.get g.trips.(kind_index k) in
           if n > 0 then Some (k, n) else None)
-        [ Timeout; Memory; Groups; Cancelled; Input ];
+        [ Timeout; Memory; Groups; Cancelled; Input; SpillIo ];
     s_injected_allocs = Atomic.get g.injected_allocs;
+    s_spilled_bytes = Atomic.get g.spilled_bytes;
+    s_spill_files = Atomic.get g.spill_files;
+    s_repartitions = Atomic.get g.repartitions;
   }
 
 let summary g =
@@ -350,10 +477,14 @@ let summary g =
            s.s_trips)
   in
   Printf.sprintf
-    "governor: ticks=%d groups=%d charged=%dB peak-mem=%dB trips=%s%s"
+    "governor: ticks=%d groups=%d charged=%dB peak-mem=%dB trips=%s%s%s"
     s.s_ticks s.s_groups s.s_charged_bytes s.s_peak_mem_bytes trips
     (if s.s_injected_allocs > 0 then
        Printf.sprintf " injected-allocs=%d" s.s_injected_allocs
+     else "")
+    (if s.s_spill_files > 0 then
+       Printf.sprintf " spilled=%dB spill-files=%d repartitions=%d"
+         s.s_spilled_bytes s.s_spill_files s.s_repartitions
      else "")
 
 (* --- building a governor from CLI flags and the environment --------------- *)
@@ -366,19 +497,33 @@ let env_int name =
     | Some n when n > 0 -> Some n
     | Some _ | None -> None)
 
-let of_limits ?timeout_ms ?max_groups ?max_mem_mb () =
+let of_limits ?timeout_ms ?max_groups ?max_mem_mb ?spill_watermark_bytes () =
   let first a b = match a with Some _ -> a | None -> b in
   let timeout_ms = first timeout_ms (env_int "XQ_TIMEOUT") in
   let max_groups = first max_groups (env_int "XQ_MAX_GROUPS") in
   let max_mem_mb = first max_mem_mb (env_int "XQ_MAX_MEM") in
+  let spill_watermark_bytes =
+    first spill_watermark_bytes
+      (Option.map (fun mb -> mb * 1024 * 1024) (env_int "XQ_SPILL_AT"))
+  in
+  (* CLI semantics: a hard memory budget arms spilling at half the trip
+     point, so governed queries degrade before they die. In-process
+     callers of [create] get no such default — existing budget tests
+     keep their exact hard-trip behaviour. *)
+  let spill_watermark_bytes =
+    match spill_watermark_bytes, max_mem_mb with
+    | None, Some mb -> Some (mb * 1024 * 1024 / 2)
+    | w, _ -> w
+  in
   let max_input_bytes = env_int "XQ_MAX_INPUT" in
   let max_depth = env_int "XQ_MAX_DEPTH" in
   if
     timeout_ms = None && max_groups = None && max_mem_mb = None
-    && max_input_bytes = None && max_depth = None
+    && spill_watermark_bytes = None && max_input_bytes = None
+    && max_depth = None
     && not (faults_enabled ())
   then None
   else
     Some
-      (create ?timeout_ms ?max_groups ?max_mem_mb ?max_input_bytes ?max_depth
-         ())
+      (create ?timeout_ms ?max_groups ?max_mem_mb ?spill_watermark_bytes
+         ?max_input_bytes ?max_depth ())

@@ -12,36 +12,55 @@
     stride of ticks without any shared read-modify-write on the hot
     path. Trips raise [Xerror.Error] with the [XQENG*] codes:
     [XQENG0001] timeout, [XQENG0002] memory, [XQENG0003] group
-    cardinality, [XQENG0004] cancelled, [XQENG0005] input limit. *)
+    cardinality, [XQENG0004] cancelled, [XQENG0005] input limit,
+    [XQENG0006] spill I/O. *)
 
 type t
 
-type trip_kind = Timeout | Memory | Groups | Cancelled | Input
+type trip_kind = Timeout | Memory | Groups | Cancelled | Input | SpillIo
 
 val kind_name : trip_kind -> string
 
-(** [create ?timeout_ms ?max_groups ?max_mem_mb ?max_input_bytes
-    ?max_depth ()] builds a governor. Omitted limits are unlimited.
-    The memory budget combines a [Gc.quick_stat] heap delta from the
-    governor's creation point with bytes explicitly counted via
-    {!charge_bytes}. *)
+(** [create ?timeout_ms ?max_groups ?max_mem_mb ?spill_watermark_bytes
+    ?max_input_bytes ?max_depth ()] builds a governor. Omitted limits
+    are unlimited. The memory budget combines a [Gc.quick_stat] heap
+    delta from the governor's creation point with bytes explicitly
+    counted via {!charge_bytes}. [spill_watermark_bytes] is the soft
+    threshold on counted bytes above which pressure callbacks fire;
+    when omitted, spilling stays off (only {!of_limits} defaults it,
+    to half the memory budget). *)
 val create :
   ?timeout_ms:int ->
   ?max_groups:int ->
   ?max_mem_mb:int ->
+  ?spill_watermark_bytes:int ->
   ?max_input_bytes:int ->
   ?max_depth:int ->
   unit ->
   t
 
 (** Merge explicit limits with the environment ([XQ_TIMEOUT],
-    [XQ_MAX_GROUPS], [XQ_MAX_MEM], [XQ_MAX_INPUT], [XQ_MAX_DEPTH]).
-    Returns [None] when no limit is set anywhere and fault injection is
-    off — i.e. when running governed would be pure overhead. Returns
-    [Some] of an unlimited governor when only faults are configured, so
-    tick points are armed for injection. *)
+    [XQ_MAX_GROUPS], [XQ_MAX_MEM], [XQ_SPILL_AT] in MB, [XQ_MAX_INPUT],
+    [XQ_MAX_DEPTH]). Returns [None] when no limit is set anywhere and
+    fault injection is off — i.e. when running governed would be pure
+    overhead. Returns [Some] of an unlimited governor when only faults
+    are configured, so tick points are armed for injection. When a
+    memory budget is set and no watermark is given, the spill watermark
+    defaults to half the budget (degrade before dying); pass
+    [XQ_NO_SPILL=1] / [--no-spill] to get pure hard-trip behaviour. *)
 val of_limits :
-  ?timeout_ms:int -> ?max_groups:int -> ?max_mem_mb:int -> unit -> t option
+  ?timeout_ms:int ->
+  ?max_groups:int ->
+  ?max_mem_mb:int ->
+  ?spill_watermark_bytes:int ->
+  unit ->
+  t option
+
+(** Reset the Gc-delta memory baseline to the current heap. The CLI
+    calls this after parsing the input document so [--max-mem] budgets
+    the query's own materializations rather than the document (which
+    [XQ_MAX_INPUT] governs separately). *)
+val rebaseline : t -> unit
 
 (** {1 Installation} *)
 
@@ -73,8 +92,46 @@ val count_groups : int -> unit
 
 (** [charge_bytes n] counts [n] materialized bytes (canonical keys,
     group cells) against the memory budget, checking it immediately;
-    raises [XQENG0002] on exhaustion. No-op when uninstalled. *)
+    raises [XQENG0002] on exhaustion. When the running total crosses
+    the soft spill watermark, the current domain's pressure callback
+    (see {!with_pressure_callback}) runs first, and the hard budget is
+    re-checked against whatever the callback left charged. No-op when
+    uninstalled. *)
 val charge_bytes : int -> unit
+
+(** [uncharge_bytes n] returns [n] previously charged bytes to the
+    budget — called after a spill writes state out of memory. No-op
+    when uninstalled. *)
+val uncharge_bytes : int -> unit
+
+(** {1 Memory pressure and spilling} *)
+
+(** [with_pressure_callback f body] registers [f] as the current
+    domain's pressure callback for the duration of [body]: whenever a
+    {!charge_bytes} on this domain pushes the counted total past the
+    soft watermark, [f] runs (outside any lock, re-entrancy guarded)
+    and is expected to spill state and {!uncharge_bytes} it. Nested
+    registrations shadow and restore. *)
+val with_pressure_callback : (unit -> unit) -> (unit -> 'a) -> 'a
+
+(** [true] when a governor with a finite spill watermark is installed
+    — i.e. spilling can be triggered at all. *)
+val spill_armed : unit -> bool
+
+(** The installed soft watermark in bytes, [max_int] when spilling is
+    off. Spill paths derive replay/repartition thresholds from it. *)
+val spill_watermark : unit -> int
+
+(** [true] while counted bytes exceed the soft watermark. *)
+val under_pressure : unit -> bool
+
+(** [note_spill ~bytes ~files ~repartitions] accumulates spill activity
+    into the installed governor's stats. No-op when uninstalled. *)
+val note_spill : bytes:int -> files:int -> repartitions:int -> unit
+
+(** Record a spill-I/O trip on the installed governor (if any) and
+    raise [XQENG0006] with [msg]. *)
+val spill_trip : string -> 'a
 
 (** {1 Cancellation} *)
 
@@ -118,6 +175,13 @@ val faults_enabled : unit -> bool
     when faults are off. *)
 val spawn_fault : unit -> bool
 
+(** Drawn by [Spill] before file opens and frame writes; [Some seed]
+    means "pretend this I/O operation failed" (the seed goes into the
+    error message). A distinct splitmix64 stream from {!spawn_fault}
+    and the allocation-pressure stream, so arming it does not perturb
+    their draws. Always [None] when faults are off. *)
+val io_fault : unit -> int option
+
 (** {1 Stats} *)
 
 type stats = {
@@ -129,6 +193,9 @@ type stats = {
   s_peak_mem_bytes : int;
   s_trips : (trip_kind * int) list;  (** only kinds with [n > 0] *)
   s_injected_allocs : int;
+  s_spilled_bytes : int;
+  s_spill_files : int;
+  s_repartitions : int;
 }
 
 val stats : t -> stats

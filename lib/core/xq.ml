@@ -6,6 +6,7 @@ module Rewrite = Xq_rewrite
 module Algebra = Xq_algebra
 module Par = Xq_par.Par
 module Governor = Xq_governor.Governor
+module Spill = Xq_spill.Spill
 
 type doc = Xq_xdm.Node.t
 type result = Xq_xdm.Xseq.t

@@ -29,6 +29,11 @@ module Par = Xq_par.Par
     cooperative cancellation, fault injection ([XQ_FAULTS]). *)
 module Governor = Xq_governor.Governor
 
+(** Crash-safe spill files behind external grouping
+    ([--spill-at] / [XQ_SPILL_AT], [--spill-dir] / [XQ_SPILL_DIR],
+    [--no-spill] / [XQ_NO_SPILL]). *)
+module Spill = Xq_spill.Spill
+
 (** A loaded document (its document node). *)
 type doc = Xq_xdm.Node.t
 

@@ -10,6 +10,33 @@ type tuple = Xseq.t Smap.t
 let ctx_with_tuple ctx tuple =
   Smap.fold (fun v value ctx -> Context.bind ctx v value) tuple ctx
 
+(* Spill codec for FLWOR tuples: sorted (variable, sequence) bindings.
+   Handed to the grouping operator so it can serialize tuples when the
+   governor's memory watermark trips. *)
+let tuple_codec : tuple Group.codec =
+  {
+    Group.enc =
+      (fun reg buf tup ->
+        Binio.put_varint buf (Smap.cardinal tup);
+        Smap.iter
+          (fun v value ->
+            Binio.put_string buf v;
+            Binio.put_seq reg buf value)
+          tup);
+    dec =
+      (fun reg r ->
+        let n = Binio.get_varint r in
+        let rec go acc i =
+          if i >= n then acc
+          else begin
+            let v = Binio.get_string r in
+            let value = Binio.get_seq reg r in
+            go (Smap.add v value acc) (i + 1)
+          end
+        in
+        go Smap.empty 0);
+  }
+
 (* --- axes and node tests ---------------------------------------------- *)
 
 let axis_nodes axis node =
@@ -527,7 +554,8 @@ and eval_group_by ctx tuples (g : Ast.group_clause) =
   in
   let groups =
     if not any_using then
-      Group.group_hash ~parallel ~parallel_keys ~keys_of tuples
+      Group.group_hash ~spill:tuple_codec ~parallel ~parallel_keys ~keys_of
+        tuples
     else begin
       let comparators =
         Array.of_list

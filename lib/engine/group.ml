@@ -120,20 +120,461 @@ let to_groups cells =
     (fun c -> { keys = Key.originals c.c_key; members = List.rev c.rev_members })
     cells
 
+(* --- spill-to-disk external grouping ------------------------------------ *)
+
+(* When the governor's soft watermark is armed and the caller supplies a
+   tuple codec, hash and sort grouping run an external build instead of
+   the in-memory one:
+
+   - canonicalization is interleaved with insertion in batches, so the
+     full array of canonical keys never has to exist at once;
+   - each partition registers a pressure callback: when charged bytes
+     cross the watermark, the triggering partition serializes its whole
+     hash table to its spill file as framed cells (key + first-member
+     index + members) and returns the bytes to the budget;
+   - hash grouping replays spill files through a fresh table, first
+     recursively repartitioning any file larger than the watermark by a
+     depth-salted hash (a bounded number of times — duplicate-heavy
+     keys collide at every salt, so at the depth cap the file is
+     finished with sorted runs instead);
+   - sort grouping flushes sorted runs and merges them with a loser
+     tree, combining [Key.equal] cells within compare-equal clusters.
+
+   Output is byte-identical to the in-memory path at any watermark and
+   parallel degree: a key flushed and re-encountered simply yields two
+   cells that the merge recombines — members concatenate in flush
+   (= input) order and the merged first-member index is the original
+   first encounter — and the final cell order is recomputed from
+   first-member indices exactly as the parallel in-memory merge does. *)
+
+module Spill = Xq_spill.Spill
+
+type 'a codec = {
+  enc : Binio.node_registry -> Buffer.t -> 'a -> unit;
+  dec : Binio.node_registry -> Binio.reader -> 'a;
+}
+
+(* Approximate live-heap bookkeeping costs, charged per insert and
+   returned on flush; canonical-key bytes are already charged by
+   [Key.canonicalize] and returned when the key is dropped. *)
+let member_cost = 24
+let cell_cost = 96
+
+let ext_batch = 2048
+let repartition_fanout = 4
+let max_repartition_depth = 4
+
+(* A file no larger than this replays straight into a table; bigger
+   ones repartition first. Deterministic in the watermark alone. *)
+let replay_threshold () = max (Governor.spill_watermark ()) 4096
+
+type 'a part = {
+  ptable : (int, 'a cell list ref) Hashtbl.t;
+  mutable live_charge : int;  (* bytes to return on flush *)
+  mutable pfile : Spill.File.t option;
+  mutable runs : (int * int) list;  (* sort mode: (off, len), newest first *)
+  reg : Binio.node_registry;
+  pcodec : 'a codec;
+  sort_mode : bool;
+}
+
+let new_part ~codec ~sort_mode =
+  {
+    ptable = Hashtbl.create 64;
+    live_charge = 0;
+    pfile = None;
+    runs = [];
+    reg = Binio.registry ();
+    pcodec = codec;
+    sort_mode;
+  }
+
+let corrupt_trip m = Governor.spill_trip ("spill decode failed: " ^ m)
+
+(* Frame payload: bucket hash (the build's, override included), first
+   index, canonical key, members in input order. *)
+let encode_rec part buf (h, c_first, key, members) =
+  Buffer.clear buf;
+  Binio.put_varint buf h;
+  Binio.put_varint buf c_first;
+  Key.encode part.reg buf key;
+  Binio.put_varint buf (List.length members);
+  List.iter (fun m -> part.pcodec.enc part.reg buf m) members;
+  Buffer.contents buf
+
+let decode_rec part payload =
+  try
+    let r = Binio.reader payload in
+    let h = Binio.get_varint r in
+    let c_first = Binio.get_varint r in
+    let key = Key.decode part.reg r in
+    let nm = Binio.get_varint r in
+    if nm < 0 then raise (Binio.Corrupt "negative member count");
+    let members = List.init nm (fun _ -> part.pcodec.dec part.reg r) in
+    (h, c_first, key, members)
+  with Binio.Corrupt m -> corrupt_trip m
+
+let cmp_rec (_, f1, k1, _) (_, f2, k2, _) =
+  let c = Key.compare k1 k2 in
+  if c <> 0 then c else Int.compare f1 f2
+
+let ensure_file part =
+  match part.pfile with
+  | Some f -> f
+  | None ->
+    let f = Spill.File.create () in
+    part.pfile <- Some f;
+    f
+
+(* Serialize the partition's whole table and reset it — the pressure
+   callback. In sort mode the cells go out as one sorted run. *)
+let flush_part part =
+  if Hashtbl.length part.ptable > 0 then begin
+    let file = ensure_file part in
+    let recs =
+      Hashtbl.fold
+        (fun h b acc ->
+          List.fold_left
+            (fun acc c -> (h, c.c_first, c.c_key, List.rev c.rev_members) :: acc)
+            acc !b)
+        part.ptable []
+    in
+    let recs = if part.sort_mode then List.sort cmp_rec recs else recs in
+    let start = Spill.File.pos file in
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun r -> Spill.File.write_frame file (encode_rec part buf r))
+      recs;
+    if part.sort_mode then
+      part.runs <- (start, Spill.File.pos file - start) :: part.runs;
+    Hashtbl.reset part.ptable;
+    Governor.uncharge_bytes part.live_charge;
+    part.live_charge <- 0
+  end
+
+let ext_insert ?tally part h key tuple gi =
+  Governor.tick ();
+  let bucket =
+    match Hashtbl.find_opt part.ptable h with
+    | Some b -> b
+    | None ->
+      let b = ref [] in
+      Hashtbl.add part.ptable h b;
+      b
+  in
+  match
+    List.find_opt
+      (fun cell ->
+        tick tally;
+        Key.equal cell.c_key key)
+      !bucket
+  with
+  | Some cell ->
+    cell.rev_members <- tuple :: cell.rev_members;
+    (* the probe key is garbage now; swap its bytes for one cons *)
+    Governor.uncharge_bytes (Key.charged_bytes key);
+    part.live_charge <- part.live_charge + member_cost;
+    Governor.charge_bytes member_cost
+  | None ->
+    let cell = { c_key = key; c_first = gi; rev_members = [ tuple ] } in
+    bucket := cell :: !bucket;
+    let add = cell_cost + member_cost in
+    part.live_charge <- part.live_charge + add + Key.charged_bytes key;
+    Governor.charge_bytes add
+
+(* k-way merge of sorted runs, recombining [Key.equal] cells inside
+   each compare-equal cluster (the preorder conflates some distinct
+   keys, so equality must be re-checked). Emits cells in (key, first)
+   order; clusters flush their distinct keys in first-encounter
+   order. *)
+let merge_sorted_runs ?tally part file runs =
+  match runs with
+  | [] -> []
+  | _ ->
+    let pulls =
+      Array.of_list
+        (List.map
+           (fun (off, len) ->
+             let cur = Spill.File.cursor ~off ~len file in
+             fun () ->
+               Option.map (decode_rec part) (Spill.File.next_frame cur))
+           runs)
+    in
+    let out = ref [] in
+    let cluster = ref [] in
+    let flush_cluster () =
+      let cs =
+        List.sort (fun a b -> Int.compare a.c_first b.c_first) !cluster
+      in
+      out := List.rev_append cs !out;
+      cluster := []
+    in
+    Spill.merge_runs
+      ~cmp:(fun a b ->
+        tick tally;
+        cmp_rec a b)
+      pulls
+      (fun (_, c_first, key, members) ->
+        Governor.tick ();
+        (match !cluster with
+         | c :: _ when Key.compare c.c_key key <> 0 -> flush_cluster ()
+         | _ -> ());
+        match
+          List.find_opt
+            (fun c ->
+              tick tally;
+              Key.equal c.c_key key)
+            !cluster
+        with
+        | Some c -> c.rev_members <- List.rev_append members c.rev_members
+        | None ->
+          cluster :=
+            { c_key = key; c_first; rev_members = List.rev members }
+            :: !cluster);
+    flush_cluster ();
+    List.rev !out
+
+(* Depth-cap fallback: batch the file into sorted runs and loser-tree
+   merge them — insensitive to hash skew, so duplicate-heavy keys that
+   defeat repartitioning still terminate. *)
+let fallback_sorted ?tally part file =
+  let runs_file = Spill.File.create () in
+  Fun.protect
+    ~finally:(fun () -> Spill.File.close runs_file)
+    (fun () ->
+      let threshold = replay_threshold () in
+      let runs = ref [] in
+      let batch = ref [] and batch_bytes = ref 0 in
+      let buf = Buffer.create 1024 in
+      let flush_run () =
+        if !batch <> [] then begin
+          let recs = List.sort cmp_rec !batch in
+          let start = Spill.File.pos runs_file in
+          List.iter
+            (fun r -> Spill.File.write_frame runs_file (encode_rec part buf r))
+            recs;
+          runs := (start, Spill.File.pos runs_file - start) :: !runs;
+          batch := [];
+          batch_bytes := 0
+        end
+      in
+      let cur = Spill.File.cursor file in
+      let rec go () =
+        match Spill.File.next_frame cur with
+        | None -> ()
+        | Some payload ->
+          Governor.tick ();
+          batch := decode_rec part payload :: !batch;
+          batch_bytes := !batch_bytes + String.length payload;
+          if !batch_bytes > threshold then flush_run ();
+          go ()
+      in
+      go ();
+      flush_run ();
+      merge_sorted_runs ?tally part runs_file (List.rev !runs))
+
+(* Replay a hash-mode spill file into cells: small files hash-merge in
+   memory; large ones repartition by a depth-salted hash and recurse. *)
+let rec replay_hash ?tally part file depth =
+  let threshold = replay_threshold () in
+  if Spill.File.bytes file > threshold && depth < max_repartition_depth then begin
+    let subs = Array.init repartition_fanout (fun _ -> Spill.File.create ()) in
+    Fun.protect
+      ~finally:(fun () -> Array.iter Spill.File.close subs)
+      (fun () ->
+        let cur = Spill.File.cursor file in
+        let rec go () =
+          match Spill.File.next_frame cur with
+          | None -> ()
+          | Some payload ->
+            Governor.tick ();
+            let h =
+              try Binio.get_varint (Binio.reader payload)
+              with Binio.Corrupt m -> corrupt_trip m
+            in
+            let idx =
+              Key.mix (Key.salt depth) h land max_int mod repartition_fanout
+            in
+            (* raw re-route: the frame bytes move unchanged *)
+            Spill.File.write_frame subs.(idx) payload;
+            go ()
+        in
+        go ();
+        Governor.note_spill ~bytes:0 ~files:0 ~repartitions:1;
+        Array.fold_left
+          (fun acc sub -> List.rev_append (replay_hash ?tally part sub (depth + 1)) acc)
+          [] subs)
+  end
+  else if Spill.File.bytes file > threshold then fallback_sorted ?tally part file
+  else begin
+    let table : (int, 'a cell list ref) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref [] in
+    let cur = Spill.File.cursor file in
+    let rec go () =
+      match Spill.File.next_frame cur with
+      | None -> ()
+      | Some payload ->
+        Governor.tick ();
+        let h, c_first, key, members = decode_rec part payload in
+        let bucket =
+          match Hashtbl.find_opt table h with
+          | Some b -> b
+          | None ->
+            let b = ref [] in
+            Hashtbl.add table h b;
+            b
+        in
+        (match
+           List.find_opt
+             (fun c ->
+               tick tally;
+               Key.equal c.c_key key)
+             !bucket
+         with
+         | Some c -> c.rev_members <- List.rev_append members c.rev_members
+         | None ->
+           let cell = { c_key = key; c_first; rev_members = List.rev members } in
+           bucket := cell :: !bucket;
+           order := cell :: !order);
+        go ()
+    in
+    go ();
+    !order
+  end
+
+(* Merge phase for one partition; closes its files. *)
+let ext_part_cells ?tally part =
+  match part.pfile with
+  | None ->
+    (* never spilled: everything is still in the table *)
+    let cells = Hashtbl.fold (fun _ b acc -> !b @ acc) part.ptable [] in
+    Hashtbl.reset part.ptable;
+    cells
+  | Some file ->
+    Fun.protect
+      ~finally:(fun () -> Spill.File.close file)
+      (fun () ->
+        flush_part part;
+        if part.sort_mode then
+          merge_sorted_runs ?tally part file (List.rev part.runs)
+        else replay_hash ?tally part file 0)
+
+let group_ext ?tally ~codec ~sort_mode ~sorted_output ~hash_fn ~parallel
+    ~parallel_keys ~keys_of tuples =
+  let arr = Array.of_list tuples in
+  let n = Array.length arr in
+  let p = if n >= par_build_min then max 1 (min parallel n) else 1 in
+  let parts = Array.init p (fun _ -> new_part ~codec ~sort_mode) in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun part ->
+          match part.pfile with Some f -> Spill.File.close f | None -> ())
+        parts)
+    (fun () ->
+      let base = ref 0 in
+      while !base < n do
+        let len = min ext_batch (n - !base) in
+        let slice = Array.sub arr !base len in
+        let keys =
+          if parallel > 1 && parallel_keys then
+            Par.map ~degree:parallel ~min_chunk:par_keys_min_chunk
+              (fun t -> Key.canonicalize (keys_of t))
+              slice
+          else if parallel > 1 then begin
+            let ks = Array.map keys_of slice in
+            Par.map ~degree:parallel ~min_chunk:par_keys_min_chunk
+              Key.canonicalize ks
+          end
+          else Array.map (fun t -> Key.canonicalize (keys_of t)) slice
+        in
+        let hashes = Array.map hash_fn keys in
+        (* Under Gc-dominated pressure the estimate can sit above the
+           watermark for the rest of the build, so the callback fires on
+           every slow tick. Only flush once the table holds enough to be
+           worth a frame, and collect right after so the freed keys and
+           cells are actually reusable before the hard-budget check. *)
+        let flush_floor = max 65536 (Governor.spill_watermark () / (16 * p)) in
+        let pressure_flush j () =
+          if parts.(j).live_charge >= flush_floor then begin
+            flush_part parts.(j);
+            Gc.full_major ()
+          end
+        in
+        let insert_range j accept =
+          Governor.with_pressure_callback (pressure_flush j)
+            (fun () ->
+              for i = 0 to len - 1 do
+                if accept hashes.(i) then
+                  ext_insert ?tally parts.(j) hashes.(i) keys.(i) slice.(i)
+                    (!base + i)
+              done)
+        in
+        if p = 1 then insert_range 0 (fun _ -> true)
+        else
+          Par.run_tasks
+            (Array.init p (fun j ->
+                 fun () -> insert_range j (fun h -> (h land max_int) mod p = j)));
+        base := !base + len
+      done;
+      let per_part = Array.make p [] in
+      if p = 1 then per_part.(0) <- ext_part_cells ?tally parts.(0)
+      else
+        Par.run_tasks
+          (Array.init p (fun j ->
+               fun () -> per_part.(j) <- ext_part_cells ?tally parts.(j)));
+      let cells = List.concat (Array.to_list per_part) in
+      let cells =
+        if sort_mode && sorted_output then
+          List.sort
+            (fun a b ->
+              let c = Key.compare a.c_key b.c_key in
+              if c <> 0 then c else Int.compare a.c_first b.c_first)
+            cells
+        else List.sort (fun a b -> Int.compare a.c_first b.c_first) cells
+      in
+      Governor.count_groups (List.length cells);
+      to_groups cells)
+
+(* Spill only when the caller supplied a codec, the governor arms a
+   watermark, and a spill directory is usable — otherwise warn once and
+   keep the in-memory path's hard-trip behaviour. *)
+let spill_active = function
+  | None -> false
+  | Some _ ->
+    Governor.spill_armed ()
+    &&
+    if Spill.available () then true
+    else begin
+      Spill.warn_unavailable ();
+      false
+    end
+
 (* --- strategies --------------------------------------------------------- *)
 
-let group_hash ?hash ?tally ?(parallel = 1) ?(parallel_keys = false) ~keys_of
-    tuples =
-  let keyed = canonicalized ~parallel ~parallel_keys ~keys_of tuples in
-  let hashes =
-    match hash with
-    | None -> Array.map (fun (k, _) -> Key.hash k) keyed
-    | Some h -> Array.map (fun (k, _) -> h (Key.originals k)) keyed
-  in
-  to_groups (build ?tally ~parallel keyed hashes)
+let hash_fn_of = function
+  | None -> Key.hash
+  | Some h -> fun k -> h (Key.originals k)
 
-let group_sort ?tally ?(sorted_output = false) ?(parallel = 1)
-    ?(parallel_keys = false) ~keys_of tuples =
+let group_hash ?hash ?tally ?spill ?(parallel = 1) ?(parallel_keys = false)
+    ~keys_of tuples =
+  if spill_active spill then
+    group_ext ?tally
+      ~codec:(Option.get spill)
+      ~sort_mode:false ~sorted_output:false ~hash_fn:(hash_fn_of hash)
+      ~parallel ~parallel_keys ~keys_of tuples
+  else begin
+    let keyed = canonicalized ~parallel ~parallel_keys ~keys_of tuples in
+    let hashes =
+      match hash with
+      | None -> Array.map (fun (k, _) -> Key.hash k) keyed
+      | Some h -> Array.map (fun (k, _) -> h (Key.originals k)) keyed
+    in
+    to_groups (build ?tally ~parallel keyed hashes)
+  end
+
+let group_sort_mem ?tally ~sorted_output ~parallel ~parallel_keys ~keys_of
+    tuples =
   let keyed = canonicalized ~parallel ~parallel_keys ~keys_of tuples in
   let hashes = Array.map (fun (k, _) -> Key.hash k) keyed in
   let cells = build ?tally ~parallel keyed hashes in
@@ -156,6 +597,17 @@ let group_sort ?tally ?(sorted_output = false) ?(parallel = 1)
     end
   in
   to_groups cells
+
+let group_sort ?tally ?(sorted_output = false) ?spill ?(parallel = 1)
+    ?(parallel_keys = false) ~keys_of tuples =
+  if spill_active spill then
+    group_ext ?tally
+      ~codec:(Option.get spill)
+      ~sort_mode:true ~sorted_output ~hash_fn:Key.hash ~parallel
+      ~parallel_keys ~keys_of tuples
+  else
+    group_sort_mem ?tally ~sorted_output ~parallel ~parallel_keys ~keys_of
+      tuples
 
 let group_scan ?tally ?(parallel = 1) ?(parallel_keys = false) ~keys_of ~equal
     tuples =

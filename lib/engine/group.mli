@@ -29,9 +29,32 @@
     All strategies preserve first-occurrence order of groups and the
     input order of members within each group (which is what the [nest]
     clause concatenates, per Section 3.4.1); {!group_sort} can instead
-    emit groups in key order for fusion with a downstream sort. *)
+    emit groups in key order for fusion with a downstream sort.
+
+    When the caller passes a tuple codec via [spill] and the governor
+    arms a soft memory watermark, {!group_hash} and {!group_sort}
+    degrade to an external build instead of hard-tripping: partitions
+    under pressure serialize their tables to crash-safe spill files and
+    return the bytes to the budget; hash grouping replays the files with
+    bounded recursive repartitioning (depth-salted hash, sorted-run
+    fallback at the cap), sort grouping merges sorted runs with a loser
+    tree. Output stays byte-identical to the in-memory path at any
+    watermark and parallel degree; under spilling the group-cardinality
+    budget is checked once per partition merge rather than per insert,
+    and [tally] counts the external probes/comparisons actually made
+    (not the in-memory path's). If no spill directory is usable, a
+    one-line warning is printed once and the in-memory hard-trip path
+    runs. {!group_scan} never spills (user equality functions cannot be
+    replayed). *)
 
 open Xq_xdm
+
+(** Serialize/deserialize one tuple for spill frames. Node items must
+    go through the registry (see {!Binio}) so identity survives. *)
+type 'a codec = {
+  enc : Binio.node_registry -> Buffer.t -> 'a -> unit;
+  dec : Binio.node_registry -> Binio.reader -> 'a;
+}
 
 type 'a group = {
   keys : Xseq.t list;  (** representative key values (first tuple's) *)
@@ -52,6 +75,7 @@ val hash_keys : Xseq.t list -> int
 val group_hash :
   ?hash:(Xseq.t list -> int) ->
   ?tally:int ref ->
+  ?spill:'a codec ->
   ?parallel:int ->
   ?parallel_keys:bool ->
   keys_of:('a -> Xseq.t list) ->
@@ -78,6 +102,7 @@ val group_scan :
 val group_sort :
   ?tally:int ref ->
   ?sorted_output:bool ->
+  ?spill:'a codec ->
   ?parallel:int ->
   ?parallel_keys:bool ->
   keys_of:('a -> Xseq.t list) ->

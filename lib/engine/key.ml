@@ -160,6 +160,72 @@ let canonicalize (keys : Xseq.t list) =
 let originals k = Array.to_list (Array.map (fun s -> s.orig) k.singles)
 let hash k = k.hash
 
+(* --- spill support ------------------------------------------------------- *)
+
+(* Exactly the bytes [fingerprint] charged for this key — what a spill
+   gives back to the budget when the in-memory key is dropped. *)
+let charged_bytes k =
+  Array.fold_left
+    (fun acc s ->
+      Array.fold_left
+        (fun acc c ->
+          match c with
+          | CAtom _ -> acc
+          | CNode { fp; sv } -> acc + String.length fp + String.length sv)
+        acc s.items)
+    0 k.singles
+
+(* Per-depth repartition salt: recursive spill levels re-split on
+   [mix (salt depth) (hash k)] so keys that collided modulo the fanout
+   at one level spread at the next. *)
+let salt depth = mix hash_seed (0x9e3779b9 * (depth + 1))
+
+let put_canon buf = function
+  | CAtom a ->
+    Binio.put_bool buf false;
+    Binio.put_atom buf a
+  | CNode { fp; sv } ->
+    Binio.put_bool buf true;
+    Binio.put_string buf fp;
+    Binio.put_string buf sv
+
+let get_canon r =
+  if Binio.get_bool r then
+    let fp = Binio.get_string r in
+    let sv = Binio.get_string r in
+    CNode { fp; sv }
+  else CAtom (Binio.get_atom r)
+
+(* Stored hashes ([s.h], [k.hash]) are written out rather than
+   recomputed on decode: a custom bucket hash (the [?hash] override)
+   would otherwise be lost, and replay bucketing must see exactly the
+   values the build saw. *)
+let encode reg buf k =
+  Binio.put_varint buf (Array.length k.singles);
+  Array.iter
+    (fun s ->
+      Binio.put_seq reg buf s.orig;
+      Binio.put_varint buf (Array.length s.items);
+      Array.iter (put_canon buf) s.items;
+      Binio.put_varint buf s.h)
+    k.singles;
+  Binio.put_varint buf k.hash
+
+let decode reg r =
+  let ns = Binio.get_varint r in
+  if ns < 0 then raise (Binio.Corrupt "negative singles count");
+  let singles =
+    Array.init ns (fun _ ->
+        let orig = Binio.get_seq reg r in
+        let ni = Binio.get_varint r in
+        if ni < 0 then raise (Binio.Corrupt "negative canon count");
+        let items = Array.init ni (fun _ -> get_canon r) in
+        let h = Binio.get_varint r in
+        { orig; items; h })
+  in
+  let hash = Binio.get_varint r in
+  { singles; hash }
+
 (* --- equality (deep-equal semantics) ------------------------------------ *)
 
 let canon_equal a b =

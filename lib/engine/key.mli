@@ -56,6 +56,26 @@ val compare_atoms : Atomic.t -> Atomic.t -> int
 val hash_seed : int
 val mix : int -> int -> int
 
+(** {1 Spill support} *)
+
+(** Exactly the bytes {!canonicalize} charged to the governor for this
+    key (node fingerprint + string-value lengths) — what a spill
+    returns to the budget when the in-memory key is dropped. *)
+val charged_bytes : t -> int
+
+(** Per-depth repartition salt: level [d] of a recursive spill re-splits
+    on [mix (salt d) (hash k)], so keys that collided modulo the fanout
+    at one level spread at the next. *)
+val salt : int -> int
+
+(** Binary codec (spill frames). Stored hashes are written, not
+    recomputed, so replay sees exactly the values the build saw even
+    under a custom bucket hash; node items in [orig] encode by registry
+    reference. [decode] raises [Binio.Corrupt] on malformed input. *)
+
+val encode : Binio.node_registry -> Buffer.t -> t -> unit
+val decode : Binio.node_registry -> Binio.reader -> t
+
 (** {1 Instrumentation}
 
     A process-wide counter of node-subtree materializations (fingerprint

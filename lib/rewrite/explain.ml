@@ -185,7 +185,7 @@ module Exec = Xq_algebra.Exec
 module Optimizer = Xq_algebra.Optimizer
 
 let fmt_stat ~timings (e : Exec.Stats.entry) =
-  Printf.sprintf "  [in=%d out=%d%s%s%s%s%s]" e.Exec.Stats.rows_in
+  Printf.sprintf "  [in=%d out=%d%s%s%s%s%s%s" e.Exec.Stats.rows_in
     e.Exec.Stats.rows_out
     (match e.Exec.Stats.groups_built with
      | Some g -> Printf.sprintf " groups=%d" g
@@ -196,9 +196,19 @@ let fmt_stat ~timings (e : Exec.Stats.entry) =
     (if e.Exec.Stats.key_walks > 0 then
        Printf.sprintf " walks=%d" e.Exec.Stats.key_walks
      else "")
+    (* Spill counters only appear when the operator actually spilled, so
+       ungoverned runs (and all goldens) are byte-stable. *)
+    (if e.Exec.Stats.spill_files > 0 then
+       Printf.sprintf " spilled=%dB spill-files=%d%s" e.Exec.Stats.spilled_bytes
+         e.Exec.Stats.spill_files
+         (if e.Exec.Stats.repartitions > 0 then
+            Printf.sprintf " repartitions=%d" e.Exec.Stats.repartitions
+          else "")
+     else "")
     (if e.Exec.Stats.par > 1 then Printf.sprintf " par=%d" e.Exec.Stats.par
      else "")
-    (if timings then Printf.sprintf " %.2fms" e.Exec.Stats.elapsed_ms else "")
+    (if timings then Printf.sprintf " %.2fms]" e.Exec.Stats.elapsed_ms
+     else "]")
 
 let analyzed ?(timings = true) (plan : Plan.plan) (stats : Exec.Stats.t) =
   let buf = Buffer.create 256 in

@@ -1,0 +1,52 @@
+(** Binary encoding primitives used by the spill subsystem.
+
+    Writers append to a [Buffer.t]; readers consume a string payload
+    with full bounds checking, raising {!Corrupt} on malformed input
+    (the spill layer converts that into a structured [XQENG0006]).
+
+    Integers are zigzag varints, strings length-prefixed, floats IEEE
+    bit patterns — so every value round-trips exactly, including NaN
+    payloads and 63-bit integers.
+
+    Items and sequences encode nodes {e by reference}: a node
+    serializes as its id, registered in a {!node_registry} at encode
+    time and resolved through it on decode. The decoded item is the
+    {e original} node — identity, parent links and document order all
+    survive the round trip, and the registry is what keeps spilled
+    nodes pinned while their bytes live on disk. *)
+
+exception Corrupt of string
+
+(** {1 Primitives} *)
+
+val put_varint : Buffer.t -> int -> unit
+val put_string : Buffer.t -> string -> unit
+val put_bool : Buffer.t -> bool -> unit
+val put_float : Buffer.t -> float -> unit
+val put_opt : (Buffer.t -> 'a -> unit) -> Buffer.t -> 'a option -> unit
+
+type reader = { src : string; mutable pos : int }
+
+val reader : string -> reader
+val at_end : reader -> bool
+val get_varint : reader -> int
+val get_string : reader -> string
+val get_bool : reader -> bool
+val get_float : reader -> float
+val get_opt : (reader -> 'a) -> reader -> 'a option
+
+(** {1 Data-model values} *)
+
+val put_atom : Buffer.t -> Atomic.t -> unit
+val get_atom : reader -> Atomic.t
+
+(** Maps spilled node ids back to the live nodes. One registry per
+    grouping partition: encode and decode sides must share it. *)
+type node_registry
+
+val registry : unit -> node_registry
+
+val put_item : node_registry -> Buffer.t -> Item.t -> unit
+val get_item : node_registry -> reader -> Item.t
+val put_seq : node_registry -> Buffer.t -> Xseq.t -> unit
+val get_seq : node_registry -> reader -> Xseq.t

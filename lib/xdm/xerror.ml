@@ -16,6 +16,7 @@ type code =
   | XQENG0003
   | XQENG0004
   | XQENG0005
+  | XQENG0006
 
 exception Error of code * string
 
@@ -37,6 +38,7 @@ let code_to_string = function
   | XQENG0003 -> "XQENG0003"
   | XQENG0004 -> "XQENG0004"
   | XQENG0005 -> "XQENG0005"
+  | XQENG0006 -> "XQENG0006"
 
 type severity = Static | Dynamic | Resource
 
@@ -45,7 +47,8 @@ let severity = function
   | XPTY0004 | XPDY0002 | FORG0001 | FORG0006 | FOAR0001 | FOCA0002
   | FODT0001 | XQDY0025 ->
     Dynamic
-  | XQENG0001 | XQENG0002 | XQENG0003 | XQENG0004 | XQENG0005 -> Resource
+  | XQENG0001 | XQENG0002 | XQENG0003 | XQENG0004 | XQENG0005 | XQENG0006 ->
+    Resource
 
 let is_resource code = severity code = Resource
 

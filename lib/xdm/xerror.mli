@@ -23,6 +23,10 @@ type code =
   | XQENG0003 (** resource: group/tuple cardinality cap exceeded *)
   | XQENG0004 (** resource: query cancelled *)
   | XQENG0005 (** resource: input document limit exceeded *)
+  | XQENG0006
+      (** resource: spill I/O failure (external grouping could not
+          write, read or validate a spill file; the message carries the
+          failing path and operation) *)
 
 exception Error of code * string
 

@@ -26,4 +26,5 @@ let () =
          Test_strategies.suites;
          Test_par.suites;
          Test_governor.suites;
+         Test_spill.suites;
        ])

@@ -268,30 +268,52 @@ let pending_aborts g = Atomic.get g.aborts
    or the whole-process memory estimate, checked on the slow tick path —
    cross the soft watermark the callback runs (it spills and uncharges)
    before the hard budget is checked. Slots are indexed like the tick
-   counters: a collision between two live domains means one may be asked
-   to spill on the other's charge, which is safe — spilling early is
-   always correct. The [in_pressure] guard stops a callback's own
-   charges from re-entering it. *)
-let pressure_cbs : (unit -> unit) option array = Array.make n_slots None
-let in_pressure = Array.make n_slots false
+   counters, but each slot stores the registering domain's id next to
+   the callback and [fire_pressure] runs it only on that very domain: a
+   callback mutates its owner's hash tables and spill files, so running
+   it from a colliding domain (ids equal mod [n_slots]) would be an
+   unsynchronized cross-domain race. A collision instead makes the
+   dispossessed domain skip its pressure events — always safe, the hard
+   budget check still runs. The [in_pressure] guard stops a callback's
+   own charges from re-entering it. *)
+let pressure_cbs : (int * (unit -> unit)) option Atomic.t array =
+  Array.init n_slots (fun _ -> Atomic.make None)
+
+let in_pressure = Array.init n_slots (fun _ -> Atomic.make false)
 let cb_slot () = (Domain.self () :> int) land (n_slots - 1)
 
 let with_pressure_callback f body =
   let i = cb_slot () in
-  let prev = pressure_cbs.(i) in
-  pressure_cbs.(i) <- Some f;
-  Fun.protect ~finally:(fun () -> pressure_cbs.(i) <- prev) body
+  let me = (Domain.self () :> int) in
+  let prev = Atomic.get pressure_cbs.(i) in
+  (* Only this domain's own shadowed registration is ever restored:
+     re-installing a colliding domain's entry after that domain's scope
+     may have exited would resurrect a dead callback. *)
+  let restore =
+    match prev with Some (id, _) when id = me -> prev | Some _ | None -> None
+  in
+  Atomic.set pressure_cbs.(i) (Some (me, f));
+  Fun.protect
+    ~finally:(fun () ->
+      (* restore only while we still own the slot; a colliding domain
+         that registered after us keeps its callback *)
+      match Atomic.get pressure_cbs.(i) with
+      | Some (id, _) when id = me -> Atomic.set pressure_cbs.(i) restore
+      | Some _ | None -> ())
+    body
 
-(* Run the current domain's callback unconditionally (the caller has
-   already established pressure). *)
+(* Run the current domain's callback, if it still owns its slot (the
+   caller has already established pressure). *)
 let fire_pressure () =
   let i = cb_slot () in
-  if not in_pressure.(i) then
-    match pressure_cbs.(i) with
-    | None -> ()
-    | Some f ->
-      in_pressure.(i) <- true;
-      Fun.protect ~finally:(fun () -> in_pressure.(i) <- false) f
+  let me = (Domain.self () :> int) in
+  match Atomic.get pressure_cbs.(i) with
+  | Some (id, f) when id = me ->
+    if not (Atomic.get in_pressure.(i)) then begin
+      Atomic.set in_pressure.(i) true;
+      Fun.protect ~finally:(fun () -> Atomic.set in_pressure.(i) false) f
+    end
+  | Some _ | None -> ()
 
 let maybe_pressure g =
   if Atomic.get g.charged > g.spill_watermark then fire_pressure ()

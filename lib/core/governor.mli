@@ -111,7 +111,10 @@ val uncharge_bytes : int -> unit
     {!charge_bytes} on this domain pushes the counted total past the
     soft watermark, [f] runs (outside any lock, re-entrancy guarded)
     and is expected to spill state and {!uncharge_bytes} it. Nested
-    registrations shadow and restore. *)
+    registrations on one domain shadow and restore. [f] only ever runs
+    on the registering domain; if two live domains collide in the slot
+    table (ids equal mod its size) the dispossessed one skips its
+    pressure events — safe, since the hard budget check still runs. *)
 val with_pressure_callback : (unit -> unit) -> (unit -> 'a) -> 'a
 
 (** [true] when a governor with a finite spill watermark is installed

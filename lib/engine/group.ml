@@ -133,7 +133,8 @@ let to_groups cells =
      hash table to its spill file as framed cells (key + first-member
      index + members) and returns the bytes to the budget;
    - hash grouping replays spill files through a fresh table, first
-     recursively repartitioning any file larger than the watermark by a
+     recursively repartitioning any file larger than its replay
+     threshold (the watermark divided by the partition count) by a
      depth-salted hash (a bounded number of times — duplicate-heavy
      keys collide at every salt, so at the depth cap the file is
      finished with sorted runs instead);
@@ -164,10 +165,6 @@ let ext_batch = 2048
 let repartition_fanout = 4
 let max_repartition_depth = 4
 
-(* A file no larger than this replays straight into a table; bigger
-   ones repartition first. Deterministic in the watermark alone. *)
-let replay_threshold () = max (Governor.spill_watermark ()) 4096
-
 type 'a part = {
   ptable : (int, 'a cell list ref) Hashtbl.t;
   mutable live_charge : int;  (* bytes to return on flush *)
@@ -176,9 +173,15 @@ type 'a part = {
   reg : Binio.node_registry;
   pcodec : 'a codec;
   sort_mode : bool;
+  pthreshold : int;
+      (* replay/repartition threshold: a file no larger than this
+         replays straight into a table, bigger ones repartition (or
+         batch into sorted runs of this size). Sized to
+         watermark / #partitions so all partitions replaying at once
+         stay within one watermark of serialized state. *)
 }
 
-let new_part ~codec ~sort_mode =
+let new_part ~codec ~sort_mode ~threshold =
   {
     ptable = Hashtbl.create 64;
     live_charge = 0;
@@ -187,32 +190,70 @@ let new_part ~codec ~sort_mode =
     reg = Binio.registry ();
     pcodec = codec;
     sort_mode;
+    pthreshold = threshold;
   }
 
 let corrupt_trip m = Governor.spill_trip ("spill decode failed: " ^ m)
 
 (* Frame payload: bucket hash (the build's, override included), first
-   index, canonical key, members in input order. *)
-let encode_rec part buf (h, c_first, key, members) =
+   index, canonical key, members in input order. A record whose member
+   list would exceed [frame_cap] splits greedily across several frames
+   repeating the same (hash, first, key) prefix: flush then allocates
+   one bounded buffer instead of a hot key's full serialized size (and
+   can never overflow the u32 frame length). Replay recombines
+   [Key.equal] cells preserving member order, so the split is invisible
+   in the output. *)
+let frame_cap part = max 4096 (part.pthreshold / 4)
+
+let write_rec part file buf (h, c_first, key, members) =
+  let cap = frame_cap part in
   Buffer.clear buf;
   Binio.put_varint buf h;
   Binio.put_varint buf c_first;
   Key.encode part.reg buf key;
-  Binio.put_varint buf (List.length members);
-  List.iter (fun m -> part.pcodec.enc part.reg buf m) members;
-  Buffer.contents buf
+  let prefix = Buffer.contents buf in
+  let scratch = Buffer.create 256 in
+  let emit chunk_rev n =
+    Buffer.clear buf;
+    Buffer.add_string buf prefix;
+    Binio.put_varint buf n;
+    List.iter (Buffer.add_string buf) (List.rev chunk_rev);
+    Spill.File.write_frame file (Buffer.contents buf)
+  in
+  let rec go chunk_rev n bytes = function
+    | [] -> emit chunk_rev n
+    | m :: ms ->
+      Buffer.clear scratch;
+      part.pcodec.enc part.reg scratch m;
+      let s = Buffer.contents scratch in
+      if n > 0 && bytes + String.length s > cap then begin
+        emit chunk_rev n;
+        go [ s ] 1 (String.length s) ms
+      end
+      else go (s :: chunk_rev) (n + 1) (bytes + String.length s) ms
+  in
+  go [] 0 0 members
 
 let decode_rec part payload =
-  try
-    let r = Binio.reader payload in
-    let h = Binio.get_varint r in
-    let c_first = Binio.get_varint r in
-    let key = Key.decode part.reg r in
-    let nm = Binio.get_varint r in
-    if nm < 0 then raise (Binio.Corrupt "negative member count");
-    let members = List.init nm (fun _ -> part.pcodec.dec part.reg r) in
-    (h, c_first, key, members)
-  with Binio.Corrupt m -> corrupt_trip m
+  let r =
+    try
+      let r = Binio.reader payload in
+      let h = Binio.get_varint r in
+      let c_first = Binio.get_varint r in
+      let key = Key.decode part.reg r in
+      let nm = Binio.get_varint r in
+      if nm < 0 then raise (Binio.Corrupt "negative member count");
+      let members = List.init nm (fun _ -> part.pcodec.dec part.reg r) in
+      (h, c_first, key, members)
+    with Binio.Corrupt m -> corrupt_trip m
+  in
+  (* Decoded bytes count against the budget like any other
+     materialization: replayed cells are live output (the sorted
+     fallback's transient batches are returned when each run is
+     written back out), so the hard check sees merge-phase growth
+     instead of waiting for a Gc-delta slow tick. *)
+  Governor.charge_bytes (String.length payload);
+  r
 
 let cmp_rec (_, f1, k1, _) (_, f2, k2, _) =
   let c = Key.compare k1 k2 in
@@ -242,9 +283,7 @@ let flush_part part =
     let recs = if part.sort_mode then List.sort cmp_rec recs else recs in
     let start = Spill.File.pos file in
     let buf = Buffer.create 1024 in
-    List.iter
-      (fun r -> Spill.File.write_frame file (encode_rec part buf r))
-      recs;
+    List.iter (write_rec part file buf) recs;
     if part.sort_mode then
       part.runs <- (start, Spill.File.pos file - start) :: part.runs;
     Hashtbl.reset part.ptable;
@@ -342,18 +381,22 @@ let fallback_sorted ?tally part file =
   Fun.protect
     ~finally:(fun () -> Spill.File.close runs_file)
     (fun () ->
-      let threshold = replay_threshold () in
+      let threshold = part.pthreshold in
       let runs = ref [] in
       let batch = ref [] and batch_bytes = ref 0 in
       let buf = Buffer.create 1024 in
       let flush_run () =
         if !batch <> [] then begin
-          let recs = List.sort cmp_rec !batch in
+          (* [batch] is newest-first; restore decode order before the
+             (stable) sort — chunks of one split cell compare equal and
+             must stay in chunk order *)
+          let recs = List.sort cmp_rec (List.rev !batch) in
           let start = Spill.File.pos runs_file in
-          List.iter
-            (fun r -> Spill.File.write_frame runs_file (encode_rec part buf r))
-            recs;
+          List.iter (write_rec part runs_file buf) recs;
           runs := (start, Spill.File.pos runs_file - start) :: !runs;
+          (* the batch was transient: its decode charges go back now
+             that the records are on disk again *)
+          Governor.uncharge_bytes !batch_bytes;
           batch := [];
           batch_bytes := 0
         end
@@ -376,7 +419,7 @@ let fallback_sorted ?tally part file =
 (* Replay a hash-mode spill file into cells: small files hash-merge in
    memory; large ones repartition by a depth-salted hash and recurse. *)
 let rec replay_hash ?tally part file depth =
-  let threshold = replay_threshold () in
+  let threshold = part.pthreshold in
   if Spill.File.bytes file > threshold && depth < max_repartition_depth then begin
     let subs = Array.init repartition_fanout (fun _ -> Spill.File.create ()) in
     Fun.protect
@@ -464,7 +507,14 @@ let group_ext ?tally ~codec ~sort_mode ~sorted_output ~hash_fn ~parallel
   let arr = Array.of_list tuples in
   let n = Array.length arr in
   let p = if n >= par_build_min then max 1 (min parallel n) else 1 in
-  let parts = Array.init p (fun _ -> new_part ~codec ~sort_mode) in
+  (* All [p] partitions replay concurrently in the merge phase, so each
+     one's threshold is the watermark divided by [p]: their combined
+     replay buffers stay within one watermark, which is exactly the
+     headroom the CLI default leaves below the hard budget (watermark =
+     budget / 2) — merge-phase growth cannot blow through the budget
+     the flushes just averted. *)
+  let threshold = max (Governor.spill_watermark () / p) 4096 in
+  let parts = Array.init p (fun _ -> new_part ~codec ~sort_mode ~threshold) in
   Fun.protect
     ~finally:(fun () ->
       Array.iter

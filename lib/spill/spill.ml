@@ -84,12 +84,19 @@ let warn_unavailable () =
 let registered : (string, unit) Hashtbl.t = Hashtbl.create 8
 let registered_mutex = Mutex.create ()
 
+(* Best-effort: runs from [at_exit] and from the SIGINT/SIGTERM
+   handlers. A signal lands at a safe point on a thread that may be
+   inside [register_path]/[unregister_path] already holding the mutex,
+   and OCaml mutexes are not reentrant — so the cleanup must never
+   block on it. When [try_lock] loses, cleanup is skipped: the paths
+   leak only on that unlucky race, which beats deadlocking the exit. *)
 let cleanup_registered () =
-  Mutex.lock registered_mutex;
-  let paths = Hashtbl.fold (fun p () acc -> p :: acc) registered [] in
-  Hashtbl.reset registered;
-  Mutex.unlock registered_mutex;
-  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) paths
+  if Mutex.try_lock registered_mutex then begin
+    let paths = Hashtbl.fold (fun p () acc -> p :: acc) registered [] in
+    Hashtbl.reset registered;
+    Mutex.unlock registered_mutex;
+    List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) paths
+  end
 
 let cleanup_installed = Atomic.make false
 
@@ -196,6 +203,12 @@ module File = struct
 
   let header_len = 8
 
+  (* The frame length field is a u32: [Int32.of_int] would silently
+     truncate anything larger, to be caught only later as a checksum or
+     overrun error. Writers are expected to split oversized cells (see
+     [Group]); this trip is the backstop. *)
+  let max_frame = Int32.to_int Int32.max_int
+
   let frame_bytes payload =
     let n = String.length payload in
     let b = Bytes.create (header_len + n) in
@@ -205,6 +218,9 @@ module File = struct
     b
 
   let write_frame file payload =
+    if String.length payload > max_frame then
+      trip file.path "write" "frame payload of %d bytes exceeds the %d-byte \
+                              frame limit" (String.length payload) max_frame;
     let b = frame_bytes payload in
     let len = Bytes.length b in
     (match Governor.io_fault () with

@@ -48,7 +48,9 @@ module File : sig
 
   (** Append one frame. May raise [XQENG0006]; an injected fault
       commits a torn prefix of the frame first, so the on-disk state is
-      a genuinely short write. *)
+      a genuinely short write. A payload too large for the u32 length
+      field trips explicitly instead of truncating; frame writers
+      split oversized records beforehand (see [Group]). *)
   val write_frame : t -> string -> unit
 
   (** Payload + framing bytes written so far (excludes the header). *)

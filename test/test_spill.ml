@@ -172,6 +172,42 @@ let pressure_tests =
                   Governor.charge_bytes 600_000
                 done;
                 check_bool "fired on every crossing" true (!fired >= 4))));
+    test "a colliding domain never runs another domain's pressure callback"
+      (fun () ->
+        let g = Governor.create ~spill_watermark_bytes:16 () in
+        Governor.with_governor g (fun () ->
+            let ran_on = ref [] in
+            let me = (Domain.self () :> int) in
+            Governor.with_pressure_callback
+              (fun () -> ran_on := (Domain.self () :> int) :: !ran_on)
+              (fun () ->
+                (* spawn fresh domains until one's id collides with this
+                   domain's callback slot (ids equal mod the slot-table
+                   size, 128), and push it past the watermark there: the
+                   callback must be skipped, not run cross-domain *)
+                let collided = ref false and tries = ref 0 in
+                while (not !collided) && !tries < 512 do
+                  incr tries;
+                  let d =
+                    Domain.spawn (fun () ->
+                        if (Domain.self () :> int) land 127 = me land 127
+                        then begin
+                          Governor.charge_bytes 1024;
+                          Governor.uncharge_bytes 1024;
+                          true
+                        end
+                        else false)
+                  in
+                  if Domain.join d then collided := true
+                done;
+                check_bool "found a colliding domain" true !collided;
+                check_bool "never ran on a foreign domain" true
+                  (List.for_all (fun id -> id = me) !ran_on);
+                let before = List.length !ran_on in
+                Governor.charge_bytes 1024;
+                Governor.uncharge_bytes 1024;
+                check_bool "still fires on the owning domain" true
+                  (List.length !ran_on > before))));
     test "a watermark alone arms the governor via of_limits" (fun () ->
         match Governor.of_limits ~spill_watermark_bytes:4096 () with
         | Some g ->
@@ -240,6 +276,31 @@ let group_tests =
               true
               (groups_repr got = expected))
           [ false; true ]);
+    test "a hot key's cell splits across bounded frames, output identical"
+      (fun () ->
+        (* one key, ~1.2 MB of string members: the flush must chunk the
+           cell into frames no bigger than the cap (threshold / 4 =
+           1 KiB at a tiny watermark) instead of serializing it whole,
+           and replay must recombine the chunks in member order *)
+        let tuples =
+          List.init 4000 (fun i ->
+              [ Item.Atomic
+                  (Atomic.Str (Printf.sprintf "%06d-%s" i (String.make 290 'm')))
+              ])
+        in
+        let hot_key _ = [ Xseq.of_int 1 ] in
+        List.iter
+          (fun group_fn ->
+            let expected = groups_repr (group_fn None tuples) in
+            let got, stats =
+              with_tiny_watermark (fun () -> group_fn (Some seq_codec) tuples)
+            in
+            check_bool "spilled" true (stats.Governor.s_spill_files > 0);
+            check_bool "identical groups" true (groups_repr got = expected))
+          [
+            (fun spill ts -> Group.group_hash ?spill ~keys_of:hot_key ts);
+            (fun spill ts -> Group.group_sort ?spill ~keys_of:hot_key ts);
+          ]);
     test "XQ_NO_SPILL degrades to the in-memory path" (fun () ->
         Unix.putenv "XQ_NO_SPILL" "1";
         Fun.protect ~finally:(fun () -> Unix.putenv "XQ_NO_SPILL" "0")

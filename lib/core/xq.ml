@@ -7,6 +7,10 @@ module Algebra = Xq_algebra
 module Par = Xq_par.Par
 module Governor = Xq_governor.Governor
 module Spill = Xq_spill.Spill
+module Refimpl = Xq_refimpl.Refimpl
+module Qgen = Xq_qgen.Qgen
+module Shrink = Xq_qgen.Shrink
+module Fuzz = Xq_fuzzer.Fuzz
 
 type doc = Xq_xdm.Node.t
 type result = Xq_xdm.Xseq.t

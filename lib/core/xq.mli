@@ -34,6 +34,19 @@ module Governor = Xq_governor.Governor
     [--no-spill] / [XQ_NO_SPILL]). *)
 module Spill = Xq_spill.Spill
 
+(** Naive reference evaluator — the differential-fuzzing oracle. *)
+module Refimpl = Xq_refimpl.Refimpl
+
+(** Seeded grammar-driven query/document generator. *)
+module Qgen = Xq_qgen.Qgen
+
+(** Greedy delta-debugging shrinker for failing cases. *)
+module Shrink = Xq_qgen.Shrink
+
+(** The differential harness: configuration matrix, outcome comparison
+    modulo undefined group order, and failure minimization. *)
+module Fuzz = Xq_fuzzer.Fuzz
+
 (** A loaded document (its document node). *)
 type doc = Xq_xdm.Node.t
 

@@ -1,0 +1,75 @@
+(** The differential harness: one generated case, many engine
+    configurations, one oracle.
+
+    Each case runs through the real engine under a sampled configuration
+    matrix — the direct evaluator plus the plan executor at strategy
+    hash/sort/auto, parallel degree 1/2/4, spill watermark armed or off
+    (fault injection always cleared) — and every outcome is compared
+    against {!Xq_refimpl.Refimpl}. Outputs are compared per returned
+    item, as ordered lists when the query pins its tuple order (a
+    trailing [order by], or no [group by] at all) and as multisets
+    otherwise, implementing Section 3.4.2's undefined group order.
+    Dynamic errors agree when their W3C error codes agree. *)
+
+open Xq_xdm
+open Xq_lang
+
+type engine_kind =
+  | Direct  (** [Xq_engine.Eval] — the tuple-stream evaluator *)
+  | Plan of Xq_algebra.Optimizer.group_strategy  (** the plan executor *)
+
+type config = {
+  kind : engine_kind;
+  parallel : int;  (** domain-pool degree; only the plan executor reads it *)
+  spill : bool;    (** arm a tiny spill watermark to force external grouping *)
+}
+
+(** e.g. ["plan:sort/par=4/spill"] — stable, used in reports. *)
+val config_label : config -> string
+
+(** The four always-run configurations: direct, and each strategy at
+    parallel 1 without spilling. *)
+val base_configs : config list
+
+(** [base_configs] plus three seed-sampled stress configurations
+    (strategy × parallel 2/4 × spill). Deterministic per seed. *)
+val sampled_configs : seed:int -> config list
+
+type outcome =
+  | Output of string list  (** serialized per returned item, in order *)
+  | Error_code of string   (** a W3C/engine error code, e.g. "XPTY0004" *)
+
+(** Serialized per-item result, or the error code. *)
+val oracle_outcome : Node.t -> Ast.query -> outcome
+
+(** Run one engine configuration. [inject_bug] artificially drops the
+    last result item (when the result is non-empty) — a test-only fake
+    engine defect for exercising the shrinker end-to-end. *)
+val engine_outcome :
+  ?inject_bug:bool -> config -> Node.t -> Ast.query -> outcome
+
+(** True when the query's top-level FLWOR pins its tuple order: a
+    trailing [order by], or no [group by]. Non-FLWOR bodies are pinned. *)
+val pinned_order : Ast.query -> bool
+
+val outcomes_agree : pinned:bool -> outcome -> outcome -> bool
+
+type verdict =
+  | Pass of int  (** configurations run *)
+  | Oracle_unsupported of string
+  | Roundtrip_failure  (** [parse (pretty q)] is not [q] *)
+  | Divergence of { config : config; oracle : outcome; engine : outcome }
+
+(** Check the pretty-printer round-trip, then every configuration
+    against the oracle; first disagreement wins. *)
+val check_case :
+  ?inject_bug:bool -> configs:config list -> doc:string -> Ast.query -> verdict
+
+(** Greedily minimize a diverging case under the one configuration that
+    caught it (see {!Xq_qgen.Shrink}). *)
+val shrink_divergence :
+  ?inject_bug:bool ->
+  config ->
+  doc:string ->
+  Ast.query ->
+  Ast.query * string

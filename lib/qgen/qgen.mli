@@ -1,0 +1,48 @@
+(** Grammar-driven generator of well-scoped FLWOR/grouping queries and
+    matching small input documents, seeded with the workload splitmix64
+    PRNG so every case replays from its integer seed.
+
+    The grammar covers what the paper's extensions exercise: multiple
+    [for] clauses (with positionals), [let], [where], [group by] with
+    one-to-three possibly sequence-valued keys (paths to attributes,
+    repeated child elements, computed keys, explicit [using
+    fn:deep-equal]), [nest … order by … into], post-grouping [let] and
+    [where], a trailing (optionally [stable]) [order by], [count],
+    [return at $rank], and the aggregate builtins over nesting
+    variables. Scoping is correct by construction — generated queries
+    always pass {!Xq_lang.Static.check_query} — and key-value domains
+    are kept small so groups actually collide.
+
+    Size budgets (item counts, clause counts, expression depth) keep
+    every query's evaluation well under a millisecond, so a fuzzing run
+    is generation-bound, not evaluation-bound.
+
+    Three constructs the pretty-printer cannot round-trip losslessly are
+    never emitted: boolean literals (print as [fn:true()], which
+    reparses as a call), one-element [Sequence] nodes (print as plain
+    parentheses, which collapse), and negative integer literals (lex as
+    unary minus). The round-trip property [parse (pretty q) = q] holds
+    on everything this module generates, and the fuzzer replays each
+    query through the printer to enforce it. *)
+
+type case = {
+  seed : int;
+  query : Xq_lang.Ast.query;  (** passes [Static.check_query] *)
+  doc : string;               (** matching XML document source *)
+}
+
+(** Generate the case for a seed. Deterministic. *)
+val generate : int -> case
+
+(** Pretty-print a query ([Pretty.query_to_string] re-exported so fuzz
+    tooling needs no direct [Xq_lang] dependency). *)
+val query_text : Xq_lang.Ast.query -> string
+
+(** Parse the pretty-printed text back and compare structurally —
+    the round-trip property. Returns the reparsed AST on mismatch. *)
+val round_trips : Xq_lang.Ast.query -> (unit, Xq_lang.Ast.query) result
+
+(** Generate just a list of key sequences for partition-agreement tests
+    (used by [test/test_key.ml]): documents' worth of small, collision-
+    prone, possibly sequence-valued key lists. *)
+val key_lists : int -> Xq_xdm.Xseq.t list list

@@ -1,0 +1,332 @@
+open Xq_xdm
+open Xq_lang
+
+(* --- expression reductions ---------------------------------------------- *)
+
+(* replace a list element by each of its variants *)
+let variants_at f xs =
+  List.concat
+    (List.mapi
+       (fun i x ->
+         List.map
+           (fun x' -> List.mapi (fun j y -> if i = j then x' else y) xs)
+           (f x))
+       xs)
+
+let drop_one xs =
+  List.mapi (fun i _ -> List.filteri (fun j _ -> i <> j) xs) xs
+
+(* one-step reductions of an expression: strictly smaller subexpressions
+   first, then same-shape structural reductions, then the same shape
+   with one child reduced, then literal collapse as a last resort *)
+let rec expr_candidates (e : Ast.expr) : Ast.expr list =
+  let subs =
+    match e with
+    | Arith (_, a, b)
+    | And (a, b)
+    | Or (a, b)
+    | General_cmp (_, a, b)
+    | Value_cmp (_, a, b)
+    | Range (a, b) -> [ a; b ]
+    | Neg a -> [ a ]
+    | Call (_, args) -> args
+    | Sequence es -> es
+    | If (c, t, e) -> [ c; t; e ]
+    | Quantified (_, binds, body) -> body :: List.map snd binds
+    | Slash (a, _) -> [ a ]
+    | Filter (a, _) -> [ a ]
+    | Direct_elem d ->
+      List.filter_map
+        (function Ast.Content_expr e -> Some e | _ -> None)
+        d.content
+    | _ -> []
+  in
+  let shallow =
+    match e with
+    | Sequence es when List.length es > 2 ->
+      List.map (fun es' -> Ast.Sequence es') (drop_one es)
+    | Call (n, args) when args <> [] ->
+      List.map (fun args' -> Ast.Call (n, args')) (drop_one args)
+    | Step (ax, t, preds) when preds <> [] ->
+      List.map (fun p' -> Ast.Step (ax, t, p')) (drop_one preds)
+    | Filter (a, preds) ->
+      List.map (fun p' -> Ast.Filter (a, p')) (drop_one preds)
+    | Quantified (q, binds, body) when List.length binds > 1 ->
+      List.map (fun b' -> Ast.Quantified (q, b', body)) (drop_one binds)
+    | Direct_elem d ->
+      List.map (fun a' -> Ast.Direct_elem { d with attrs = a' })
+        (drop_one d.attrs)
+      @ List.map
+          (fun c' -> Ast.Direct_elem { d with content = c' })
+          (drop_one d.content)
+    | _ -> []
+  in
+  let rec_child =
+    match e with
+    | Arith (op, a, b) ->
+      List.map (fun a' -> Ast.Arith (op, a', b)) (expr_candidates a)
+      @ List.map (fun b' -> Ast.Arith (op, a, b')) (expr_candidates b)
+    | And (a, b) ->
+      List.map (fun a' -> Ast.And (a', b)) (expr_candidates a)
+      @ List.map (fun b' -> Ast.And (a, b')) (expr_candidates b)
+    | Or (a, b) ->
+      List.map (fun a' -> Ast.Or (a', b)) (expr_candidates a)
+      @ List.map (fun b' -> Ast.Or (a, b')) (expr_candidates b)
+    | General_cmp (op, a, b) ->
+      List.map (fun a' -> Ast.General_cmp (op, a', b)) (expr_candidates a)
+      @ List.map (fun b' -> Ast.General_cmp (op, a, b')) (expr_candidates b)
+    | Value_cmp (op, a, b) ->
+      List.map (fun a' -> Ast.Value_cmp (op, a', b)) (expr_candidates a)
+      @ List.map (fun b' -> Ast.Value_cmp (op, a, b')) (expr_candidates b)
+    | Range (a, b) ->
+      List.map (fun a' -> Ast.Range (a', b)) (expr_candidates a)
+      @ List.map (fun b' -> Ast.Range (a, b')) (expr_candidates b)
+    | Neg a -> List.map (fun a' -> Ast.Neg a') (expr_candidates a)
+    | Call (n, args) ->
+      List.map (fun a' -> Ast.Call (n, a')) (variants_at expr_candidates args)
+    | Sequence es ->
+      List.map (fun es' -> Ast.Sequence es')
+        (variants_at expr_candidates es)
+    | If (c, t, e2) ->
+      List.map (fun c' -> Ast.If (c', t, e2)) (expr_candidates c)
+      @ List.map (fun t' -> Ast.If (c, t', e2)) (expr_candidates t)
+      @ List.map (fun e' -> Ast.If (c, t, e')) (expr_candidates e2)
+    | Quantified (q, binds, body) ->
+      List.map
+        (fun b' -> Ast.Quantified (q, b', body))
+        (variants_at
+           (fun (v, src) ->
+             List.map (fun s' -> (v, s')) (expr_candidates src))
+           binds)
+      @ List.map
+          (fun body' -> Ast.Quantified (q, binds, body'))
+          (expr_candidates body)
+    | Slash (a, b) ->
+      List.map (fun a' -> Ast.Slash (a', b)) (expr_candidates a)
+      @ List.map (fun b' -> Ast.Slash (a, b')) (expr_candidates b)
+    | Step (ax, t, preds) ->
+      List.map (fun p' -> Ast.Step (ax, t, p'))
+        (variants_at expr_candidates preds)
+    | Filter (a, preds) ->
+      List.map (fun a' -> Ast.Filter (a', preds)) (expr_candidates a)
+      @ List.map (fun p' -> Ast.Filter (a, p'))
+          (variants_at expr_candidates preds)
+    | Direct_elem d ->
+      List.map (fun a' -> Ast.Direct_elem { d with attrs = a' })
+        (variants_at
+           (fun (a : Ast.direct_attr) ->
+             List.map
+               (fun v' -> { a with Ast.attr_value = v' })
+               (variants_at
+                  (function
+                    | Ast.Attr_expr e ->
+                      List.map (fun e' -> Ast.Attr_expr e') (expr_candidates e)
+                    | Ast.Attr_text _ -> [])
+                  a.attr_value))
+           d.attrs)
+      @ List.map
+          (fun c' -> Ast.Direct_elem { d with content = c' })
+          (variants_at
+             (function
+               | Ast.Content_expr e ->
+                 List.map (fun e' -> Ast.Content_expr e') (expr_candidates e)
+               | Ast.Content_elem d' ->
+                 List.filter_map
+                   (function
+                     | Ast.Direct_elem d'' -> Some (Ast.Content_elem d'')
+                     | _ -> None)
+                   (expr_candidates (Ast.Direct_elem d'))
+               | _ -> [])
+             d.content)
+    | _ -> []
+  in
+  let collapse =
+    match e with
+    | Literal (Atomic.Int n) when n <> 0 -> [ Ast.Literal (Atomic.Int 0) ]
+    | Literal (Atomic.Str s) when s <> "" -> [ Ast.Literal (Atomic.Str "") ]
+    | Literal _ | Var _ -> []
+    | _ -> [ Ast.Literal (Atomic.Int 0) ]
+  in
+  subs @ shallow @ rec_child @ collapse
+
+(* --- clause and query reductions ---------------------------------------- *)
+
+let clause_candidates (c : Ast.clause) : Ast.clause list =
+  match c with
+  | For bindings ->
+    List.map (fun b' -> Ast.For b') (variants_at
+      (fun (fb : Ast.for_binding) ->
+        (match fb.positional with
+         | Some _ -> [ { fb with positional = None } ]
+         | None -> [])
+        @ List.map (fun s' -> { fb with for_src = s' })
+            (expr_candidates fb.for_src))
+      bindings)
+  | Let bindings ->
+    List.map (fun b' -> Ast.Let b') (variants_at
+      (fun (v, e) -> List.map (fun e' -> (v, e')) (expr_candidates e))
+      bindings)
+  | Where e -> List.map (fun e' -> Ast.Where e') (expr_candidates e)
+  | Order_by { stable; specs } ->
+    (if stable then [ Ast.Order_by { stable = false; specs } ] else [])
+    @ (if List.length specs > 1 then
+         List.map (fun s' -> Ast.Order_by { stable; specs = s' })
+           (drop_one specs)
+       else [])
+    @ List.map
+        (fun s' -> Ast.Order_by { stable; specs = s' })
+        (variants_at
+           (fun (e, m) -> List.map (fun e' -> (e', m)) (expr_candidates e))
+           specs)
+  | Count _ -> []
+  | Group_by g ->
+    (if List.length g.keys > 1 then
+       List.map (fun ks -> Ast.Group_by { g with keys = ks })
+         (drop_one g.keys)
+     else [])
+    @ List.map (fun ns -> Ast.Group_by { g with nests = ns })
+        (drop_one g.nests)
+    @ List.map (fun ks -> Ast.Group_by { g with keys = ks })
+        (variants_at
+           (fun (k : Ast.group_key) ->
+             (match k.using with
+              | Some _ -> [ { k with using = None } ]
+              | None -> [])
+             @ List.map (fun e' -> { k with key_expr = e' })
+                 (expr_candidates k.key_expr))
+           g.keys)
+    @ List.map (fun ns -> Ast.Group_by { g with nests = ns })
+        (variants_at
+           (fun (n : Ast.nest_spec) ->
+             (if n.nest_order <> [] then [ { n with nest_order = [] } ]
+              else [])
+             @ List.map (fun e' -> { n with nest_expr = e' })
+                 (expr_candidates n.nest_expr))
+           g.nests)
+  | Window _ -> []
+
+let query_candidates (q : Ast.query) : Ast.query list =
+  match q.body with
+  | Flwor f ->
+    let with_body body = { q with body = Ast.Flwor body } in
+    List.map (fun cs -> with_body { f with clauses = cs })
+      (drop_one f.clauses)
+    @ (match f.return_at with
+       | Some _ -> [ with_body { f with return_at = None } ]
+       | None -> [])
+    @ List.map (fun cs -> with_body { f with clauses = cs })
+        (variants_at clause_candidates f.clauses)
+    @ List.map
+        (fun e' -> with_body { f with return_expr = e' })
+        (expr_candidates f.return_expr)
+  | body -> List.map (fun b -> { q with body = b }) (expr_candidates body)
+
+(* --- document reductions ------------------------------------------------- *)
+
+type tree =
+  | Elem of string * (string * string) list * tree list
+  | Txt of string
+
+let rec tree_of_node n =
+  match Node.kind n with
+  | Node.Text -> Some (Txt (Node.string_value n))
+  | Node.Element ->
+    let name = Xname.to_string (Option.get (Node.name n)) in
+    let attrs =
+      List.map
+        (fun a ->
+          (Xname.to_string (Option.get (Node.name a)), Node.attribute_value a))
+        (Node.attributes n)
+    in
+    Some (Elem (name, attrs, List.filter_map tree_of_node (Node.children n)))
+  | _ -> None
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec render buf t =
+  match t with
+  | Txt s -> Buffer.add_string buf (escape s)
+  | Elem (name, attrs, children) ->
+    Buffer.add_char buf '<';
+    Buffer.add_string buf name;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string buf (Printf.sprintf " %s=\"%s\"" k (escape v)))
+      attrs;
+    if children = [] then Buffer.add_string buf "/>"
+    else begin
+      Buffer.add_char buf '>';
+      List.iter (render buf) children;
+      Buffer.add_string buf (Printf.sprintf "</%s>" name)
+    end
+
+let render_tree t =
+  let buf = Buffer.create 256 in
+  render buf t;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* all trees with one node or attribute removed; the root stays *)
+let rec tree_variants t =
+  match t with
+  | Txt _ -> []
+  | Elem (name, attrs, children) ->
+    List.map (fun a' -> Elem (name, a', children)) (drop_one attrs)
+    @ List.map (fun c' -> Elem (name, attrs, c')) (drop_one children)
+    @ List.map
+        (fun c' -> Elem (name, attrs, c'))
+        (variants_at tree_variants children)
+
+let doc_candidates doc =
+  match Xq_xml.Xml_parse.parse doc with
+  | exception _ -> []
+  | node ->
+    let root =
+      match Node.kind node with
+      | Node.Document -> begin
+        match List.filter_map tree_of_node (Node.children node) with
+        | [ t ] -> Some t
+        | _ -> None
+      end
+      | _ -> tree_of_node node
+    in
+    (match root with
+     | None -> []
+     | Some t -> List.map render_tree (tree_variants t))
+
+(* --- the greedy loop ----------------------------------------------------- *)
+
+let well_formed q =
+  try
+    Static.check_query q;
+    match Qgen.round_trips q with Ok () -> true | Error _ -> false
+  with _ -> false
+
+let shrink ~still_failing ~query ~doc =
+  let fails q d = try still_failing q d with _ -> false in
+  let rec loop query doc =
+    let next_q =
+      List.find_opt
+        (fun q' -> well_formed q' && fails q' doc)
+        (query_candidates query)
+    in
+    match next_q with
+    | Some q' -> loop q' doc
+    | None -> begin
+      match List.find_opt (fun d' -> fails query d') (doc_candidates doc) with
+      | Some d' -> loop query d'
+      | None -> (query, doc)
+    end
+  in
+  if fails query doc then loop query doc else (query, doc)

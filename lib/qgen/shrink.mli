@@ -1,0 +1,35 @@
+(** Greedy shrinking of failing query/document pairs.
+
+    Classic delta-debugging descent: enumerate one-step reductions of
+    the query (drop a clause, a grouping key, a nest, an order spec, a
+    predicate, an attribute; replace an expression by one of its
+    subexpressions or by a literal), then of the document (drop an
+    element, an attribute, a text child), keep the first candidate on
+    which [still_failing] still holds, and repeat to a fixpoint.
+
+    Every query candidate is pre-filtered through
+    {!Xq_lang.Static.check_query} (reductions routinely unbind
+    variables) and through the pretty-printer round-trip, so the
+    reproducer that comes out is always a well-scoped query that can be
+    stored as text and replayed. [still_failing] is never called on a
+    candidate that fails those filters, and exceptions it raises count
+    as "not failing". *)
+
+open Xq_lang
+
+(** One-step query reductions (exposed for tests). Candidates are not
+    yet filtered for well-scopedness. *)
+val query_candidates : Ast.query -> Ast.query list
+
+(** One-step document reductions: the XML re-rendered with one node or
+    attribute removed. Empty when the document does not parse. *)
+val doc_candidates : string -> string list
+
+(** [shrink ~still_failing ~query ~doc] greedily minimizes, returning a
+    fixpoint pair on which [still_failing] holds (the inputs themselves
+    if no reduction reproduces). *)
+val shrink :
+  still_failing:(Ast.query -> string -> bool) ->
+  query:Ast.query ->
+  doc:string ->
+  Ast.query * string

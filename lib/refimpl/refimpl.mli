@@ -1,0 +1,52 @@
+(** Naive reference evaluator — the differential-fuzzing oracle.
+
+    A deliberately simple interpreter for the FLWOR/grouping subset the
+    query generator ({!Xq_qgen.Qgen}) emits, implementing the paper's
+    declarative semantics as literally as possible:
+
+    - grouping is a nested loop that compares each tuple's key list
+      against every existing group's representative with pairwise
+      [fn:deep-equal], exactly as Section 3.3 specifies — no canonical
+      keys, no hashing, no sort, no governor, no spilling;
+    - sorting is [List.stable_sort] over atomized keys;
+    - [nest] concatenates member tuples in input order or per the
+      nest's own [order by] (Section 3.4.1);
+    - [return at $rank] numbers the post-grouping tuple stream 1..n
+      (Section 4).
+
+    It depends only on the data model ([Xq_xdm]) and the AST
+    ([Xq_lang]) — never on the engine, the plan algebra, the canonical
+    key machinery or the spill path under test. Anything outside the
+    generated subset (windows, user functions, prologs, the less common
+    builtins) raises {!Unsupported}: the fuzzer treats that as a
+    harness bug, not a divergence.
+
+    Dynamic errors raise [Xerror.Error] with the same W3C codes the
+    engine uses, so the differential harness can also compare failure
+    behaviour. *)
+
+open Xq_xdm
+
+(** Raised on constructs outside the oracle's subset. *)
+exception Unsupported of string
+
+(** Evaluate a query against a context node. *)
+val eval_query : context_node:Node.t -> Xq_lang.Ast.query -> Xseq.t
+
+(** Parse-and-evaluate convenience used by corpus replay. *)
+val run : context_node:Node.t -> string -> Xseq.t
+
+(** {1 The naive grouping partition}
+
+    Exposed so [test/test_key.ml] can check that the engine's
+    canonical-key partition agrees with literal pairwise deep-equal. *)
+
+type 'a group = {
+  keys : Xseq.t list;  (** the first member's key list *)
+  members : 'a list;   (** in input order *)
+}
+
+(** Nested-loop grouping by pairwise [Deep_equal.sequences] on each key;
+    groups in first-occurrence order, members in input order. O(n·g). *)
+val group_by_deep_equal :
+  keys_of:('a -> Xseq.t list) -> 'a list -> 'a group list

@@ -1,0 +1,4 @@
+for $i in /data/item
+group by $i/v into $vs using fn:deep-equal nest $i/@k into $ks
+order by fn:count($ks) descending, fn:string-join($vs, "-")
+return <class size="{fn:count($ks)}" key="{fn:string-join($vs, ",")}">{fn:string-join($ks, " ")}</class>

@@ -1,0 +1,6 @@
+for $i in /data/item
+let $t := fn:sum($i/v)
+group by $i/@k into $k nest $t into $ts
+let $s := fn:sum($ts)
+order by $s descending, fn:string($k)
+return at $rank <rank n="{$rank}" k="{$k}" sum="{$s}"/>

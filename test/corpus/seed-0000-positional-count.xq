@@ -1,0 +1,8 @@
+for $i1 at $p2 in /child::data/child::item
+for $i3 in (1 to 3)
+for $i4 at $p5 in /child::data/child::item
+let $l6 := 2
+count $c7
+group by $i1/child::v into $g8, (fn:count($i1/child::v[. >= 1]) mod 3) into $g9
+order by fn:count($g8) empty least
+return <row a="{fn:avg(/child::data/child::item/child::v[3])}"><c>{fn:string-length(fn:string(fn:number(/child::data/child::item[1]/attribute::t)))}</c>{(fn:min((7, 8)), /child::data/child::item[1]/child::s)}<c>{7}</c></row>

@@ -1,0 +1,7 @@
+for $i1 in /child::data/child::item
+for $i2 at $p3 in $i1/child::v
+for $i4 in (1 to 3)
+where ((5 to 4) >= 2)
+group by (fn:count($i2/child::sub/child::v) mod 3) into $g5 using fn:deep-equal nest $i4 into $n6
+let $l7 := $g5
+return <row a="{fn:number(/child::data/child::item[1]/attribute::t)}"><c>{3 mod fn:count((4, 6))}</c>{$n6}blue</row>

@@ -1,0 +1,5 @@
+for $i1 at $p2 in /child::data/child::item
+for $i3 in /child::data/child::item
+let $l4 := 8
+order by fn:number($i3/attribute::t) empty least, fn:avg($i1/child::v[3]) descending empty least
+return <row a="{fn:max($i3/child::v)}">{$i1/child::v}</row>

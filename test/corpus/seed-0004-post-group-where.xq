@@ -1,0 +1,7 @@
+for $i1 in /child::data/child::item
+for $i2 in /child::data/child::item
+for $i3 at $p4 in /child::data/child::item
+group by fn:string-join($i2/child::w, "it's") into $g5, $i2/child::s into $g6 nest (8 to 1) into $n7
+where (/child::data/child::item/child::v[. != 8] = 9)
+order by fn:count(/child::data/child::item/child::v) descending
+return <row a="#{fn:count(/child::data/child::item/child::v)}" b="#{5}">{$g6}{3 to 3}green</row>

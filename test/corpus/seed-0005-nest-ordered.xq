@@ -1,0 +1,7 @@
+for $i1 in /child::data/child::item
+for $i2 in /child::data/child::item
+for $i3 in $i1/child::v
+let $l4 := $i1/descendant-or-self::node()/child::v
+group by ($i1/child::s, $i1/attribute::t) into $g5 nest (4 to 0) order by fn:string-length("b") descending into $n6, (0 to 1) order by fn:string($i3/attribute::k) into $n7
+order by "it's" descending empty greatest
+return at $r8 <row a="#{fn:min(/child::data/child::item/child::w)}" b="{fn:avg(/child::data/child::item/child::sub/child::v)}">green{(fn:max((1, 6)), (1, /child::data/child::item[1]/attribute::k))}</row>

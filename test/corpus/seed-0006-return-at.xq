@@ -1,0 +1,8 @@
+for $i1 in /child::data/child::item
+for $i2 in /child::data/child::item
+for $i3 at $p4 in /child::data/child::item
+group by fn:string-join($i1/child::w, "q""q") into $g5 nest (9, 1) into $n6
+let $l7 := ((fn:number(/child::data/child::item[1]/attribute::t) mod fn:count($n6)) - fn:count(/child::data/child::item/child::w))
+where (fn:string(/child::data/child::item[1]/attribute::t) gt "")
+order by fn:max(/child::data/child::item/child::v) descending empty greatest
+return at $r8 <row a="{fn:string-length(fn:string(/child::data/child::item[1]/attribute::k))}" b="{fn:max(/child::data/child::item/child::w)}">{/child::data/child::item/child::v}{$r8}{/child::data/child::item[1]/attribute::k}</row>

@@ -1,0 +1,9 @@
+for $i1 at $p2 in /child::data/child::item
+let $l3 := (7, $p2)
+let $l4 := fn:max($i1/child::v[. != 2])
+group by $i1/child::sub/child::v into $g5 nest (3 to 4) into $n6
+let $l7 := fn:avg(/child::data/child::item/child::v)
+let $l8 := 9
+where (/child::data/child::item/child::w = 6)
+stable order by fn:avg(/child::data/child::item/child::v) descending empty least, fn:min(9 to 0) descending
+return <row>{(7, 3)}</row>

@@ -1,0 +1,7 @@
+for $i1 in /child::data/child::item
+for $i2 in /child::data/child::item
+for $i3 in /child::data/child::item
+let $l4 := 9
+let $l5 := "b"
+group by ($i2/attribute::k, $i3/attribute::k) into $g6 nest $i2/descendant-or-self::node()/child::v order by fn:avg($i2/child::v) descending empty greatest into $n7
+return <row>{fn:string-length("it's")}<c>{fn:avg((6, 5))}</c></row>

@@ -200,9 +200,57 @@ let par_tests =
           Alcotest.(check string) "earliest failing index wins" "23" m);
   ]
 
+(* --- oracle agreement: canonical partition = naive deep-equal ----------- *)
+
+(* The fuzzing oracle groups by literal pairwise fn:deep-equal over the
+   original key sequences (the paper's Section 3.3 wording); the engine
+   groups through canonical keys. Over collision-prone generated key
+   lists — mixed atoms, untyped values, small element nodes, sequence
+   keys — both must induce the same partition, groups and members in
+   the same order. *)
+let oracle_agreement_tests =
+  let partition_of groups ~members = List.map members groups in
+  [
+    Alcotest.test_case
+      "group_hash partition = naive pairwise deep-equal (seeds 0-99)" `Quick
+      (fun () ->
+        for seed = 0 to 99 do
+          let tuples =
+            List.mapi (fun i ks -> (i, ks)) (Xq_qgen.Qgen.key_lists seed)
+          in
+          let engine = Group.group_hash ~keys_of tuples in
+          let naive =
+            Xq_refimpl.Refimpl.group_by_deep_equal ~keys_of tuples
+          in
+          Alcotest.(check (list (list int)))
+            (Printf.sprintf "seed %d" seed)
+            (partition_of naive ~members:(fun g ->
+                 List.map fst g.Xq_refimpl.Refimpl.members))
+            (group_ids engine)
+        done);
+    Alcotest.test_case
+      "group_sort partition = naive pairwise deep-equal (seeds 0-49)" `Quick
+      (fun () ->
+        for seed = 0 to 49 do
+          let tuples =
+            List.mapi (fun i ks -> (i, ks)) (Xq_qgen.Qgen.key_lists seed)
+          in
+          let engine = Group.group_sort ~keys_of tuples in
+          let naive =
+            Xq_refimpl.Refimpl.group_by_deep_equal ~keys_of tuples
+          in
+          Alcotest.(check (list (list int)))
+            (Printf.sprintf "seed %d" seed)
+            (partition_of naive ~members:(fun g ->
+                 List.map fst g.Xq_refimpl.Refimpl.members))
+            (group_ids engine)
+        done);
+  ]
+
 let suites =
   [
     ("key.canonical", List.map to_alcotest canonical_props);
+    ("key.oracle-agreement", oracle_agreement_tests);
     ("key.walks", walk_tests);
     ("key.parallel", parallel_tests);
     ("key.hash", hash_tests);

@@ -27,4 +27,6 @@ let () =
          Test_par.suites;
          Test_governor.suites;
          Test_spill.suites;
+         Test_corpus.suites;
+         Test_fuzz.suites;
        ])

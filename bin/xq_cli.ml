@@ -53,10 +53,9 @@ let apply_spill ~spill_dir ~no_spill =
 
 (* One stderr line when the query actually spilled, so operators see the
    degraded mode without turning on profiling. *)
-let report_spill = function
+let report_spill_stats = function
   | None -> ()
-  | Some g ->
-    let s = Xq.Governor.stats g in
+  | Some s ->
     if s.Xq.Governor.s_spill_files > 0 then
       Printf.eprintf "xq: spilled %d bytes across %d file(s)%s\n"
         s.Xq.Governor.s_spilled_bytes s.Xq.Governor.s_spill_files
@@ -208,50 +207,40 @@ let apply_parallel = function
   | Some n -> Xq.Par.set_default_degree n
   | None -> ()
 
+(* All evaluation flows through the shared pipeline — the same
+   compile-and-run path the REPL, fuzzer and query server use — so the
+   front ends cannot drift apart. The CLI keeps only presentation:
+   printing, --time, and the spill report. *)
 let run_common ~source ~input ~rewrite ~indent ~time ~explain_analyze ~strategy
     ~parallel ~timeout ~max_groups ~max_mem ~spill_at ~spill_dir ~no_spill =
   with_errors (fun () ->
       apply_spill ~spill_dir ~no_spill;
-      governed ?timeout_ms:timeout ?max_groups ?max_mem_mb:max_mem
-        ?spill_watermark_bytes:
-          (Option.map (fun mb -> mb * 1024 * 1024) spill_at)
-        (fun gov ->
-          apply_parallel parallel;
-          let doc = load_input input in
-          (* Budget the query's own materializations, not the document. *)
-          (match gov with
-           | Some g -> Xq.Governor.rebaseline g
-           | None -> ());
-          let query = Xq.parse source in
-          Xq.check query;
-          let query =
-            if rewrite then Xq.Rewrite.Rewrite.rewrite_query query else query
-          in
-          if explain_analyze then
-            print_string
-              (Xq.Rewrite.Explain.analyze_query ?strategy ?parallel
-                 ~context_node:doc query)
-          else begin
-            let t0 = Sys.time () in
-            let result =
-              (* an explicit --strategy routes execution through the plan
-                 algebra; the default path is the direct evaluator *)
-              match strategy with
-              | Some s ->
-                Xq.Algebra.Exec.eval_query ~check:false ~strategy:s ?parallel
-                  ~context_node:doc query
-              | None -> Xq.run_query ~check:false doc query
-            in
-            let elapsed = (Sys.time () -. t0) *. 1000.0 in
-            (* serialize fully before writing, so a trip mid-query never
-               leaves partial output on stdout *)
-            let rendered = Xq.to_xml ~indent result in
-            print_endline rendered;
-            if time then
-              Printf.eprintf "evaluated in %.1f ms (%d items)\n" elapsed
-                (Xq.length result)
-          end;
-          report_spill gov))
+      let knobs =
+        Xq.Pipeline.
+          {
+            k_strategy = strategy;
+            k_parallel = parallel;
+            k_rewrite = rewrite;
+            k_use_index = false;
+            k_timeout_ms = timeout;
+            k_max_groups = max_groups;
+            k_max_mem_mb = max_mem;
+            k_spill_at_mb = spill_at;
+          }
+      in
+      let report =
+        Xq.Pipeline.run ~knobs ~indent ~explain_analyze ~source
+          ~load_doc:(fun () -> load_input input)
+          ()
+      in
+      if explain_analyze then print_string report.Xq.Pipeline.r_output
+      else begin
+        print_endline report.Xq.Pipeline.r_output;
+        if time then
+          Printf.eprintf "evaluated in %.1f ms (%d items)\n"
+            report.Xq.Pipeline.r_elapsed_ms report.Xq.Pipeline.r_items
+      end;
+      report_spill_stats report.Xq.Pipeline.r_stats)
 
 (* --- commands ----------------------------------------------------------- *)
 

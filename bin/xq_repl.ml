@@ -43,14 +43,6 @@ let print_error e =
    end);
   if bt <> "" then prerr_string bt
 
-(* Resource limits from the environment (XQ_TIMEOUT, XQ_MAX_GROUPS,
-   XQ_MAX_MEM, …) apply per evaluation: each query gets a fresh deadline
-   and budget, and a trip never takes the session down. *)
-let governed f =
-  match Xq.Governor.of_limits () with
-  | None -> f ()
-  | Some g -> Xq.Governor.with_governor g f
-
 let evaluate st source =
   match Xq.parse source with
   | exception e -> `Parse_error e
@@ -67,15 +59,25 @@ let evaluate st source =
                (Xq.Algebra.Plan.to_string (Xq.Algebra.Plan.of_flwor f))
            | _ -> ()
        with e -> print_error e);
-      (* serialize before printing so an error (from evaluation or from
-         serialization itself) never emits a partial result *)
+      (* evaluation goes through the shared pipeline (the CLI, fuzzer
+         and query server path). Resource limits from the environment
+         (XQ_TIMEOUT, XQ_MAX_GROUPS, XQ_MAX_MEM, …) apply per
+         evaluation — each query gets a fresh deadline and budget, and
+         a trip never takes the session down. The pipeline serializes
+         before we print, so an error (from evaluation or from
+         serialization itself) never emits a partial result. *)
       match
-        governed (fun () ->
-            Xq.to_xml ~indent:true
-              (Xq.run_query ~check:false ~use_index:st.use_index st.doc query))
+        Xq.Pipeline.run
+          ~knobs:
+            Xq.Pipeline.
+              { default_knobs with k_use_index = st.use_index }
+          ~indent:true
+          ~compiled:(Xq.Pipeline.of_query ~source query)
+          ~load_doc:(fun () -> st.doc)
+          ()
       with
-      | rendered ->
-        print_endline rendered;
+      | report ->
+        print_endline report.Xq.Pipeline.r_output;
         `Ok
       | exception e -> `Dynamic_error e
   end

@@ -1,0 +1,316 @@
+(* xq-server — resident query daemon and its client.
+
+     xq-server serve --socket /tmp/xq.sock [--plan-cache 64]
+                     [--doc-cache-mb 256] [--max-concurrent 8]
+                     [--admit-at 1024]
+     xq-server once                  # protocol loop on stdin/stdout
+     xq-server run query.xq --socket /tmp/xq.sock [-i data.xml] [...]
+     xq-server stats --socket /tmp/xq.sock
+     xq-server ping --socket /tmp/xq.sock
+
+   The daemon keeps compiled plans and parsed documents resident
+   between requests, multiplexes concurrent queries over per-query
+   governors, and refuses work with XQENG0007 (exit family 4) when its
+   memory watermark is hot. [run] speaks the wire protocol and prints
+   exactly what [xq run] would, with the same exit-code taxonomy, so
+   the two are interchangeable in scripts. *)
+
+open Cmdliner
+module Server = Xq_server.Server_core
+module Protocol = Xq_server.Protocol
+
+(* --- serve -------------------------------------------------------------- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path." in
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "s"; "socket" ] ~docv:"PATH" ~doc)
+
+let pos_int what =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when n > 0 -> Ok n
+    | Some _ | None ->
+      Error
+        (`Msg (Printf.sprintf "%s must be a positive integer, got %S" what s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let config_term =
+  let plan_cache =
+    let doc = "Plan-cache capacity (compiled queries kept resident)." in
+    Arg.(
+      value
+      & opt (pos_int "--plan-cache") Server.default_config.Server.c_plan_capacity
+      & info [ "plan-cache" ] ~docv:"N" ~doc)
+  in
+  let doc_cache_mb =
+    let doc = "Document-store capacity in megabytes (resident estimate)." in
+    Arg.(
+      value
+      & opt (pos_int "--doc-cache-mb") 256
+      & info [ "doc-cache-mb" ] ~docv:"MB" ~doc)
+  in
+  let max_concurrent =
+    let doc = "Admission concurrency cap: queries executing at once." in
+    Arg.(
+      value
+      & opt
+          (pos_int "--max-concurrent")
+          Server.default_config.Server.c_max_concurrent
+      & info [ "max-concurrent" ] ~docv:"N" ~doc)
+  in
+  let admit_at =
+    let doc =
+      "Admission memory watermark in megabytes: new queries are refused \
+       with XQENG0007 while the server's resident-plus-heap estimate is \
+       past it. 0 disables the memory gate."
+    in
+    Arg.(value & opt int 1024 & info [ "admit-at" ] ~docv:"MB" ~doc)
+  in
+  let build plan_cache doc_cache_mb max_concurrent admit_at =
+    {
+      Server.default_config with
+      Server.c_plan_capacity = plan_cache;
+      c_doc_capacity_bytes = doc_cache_mb * 1024 * 1024;
+      c_max_concurrent = max_concurrent;
+      c_admission_watermark_mb = (if admit_at <= 0 then None else Some admit_at);
+    }
+  in
+  Term.(const build $ plan_cache $ doc_cache_mb $ max_concurrent $ admit_at)
+
+let serve_cmd =
+  let action socket config =
+    let t = Server.create ~config () in
+    Printf.eprintf "xq-server: listening on %s\n%!" socket;
+    Server.serve_unix t ~path:socket ~stop:(fun () -> false) ();
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the resident query daemon on a Unix socket.")
+    Term.(const action $ socket_arg $ config_term)
+
+let once_cmd =
+  let action config =
+    let t = Server.create ~config () in
+    Server.serve_connection t stdin stdout;
+    0
+  in
+  Cmd.v
+    (Cmd.info "once"
+       ~doc:
+         "Serve one protocol conversation on stdin/stdout — the daemon's \
+          request loop without the socket, for tests and scripting.")
+    Term.(const action $ config_term)
+
+(* --- client ------------------------------------------------------------- *)
+
+let connect path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_UNIX path);
+  (sock, Unix.in_channel_of_descr sock, Unix.out_channel_of_descr sock)
+
+(* One round trip; connection problems are usage-class failures (the
+   daemon isn't there), server-reported errors keep their own family. *)
+let round_trip path cmd ~on_ok =
+  match connect path with
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "xq-server: cannot connect to %s: %s\n" path
+      (Unix.error_message e);
+    1
+  | sock, ic, oc ->
+    Fun.protect
+      ~finally:(fun () ->
+        (* one fd behind both channels: flush, close once *)
+        (try flush oc with Sys_error _ -> ());
+        try Unix.close sock with Unix.Unix_error _ -> ())
+      (fun () ->
+        Protocol.write_command oc cmd;
+        match Protocol.read_response ic with
+        | Protocol.Payload p -> on_ok p
+        | Protocol.Error { message; exit; _ } ->
+          Printf.eprintf "error %s\n" message;
+          exit
+        | exception (End_of_file | Sys_error _) ->
+          Printf.eprintf "xq-server: connection lost\n";
+          1)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run_cmd =
+  let query_file =
+    let doc = "File containing the XQuery expression." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"QUERY" ~doc)
+  in
+  let input_file =
+    let doc =
+      "XML document to query, referenced by path so the server's resident \
+       store serves repeat queries without reparsing."
+    in
+    Arg.(
+      value & opt (some file) None & info [ "i"; "input" ] ~docv:"FILE" ~doc)
+  in
+  let inline_flag =
+    let doc =
+      "Ship the input document's bytes inline instead of its path (no \
+       server-side caching; works when the server cannot see the file)."
+    in
+    Arg.(value & flag & info [ "inline" ] ~doc)
+  in
+  let strategy_opt =
+    let doc = "Grouping strategy: hash, sort or auto." in
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("hash", Xq.Algebra.Optimizer.Hash);
+                  ("sort", Xq.Algebra.Optimizer.Sort);
+                  ("auto", Xq.Algebra.Optimizer.Auto) ]))
+          None
+      & info [ "strategy" ] ~docv:"STRATEGY" ~doc)
+  in
+  let parallel_opt =
+    Arg.(
+      value
+      & opt (some (pos_int "--parallel")) None
+      & info [ "parallel" ] ~docv:"N" ~doc:"Domain-pool degree.")
+  in
+  let timeout_opt =
+    Arg.(
+      value
+      & opt (some (pos_int "--timeout")) None
+      & info [ "timeout" ] ~docv:"MS" ~doc:"Per-query deadline (XQENG0001).")
+  in
+  let max_groups_opt =
+    Arg.(
+      value
+      & opt (some (pos_int "--max-groups")) None
+      & info [ "max-groups" ] ~docv:"N" ~doc:"Group cap (XQENG0003).")
+  in
+  let max_mem_opt =
+    Arg.(
+      value
+      & opt (some (pos_int "--max-mem")) None
+      & info [ "max-mem" ] ~docv:"MB" ~doc:"Memory budget (XQENG0002).")
+  in
+  let spill_at_opt =
+    Arg.(
+      value
+      & opt (some (pos_int "--spill-at")) None
+      & info [ "spill-at" ] ~docv:"MB" ~doc:"Soft spill watermark.")
+  in
+  let rewrite_flag =
+    Arg.(
+      value & flag
+      & info [ "rewrite" ] ~doc:"Apply the implicit-group-by rewrite.")
+  in
+  let index_flag =
+    Arg.(value & flag & info [ "index" ] ~doc:"Use the element-name index.")
+  in
+  let indent_flag =
+    Arg.(value & flag & info [ "indent" ] ~doc:"Pretty-print the output.")
+  in
+  let action socket qf input inline strategy parallel timeout max_groups
+      max_mem spill_at rewrite use_index indent =
+    let rq_doc =
+      match input with
+      | None -> Protocol.Doc_none
+      | Some p when inline -> Protocol.Doc_inline (read_file p)
+      | Some p ->
+        (* absolute path: the daemon's cwd is not the client's *)
+        Protocol.Doc_path
+          (if Filename.is_relative p then
+             Filename.concat (Sys.getcwd ()) p
+           else p)
+    in
+    let cmd =
+      Protocol.Run
+        {
+          Protocol.rq_source = read_file qf;
+          rq_doc;
+          rq_knobs =
+            Xq.Pipeline.
+              {
+                k_strategy = strategy;
+                k_parallel = parallel;
+                k_rewrite = rewrite;
+                k_use_index = use_index;
+                k_timeout_ms = timeout;
+                k_max_groups = max_groups;
+                k_max_mem_mb = max_mem;
+                k_spill_at_mb = spill_at;
+              };
+          rq_indent = indent;
+        }
+    in
+    round_trip socket cmd ~on_ok:(fun payload ->
+        (* the payload already carries [xq run]'s trailing newline *)
+        print_string payload;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run a query file through the daemon, printing exactly what \
+          'xq run' would.")
+    Term.(
+      const action $ socket_arg $ query_file $ input_file $ inline_flag
+      $ strategy_opt $ parallel_opt $ timeout_opt $ max_groups_opt
+      $ max_mem_opt $ spill_at_opt $ rewrite_flag $ index_flag $ indent_flag)
+
+let stats_cmd =
+  let action socket =
+    round_trip socket Protocol.Stats ~on_ok:(fun p ->
+        print_string p;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print the daemon's counters, one per line.")
+    Term.(const action $ socket_arg)
+
+let ping_cmd =
+  let action socket =
+    round_trip socket Protocol.Ping ~on_ok:(fun p ->
+        print_endline p;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "ping" ~doc:"Check the daemon is accepting connections.")
+    Term.(const action $ socket_arg)
+
+let () =
+  let exits =
+    [
+      Cmd.Exit.info 0 ~doc:"on success.";
+      Cmd.Exit.info 1
+        ~doc:"on usage or connection errors (daemon unreachable).";
+      Cmd.Exit.info 2 ~doc:"on static query errors reported by the daemon.";
+      Cmd.Exit.info 3 ~doc:"on dynamic errors reported by the daemon.";
+      Cmd.Exit.info 4
+        ~doc:
+          "on resource trips reported by the daemon, including XQENG0007 \
+           admission rejections.";
+    ]
+  in
+  let info =
+    Cmd.info "xq-server" ~version:"1.0.0" ~exits
+      ~doc:
+        "Resident query daemon: plan cache, shared document store, \
+         per-query governors and admission control over a Unix socket."
+  in
+  exit
+    (match
+       Cmd.eval_value
+         (Cmd.group info [ serve_cmd; once_cmd; run_cmd; stats_cmd; ping_cmd ])
+     with
+     | Ok (`Ok code) -> code
+     | Ok (`Help | `Version) -> 0
+     | Error (`Parse | `Term | `Exn) -> 1)

@@ -131,6 +131,7 @@ type faults = {
   f_spawn : int64 Atomic.t;
   f_alloc : int64 Atomic.t;
   f_io : int64 Atomic.t;
+  f_conn : int64 Atomic.t;
 }
 
 let parse_faults s =
@@ -152,6 +153,7 @@ let parse_faults s =
           (* distinct offset keeps the spawn/alloc streams — and so the
              outcomes of every pre-spill fault test — unchanged *)
           f_io = Atomic.make (Int64.of_int (seed + 0x10f0));
+          f_conn = Atomic.make (Int64.of_int (seed + 0x701c));
         }
     | _ -> None)
 
@@ -208,9 +210,46 @@ let io_fault () =
   | None -> None
   | Some f -> if draw f.f_io < f.f_rate then Some f.f_seed else None
 
+(* Drawn by the query server around connection reads and response
+   writes; [Some seed] means "pretend the peer vanished here". A
+   distinct splitmix64 stream so arming it perturbs neither the
+   spawn/alloc draws nor the spill I/O stream. *)
+let conn_fault () =
+  match faults () with
+  | None -> None
+  | Some f -> if draw f.f_conn < f.f_rate then Some f.f_seed else None
+
 (* --- the installed governor --------------------------------------------- *)
 
+(* Two installation scopes. [active] is the historical process-wide
+   slot: one query at a time, shared by every domain, which is what the
+   CLI and the tests use. [scoped_key] is a per-domain overlay for the
+   query server, where several queries run concurrently on dedicated
+   worker domains and each must tick against its own budgets; a scoped
+   governor shadows the process-wide one on its domain only, and
+   [Par.run_tasks] re-installs the caller's scoped governor on every
+   domain it spawns so a query's whole fork-join tree shares one
+   budget. [scoped_installs] gates the DLS lookup: when no scoped
+   governor exists anywhere (every non-server process), the hot path
+   stays the single atomic load it has always been.
+
+   Scoped installation is per-*domain*, not per-thread: sys-threads of
+   one domain share its DLS slot, so a server must run each scoped
+   query on its own worker domain (or serialize). *)
 let active : t option Atomic.t = Atomic.make None
+
+let scoped_key : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+let scoped_installs = Atomic.make 0
+
+let scoped_current () =
+  if Atomic.get scoped_installs > 0 then Domain.DLS.get scoped_key else None
+
+(* The governor the calling domain executes under: its scoped overlay
+   if it has one, else the process-wide slot. *)
+let current_gov () =
+  match scoped_current () with
+  | Some _ as s -> s
+  | None -> Atomic.get active
 
 (* Per-domain tick counters. The hot path must not do an atomic RMW on
    a shared cache line (sorts tick from inside their comparators, and
@@ -232,13 +271,27 @@ let install g =
   reset_local_ticks ()
 
 let uninstall () = Atomic.set active None
-let current () = Atomic.get active
+let current () = current_gov ()
 
 let with_governor g f =
   let prev = Atomic.get active in
   Atomic.set active (Some g);
   reset_local_ticks ();
   Fun.protect ~finally:(fun () -> Atomic.set active prev) f
+
+let with_scoped_governor g f =
+  let prev = Domain.DLS.get scoped_key in
+  Domain.DLS.set scoped_key (Some g);
+  Atomic.incr scoped_installs;
+  reset_local_ticks ();
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr scoped_installs;
+      Domain.DLS.set scoped_key prev)
+    f
+
+let with_scoped_opt g f =
+  match g with None -> f () | Some g -> with_scoped_governor g f
 
 (* --- trips --------------------------------------------------------------- *)
 
@@ -250,12 +303,12 @@ let cancel g = Atomic.set g.cancelled true
 let cancelled g = Atomic.get g.cancelled
 
 let begin_abort () =
-  match Atomic.get active with
+  match current_gov () with
   | None -> ()
   | Some g -> Atomic.incr g.aborts
 
 let end_abort () =
-  match Atomic.get active with
+  match current_gov () with
   | None -> ()
   | Some g -> Atomic.decr g.aborts
 
@@ -376,7 +429,7 @@ let check g =
   end
 
 let tick () =
-  match Atomic.get active with None -> () | Some g -> check g
+  match current_gov () with None -> () | Some g -> check g
 
 (* --- budget feeds -------------------------------------------------------- *)
 
@@ -388,7 +441,7 @@ let note_groups g n =
          g.max_groups)
 
 let count_groups n =
-  match Atomic.get active with None -> () | Some g -> note_groups g n
+  match current_gov () with None -> () | Some g -> note_groups g n
 
 (* --- budget feeds (memory) ------------------------------------------------ *)
 
@@ -404,30 +457,55 @@ let note_charge g n =
          g.max_mem_bytes)
 
 let charge_bytes n =
-  match Atomic.get active with None -> () | Some g -> note_charge g n
+  match current_gov () with None -> () | Some g -> note_charge g n
 
 let uncharge_bytes n =
-  match Atomic.get active with
+  match current_gov () with
   | None -> ()
   | Some g -> ignore (Atomic.fetch_and_add g.charged (-n))
 
+(* --- resident-byte accounting (query server) ------------------------------ *)
+
+(* The server's shared caches (resident documents, compiled plans)
+   account their bytes against a long-lived "house" governor that is
+   never installed anywhere: plain counters feeding the admission
+   gauge, with no pressure callbacks (nothing to spill — residents are
+   evicted, not flushed) and no hard trip (admission control rejects
+   new work instead of killing the cache). *)
+
+let charge_on g n =
+  let c = Atomic.fetch_and_add g.charged n + n in
+  let peak = Atomic.get g.peak_mem in
+  if c > peak then ignore (Atomic.compare_and_set g.peak_mem peak c)
+
+let uncharge_on g n = ignore (Atomic.fetch_and_add g.charged (-n))
+
+let charged_on g = Atomic.get g.charged
+
+(* The admission gauge: is [g]'s memory estimate (counted resident
+   bytes plus the Gc-heap delta from its baseline) past its soft
+   watermark? Same estimate and same watermark semantics as the spill
+   pressure machinery, applied to a process instead of a query. *)
+let pressure_on g =
+  g.spill_watermark < max_int && mem_estimate g > g.spill_watermark
+
 let spill_armed () =
-  match Atomic.get active with
+  match current_gov () with
   | None -> false
   | Some g -> g.spill_watermark < max_int
 
 (* The installed soft watermark in bytes ([max_int] when off); spill
    paths size their replay/repartition thresholds from it. *)
 let spill_watermark () =
-  match Atomic.get active with None -> max_int | Some g -> g.spill_watermark
+  match current_gov () with None -> max_int | Some g -> g.spill_watermark
 
 let under_pressure () =
-  match Atomic.get active with
+  match current_gov () with
   | None -> false
   | Some g -> Atomic.get g.charged > g.spill_watermark
 
 let note_spill ~bytes ~files ~repartitions =
-  match Atomic.get active with
+  match current_gov () with
   | None -> ()
   | Some g ->
     if bytes <> 0 then ignore (Atomic.fetch_and_add g.spilled_bytes bytes);
@@ -439,7 +517,7 @@ let note_spill ~bytes ~files ~repartitions =
    XQENG0006. Used by [Spill] for real I/O errors and injected faults
    alike, so both fail closed through the same path. *)
 let spill_trip msg =
-  (match Atomic.get active with
+  (match current_gov () with
    | Some g -> Atomic.incr g.trips.(kind_index SpillIo)
    | None -> ());
   Xerror.fail Xerror.XQENG0006 msg
@@ -447,12 +525,12 @@ let spill_trip msg =
 (* --- input limits (XML parser) ------------------------------------------- *)
 
 let input_limits () =
-  match Atomic.get active with
+  match current_gov () with
   | None -> (None, None)
   | Some g -> (g.max_depth, g.max_input_bytes)
 
 let input_trip msg =
-  (match Atomic.get active with
+  (match current_gov () with
    | Some g -> Atomic.incr g.trips.(kind_index Input)
    | None -> ());
   Xerror.fail Xerror.XQENG0005 msg

@@ -73,7 +73,32 @@ val with_governor : t -> (unit -> 'a) -> 'a
 
 val install : t -> unit
 val uninstall : unit -> unit
+
+(** The governor the calling domain currently executes under: its
+    scoped overlay if one is installed (see {!with_scoped_governor}),
+    else the process-wide governor. *)
 val current : unit -> t option
+
+(** [with_scoped_governor g f] installs [g] for the duration of [f] on
+    the {e calling domain only}, shadowing any process-wide governor
+    there. This is the query server's multiplexing primitive: each
+    concurrent query runs on its own worker domain under its own scoped
+    governor, so budgets, deadlines and cancellation stay per-query
+    while other domains (and other queries) are untouched.
+    [Par.run_tasks] re-installs the caller's scoped governor on every
+    domain it spawns, so a scoped query's fork-join tree shares one
+    budget. Scoping is per-domain, not per-thread: sys-threads sharing
+    a domain share its slot, so callers must give each scoped query a
+    dedicated domain (or serialize). *)
+val with_scoped_governor : t -> (unit -> 'a) -> 'a
+
+(** [with_scoped_opt (Some g) f] is [with_scoped_governor g f];
+    [with_scoped_opt None f] is [f ()]. *)
+val with_scoped_opt : t option -> (unit -> 'a) -> 'a
+
+(** The calling domain's scoped governor, if any — what [Par] captures
+    at fork time. *)
+val scoped_current : unit -> t option
 
 (** {1 Tick points} *)
 
@@ -103,6 +128,27 @@ val charge_bytes : int -> unit
     budget — called after a spill writes state out of memory. No-op
     when uninstalled. *)
 val uncharge_bytes : int -> unit
+
+(** {1 Resident-byte accounting (query server)}
+
+    The server's shared caches charge their resident bytes against an
+    explicit long-lived "house" governor that is never installed:
+    plain counters feeding the admission gauge — no pressure callbacks,
+    no hard trip (admission rejects new work instead of killing the
+    cache). *)
+
+(** Count [n] resident bytes on [g] (peak tracked, nothing raised). *)
+val charge_on : t -> int -> unit
+
+val uncharge_on : t -> int -> unit
+val charged_on : t -> int
+
+(** [pressure_on g]: is [g]'s memory estimate (counted bytes + Gc-heap
+    delta from its baseline) past its soft watermark? The spill
+    machinery's pressure gauge applied to a whole process — the query
+    server's admission signal. Always [false] when [g] has no
+    watermark. *)
+val pressure_on : t -> bool
 
 (** {1 Memory pressure and spilling} *)
 
@@ -184,6 +230,13 @@ val spawn_fault : unit -> bool
     and the allocation-pressure stream, so arming it does not perturb
     their draws. Always [None] when faults are off. *)
 val io_fault : unit -> int option
+
+(** Drawn by the query server around connection reads and response
+    writes; [Some seed] means "pretend the client vanished here" — the
+    server must drop the connection without corrupting any shared
+    state. A fourth distinct splitmix64 stream; always [None] when
+    faults are off. *)
+val conn_fault : unit -> int option
 
 (** {1 Stats} *)
 

@@ -60,11 +60,20 @@ let run_tasks (tasks : (unit -> unit) array) =
   else if nt = 1 then tasks.(0) ()
   else begin
     let errs = Array.make nt None in
+    (* A process-wide governor is visible from any domain, but a
+       *scoped* one (the query server's per-query overlay) lives in the
+       caller's domain-local slot — capture it here and re-install it on
+       every task, so a spawned worker ticks, charges and aborts against
+       the same budgets as the domain that forked it. Re-installing on
+       the caller's own (or an inline-fallback) task is a harmless
+       re-entry: it shadows the slot with the value it already holds. *)
+    let scoped = Governor.scoped_current () in
     let guarded i () =
-      try tasks.(i) ()
-      with e ->
-        errs.(i) <- Some e;
-        Governor.begin_abort ()
+      Governor.with_scoped_opt scoped (fun () ->
+          try tasks.(i) ()
+          with e ->
+            errs.(i) <- Some e;
+            Governor.begin_abort ())
     in
     let inline = ref [] in
     let domains =

@@ -11,6 +11,7 @@ module Refimpl = Xq_refimpl.Refimpl
 module Qgen = Xq_qgen.Qgen
 module Shrink = Xq_qgen.Shrink
 module Fuzz = Xq_fuzzer.Fuzz
+module Pipeline = Xq_pipeline.Pipeline
 
 type doc = Xq_xdm.Node.t
 type result = Xq_xdm.Xseq.t

@@ -47,6 +47,10 @@ module Shrink = Xq_qgen.Shrink
     modulo undefined group order, and failure minimization. *)
 module Fuzz = Xq_fuzzer.Fuzz
 
+(** The shared compile-and-run pipeline behind the CLI, REPL, fuzzer
+    and query server. *)
+module Pipeline = Xq_pipeline.Pipeline
+
 (** A loaded document (its document node). *)
 type doc = Xq_xdm.Node.t
 

@@ -65,12 +65,17 @@ let oracle_outcome context_node query =
 let spill_governor () = Xq_governor.Governor.create ~spill_watermark_bytes:4096 ~max_mem_mb:512 ()
 
 let engine_outcome ?(inject_bug = false) config context_node query =
+  (* both engine paths go through the shared pipeline — the same
+     dispatch the CLI, REPL and query server use — with the static
+     check hoisted (the historical entry points defaulted check:true) *)
+  let compiled = Xq_pipeline.Pipeline.of_query query in
   let run () =
+    Xq_lang.Static.check_query query;
     match config.kind with
-    | Direct -> Xq_engine.Eval.eval_query ~context_node query
+    | Direct -> Xq_pipeline.Pipeline.eval ~doc:context_node compiled
     | Plan strategy ->
-      Xq_algebra.Exec.eval_query ~strategy ~parallel:config.parallel
-        ~context_node query
+      Xq_pipeline.Pipeline.eval ~strategy ~parallel:config.parallel
+        ~doc:context_node compiled
   in
   let outcome =
     capture (fun () ->

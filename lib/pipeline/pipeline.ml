@@ -1,0 +1,153 @@
+(* The shared compile-and-run pipeline. See pipeline.mli.
+
+   Execution dispatch preserves the historical front-end paths exactly:
+   no strategy = the direct tuple-stream evaluator, an explicit
+   strategy = the plan algebra — so collapsing the CLI, REPL, fuzzer
+   and server onto this module changes no byte of any output. *)
+
+module Governor = Xq_governor.Governor
+module Optimizer = Xq_algebra.Optimizer
+
+type knobs = {
+  k_strategy : Optimizer.group_strategy option;
+  k_parallel : int option;
+  k_rewrite : bool;
+  k_use_index : bool;
+  k_timeout_ms : int option;
+  k_max_groups : int option;
+  k_max_mem_mb : int option;
+  k_spill_at_mb : int option;
+}
+
+let default_knobs =
+  {
+    k_strategy = None;
+    k_parallel = None;
+    k_rewrite = false;
+    k_use_index = false;
+    k_timeout_ms = None;
+    k_max_groups = None;
+    k_max_mem_mb = None;
+    k_spill_at_mb = None;
+  }
+
+type compiled = {
+  c_source : string;
+  c_query : Xq_lang.Ast.query;
+}
+
+let compile ?(rewrite = false) source =
+  let q = Xq_lang.Parser.parse_query source in
+  Xq_lang.Static.check_query q;
+  let q = if rewrite then Xq_rewrite.Rewrite.rewrite_query q else q in
+  { c_source = source; c_query = q }
+
+let of_query ?(source = "") q = { c_source = source; c_query = q }
+let query c = c.c_query
+let source c = c.c_source
+
+(* Length-prefixed fields make the key injective: no choice of query
+   text can collide with a knob rendering. *)
+let cache_key ~knobs source =
+  let strategy =
+    match knobs.k_strategy with
+    | None -> "direct"
+    | Some s -> Optimizer.strategy_to_string s
+  in
+  let env_strategy =
+    (* the environment default that [Exec] would consult if a caller
+       ever routed to the plan layer without an explicit strategy *)
+    match Sys.getenv_opt "XQ_GROUP_STRATEGY" with Some s -> s | None -> ""
+  in
+  let field s = Printf.sprintf "%d:%s" (String.length s) s in
+  String.concat ""
+    [
+      field strategy;
+      field (if knobs.k_rewrite then "rw" else "");
+      field (if knobs.k_use_index then "ix" else "");
+      field env_strategy;
+      field source;
+    ]
+
+let eval ?(use_index = false) ?strategy ?parallel ~doc c =
+  match strategy with
+  | Some s ->
+    Xq_algebra.Exec.eval_query ~check:false ~strategy:s ?parallel
+      ~context_node:doc c.c_query
+  | None ->
+    Xq_engine.Eval.eval_query ~check:false ~use_index ~context_node:doc
+      c.c_query
+
+let render ?indent seq = Xq_xml.Serialize.sequence ?indent seq
+
+type report = {
+  r_output : string;
+  r_items : int;
+  r_elapsed_ms : float;
+  r_stats : Governor.stats option;
+}
+
+let empty_doc () = Xq_xml.Xml_parse.parse "<empty/>"
+
+let run ?(scope = `Process) ?(knobs = default_knobs) ?(indent = false)
+    ?(explain_analyze = false) ?compiled ?source ?load_doc () =
+  let governed f =
+    match
+      Governor.of_limits ?timeout_ms:knobs.k_timeout_ms
+        ?max_groups:knobs.k_max_groups ?max_mem_mb:knobs.k_max_mem_mb
+        ?spill_watermark_bytes:
+          (Option.map (fun mb -> mb * 1024 * 1024) knobs.k_spill_at_mb)
+        ()
+    with
+    | None -> f None
+    | Some g ->
+      let install =
+        match scope with
+        | `Process -> Governor.with_governor
+        | `Domain -> Governor.with_scoped_governor
+      in
+      install g (fun () -> f (Some g))
+  in
+  governed (fun gov ->
+      (match knobs.k_parallel with
+       | Some n -> Xq_par.Par.set_default_degree n
+       | None -> ());
+      (* the document parses inside the governed region so the input
+         limits (XQ_MAX_INPUT / XQ_MAX_DEPTH) apply to it *)
+      let doc = match load_doc with Some f -> f () | None -> empty_doc () in
+      (* budget the query's own materializations, not the document *)
+      (match gov with Some g -> Governor.rebaseline g | None -> ());
+      let compiled =
+        match compiled, source with
+        | Some c, _ -> c
+        | None, Some src -> compile ~rewrite:knobs.k_rewrite src
+        | None, None -> invalid_arg "Pipeline.run: no compiled and no source"
+      in
+      if explain_analyze then
+        let output =
+          Xq_rewrite.Explain.analyze_query ?strategy:knobs.k_strategy
+            ?parallel:knobs.k_parallel ~context_node:doc compiled.c_query
+        in
+        {
+          r_output = output;
+          r_items = 0;
+          r_elapsed_ms = 0.;
+          r_stats = Option.map Governor.stats gov;
+        }
+      else begin
+        let t0 = Sys.time () in
+        let result =
+          eval ~use_index:knobs.k_use_index ?strategy:knobs.k_strategy
+            ?parallel:knobs.k_parallel ~doc compiled
+        in
+        let elapsed = (Sys.time () -. t0) *. 1000.0 in
+        (* serialize fully before anything is written, so a trip
+           mid-query never leaves partial output anywhere *)
+        let rendered = render ~indent result in
+        {
+          r_output = rendered;
+          r_items = List.length result;
+          r_elapsed_ms = elapsed;
+          r_stats = Option.map Governor.stats gov;
+        }
+      end)

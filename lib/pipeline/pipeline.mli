@@ -1,0 +1,103 @@
+(** The one compile-and-run pipeline behind every front end.
+
+    The CLI, the REPL, the differential fuzzer and the query server all
+    execute queries through this module, so they share one code path
+    byte for byte: parse → static check → optional implicit-group-by
+    rewrite ({!compile}), then direct-evaluator or plan-algebra
+    execution ({!eval}), then full serialization before anything is
+    written ({!render} — a trip mid-query can never leave partial
+    output). {!run} wraps the whole thing in a governor built from
+    {!knobs} (merged with the [XQ_*] environment), installed either
+    process-wide (CLI semantics) or scoped to the calling domain (the
+    server's concurrent-query semantics).
+
+    {!compile}'s result is the server's plan-cache artifact: the
+    setup cost a resident process amortizes is parsing, static
+    checking and rewriting (plus document parsing, cached separately);
+    building the operator tree from a checked AST is linear in query
+    size and happens inside {!eval} exactly as it always has. *)
+
+open Xq_xdm
+
+(** Everything that selects a pipeline variant. [None] strategy is the
+    direct tuple-stream evaluator (the CLI default); [Some _] routes
+    through the plan algebra. Limits merge with the environment via
+    [Governor.of_limits]. *)
+type knobs = {
+  k_strategy : Xq_algebra.Optimizer.group_strategy option;
+  k_parallel : int option;  (** domain-pool degree *)
+  k_rewrite : bool;  (** implicit-group-by rewrite before evaluation *)
+  k_use_index : bool;  (** element-name index (direct evaluator only) *)
+  k_timeout_ms : int option;
+  k_max_groups : int option;
+  k_max_mem_mb : int option;
+  k_spill_at_mb : int option;
+}
+
+(** No strategy (direct evaluator), no explicit limits, no rewrite. *)
+val default_knobs : knobs
+
+(** A parsed, statically checked, optionally rewritten query — the
+    artifact the server's plan cache holds and every front end
+    executes. *)
+type compiled
+
+(** Parse + static check + (when [rewrite]) the implicit-group-by
+    rewrite. Raises [Xerror.Error] with a static code on bad input. *)
+val compile : ?rewrite:bool -> string -> compiled
+
+(** Wrap an already-checked query (the fuzzer's generated ASTs). *)
+val of_query : ?source:string -> Xq_lang.Ast.query -> compiled
+
+val query : compiled -> Xq_lang.Ast.query
+val source : compiled -> string
+
+(** The plan-cache key for [source] under [knobs]: query text ×
+    strategy × the compile-relevant knobs (rewrite, index) × the
+    [XQ_GROUP_STRATEGY] environment default — so a cached artifact is
+    never reused under knobs that could compile or execute it
+    differently. Injective per component (length-prefixed fields). *)
+val cache_key : knobs:knobs -> string -> string
+
+(** Execute a compiled query against a context document — the
+    historical engine paths, unchanged: [strategy = None] is
+    [Eval.eval_query] (direct), [Some s] is [Exec.eval_query] through
+    the plan algebra. No governor management here. *)
+val eval :
+  ?use_index:bool ->
+  ?strategy:Xq_algebra.Optimizer.group_strategy ->
+  ?parallel:int ->
+  doc:Node.t ->
+  compiled ->
+  Xseq.t
+
+(** Serialize a full result sequence (never partial). *)
+val render : ?indent:bool -> Xseq.t -> string
+
+type report = {
+  r_output : string;
+      (** the rendered result — or the EXPLAIN ANALYZE text *)
+  r_items : int;  (** result cardinality (0 in explain mode) *)
+  r_elapsed_ms : float;  (** evaluation time, excluding document load *)
+  r_stats : Xq_governor.Governor.stats option;
+      (** the governor's stats when one was installed *)
+}
+
+(** The full governed pipeline: build a governor from [knobs] + the
+    environment, install it ([`Process] = process-wide, CLI semantics;
+    [`Domain] = scoped to this domain, server semantics), load the
+    document inside the governed region (input limits apply),
+    rebaseline so memory budgets cover the query's own work, compile
+    [source] (or reuse [compiled]), evaluate, and serialize fully.
+    [explain_analyze] renders the executed operator tree instead of
+    the result. Raises [Xerror.Error] exactly as the engine does. *)
+val run :
+  ?scope:[ `Process | `Domain ] ->
+  ?knobs:knobs ->
+  ?indent:bool ->
+  ?explain_analyze:bool ->
+  ?compiled:compiled ->
+  ?source:string ->
+  ?load_doc:(unit -> Node.t) ->
+  unit ->
+  report

@@ -1,0 +1,136 @@
+module Governor = Xq_governor.Governor
+module Pipeline = Xq_pipeline.Pipeline
+
+type entry = {
+  e_plan : Pipeline.compiled;
+  e_bytes : int;
+  mutable e_gen : int;  (* recency stamp: larger = more recent *)
+}
+
+type t = {
+  lock : Mutex.t;
+  table : (string, entry) Hashtbl.t;
+  cap : int;
+  account : Governor.t option;
+  mutable gen : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable bytes : int;
+}
+
+let create ?(capacity = 64) ?account () =
+  if capacity < 1 then invalid_arg "Plan_cache.create: capacity must be >= 1";
+  {
+    lock = Mutex.create ();
+    table = Hashtbl.create (2 * capacity);
+    cap = capacity;
+    account;
+    gen = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    bytes = 0;
+  }
+
+let capacity t = t.cap
+
+(* The AST shares the source's strings and adds node overhead roughly
+   linear in its length; a fixed multiple of the key length (which
+   embeds the source) is a stable, deterministic estimate. *)
+let estimate_bytes key = (4 * String.length key) + 256
+
+let charge t n =
+  t.bytes <- t.bytes + n;
+  match t.account with Some g -> Governor.charge_on g n | None -> ()
+
+let uncharge t n =
+  t.bytes <- t.bytes - n;
+  match t.account with Some g -> Governor.uncharge_on g n | None -> ()
+
+let touch t e =
+  t.gen <- t.gen + 1;
+  e.e_gen <- t.gen
+
+(* O(n) victim scan — capacities are small (dozens) and eviction only
+   runs on insert past capacity, so this beats maintaining an intrusive
+   list under the lock. *)
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best.e_gen <= e.e_gen -> acc
+        | _ -> Some (k, e))
+      t.table None
+  in
+  match victim with
+  | None -> ()
+  | Some (k, e) ->
+    Hashtbl.remove t.table k;
+    uncharge t e.e_bytes;
+    t.evictions <- t.evictions + 1
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some e ->
+        t.hits <- t.hits + 1;
+        touch t e;
+        Some e.e_plan
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let insert_if_absent t key plan =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some e ->
+        (* a concurrent miss beat us to the insert: share its plan *)
+        touch t e;
+        e.e_plan
+      | None ->
+        let e = { e_plan = plan; e_bytes = estimate_bytes key; e_gen = 0 } in
+        touch t e;
+        Hashtbl.add t.table key e;
+        charge t e.e_bytes;
+        while Hashtbl.length t.table > t.cap do
+          evict_lru t
+        done;
+        plan)
+
+let find_or_add t key compile =
+  match find t key with
+  | Some plan -> plan
+  | None ->
+    (* compile outside the lock: parsing is the expensive part and a
+       failure must not wedge the cache *)
+    let plan = compile () in
+    insert_if_absent t key plan
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.iter (fun _ e -> uncharge t e.e_bytes) t.table;
+      Hashtbl.reset t.table)
+
+type stats = {
+  p_hits : int;
+  p_misses : int;
+  p_evictions : int;
+  p_entries : int;
+  p_bytes : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        p_hits = t.hits;
+        p_misses = t.misses;
+        p_evictions = t.evictions;
+        p_entries = Hashtbl.length t.table;
+        p_bytes = t.bytes;
+      })

@@ -1,0 +1,61 @@
+(** The query server's wire protocol.
+
+    A deliberately boring length-prefixed text protocol, equally usable
+    over a Unix socket or a pipe pair ([--once] mode). A request is a
+    block of header lines terminated by [RUN]:
+
+    {v
+    QUERY <n>\n<n bytes of query text>\n
+    DOC <path>\n          | DOCINLINE <n>\n<n bytes of XML>\n
+    STRATEGY hash|sort|auto\n
+    PARALLEL <k>\n    TIMEOUT <ms>\n    MAX-GROUPS <n>\n
+    MAX-MEM <mb>\n    SPILL-AT <mb>\n
+    REWRITE\n    INDEX\n    INDENT\n
+    RUN\n
+    v}
+
+    plus the standalone commands [STATS\n], [PING\n] and [QUIT\n].
+    Every variable-length field carries its byte count up front, so
+    query text and documents need no quoting and embedded newlines are
+    fine. Responses are:
+
+    {v
+    OK <len>\n<len bytes of payload>\n
+    ERR <CODE> <exit> <len>\n<len bytes of message>\n
+    v}
+
+    where [<CODE>] is an [Xerror] code (e.g. [XQENG0007]) or one of
+    the transport codes [USAGE], [XMLPARSE], [IOERR], [INTERNAL], and
+    [<exit>] is the CLI exit-code family the error belongs to (1
+    usage, 2 static, 3 dynamic, 4 resource) — the server's taxonomy is
+    the CLI's. *)
+
+type doc_source = Doc_none | Doc_path of string | Doc_inline of string
+
+type run_request = {
+  rq_source : string;
+  rq_doc : doc_source;
+  rq_knobs : Xq_pipeline.Pipeline.knobs;
+  rq_indent : bool;
+}
+
+type command = Run of run_request | Stats | Ping | Quit
+
+type response = Payload of string | Error of { code : string; exit : int; message : string }
+
+(** Malformed request framing (bad header, bad length, bad knob
+    value). The server answers [ERR USAGE 1 …] and keeps the
+    connection. *)
+exception Protocol_error of string
+
+(** [read_command ic] — [None] on clean EOF at a command boundary.
+    Raises {!Protocol_error} on a malformed request and [End_of_file]
+    on EOF mid-frame. *)
+val read_command : in_channel -> command option
+
+val write_command : out_channel -> command -> unit
+
+(** [write_response oc r] writes and flushes one framed response. *)
+val write_response : out_channel -> response -> unit
+
+val read_response : in_channel -> response

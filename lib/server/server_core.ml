@@ -1,0 +1,349 @@
+module Governor = Xq_governor.Governor
+module Pipeline = Xq_pipeline.Pipeline
+module Xerror = Xq_xdm.Xerror
+
+type config = {
+  c_plan_capacity : int;
+  c_doc_capacity_bytes : int;
+  c_max_concurrent : int;
+  c_admission_watermark_mb : int option;
+  c_knobs : Pipeline.knobs;
+}
+
+let default_config =
+  {
+    c_plan_capacity = 64;
+    c_doc_capacity_bytes = 256 * 1024 * 1024;
+    c_max_concurrent = 8;
+    c_admission_watermark_mb = Some 1024;
+    c_knobs = Pipeline.default_knobs;
+  }
+
+type counters = {
+  mutable n_ok : int;
+  mutable n_err_usage : int;
+  mutable n_err_static : int;
+  mutable n_err_dynamic : int;
+  mutable n_err_resource : int;
+  mutable n_rejected : int;
+  mutable n_conn_drops : int;
+  mutable n_active : int;
+}
+
+type t = {
+  cfg : config;
+  house : Governor.t;
+  plan_cache : Plan_cache.t;
+  doc_store : Doc_store.t;
+  lock : Mutex.t;  (* guards counters (admission decisions included) *)
+  counters : counters;
+  inline_lock : Mutex.t;  (* serializes the no-spare-domain fallback *)
+}
+
+let create ?(config = default_config) () =
+  (* The house governor is a gauge, never installed: its watermark is
+     the admission threshold, its charged bytes are the caches'
+     resident estimates, and its Gc baseline is the freshly started
+     server so heap growth counts too. No watermark = max_int keeps
+     pressure_on constantly false. *)
+  let house =
+    Governor.create
+      ?spill_watermark_bytes:
+        (Option.map
+           (fun mb -> mb * 1024 * 1024)
+           config.c_admission_watermark_mb)
+      ()
+  in
+  {
+    cfg = config;
+    house;
+    plan_cache =
+      Plan_cache.create ~capacity:config.c_plan_capacity ~account:house ();
+    doc_store =
+      Doc_store.create ~capacity_bytes:config.c_doc_capacity_bytes
+        ~account:house ();
+    lock = Mutex.create ();
+    counters =
+      {
+        n_ok = 0;
+        n_err_usage = 0;
+        n_err_static = 0;
+        n_err_dynamic = 0;
+        n_err_resource = 0;
+        n_rejected = 0;
+        n_conn_drops = 0;
+        n_active = 0;
+      };
+    inline_lock = Mutex.create ();
+  }
+
+let house t = t.house
+let plans t = t.plan_cache
+let docs t = t.doc_store
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let active t = locked t (fun () -> t.counters.n_active)
+
+(* --- request knobs over server defaults -------------------------------- *)
+
+let merge_knobs ~base ~req =
+  let opt r b = match r with Some _ -> r | None -> b in
+  Pipeline.
+    {
+      k_strategy = opt req.k_strategy base.k_strategy;
+      k_parallel = opt req.k_parallel base.k_parallel;
+      k_rewrite = req.k_rewrite || base.k_rewrite;
+      k_use_index = req.k_use_index || base.k_use_index;
+      k_timeout_ms = opt req.k_timeout_ms base.k_timeout_ms;
+      k_max_groups = opt req.k_max_groups base.k_max_groups;
+      k_max_mem_mb = opt req.k_max_mem_mb base.k_max_mem_mb;
+      k_spill_at_mb = opt req.k_spill_at_mb base.k_spill_at_mb;
+    }
+
+(* --- error taxonomy ----------------------------------------------------- *)
+
+(* The server's ERR responses carry the CLI's exit-code families so a
+   client scripting against either front end sees one taxonomy. *)
+let response_of_exn e : Protocol.response =
+  match e with
+  | Xerror.Error (code, msg) ->
+    Protocol.Error
+      {
+        code = Xerror.code_to_string code;
+        exit = Xerror.exit_code code;
+        message = Xerror.to_message code msg;
+      }
+  | Protocol.Protocol_error m ->
+    Protocol.Error { code = "USAGE"; exit = 1; message = m }
+  | Sys_error m -> Protocol.Error { code = "IOERR"; exit = 3; message = m }
+  | e -> begin
+    match Xq_xml.Xml_parse.error_to_string e with
+    | Some m -> Protocol.Error { code = "XMLPARSE"; exit = 3; message = m }
+    | None ->
+      Protocol.Error
+        { code = "INTERNAL"; exit = 3; message = Printexc.to_string e }
+  end
+
+let count_response t (r : Protocol.response) =
+  locked t (fun () ->
+      let c = t.counters in
+      match r with
+      | Protocol.Payload _ -> c.n_ok <- c.n_ok + 1
+      | Protocol.Error { exit; _ } -> begin
+        match exit with
+        | 1 -> c.n_err_usage <- c.n_err_usage + 1
+        | 2 -> c.n_err_static <- c.n_err_static + 1
+        | 4 -> c.n_err_resource <- c.n_err_resource + 1
+        | _ -> c.n_err_dynamic <- c.n_err_dynamic + 1
+      end)
+
+(* --- admission ---------------------------------------------------------- *)
+
+(* Admit-or-reject must be atomic with the active-count bump, or two
+   racing requests both squeeze under the cap. *)
+let try_admit t =
+  locked t (fun () ->
+      let c = t.counters in
+      if c.n_active >= t.cfg.c_max_concurrent then begin
+        c.n_rejected <- c.n_rejected + 1;
+        Error
+          (Printf.sprintf "server at concurrency cap (%d active)" c.n_active)
+      end
+      else if Governor.pressure_on t.house then begin
+        c.n_rejected <- c.n_rejected + 1;
+        Error
+          (Printf.sprintf "server memory watermark hot (%d resident bytes)"
+             (Governor.charged_on t.house))
+      end
+      else begin
+        c.n_active <- c.n_active + 1;
+        Ok ()
+      end)
+
+let release t = locked t (fun () -> t.counters.n_active <- t.counters.n_active - 1)
+
+(* --- query execution ---------------------------------------------------- *)
+
+let run_request t (rq : Protocol.run_request) =
+  let knobs = merge_knobs ~base:t.cfg.c_knobs ~req:rq.rq_knobs in
+  let key = Pipeline.cache_key ~knobs rq.rq_source in
+  (* Everything below runs on the worker domain: compilation (so a
+     parse error costs the client, not the accept loop), document
+     loading (resident store for paths, per-query parse for inline
+     XML) and evaluation under the query's own scoped governor. *)
+  let work () =
+    let compiled =
+      Plan_cache.find_or_add t.plan_cache key (fun () ->
+          Pipeline.compile ~rewrite:knobs.Pipeline.k_rewrite rq.rq_source)
+    in
+    let load_doc =
+      match rq.rq_doc with
+      | Protocol.Doc_none -> None
+      | Protocol.Doc_path p -> Some (fun () -> Doc_store.load t.doc_store p)
+      | Protocol.Doc_inline xml ->
+        Some (fun () -> Xq_xml.Xml_parse.parse xml)
+    in
+    let report =
+      Pipeline.run ~scope:`Domain ~knobs ~indent:rq.rq_indent ~compiled
+        ?load_doc ()
+    in
+    (* match the CLI byte for byte: [xq run] prints the rendering with
+       print_endline, so the payload carries the trailing newline *)
+    report.Pipeline.r_output ^ "\n"
+  in
+  match Domain.spawn work with
+  | domain -> Domain.join domain
+  | exception _ ->
+    (* no spare domain (the runtime caps them): run on this thread,
+       serialized so two inline queries never share the calling
+       domain's scoped-governor slot *)
+    Mutex.lock t.inline_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.inline_lock) work
+
+(* --- stats -------------------------------------------------------------- *)
+
+let stats_text t =
+  let c, active =
+    locked t (fun () ->
+        ( { t.counters with n_ok = t.counters.n_ok },
+          t.counters.n_active ))
+  in
+  let p = Plan_cache.stats t.plan_cache in
+  let d = Doc_store.stats t.doc_store in
+  let b = Buffer.create 512 in
+  let line k v = Buffer.add_string b (Printf.sprintf "%s %d\n" k v) in
+  line "active" active;
+  line "served_ok" c.n_ok;
+  line "err_usage" c.n_err_usage;
+  line "err_static" c.n_err_static;
+  line "err_dynamic" c.n_err_dynamic;
+  line "err_resource" c.n_err_resource;
+  line "admission_rejects" c.n_rejected;
+  line "conn_drops" c.n_conn_drops;
+  line "plan_hits" p.Plan_cache.p_hits;
+  line "plan_misses" p.Plan_cache.p_misses;
+  line "plan_evictions" p.Plan_cache.p_evictions;
+  line "plan_entries" p.Plan_cache.p_entries;
+  line "doc_hits" d.Doc_store.d_hits;
+  line "doc_misses" d.Doc_store.d_misses;
+  line "doc_evictions" d.Doc_store.d_evictions;
+  line "doc_invalidations" d.Doc_store.d_invalidations;
+  line "doc_entries" d.Doc_store.d_entries;
+  line "resident_bytes" (Governor.charged_on t.house);
+  Buffer.contents b
+
+(* --- command dispatch --------------------------------------------------- *)
+
+let handle t (cmd : Protocol.command) : Protocol.response =
+  match cmd with
+  | Protocol.Ping -> Protocol.Payload "pong"
+  | Protocol.Stats -> Protocol.Payload (stats_text t)
+  | Protocol.Quit -> Protocol.Payload "bye"
+  | Protocol.Run rq -> begin
+    match try_admit t with
+    | Error why ->
+      let r =
+        response_of_exn
+          (Xerror.Error (Xerror.XQENG0007, "admission rejected: " ^ why))
+      in
+      count_response t r;
+      r
+    | Ok () ->
+      let r =
+        Fun.protect
+          ~finally:(fun () -> release t)
+          (fun () ->
+            match run_request t rq with
+            | payload -> Protocol.Payload payload
+            | exception e -> response_of_exn e)
+      in
+      count_response t r;
+      r
+  end
+
+(* --- connections -------------------------------------------------------- *)
+
+exception Connection_lost of string
+
+let note_drop t = locked t (fun () ->
+    t.counters.n_conn_drops <- t.counters.n_conn_drops + 1)
+
+(* The seeded connection-fault stream makes "client vanished here"
+   deterministic: a drawn fault at a read or write boundary behaves
+   exactly like the peer closing mid-exchange. *)
+let conn_point what =
+  match Governor.conn_fault () with
+  | Some seed ->
+    raise
+      (Connection_lost (Printf.sprintf "injected connection fault at %s (seed %d)" what seed))
+  | None -> ()
+
+let serve_connection t ic oc =
+  let rec loop () =
+    conn_point "read";
+    match Protocol.read_command ic with
+    | None -> ()
+    | exception (Protocol.Protocol_error _ as e) ->
+      (* malformed framing: answer USAGE and keep the connection — each
+         bad line costs one response, and EOF ends the loop *)
+      let r = response_of_exn e in
+      count_response t r;
+      conn_point "write";
+      Protocol.write_response oc r;
+      loop ()
+    | Some cmd -> begin
+      let resp = handle t cmd in
+      conn_point "write";
+      Protocol.write_response oc resp;
+      match cmd with Protocol.Quit -> () | _ -> loop ()
+    end
+  in
+  try loop () with
+  | Connection_lost _ | End_of_file -> note_drop t
+  | Sys_error _ ->
+    (* EPIPE from a vanished client (SIGPIPE is ignored) *)
+    note_drop t
+
+let serve_unix t ~path ~stop () =
+  ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore);
+  (match Unix.lstat path with
+   | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+   | _ -> ()
+   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 64;
+      while not (stop ()) do
+        (* poll the listener so [stop] is honoured within a beat even
+           with no clients arriving *)
+        match Unix.select [ sock ] [] [] 0.2 with
+        | [], _, _ -> ()
+        | _ -> begin
+          match Unix.accept sock with
+          | exception Unix.Unix_error _ -> ()
+          | fd, _ ->
+            let ic = Unix.in_channel_of_descr fd in
+            let oc = Unix.out_channel_of_descr fd in
+            ignore
+              (Thread.create
+                 (fun () ->
+                   Fun.protect
+                     ~finally:(fun () ->
+                       (* both channels share [fd]: flush, then close
+                          the descriptor exactly once — a second
+                          close(2) could race a concurrent accept that
+                          reused the number and kill its connection *)
+                       (try flush oc with Sys_error _ -> ());
+                       try Unix.close fd with Unix.Unix_error _ -> ())
+                     (fun () -> serve_connection t ic oc))
+                 ())
+        end
+      done)

@@ -1,0 +1,77 @@
+(** The query server's engine room: one resident process multiplexing
+    concurrent queries over shared caches.
+
+    Three pieces from the rest of the tree meet here:
+
+    - {!Plan_cache} and {!Doc_store} hold compiled plans and parsed
+      documents across requests, charging their resident bytes to a
+      long-lived {e house} governor that is never installed — it is a
+      plain gauge, not a tripwire.
+    - Admission control consults that gauge before each query: when the
+      house estimate (resident bytes + process heap growth) is past its
+      watermark, or the concurrency cap is reached, the request is
+      refused up front with [XQENG0007] (exit family 4) instead of
+      being started and starved. Refusal is cheap and retryable; the
+      PR 4 spill machinery already makes admitted queries degrade
+      rather than die.
+    - Each admitted query runs on a dedicated worker domain under its
+      own {e scoped} governor ({!Xq_governor.Governor.with_scoped_governor}),
+      so per-query deadlines, budgets and cancellation never touch a
+      neighbour. Execution goes through {!Xq_pipeline.Pipeline} — the
+      identical compile-and-run path the CLI, REPL and fuzzer use, so
+      server output is byte-identical to [xq run].
+
+    Connection handling injects faults from the seeded [XQ_FAULTS]
+    connection stream ({!Xq_governor.Governor.conn_fault}): a drawn
+    fault behaves exactly like a client vanishing mid-exchange, and the
+    server must shrug — drop the connection, keep every shared
+    structure consistent, keep serving. *)
+
+type config = {
+  c_plan_capacity : int;  (** plan-cache entries (default 64) *)
+  c_doc_capacity_bytes : int;  (** doc-store resident bound (default 256 MB) *)
+  c_max_concurrent : int;  (** admission concurrency cap (default 8) *)
+  c_admission_watermark_mb : int option;
+      (** house-governor soft watermark; [None] disables the memory
+          gate (the concurrency cap still applies). Default 1024. *)
+  c_knobs : Xq_pipeline.Pipeline.knobs;
+      (** per-query defaults; request headers override field-wise *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> unit -> t
+
+(** The house governor — tests saturate the admission gauge by charging
+    bytes on it directly. *)
+val house : t -> Xq_governor.Governor.t
+
+val plans : t -> Plan_cache.t
+val docs : t -> Doc_store.t
+
+(** Queries currently executing (admitted, not yet finished). *)
+val active : t -> int
+
+(** Handle one command synchronously; [Run] blocks until the query
+    finishes (on its own worker domain). Never raises — every failure
+    is an [Error] response carrying the CLI exit-code family. *)
+val handle : t -> Protocol.command -> Protocol.response
+
+(** The [STATS] payload: one [key value] per line — served/error
+    counters by exit family, admission rejects, connection drops, and
+    both caches' hit/miss/eviction counters. *)
+val stats_text : t -> string
+
+(** [serve_connection t ic oc] — read commands until [QUIT], EOF or a
+    (possibly injected) connection fault, answering each on [oc].
+    Never raises; returns when the connection is done. *)
+val serve_connection : t -> in_channel -> out_channel -> unit
+
+(** [serve_unix t ~path ~stop ()] — bind a Unix-domain socket at
+    [path] (replacing any stale socket file), accept in a loop until
+    [stop ()] becomes true, and serve each connection on its own
+    thread. Installs [Signal_ignore] for SIGPIPE so vanishing clients
+    surface as [EPIPE] and are handled, not fatal. *)
+val serve_unix : t -> path:string -> stop:(unit -> bool) -> unit -> unit

@@ -17,6 +17,7 @@ type code =
   | XQENG0004
   | XQENG0005
   | XQENG0006
+  | XQENG0007
 
 exception Error of code * string
 
@@ -39,6 +40,7 @@ let code_to_string = function
   | XQENG0004 -> "XQENG0004"
   | XQENG0005 -> "XQENG0005"
   | XQENG0006 -> "XQENG0006"
+  | XQENG0007 -> "XQENG0007"
 
 type severity = Static | Dynamic | Resource
 
@@ -47,7 +49,8 @@ let severity = function
   | XPTY0004 | XPDY0002 | FORG0001 | FORG0006 | FOAR0001 | FOCA0002
   | FODT0001 | XQDY0025 ->
     Dynamic
-  | XQENG0001 | XQENG0002 | XQENG0003 | XQENG0004 | XQENG0005 | XQENG0006 ->
+  | XQENG0001 | XQENG0002 | XQENG0003 | XQENG0004 | XQENG0005 | XQENG0006
+  | XQENG0007 ->
     Resource
 
 let is_resource code = severity code = Resource

@@ -27,6 +27,11 @@ type code =
       (** resource: spill I/O failure (external grouping could not
           write, read or validate a spill file; the message carries the
           failing path and operation) *)
+  | XQENG0007
+      (** resource: admission rejected — the query server's global
+          memory watermark is hot or its concurrency cap is reached, so
+          the query was refused before execution rather than started
+          and starved. Retryable once the server drains. *)
 
 exception Error of code * string
 

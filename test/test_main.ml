@@ -29,4 +29,5 @@ let () =
          Test_spill.suites;
          Test_corpus.suites;
          Test_fuzz.suites;
+         Test_server.suites;
        ])

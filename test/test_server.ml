@@ -1,0 +1,530 @@
+(* Query-server battery: plan-cache and doc-store unit tests, admission
+   control, a concurrent differential replay of test/corpus through a
+   live socket server, a short Qgen fuzz sweep through the server path,
+   and seeded connection-fault injection.
+
+   The concurrency tests start a real [Server_core.serve_unix] daemon on
+   a Unix socket under [Filename.get_temp_dir_name] and talk the wire
+   protocol from client threads, so they exercise the same accept loop,
+   per-connection threads and per-query worker domains production
+   uses. *)
+
+module Governor = Xq_governor.Governor
+module Pipeline = Xq_pipeline.Pipeline
+module Plan_cache = Xq_server.Plan_cache
+module Doc_store = Xq_server.Doc_store
+module Protocol = Xq_server.Protocol
+module Server = Xq_server.Server_core
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+(* --- plan cache --------------------------------------------------------- *)
+
+let compile_counting count source =
+  fun () ->
+    incr count;
+    Pipeline.compile source
+
+let knobs = Pipeline.default_knobs
+
+let test_plan_lru_eviction () =
+  let t = Plan_cache.create ~capacity:2 () in
+  let count = ref 0 in
+  let key n = Pipeline.cache_key ~knobs (Printf.sprintf "%d + %d" n n) in
+  let get n =
+    Plan_cache.find_or_add t (key n)
+      (compile_counting count (Printf.sprintf "%d + %d" n n))
+  in
+  ignore (get 1);
+  ignore (get 2);
+  (* touch 1 so 2 becomes the LRU victim *)
+  ignore (get 1);
+  ignore (get 3);
+  let s = Plan_cache.stats t in
+  Alcotest.(check int) "capacity held" 2 s.Plan_cache.p_entries;
+  Alcotest.(check int) "one eviction" 1 s.Plan_cache.p_evictions;
+  (* 1 and 3 resident, 2 evicted: only 2 recompiles *)
+  ignore (get 1);
+  ignore (get 3);
+  Alcotest.(check int) "no recompile for resident" 3 !count;
+  ignore (get 2);
+  Alcotest.(check int) "evicted key recompiles" 4 !count
+
+let test_plan_cache_keying () =
+  (* distinct strategies and flags must not share a slot, and the
+     XQ_GROUP_STRATEGY environment default is part of the key *)
+  let source = "for $x in /a/b return $x" in
+  let k_direct = Pipeline.cache_key ~knobs source in
+  let k_hash =
+    Pipeline.cache_key
+      ~knobs:{ knobs with Pipeline.k_strategy = Some Xq_algebra.Optimizer.Hash }
+      source
+  in
+  let k_sort =
+    Pipeline.cache_key
+      ~knobs:{ knobs with Pipeline.k_strategy = Some Xq_algebra.Optimizer.Sort }
+      source
+  in
+  let k_rw =
+    Pipeline.cache_key ~knobs:{ knobs with Pipeline.k_rewrite = true } source
+  in
+  let k_ix =
+    Pipeline.cache_key ~knobs:{ knobs with Pipeline.k_use_index = true } source
+  in
+  let keys = [ k_direct; k_hash; k_sort; k_rw; k_ix ] in
+  Alcotest.(check int)
+    "all keys distinct"
+    (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  let saved = Sys.getenv_opt "XQ_GROUP_STRATEGY" in
+  Unix.putenv "XQ_GROUP_STRATEGY" "sort";
+  let k_env = Pipeline.cache_key ~knobs source in
+  (match saved with
+   | Some v -> Unix.putenv "XQ_GROUP_STRATEGY" v
+   | None -> Unix.putenv "XQ_GROUP_STRATEGY" "");
+  Alcotest.(check bool) "env default changes the key" true (k_env <> k_direct);
+  (* and the key is injective against crafted query text: a query whose
+     text embeds another key's rendering must not collide *)
+  let k_sneaky = Pipeline.cache_key ~knobs k_direct in
+  Alcotest.(check bool) "length-prefixing defeats embedding" true
+    (k_sneaky <> k_direct)
+
+let test_plan_cache_counters () =
+  let house = Governor.create () in
+  let t = Plan_cache.create ~capacity:4 ~account:house () in
+  let count = ref 0 in
+  let key = Pipeline.cache_key ~knobs "1 + 2" in
+  ignore (Plan_cache.find_or_add t key (compile_counting count "1 + 2"));
+  ignore (Plan_cache.find_or_add t key (compile_counting count "1 + 2"));
+  ignore (Plan_cache.find_or_add t key (compile_counting count "1 + 2"));
+  let s = Plan_cache.stats t in
+  Alcotest.(check int) "hits" 2 s.Plan_cache.p_hits;
+  Alcotest.(check int) "misses" 1 s.Plan_cache.p_misses;
+  Alcotest.(check int) "compiled once" 1 !count;
+  Alcotest.(check bool) "bytes charged on the account" true
+    (Governor.charged_on house > 0);
+  Alcotest.(check int) "stats agree with account" (Governor.charged_on house)
+    s.Plan_cache.p_bytes;
+  Plan_cache.clear t;
+  Alcotest.(check int) "clear uncharges" 0 (Governor.charged_on house);
+  (* a failing compile counts a miss and caches nothing *)
+  (match
+     Plan_cache.find_or_add t
+       (Pipeline.cache_key ~knobs "for $")
+       (fun () -> Pipeline.compile "for $")
+   with
+   | _ -> Alcotest.fail "bad query compiled"
+   | exception _ -> ());
+  Alcotest.(check int) "failure cached nothing" 0
+    (Plan_cache.stats t).Plan_cache.p_entries
+
+(* --- doc store ---------------------------------------------------------- *)
+
+let temp_xml contents =
+  let path = Filename.temp_file "xq-doc" ".xml" in
+  write_file path contents;
+  path
+
+let test_doc_store_sharing_and_invalidation () =
+  let t = Doc_store.create () in
+  let path = temp_xml "<a><b>1</b></a>" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let d1 = Doc_store.load t path in
+      let d2 = Doc_store.load t path in
+      Alcotest.(check bool) "identical node shared" true (d1 == d2);
+      let s = Doc_store.stats t in
+      Alcotest.(check int) "one miss" 1 s.Doc_store.d_misses;
+      Alcotest.(check int) "one hit" 1 s.Doc_store.d_hits;
+      (* rewrite with different bytes; force the mtime to move in case
+         the filesystem clock is too coarse to see the rewrite *)
+      write_file path "<a><b>2</b><c/></a>";
+      let past = Unix.time () +. 5.0 in
+      Unix.utimes path past past;
+      let d3 = Doc_store.load t path in
+      Alcotest.(check bool) "changed file reparsed" true (d1 != d3);
+      let s = Doc_store.stats t in
+      Alcotest.(check int) "invalidation recorded" 1 s.Doc_store.d_invalidations;
+      Alcotest.(check int) "still one entry" 1 s.Doc_store.d_entries;
+      let got =
+        Xq_xml.Serialize.sequence
+          (Xq_engine.Eval.eval_query ~context_node:d3
+             (Xq_lang.Parser.parse_query "fn:count(/a/*)"))
+      in
+      Alcotest.(check string) "fresh content served" "2" got)
+
+let test_doc_store_capacity_eviction () =
+  let house = Governor.create () in
+  let body = String.make 200 'x' in
+  let xml = "<d>" ^ body ^ "</d>" in
+  let size = String.length xml in
+  (* room for two resident documents, not three *)
+  let cap = 2 * Doc_store.estimate_bytes ~size + 64 in
+  let t = Doc_store.create ~capacity_bytes:cap ~account:house () in
+  let p1 = temp_xml xml and p2 = temp_xml xml and p3 = temp_xml xml in
+  Fun.protect
+    ~finally:(fun () -> List.iter Sys.remove [ p1; p2; p3 ])
+    (fun () ->
+      ignore (Doc_store.load t p1);
+      ignore (Doc_store.load t p2);
+      (* touch p1 so p2 is the LRU victim *)
+      ignore (Doc_store.load t p1);
+      ignore (Doc_store.load t p3);
+      let s = Doc_store.stats t in
+      Alcotest.(check int) "two resident" 2 s.Doc_store.d_entries;
+      Alcotest.(check int) "one eviction" 1 s.Doc_store.d_evictions;
+      Alcotest.(check int) "account tracks residents"
+        (Governor.charged_on house) s.Doc_store.d_resident_bytes;
+      (* p1 survived (recency), p2 did not *)
+      let d1 = Doc_store.load t p1 in
+      let d1' = Doc_store.load t p1 in
+      Alcotest.(check bool) "survivor still shared" true (d1 == d1');
+      ignore (Doc_store.load t p2);
+      let s = Doc_store.stats t in
+      Alcotest.(check int) "victim reloaded as a miss" 4 s.Doc_store.d_misses)
+
+(* --- admission control -------------------------------------------------- *)
+
+let run_cmd ?(doc = Protocol.Doc_none) source =
+  Protocol.Run
+    {
+      Protocol.rq_source = source;
+      rq_doc = doc;
+      rq_knobs = Pipeline.default_knobs;
+      rq_indent = false;
+    }
+
+let test_admission_watermark () =
+  let config =
+    { Server.default_config with Server.c_admission_watermark_mb = Some 64 }
+  in
+  let t = Server.create ~config () in
+  (match Server.handle t (run_cmd "1 + 1") with
+   | Protocol.Payload p -> Alcotest.(check string) "admitted before" "2\n" p
+   | Protocol.Error { message; _ } -> Alcotest.failf "rejected: %s" message);
+  (* saturate the gauge far past the 64 MB watermark *)
+  let hot = 512 * 1024 * 1024 in
+  Governor.charge_on (Server.house t) hot;
+  (match Server.handle t (run_cmd "1 + 1") with
+   | Protocol.Payload _ -> Alcotest.fail "admitted while hot"
+   | Protocol.Error { code; exit; _ } ->
+     Alcotest.(check string) "rejects with XQENG0007" "XQENG0007" code;
+     Alcotest.(check int) "resource exit family" 4 exit);
+  (* drain: the same server serves again, nothing was poisoned *)
+  Governor.uncharge_on (Server.house t) hot;
+  (match Server.handle t (run_cmd "1 + 1") with
+   | Protocol.Payload p -> Alcotest.(check string) "drains back" "2\n" p
+   | Protocol.Error { message; _ } ->
+     Alcotest.failf "still rejecting after drain: %s" message);
+  let stats = Server.stats_text t in
+  Alcotest.(check bool) "reject counted" true
+    (List.mem "admission_rejects 1" (String.split_on_char '\n' stats))
+
+(* --- live-socket helpers ------------------------------------------------ *)
+
+let sock_counter = ref 0
+
+let with_server ?config f =
+  let t = Server.create ?config () in
+  incr sock_counter;
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xq-test-%d-%d.sock" (Unix.getpid ()) !sock_counter)
+  in
+  let stop = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () -> Server.serve_unix t ~path ~stop:(fun () -> Atomic.get stop) ())
+      ()
+  in
+  let rec wait n =
+    if n = 0 then Alcotest.fail "server socket never appeared";
+    if not (Sys.file_exists path) then begin
+      Thread.delay 0.01;
+      wait (n - 1)
+    end
+  in
+  wait 500;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join th)
+    (fun () -> f t path)
+
+let connect path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect sock (Unix.ADDR_UNIX path);
+  (sock, Unix.in_channel_of_descr sock, Unix.out_channel_of_descr sock)
+
+let request path cmd =
+  let sock, ic, oc = connect path in
+  Fun.protect
+    ~finally:(fun () ->
+      (* one fd behind both channels: flush, close exactly once — a
+         double close(2) races concurrent connects that reuse the fd *)
+      (try flush oc with Sys_error _ -> ());
+      try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Protocol.write_command oc cmd;
+      Protocol.read_response ic)
+
+(* --- concurrent corpus replay ------------------------------------------- *)
+
+let corpus_dir =
+  let beside = Filename.concat (Filename.dirname Sys.executable_name) "corpus" in
+  if Sys.file_exists beside && Sys.is_directory beside then beside else "corpus"
+
+let corpus_entries =
+  if Sys.file_exists corpus_dir && Sys.is_directory corpus_dir then
+    Sys.readdir corpus_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".xq")
+    |> List.map Filename.remove_extension
+    |> List.sort compare
+  else []
+
+let test_concurrent_corpus_replay () =
+  Alcotest.(check bool) "corpus present" true (corpus_entries <> []);
+  with_server (fun t path ->
+      let failures = ref [] in
+      let fail_lock = Mutex.create () in
+      let clients = 4 in
+      let rounds = 2 in
+      let worker tid =
+        (* each thread starts at a different corpus offset so the plan
+           cache sees interleaved, not phased, access *)
+        let n = List.length corpus_entries in
+        for round = 0 to rounds - 1 do
+          List.iteri
+            (fun i _ ->
+              let name = List.nth corpus_entries ((i + tid + round) mod n) in
+              let base = Filename.concat corpus_dir name in
+              let expected = read_file (base ^ ".expected") in
+              let doc = Protocol.Doc_inline (read_file (base ^ ".xml")) in
+              match request path (run_cmd ~doc (read_file (base ^ ".xq"))) with
+              | Protocol.Payload got when got = expected -> ()
+              | Protocol.Payload got ->
+                Mutex.lock fail_lock;
+                failures :=
+                  Printf.sprintf "%s: %S <> expected %S" name got expected
+                  :: !failures;
+                Mutex.unlock fail_lock
+              | Protocol.Error { message; _ } ->
+                Mutex.lock fail_lock;
+                failures := Printf.sprintf "%s: ERR %s" name message :: !failures;
+                Mutex.unlock fail_lock)
+            corpus_entries
+        done
+      in
+      let threads = List.init clients (fun tid -> Thread.create worker tid) in
+      List.iter Thread.join threads;
+      (match !failures with
+       | [] -> ()
+       | f :: _ ->
+         Alcotest.failf "%d divergence(s), first: %s" (List.length !failures) f);
+      let total = clients * rounds * List.length corpus_entries in
+      let s = Server.stats_text t in
+      ignore s;
+      Alcotest.(check int) "all served" total
+        ((Plan_cache.stats (Server.plans t)).Plan_cache.p_hits
+        + (Plan_cache.stats (Server.plans t)).Plan_cache.p_misses);
+      Alcotest.(check bool) "plans shared across clients" true
+        ((Plan_cache.stats (Server.plans t)).Plan_cache.p_hits > 0))
+
+(* --- qgen sweep through the server path --------------------------------- *)
+
+let test_qgen_server_sweep () =
+  with_server (fun _t path ->
+      for seed = 1 to 12 do
+        let case = Xq_qgen.Qgen.generate seed in
+        let source = Xq_qgen.Qgen.query_text case.Xq_qgen.Qgen.query in
+        let doc_xml = case.Xq_qgen.Qgen.doc in
+        (* single-shot reference: the same pipeline the CLI runs *)
+        let reference =
+          match
+            Pipeline.run ~source
+              ~load_doc:(fun () -> Xq_xml.Xml_parse.parse doc_xml)
+              ()
+          with
+          | r -> Ok (r.Pipeline.r_output ^ "\n")
+          | exception Xq_xdm.Xerror.Error (code, _) ->
+            Error (Xq_xdm.Xerror.code_to_string code)
+        in
+        let served =
+          match
+            request path (run_cmd ~doc:(Protocol.Doc_inline doc_xml) source)
+          with
+          | Protocol.Payload p -> Ok p
+          | Protocol.Error { code; _ } -> Error code
+        in
+        if served <> reference then
+          Alcotest.failf "seed %d: server diverged from single-shot (%s)" seed
+            source
+      done)
+
+(* --- fault injection ----------------------------------------------------- *)
+
+let test_killed_client_mid_query () =
+  with_server (fun t path ->
+      let base = Filename.concat corpus_dir (List.hd corpus_entries) in
+      let doc = Protocol.Doc_inline (read_file (base ^ ".xml")) in
+      let source = read_file (base ^ ".xq") in
+      let expected = read_file (base ^ ".expected") in
+      (* several clients fire a query and vanish without reading the
+         response; SIGPIPE is ignored, so the write fails as EPIPE and
+         the connection is dropped, not the server *)
+      for _ = 1 to 5 do
+        let sock, _ic, oc = connect path in
+        Protocol.write_command oc (run_cmd ~doc source);
+        (* close abruptly: no QUIT, response never read *)
+        Unix.close sock
+      done;
+      (* give the per-connection threads a beat to hit the dead pipes *)
+      Thread.delay 0.2;
+      (* the server must still be fully serviceable and the caches
+         uncorrupted: the same query answers byte-identically *)
+      match request path (run_cmd ~doc source) with
+      | Protocol.Payload got ->
+        Alcotest.(check string) "server survives vanished clients" expected got;
+        Alcotest.(check bool) "no queries left active" true (Server.active t = 0)
+      | Protocol.Error { message; _ } ->
+        Alcotest.failf "server wedged after client kills: %s" message)
+
+let test_injected_connection_faults () =
+  (* a seeded connection-fault stream drops connections at read/write
+     boundaries; the server must stay serviceable throughout and the
+     error taxonomy must stay consistent in STATS *)
+  with_server (fun t path ->
+      let base = Filename.concat corpus_dir (List.hd corpus_entries) in
+      let doc = Protocol.Doc_inline (read_file (base ^ ".xml")) in
+      let source = read_file (base ^ ".xq") in
+      let expected = read_file (base ^ ".expected") in
+      Governor.set_faults ~seed:7 ~rate:0.3;
+      Fun.protect ~finally:Governor.clear_faults (fun () ->
+          let served = ref 0 and dropped = ref 0 and tripped = ref 0 in
+          for _ = 1 to 40 do
+            match request path (run_cmd ~doc source) with
+            | Protocol.Payload got ->
+              if got <> expected then
+                Alcotest.fail "fault run corrupted an answer";
+              incr served
+            | Protocol.Error { code; exit; _ }
+              when String.length code >= 5 && String.sub code 0 5 = "XQENG" ->
+              (* XQ_FAULTS also arms the allocation/spawn streams, so a
+                 query can trip an injected resource fault — that must
+                 arrive as a well-formed resource error, exit family 4 *)
+              Alcotest.(check int) "resource exit family under faults" 4 exit;
+              incr tripped
+            | Protocol.Error { message; _ } ->
+              Alcotest.failf "unexpected server error under faults: %s" message
+            | exception (End_of_file | Sys_error _) ->
+              (* the injected connection fault killed this exchange *)
+              incr dropped
+          done;
+          Alcotest.(check bool) "some requests survived" true (!served > 0));
+      (* faults off: the same server still answers correctly *)
+      match request path (run_cmd ~doc source) with
+      | Protocol.Payload got ->
+        Alcotest.(check string) "serviceable after fault storm" expected got;
+        Alcotest.(check int) "nothing left active" 0 (Server.active t);
+        (* drops were recorded in the taxonomy *)
+        let stats = Server.stats_text t in
+        let find key =
+          String.split_on_char '\n' stats
+          |> List.find_map (fun line ->
+                 match String.split_on_char ' ' line with
+                 | [ k; v ] when k = key -> int_of_string_opt v
+                 | _ -> None)
+        in
+        (match find "conn_drops" with
+         | Some n -> Alcotest.(check bool) "conn drops counted" true (n >= 0)
+         | None -> Alcotest.fail "conn_drops missing from STATS")
+      | Protocol.Error { message; _ } ->
+        Alcotest.failf "server wedged after faults: %s" message)
+
+(* --- protocol round trip ------------------------------------------------- *)
+
+let test_protocol_roundtrip () =
+  (* write_command → read_command is the identity on a knob-rich
+     request, embedded newlines and all *)
+  let rq =
+    {
+      Protocol.rq_source = "for $x in /a\nreturn $x";
+      rq_doc = Protocol.Doc_inline "<a>\n<b/>\n</a>";
+      rq_knobs =
+        {
+          Pipeline.default_knobs with
+          Pipeline.k_strategy = Some Xq_algebra.Optimizer.Sort;
+          k_parallel = Some 2;
+          k_timeout_ms = Some 500;
+          k_rewrite = true;
+        };
+      rq_indent = true;
+    }
+  in
+  let tmp = Filename.temp_file "xq-proto" ".bin" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      let oc = open_out_bin tmp in
+      Protocol.write_command oc (Protocol.Run rq);
+      close_out oc;
+      let ic = open_in_bin tmp in
+      let got = Protocol.read_command ic in
+      close_in ic;
+      match got with
+      | Some (Protocol.Run rq') ->
+        Alcotest.(check bool) "round trip" true (rq = rq')
+      | _ -> Alcotest.fail "did not parse back as Run")
+
+let suites =
+  [
+    ( "server-plan-cache",
+      [
+        Alcotest.test_case "LRU eviction order" `Quick test_plan_lru_eviction;
+        Alcotest.test_case "keying on strategy and env" `Quick
+          test_plan_cache_keying;
+        Alcotest.test_case "hit/miss counters and accounting" `Quick
+          test_plan_cache_counters;
+      ] );
+    ( "server-doc-store",
+      [
+        Alcotest.test_case "sharing and mtime/size invalidation" `Quick
+          test_doc_store_sharing_and_invalidation;
+        Alcotest.test_case "capacity eviction" `Quick
+          test_doc_store_capacity_eviction;
+      ] );
+    ( "server-admission",
+      [
+        Alcotest.test_case "hot watermark rejects XQENG0007, drains back"
+          `Quick test_admission_watermark;
+      ] );
+    ( "server-protocol",
+      [ Alcotest.test_case "command round trip" `Quick test_protocol_roundtrip ]
+    );
+    ( "server-concurrency",
+      [
+        Alcotest.test_case "4-client corpus replay byte-identical" `Quick
+          test_concurrent_corpus_replay;
+        Alcotest.test_case "qgen sweep through the server" `Quick
+          test_qgen_server_sweep;
+      ] );
+    ( "server-faults",
+      [
+        Alcotest.test_case "killed-mid-query clients" `Quick
+          test_killed_client_mid_query;
+        Alcotest.test_case "seeded connection-fault storm" `Quick
+          test_injected_connection_faults;
+      ] );
+  ]

@@ -14,6 +14,7 @@
      dune exec bench/main.exe -- ablation-algebra   — plan-layer overhead
      dune exec bench/main.exe -- ablation-strategy  — hash vs sort vs fused-sort grouping
      dune exec bench/main.exe -- ablation-parallel  — domain-pool degree 1/2/4 per strategy
+     dune exec bench/main.exe -- ablation-batch     — item-at-a-time vs batched + key dictionary
      dune exec bench/main.exe -- ablation-governor  — resource-governor tick overhead
      dune exec bench/main.exe -- ablation-spill     — in-memory vs spill-to-disk grouping
      dune exec bench/main.exe -- ablation-server    — cold pipeline vs warm daemon caches
@@ -47,6 +48,8 @@ type sample = {
   s_groups : int;
   s_strategy : string;
   s_parallel : int;
+  s_batch : int;
+  s_cores : int;
   s_spilled : int;
   s_spill_files : int;
   s_repartitions : int;
@@ -55,11 +58,16 @@ type sample = {
 
 let samples : sample list ref = ref []
 
-let record ~bench ~query ~size ~groups ~strategy ~parallel ?(spilled = 0)
-    ?(spill_files = 0) ?(repartitions = 0) ~ms () =
+(* Every row records the host's core count so speedup rows from
+   single-core CI runners can be told apart from real multicore data,
+   and the executor batch size the measurement ran under. *)
+let record ~bench ~query ~size ~groups ~strategy ~parallel ?batch
+    ?(spilled = 0) ?(spill_files = 0) ?(repartitions = 0) ~ms () =
+  let batch = match batch with Some b -> b | None -> Xq.Batch.size () in
   samples :=
     { s_bench = bench; s_query = query; s_size = size; s_groups = groups;
-      s_strategy = strategy; s_parallel = parallel; s_spilled = spilled;
+      s_strategy = strategy; s_parallel = parallel; s_batch = batch;
+      s_cores = Domain.recommended_domain_count (); s_spilled = spilled;
       s_spill_files = spill_files; s_repartitions = repartitions; s_ms = ms }
     :: !samples
 
@@ -73,10 +81,12 @@ let write_json path =
       if i > 0 then output_string oc ",\n";
       Printf.fprintf oc
         "  {\"bench\": %S, \"query\": %S, \"size\": %d, \"groups\": %d, \
-         \"strategy\": %S, \"parallel\": %d, \"spilled_bytes\": %d, \
-         \"spill_files\": %d, \"repartitions\": %d, \"ms\": %.3f}"
+         \"strategy\": %S, \"parallel\": %d, \"batch\": %d, \"cores\": %d, \
+         \"spilled_bytes\": %d, \"spill_files\": %d, \"repartitions\": %d, \
+         \"ms\": %.3f}"
         s.s_bench s.s_query s.s_size s.s_groups s.s_strategy s.s_parallel
-        s.s_spilled s.s_spill_files s.s_repartitions s.s_ms)
+        s.s_batch s.s_cores s.s_spilled s.s_spill_files s.s_repartitions
+        s.s_ms)
     (List.rev !samples);
   output_string oc "\n]\n";
   close_out oc;
@@ -381,6 +391,10 @@ let ablation_parallel ~full () =
   Printf.printf
     "(speedups depend on available cores: nproc=%d on this machine)\n%!"
     (Domain.recommended_domain_count ());
+  if Domain.recommended_domain_count () <= 1 then
+    Printf.printf
+      "WARNING: this host reports a single core — parallel degrees > 1 \
+       measure pool overhead only, expect no speedup\n%!";
   let q_src =
     {|for $litem in //order/lineitem
 group by $litem/tax into $a
@@ -430,6 +444,69 @@ return <r>{$a, count($items)}</r>|}
         [ Xq.Algebra.Optimizer.Hash; Xq.Algebra.Optimizer.Sort;
           Xq.Algebra.Optimizer.Auto ])
     workloads
+
+(* --- Ablation M: batched execution ------------------------------------- *)
+
+(* Item-at-a-time (batch size 1, dictionary interning and presize
+   feedback disabled — the executor as it was before batching) vs the
+   batched defaults, on the same grouping query the strategy ablation
+   uses. Output is byte-identical; only the wall clock moves. *)
+let ablation_batch ~full () =
+  Timing.header
+    "Ablation M: item-at-a-time (batch=1, no key dictionary) vs batched \
+     execution with dictionary-encoded grouping keys";
+  let q_src =
+    {|for $litem in //order/lineitem
+group by $litem/tax into $a
+nest $litem into $items
+order by $a
+return <r>{$a, count($items)}</r>|}
+  in
+  let query = Xq.parse q_src in
+  Xq.check query;
+  let sizes = if full then [ 8_000; 16_000; 32_000 ] else [ 8_000; 16_000 ] in
+  let configure = function
+    | `Item ->
+      Xq.Batch.set_size (Some 1);
+      Xq.Engine.Key.set_interning_available false;
+      Xq.Algebra.Optimizer.set_estimate_feedback false
+    | `Batched ->
+      Xq.Batch.set_size None;
+      Xq.Engine.Key.set_interning_available true;
+      Xq.Algebra.Optimizer.set_estimate_feedback true
+  in
+  Fun.protect
+    ~finally:(fun () -> configure `Batched)
+    (fun () ->
+      List.iter
+        (fun (tax_card, lineitems) ->
+          let doc = orders_doc ~tax_card lineitems in
+          let groups =
+            Xq.length
+              (Xq.Algebra.Exec.eval_query ~check:false ~context_node:doc query)
+          in
+          let measure mode label =
+            configure mode;
+            let ms =
+              Timing.measure_ms ~runs:3 (fun () ->
+                  Xq.Algebra.Exec.eval_query ~check:false
+                    ~strategy:Xq.Algebra.Optimizer.Hash ~context_node:doc
+                    query)
+            in
+            (* record's batch default reads the size [configure] set *)
+            record ~bench:"ablation-batch" ~query:"tax-group-order"
+              ~size:lineitems ~groups ~strategy:label ~parallel:1 ~ms ();
+            ms
+          in
+          let t_item = measure `Item "hash-item" in
+          let t_batched = measure `Batched "hash-batched" in
+          Printf.printf
+            "tax_card=%4d n=%6d groups=%4d  item-at-a-time=%10s  \
+             batched(%d)=%10s  speedup %.2fx\n%!"
+            tax_card lineitems groups (Timing.fmt_ms t_item)
+            (Xq.Batch.size ()) (Timing.fmt_ms t_batched)
+            (t_item /. t_batched))
+        (List.map (fun n -> (100, n)) sizes))
 
 (* --- Ablation J: resource-governor overhead ------------------------------------ *)
 
@@ -720,6 +797,7 @@ let () =
   if want "ablation-algebra" then ablation_algebra ();
   if want "ablation-strategy" then ablation_strategy ();
   if want "ablation-parallel" then ablation_parallel ~full ();
+  if want "ablation-batch" then ablation_batch ~full ();
   if want "ablation-governor" then ablation_governor ();
   if want "ablation-spill" then ablation_spill ();
   if want "ablation-server" then ablation_server ();

@@ -136,6 +136,17 @@ let pos_int what =
   in
   Arg.conv (parse, Format.pp_print_int)
 
+let batch_opt =
+  let doc =
+    "Executor batch size: tuples flow between plan operators in vectors \
+     of $(docv) (default: $(b,XQ_BATCH) or 4096). $(b,--batch 1) is \
+     item-at-a-time execution; output is byte-identical at any size."
+  in
+  Arg.(
+    value
+    & opt (some (pos_int "--batch")) None
+    & info [ "batch" ] ~docv:"N" ~env:(Cmd.Env.info "XQ_BATCH") ~doc)
+
 let timeout_opt =
   let doc =
     "Abort the query after $(docv) milliseconds of wall-clock time \
@@ -212,7 +223,8 @@ let apply_parallel = function
    front ends cannot drift apart. The CLI keeps only presentation:
    printing, --time, and the spill report. *)
 let run_common ~source ~input ~rewrite ~indent ~time ~explain_analyze ~strategy
-    ~parallel ~timeout ~max_groups ~max_mem ~spill_at ~spill_dir ~no_spill =
+    ~parallel ~batch ~timeout ~max_groups ~max_mem ~spill_at ~spill_dir
+    ~no_spill =
   with_errors (fun () ->
       apply_spill ~spill_dir ~no_spill;
       let knobs =
@@ -220,6 +232,7 @@ let run_common ~source ~input ~rewrite ~indent ~time ~explain_analyze ~strategy
           {
             k_strategy = strategy;
             k_parallel = parallel;
+            k_batch = batch;
             k_rewrite = rewrite;
             k_use_index = false;
             k_timeout_ms = timeout;
@@ -246,32 +259,32 @@ let run_common ~source ~input ~rewrite ~indent ~time ~explain_analyze ~strategy
 
 let run_cmd =
   let action qf input rewrite indent time explain_analyze strategy parallel
-      timeout max_groups max_mem spill_at spill_dir no_spill =
+      batch timeout max_groups max_mem spill_at spill_dir no_spill =
     run_common ~source:(read_file qf) ~input ~rewrite ~indent ~time
-      ~explain_analyze ~strategy ~parallel ~timeout ~max_groups ~max_mem
-      ~spill_at ~spill_dir ~no_spill
+      ~explain_analyze ~strategy ~parallel ~batch ~timeout ~max_groups
+      ~max_mem ~spill_at ~spill_dir ~no_spill
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a query file against an XML document.")
     Term.(
       const action $ query_file $ input_file $ rewrite_flag $ indent_flag
       $ time_flag $ explain_analyze_flag $ strategy_opt $ parallel_opt
-      $ timeout_opt $ max_groups_opt $ max_mem_opt $ spill_at_opt
+      $ batch_opt $ timeout_opt $ max_groups_opt $ max_mem_opt $ spill_at_opt
       $ spill_dir_opt $ no_spill_flag)
 
 let eval_cmd =
   let action expr input rewrite indent time explain_analyze strategy parallel
-      timeout max_groups max_mem spill_at spill_dir no_spill =
+      batch timeout max_groups max_mem spill_at spill_dir no_spill =
     run_common ~source:expr ~input ~rewrite ~indent ~time ~explain_analyze
-      ~strategy ~parallel ~timeout ~max_groups ~max_mem ~spill_at ~spill_dir
-      ~no_spill
+      ~strategy ~parallel ~batch ~timeout ~max_groups ~max_mem ~spill_at
+      ~spill_dir ~no_spill
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a query given on the command line.")
     Term.(
       const action $ query_string $ input_file $ rewrite_flag $ indent_flag
       $ time_flag $ explain_analyze_flag $ strategy_opt $ parallel_opt
-      $ timeout_opt $ max_groups_opt $ max_mem_opt $ spill_at_opt
+      $ batch_opt $ timeout_opt $ max_groups_opt $ max_mem_opt $ spill_at_opt
       $ spill_dir_opt $ no_spill_flag)
 
 let check_cmd =
@@ -320,8 +333,8 @@ let plan_optimize_flag =
   Arg.(value & flag & info [ "optimize" ] ~doc)
 
 let profile_cmd =
-  let action qf input optimize strategy parallel timeout max_groups max_mem
-      spill_at spill_dir no_spill =
+  let action qf input optimize strategy parallel batch timeout max_groups
+      max_mem spill_at spill_dir no_spill =
     with_errors (fun () ->
       apply_spill ~spill_dir ~no_spill;
       governed ?timeout_ms:timeout ?max_groups ?max_mem_mb:max_mem
@@ -329,6 +342,7 @@ let profile_cmd =
           (Option.map (fun mb -> mb * 1024 * 1024) spill_at)
         (fun gov ->
         apply_parallel parallel;
+        (match batch with Some n -> Xq.Batch.set_size (Some n) | None -> ());
         let doc = load_input input in
         (match gov with
          | Some g -> Xq.Governor.rebaseline g
@@ -354,19 +368,21 @@ let profile_cmd =
           let result, stats =
             Xq.Algebra.Exec.run_instrumented ?parallel ctx plan
           in
-          Printf.printf "\n%-24s %10s %10s %10s %10s %10s %5s %12s\n"
-            "operator" "rows in" "rows out" "groups" "cmp" "walks" "par"
-            "cpu ms";
+          Printf.printf "\n%-24s %10s %10s %10s %10s %10s %8s %8s %5s %12s\n"
+            "operator" "rows in" "rows out" "groups" "cmp" "walks" "dict"
+            "batches" "par" "cpu ms";
           List.iter
             (fun (s : Xq.Algebra.Exec.Stats.entry) ->
-              Printf.printf "%-24s %10d %10d %10s %10d %10d %5d %12.2f\n"
+              Printf.printf "%-24s %10d %10d %10s %10d %10d %8d %8d %5d %12.2f\n"
                 s.Xq.Algebra.Exec.Stats.label s.Xq.Algebra.Exec.Stats.rows_in
                 s.Xq.Algebra.Exec.Stats.rows_out
                 (match s.Xq.Algebra.Exec.Stats.groups_built with
                  | Some g -> string_of_int g
                  | None -> "-")
                 s.Xq.Algebra.Exec.Stats.cmp_calls
-                s.Xq.Algebra.Exec.Stats.key_walks s.Xq.Algebra.Exec.Stats.par
+                s.Xq.Algebra.Exec.Stats.key_walks
+                s.Xq.Algebra.Exec.Stats.dict_interns
+                s.Xq.Algebra.Exec.Stats.batches s.Xq.Algebra.Exec.Stats.par
                 s.Xq.Algebra.Exec.Stats.elapsed_ms)
             stats;
           Printf.printf "\nresult: %d item(s)\n" (Xq.length result);
@@ -382,8 +398,9 @@ let profile_cmd =
              row counts, comparator calls and CPU time.")
     Term.(
       const action $ query_file $ input_file $ plan_optimize_flag
-      $ strategy_opt $ parallel_opt $ timeout_opt $ max_groups_opt
-      $ max_mem_opt $ spill_at_opt $ spill_dir_opt $ no_spill_flag)
+      $ strategy_opt $ parallel_opt $ batch_opt $ timeout_opt
+      $ max_groups_opt $ max_mem_opt $ spill_at_opt $ spill_dir_opt
+      $ no_spill_flag)
 
 let gen_cmd =
   let workload =

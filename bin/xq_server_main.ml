@@ -183,6 +183,12 @@ let run_cmd =
       & opt (some (pos_int "--parallel")) None
       & info [ "parallel" ] ~docv:"N" ~doc:"Domain-pool degree.")
   in
+  let batch_opt =
+    Arg.(
+      value
+      & opt (some (pos_int "--batch")) None
+      & info [ "batch" ] ~docv:"N" ~doc:"Executor batch size (1 = item-at-a-time).")
+  in
   let timeout_opt =
     Arg.(
       value
@@ -218,7 +224,7 @@ let run_cmd =
   let indent_flag =
     Arg.(value & flag & info [ "indent" ] ~doc:"Pretty-print the output.")
   in
-  let action socket qf input inline strategy parallel timeout max_groups
+  let action socket qf input inline strategy parallel batch timeout max_groups
       max_mem spill_at rewrite use_index indent =
     let rq_doc =
       match input with
@@ -241,6 +247,7 @@ let run_cmd =
               {
                 k_strategy = strategy;
                 k_parallel = parallel;
+                k_batch = batch;
                 k_rewrite = rewrite;
                 k_use_index = use_index;
                 k_timeout_ms = timeout;
@@ -263,7 +270,7 @@ let run_cmd =
           'xq run' would.")
     Term.(
       const action $ socket_arg $ query_file $ input_file $ inline_flag
-      $ strategy_opt $ parallel_opt $ timeout_opt $ max_groups_opt
+      $ strategy_opt $ parallel_opt $ batch_opt $ timeout_opt $ max_groups_opt
       $ max_mem_opt $ spill_at_opt $ rewrite_flag $ index_flag $ indent_flag)
 
 let stats_cmd =

@@ -122,79 +122,247 @@ let shape_parallel_keys ctx (shape : Plan.group_shape) =
     (fun (k : Ast.group_key) -> Xq_engine.Eval.parallel_safe ctx k.Ast.key_expr)
     shape.Plan.keys
 
-(* Apply one operator to its (already materialized) input stream. [tally]
-   counts the operator's comparator work (key equality tests, sort
-   comparisons). [parallel] is the domain-pool degree; 1 (the default)
-   is the sequential code path, and any degree produces byte-identical
-   output. *)
-let step ?tally ?(parallel = 1) ctx (op : Plan.op) (input : tuple list) :
-    tuple list =
-  Governor.tick ();
+(* --- batched pipeline --------------------------------------------------- *)
+
+(* The executor is batch-at-a-time: tuples flow between operators in
+   vectors of [Batch.size ()] (default 4096, [XQ_BATCH]/[--batch]), so
+   per-tuple dispatch, governor bookkeeping and domain-pool task setup
+   amortize over a whole vector. Each operator is a sink: [push] consumes
+   one vector, [close] flushes whatever the operator buffered (expansion
+   remainders, the sort's accumulated input, a group builder) and closes
+   downstream. [Unit] is the source — its [close] injects the seed tuple
+   and drives the cascade. At [XQ_BATCH=1] the same code degenerates to
+   item-at-a-time execution (every vector is a singleton), which is the
+   bench ablation's baseline mode.
+
+   Byte-identity at any batch size: stateless operators are pure maps
+   over each vector; stateful ones (Number's counter, Sort's barrier,
+   the group builders — see {!Xq_engine.Group.builder}) are defined over
+   the concatenated stream, which is independent of where vector
+   boundaries fall. *)
+
+module Batch = Xq_par.Batch
+
+type vec = tuple array
+
+type sink = { push : vec -> unit; close : unit -> unit }
+
+(* Accumulate single tuples and emit full vectors downstream. *)
+let rebatcher batch down =
+  let cap = max 1 batch in
+  let buf = Array.make cap Smap.empty in
+  let fill = ref 0 in
+  let flush () =
+    if !fill > 0 then begin
+      down.push (Array.sub buf 0 !fill);
+      fill := 0
+    end
+  in
+  let push_one t =
+    Array.unsafe_set buf !fill t;
+    incr fill;
+    if !fill >= cap then flush ()
+  in
+  (push_one, flush)
+
+let scan_comparators ctx (shape : Plan.group_shape) =
+  let module Key = Xq_engine.Key in
+  let comparators =
+    Array.of_list
+      (List.map
+         (fun (k : Ast.group_key) ->
+           match k.Ast.using with
+           | None ->
+             fun (a : Key.single) (b : Key.single) -> Key.equal_single a b
+           | Some fname ->
+             fun (a : Key.single) (b : Key.single) ->
+               apply_equality ctx fname a.Key.orig b.Key.orig)
+         shape.Plan.keys)
+  in
+  fun i a b -> comparators.(i) a b
+
+(* Build the sink for one operator. [tally] counts comparator work (key
+   equality tests, sort comparisons); [batches] counts the input vectors
+   the operator receives (EXPLAIN's [batch=] annotation). [parallel] is
+   the domain-pool degree; any degree produces byte-identical output. *)
+let op_sink ?tally ?batches ~batch ~parallel ctx (op : Plan.op) (down : sink) :
+    sink =
+  let count_batch () = match batches with Some r -> incr r | None -> () in
   match op with
-  | Plan.Unit -> [ Smap.empty ]
+  | Plan.Unit ->
+    {
+      push = (fun _ -> ());
+      close =
+        (fun () ->
+          Governor.tick ();
+          down.push [| Smap.empty |];
+          down.close ());
+    }
   | Plan.For_expand { var; positional; source; _ } ->
-    List.concat_map
-      (fun tuple ->
-        let items = eval_in ctx tuple source in
-        List.mapi
-          (fun i item ->
-            let tuple = Smap.add var [ item ] tuple in
-            match positional with
-            | Some p -> Smap.add p (Xseq.of_int (i + 1)) tuple
-            | None -> tuple)
-          items)
-      input
+    let push_one, flush = rebatcher batch down in
+    {
+      push =
+        (fun vec ->
+          count_batch ();
+          Governor.tick ();
+          Array.iter
+            (fun tuple ->
+              let items = eval_in ctx tuple source in
+              List.iteri
+                (fun i item ->
+                  let t = Smap.add var [ item ] tuple in
+                  let t =
+                    match positional with
+                    | Some p -> Smap.add p (Xseq.of_int (i + 1)) t
+                    | None -> t
+                  in
+                  push_one t)
+                items)
+            vec);
+      close =
+        (fun () ->
+          flush ();
+          down.close ());
+    }
   | Plan.Let_bind { var; expr; _ } ->
-    List.map (fun tuple -> Smap.add var (eval_in ctx tuple expr) tuple) input
+    let par_ok = parallel > 1 && Xq_engine.Eval.parallel_safe ctx expr in
+    let bind tuple = Smap.add var (eval_in ctx tuple expr) tuple in
+    {
+      push =
+        (fun vec ->
+          count_batch ();
+          Governor.tick ();
+          down.push
+            (if par_ok then Par.map ~degree:parallel bind vec
+             else Array.map bind vec));
+      close = (fun () -> down.close ());
+    }
   | Plan.Select { pred; _ } ->
-    List.filter
-      (fun tuple -> Xseq.effective_boolean_value (eval_in ctx tuple pred))
-      input
+    let par_ok = parallel > 1 && Xq_engine.Eval.parallel_safe ctx pred in
+    let test tuple = Xseq.effective_boolean_value (eval_in ctx tuple pred) in
+    {
+      push =
+        (fun vec ->
+          count_batch ();
+          Governor.tick ();
+          let keep =
+            if par_ok then Par.map ~degree:parallel test vec
+            else Array.map test vec
+          in
+          let kept = Array.fold_left (fun n b -> if b then n + 1 else n) 0 keep in
+          if kept = Array.length vec then down.push vec
+          else if kept > 0 then begin
+            let out = Array.make kept Smap.empty in
+            let j = ref 0 in
+            Array.iteri
+              (fun i t ->
+                if keep.(i) then begin
+                  out.(!j) <- t;
+                  incr j
+                end)
+              vec;
+            down.push out
+          end);
+      close = (fun () -> down.close ());
+    }
   | Plan.Number { var; _ } ->
-    List.mapi (fun i tuple -> Smap.add var (Xseq.of_int (i + 1)) tuple) input
+    let n = ref 0 in
+    {
+      push =
+        (fun vec ->
+          count_batch ();
+          Governor.tick ();
+          down.push
+            (Array.map
+               (fun t ->
+                 incr n;
+                 Smap.add var (Xseq.of_int !n) t)
+               vec));
+      close = (fun () -> down.close ());
+    }
   | Plan.Window_expand { window; _ } ->
-    List.concat_map
-      (fun tuple ->
-        List.map
-          (fun bindings ->
-            List.fold_left
-              (fun m (v, value) -> Smap.add v value m)
-              Smap.empty bindings)
-          (Xq_engine.Eval.expand_window_bindings ctx window
-             (Smap.bindings tuple)))
-      input
-  | Plan.Sort { specs; _ } -> sort_tuples ?tally ~parallel ctx specs input
-  | Plan.Hash_group shape ->
-    group_output ?tally ctx shape
-      (Xq_engine.Group.group_hash ?tally ~spill:tuple_codec ~parallel
-         ~parallel_keys:(parallel > 1 && shape_parallel_keys ctx shape)
-         ~keys_of:(shape_keys_of ctx shape) input)
-  | Plan.Sort_group { shape; sorted_output } ->
-    group_output ?tally ctx shape
-      (Xq_engine.Group.group_sort ?tally ~sorted_output ~spill:tuple_codec
-         ~parallel
-         ~parallel_keys:(parallel > 1 && shape_parallel_keys ctx shape)
-         ~keys_of:(shape_keys_of ctx shape) input)
-  | Plan.Scan_group shape ->
-    let module Key = Xq_engine.Key in
-    let comparators =
-      Array.of_list
-        (List.map
-           (fun (k : Ast.group_key) ->
-             match k.Ast.using with
-             | None ->
-               fun (a : Key.single) (b : Key.single) -> Key.equal_single a b
-             | Some fname ->
-               fun (a : Key.single) (b : Key.single) ->
-                 apply_equality ctx fname a.Key.orig b.Key.orig)
-           shape.Plan.keys)
+    let push_one, flush = rebatcher batch down in
+    {
+      push =
+        (fun vec ->
+          count_batch ();
+          Governor.tick ();
+          Array.iter
+            (fun tuple ->
+              List.iter
+                (fun bindings ->
+                  push_one
+                    (List.fold_left
+                       (fun m (v, value) -> Smap.add v value m)
+                       Smap.empty bindings))
+                (Xq_engine.Eval.expand_window_bindings ctx window
+                   (Smap.bindings tuple)))
+            vec);
+      close =
+        (fun () ->
+          flush ();
+          down.close ());
+    }
+  | Plan.Sort { specs; _ } ->
+    (* a barrier: order is only defined over the whole stream *)
+    let acc = ref [] in
+    {
+      push =
+        (fun vec ->
+          count_batch ();
+          acc := vec :: !acc);
+      close =
+        (fun () ->
+          Governor.tick ();
+          let input = List.concat_map Array.to_list (List.rev !acc) in
+          acc := [];
+          let push_one, flush = rebatcher batch down in
+          List.iter push_one (sort_tuples ?tally ~parallel ctx specs input);
+          flush ();
+          down.close ());
+    }
+  | Plan.Hash_group _ | Plan.Sort_group _ | Plan.Scan_group _ ->
+    let shape =
+      match op with
+      | Plan.Hash_group s | Plan.Scan_group s -> s
+      | Plan.Sort_group { shape; _ } -> shape
+      | _ -> assert false
     in
-    group_output ?tally ctx shape
-      (Xq_engine.Group.group_scan ?tally ~parallel
-         ~parallel_keys:(parallel > 1 && shape_parallel_keys ctx shape)
-         ~keys_of:(shape_keys_of ctx shape)
-         ~equal:(fun i a b -> comparators.(i) a b)
-         input)
+    let mode =
+      match op with
+      | Plan.Hash_group _ -> `Hash
+      | Plan.Sort_group { sorted_output; _ } -> `Sort sorted_output
+      | _ -> `Scan (scan_comparators ctx shape)
+    in
+    (* EXPLAIN-fed presizing: a previous run of a structurally identical
+       grouping reported its group count; start the hash tables there.
+       Skipped at batch size 1 (the baseline mode measures unsized
+       builds); the count is re-reported after every finish. *)
+    let signature = Plan.op_line op in
+    let presize =
+      if batch > 1 then Optimizer.estimated_groups ~signature else None
+    in
+    let bld =
+      Xq_engine.Group.builder ?tally ?presize ~spill:tuple_codec ~parallel
+        ~parallel_keys:(parallel > 1 && shape_parallel_keys ctx shape)
+        ~mode
+        ~keys_of:(shape_keys_of ctx shape)
+        ()
+    in
+    {
+      push =
+        (fun vec ->
+          count_batch ();
+          Xq_engine.Group.feed bld vec);
+      close =
+        (fun () ->
+          let groups = Xq_engine.Group.finish bld in
+          Optimizer.note_groups ~signature (List.length groups);
+          let push_one, flush = rebatcher batch down in
+          List.iter push_one (group_output ?tally ctx shape groups);
+          flush ();
+          down.close ());
+    }
 
 (* The pipeline is a linear chain; list its operators innermost first. *)
 let linearize op =
@@ -204,11 +372,6 @@ let linearize op =
     | Some input -> go (op :: acc) input
   in
   go [] op
-
-let rec tuples ?parallel ctx (op : Plan.op) : tuple list =
-  match Plan.input_of op with
-  | None -> step ?parallel ctx op []
-  | Some input -> step ?parallel ctx op (tuples ?parallel ctx input)
 
 (* --- instrumentation ------------------------------------------------------ *)
 
@@ -223,6 +386,10 @@ module Stats = struct
     spilled_bytes : int;
     spill_files : int;
     repartitions : int;
+    dict_interns : int;
+    dict_entries : int;
+    batches : int;
+    batch : int;
     par : int;
     elapsed_ms : float;
   }
@@ -268,24 +435,53 @@ let number_stream plan stream =
   | Some v -> List.mapi (fun i t -> Smap.add v (Xseq.of_int (i + 1)) t) stream
 
 (* Which operators can actually use the pool (the [par=] annotation). *)
-let op_parallelizable = function
+let op_parallelizable ctx = function
   | Plan.Sort _ -> true
+  | Plan.Let_bind { expr; _ } -> Xq_engine.Eval.parallel_safe ctx expr
+  | Plan.Select { pred; _ } -> Xq_engine.Eval.parallel_safe ctx pred
   | op -> is_grouping op
+
+(* Run one operator over a materialized input, feeding it vectors of
+   [batch] tuples — the instrumented path stays operator-at-a-time (so
+   per-operator timings and deltas are exact) while exercising exactly
+   the sinks the streaming [run] uses. *)
+let apply_op ?tally ?batches ~batch ~parallel ctx op input =
+  let acc = ref [] in
+  let collector =
+    { push = (fun vec -> acc := vec :: !acc); close = (fun () -> ()) }
+  in
+  let s = op_sink ?tally ?batches ~batch ~parallel ctx op collector in
+  (match op with
+  | Plan.Unit -> ()
+  | _ ->
+    let arr = Array.of_list input in
+    let n = Array.length arr in
+    let base = ref 0 in
+    while !base < n do
+      let len = min batch (n - !base) in
+      s.push (Array.sub arr !base len);
+      base := !base + len
+    done);
+  s.close ();
+  List.concat_map Array.to_list (List.rev !acc)
 
 let run_instrumented ?(parallel = 1) ctx (plan : Plan.plan) =
   (* CPU-time profile per operator, innermost first (Sys.time keeps the
      library free of clock dependencies; the bench harness uses the
      monotonic clock for wall time). *)
+  let batch = Batch.size () in
   let stats = ref [] in
   let stream =
     List.fold_left
       (fun input op ->
         let tally = ref 0 in
+        let batches = ref 0 in
         let rows_in = List.length input in
         let walks0 = Xq_engine.Key.walk_count () in
+        let interns0 = Xq_engine.Key.intern_count () in
         let sb0, sf0, rp0 = spill_now () in
         let t0 = Sys.time () in
-        let out = step ~tally ~parallel ctx op input in
+        let out = apply_op ~tally ~batches ~batch ~parallel ctx op input in
         let elapsed_ms = (Sys.time () -. t0) *. 1000.0 in
         let sb1, sf1, rp1 = spill_now () in
         let rows_out = List.length out in
@@ -300,7 +496,11 @@ let run_instrumented ?(parallel = 1) ctx (plan : Plan.plan) =
             spilled_bytes = sb1 - sb0;
             spill_files = sf1 - sf0;
             repartitions = rp1 - rp0;
-            par = (if op_parallelizable op then parallel else 1);
+            dict_interns = Xq_engine.Key.intern_count () - interns0;
+            dict_entries = Xq_engine.Key.dict_size ();
+            batches = !batches;
+            batch;
+            par = (if op_parallelizable ctx op then parallel else 1);
             elapsed_ms;
           }
           :: !stats;
@@ -325,6 +525,10 @@ let run_instrumented ?(parallel = 1) ctx (plan : Plan.plan) =
       spilled_bytes = 0;
       spill_files = 0;
       repartitions = 0;
+      dict_interns = 0;
+      dict_entries = 0;
+      batches = 0;
+      batch;
       par = 1;
       elapsed_ms;
     }
@@ -350,9 +554,36 @@ let run_profiled ?parallel ctx (plan : Plan.plan) =
       stats )
 
 let run ?parallel ctx (plan : Plan.plan) =
-  let numbered = number_stream plan (tuples ?parallel ctx plan.Plan.pipeline) in
-  Xseq.concat
-    (List.map (fun t -> eval_in ctx t plan.Plan.return_expr) numbered)
+  let parallel = match parallel with Some p -> p | None -> 1 in
+  let batch = Batch.size () in
+  let rev_out = ref [] in
+  let counter = ref 0 in
+  let final =
+    {
+      push =
+        (fun vec ->
+          Array.iter
+            (fun t ->
+              let t =
+                match plan.Plan.return_at with
+                | None -> t
+                | Some v ->
+                  incr counter;
+                  Smap.add v (Xseq.of_int !counter) t
+              in
+              rev_out := eval_in ctx t plan.Plan.return_expr :: !rev_out)
+            vec);
+      close = (fun () -> ());
+    }
+  in
+  let chain =
+    List.fold_right
+      (fun op down -> op_sink ~batch ~parallel ctx op down)
+      (linearize plan.Plan.pipeline)
+      final
+  in
+  chain.close ();
+  Xseq.concat (List.rev !rev_out)
 
 (* The body's top-level FLWORs (including members of a top-level sequence)
    execute through plans; other expressions — and FLWORs nested inside

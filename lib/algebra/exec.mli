@@ -34,6 +34,15 @@ module Stats : sig
     spill_files : int;   (** spill files this operator created *)
     repartitions : int;
         (** recursive repartition passes over oversized spill files *)
+    dict_interns : int;
+        (** node keys this operator interned into the key dictionary
+            (0 for non-grouping operators and for small inputs) *)
+    dict_entries : int;
+        (** size of the process key dictionary after this operator *)
+    batches : int;
+        (** input vectors the operator consumed (1 for small inputs;
+            0 for sources) *)
+    batch : int;         (** configured batch size ([XQ_BATCH]/[--batch]) *)
     par : int;
         (** domain-pool degree available to this operator (1 when the
             operator cannot parallelize) *)

@@ -201,3 +201,34 @@ let apply_strategy strategy (plan : Plan.plan) =
   | Hash -> plan
   | Sort | Auto ->
     { plan with Plan.pipeline = map_strategy strategy plan.Plan.pipeline }
+
+(* --- group-cardinality estimates (table presizing) ----------------------- *)
+
+(* EXPLAIN-fed feedback loop: every executed grouping operator reports
+   how many groups it built, keyed on its [Plan.op_line] signature; the
+   next execution of a structurally identical operator presizes its hash
+   tables from that estimate instead of growing by rehash from the
+   64-slot default. Purely a performance hint — a stale or missing
+   estimate never changes results. Process-wide (the server's resident
+   queries are the main beneficiary), bounded, and disabled alongside
+   the other batched-execution fast paths for baseline measurements. *)
+
+let estimates : (string, int) Hashtbl.t = Hashtbl.create 64
+let estimates_lock = Mutex.create ()
+let estimates_cap = 512
+let estimate_feedback = Atomic.make true
+
+let set_estimate_feedback b = Atomic.set estimate_feedback b
+
+let note_groups ~signature n =
+  if Atomic.get estimate_feedback && n > 0 then
+    Mutex.protect estimates_lock (fun () ->
+        if
+          Hashtbl.length estimates >= estimates_cap
+          && not (Hashtbl.mem estimates signature)
+        then Hashtbl.reset estimates;
+        Hashtbl.replace estimates signature n)
+
+let estimated_groups ~signature =
+  if not (Atomic.get estimate_feedback) then None
+  else Mutex.protect estimates_lock (fun () -> Hashtbl.find_opt estimates signature)

@@ -48,3 +48,20 @@ val strategy_to_string : group_strategy -> string
 val strategy_from_env : unit -> group_strategy
 
 val apply_strategy : group_strategy -> Plan.plan -> Plan.plan
+
+(** {1 Group-cardinality estimates}
+
+    A process-wide feedback registry: executed grouping operators report
+    the group count they built, keyed on the operator's [Plan.op_line]
+    signature, and later executions of a structurally identical operator
+    presize their hash tables from it. A hint only — results never
+    depend on it. *)
+
+(** Record that the operator with this signature built [n] groups. *)
+val note_groups : signature:string -> int -> unit
+
+(** Last recorded group count for this signature, if any. *)
+val estimated_groups : signature:string -> int option
+
+(** Disable/enable the registry (bench item-at-a-time baselines). *)
+val set_estimate_feedback : bool -> unit

@@ -5,6 +5,7 @@ module Engine = Xq_engine
 module Rewrite = Xq_rewrite
 module Algebra = Xq_algebra
 module Par = Xq_par.Par
+module Batch = Xq_par.Batch
 module Governor = Xq_governor.Governor
 module Spill = Xq_spill.Spill
 module Refimpl = Xq_refimpl.Refimpl

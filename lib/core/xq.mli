@@ -25,6 +25,9 @@ module Algebra = Xq_algebra
 (** Fork-join domain pool behind [--parallel] / [XQ_PARALLEL]. *)
 module Par = Xq_par.Par
 
+(** Executor batch size behind [--batch] / [XQ_BATCH]. *)
+module Batch = Xq_par.Batch
+
 (** Per-query resource governor: deadlines, group/memory budgets,
     cooperative cancellation, fault injection ([XQ_FAULTS]). *)
 module Governor = Xq_governor.Governor

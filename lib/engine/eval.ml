@@ -85,6 +85,146 @@ let test_matches axis test node =
   | Kind_attribute (Some nm) -> Node.is_attribute node && name_matches nm node
   | Kind_document -> Node.kind node = Node.Document
 
+(* --- fused path scan ---------------------------------------------------- *)
+
+(* Vectorized fast path for predicate-free child/descendant path spines
+   (e.g. [//order/lineitem], [$x/a//b]): instead of materializing the
+   intermediate node list of every step — with one focus record, one
+   [eval] dispatch and one doc-order sort per level — the whole spine
+   compiles to a bitmask NFA evaluated in a single pre-order DFS.
+
+   Bit [j] at a node means "this node is in the result of the first [j]
+   steps". A [//] step's target bit is closed over descendants by
+   inheritance; a child step's target bit is gained when the node test
+   matches. A node with bit [k] (all steps consumed) set is emitted; the
+   single pre-order walk of one root yields exactly the deduplicated
+   document order the step-at-a-time path ends with. Attributes never
+   appear (the child axis does not yield them), matching [axis_nodes].
+
+   Only active when execution is batched ([Batch.size () > 1]) — at
+   [XQ_BATCH=1] the legacy step-at-a-time scan runs, which is the
+   item-granularity baseline the bench ablation compares against. *)
+
+module Batch = Xq_par.Batch
+
+type scan_step = SChild of Ast.node_test | SDos
+
+type spine_head =
+  | HRoot  (* absolute: start at the focus item's root *)
+  | HFocus (* relative: start at the focus node *)
+  | HVar of string (* start at the nodes a variable is bound to *)
+
+let max_fused_steps = 30
+
+let compile_spine e =
+  let rec flat acc = function
+    | Ast.Slash (a, b) -> flat (b :: acc) a
+    | hd -> hd :: acc
+  in
+  let step_of = function
+    | Ast.Step (Ast.Child, t, []) -> Some (SChild t)
+    | Ast.Step (Ast.Descendant_or_self, Ast.Kind_node, []) -> Some SDos
+    | _ -> None
+  in
+  let rec steps_of acc = function
+    | [] -> Some (Array.of_list (List.rev acc))
+    | p :: ps -> (
+      match step_of p with Some s -> steps_of (s :: acc) ps | None -> None)
+  in
+  match flat [] e with
+  | parts when List.length parts > max_fused_steps -> None
+  | Ast.Root :: rest when rest <> [] ->
+    Option.map (fun s -> (HRoot, s)) (steps_of [] rest)
+  | (Ast.Step _ :: _) as parts ->
+    Option.map (fun s -> (HFocus, s)) (steps_of [] parts)
+  | Ast.Var v :: rest when rest <> [] ->
+    Option.map (fun s -> (HVar v, s)) (steps_of [] rest)
+  | _ -> None
+
+(* One DFS from [root]; appends matches in reverse pre-order to [out]. *)
+let fused_walk steps root out =
+  let k = Array.length steps in
+  let accept_bit = 1 lsl k in
+  let dos_targets = ref 0 and child_sources = ref 0 in
+  Array.iteri
+    (fun j s ->
+      match s with
+      | SDos -> dos_targets := !dos_targets lor (1 lsl (j + 1))
+      | SChild _ -> child_sources := !child_sources lor (1 lsl j))
+    steps;
+  let dos_targets = !dos_targets and child_sources = !child_sources in
+  (* cascading [//] bits only ever move upward, so one ascending pass
+     reaches the fixpoint *)
+  let closure m0 =
+    let m = ref m0 in
+    for j = 0 to k - 1 do
+      if !m land (1 lsl j) <> 0 then
+        match steps.(j) with SDos -> m := !m lor (1 lsl (j + 1)) | SChild _ -> ()
+    done;
+    !m
+  in
+  let visited = ref 0 in
+  let rec visit n m0 =
+    (* batch-granularity governor ticks: one per 256 nodes *)
+    if !visited land 255 = 0 then Governor.tick ();
+    incr visited;
+    let m = closure m0 in
+    if m land accept_bit <> 0 then out := n :: !out;
+    if m land (dos_targets lor child_sources) <> 0 then
+      List.iter
+        (fun c ->
+          let cm = ref (m land dos_targets) in
+          for j = 0 to k - 1 do
+            if m land (1 lsl j) <> 0 then
+              match steps.(j) with
+              | SChild t ->
+                if test_matches Ast.Child t c then cm := !cm lor (1 lsl (j + 1))
+              | SDos -> ()
+          done;
+          if !cm <> 0 then visit c !cm)
+        (Node.children n)
+  in
+  visit root 1
+
+(* [Some result] when the spine qualifies and the start nodes resolve,
+   [None] to fall back to the step-at-a-time scan (which also owns the
+   error cases, e.g. '/' with an atomic focus). [HVar] evaluation is a
+   pure lookup, so falling back after it cannot double side effects. *)
+let fused_scan_path ctx e =
+  if not (Batch.batched ()) then None
+  else
+    match compile_spine e with
+    | None -> None
+    | Some (head, steps) ->
+      let focus_node () =
+        match Context.focus ctx with
+        | Some { Context.item = Item.Node n; _ } -> Some n
+        | Some _ | None -> None
+      in
+      let roots =
+        match head with
+        | HRoot -> Option.map (fun n -> [ Node.root n ]) (focus_node ())
+        | HFocus -> Option.map (fun n -> [ n ]) (focus_node ())
+        | HVar v -> (
+          match Context.lookup ctx v with
+          | Some seq -> Some (Xseq.nodes seq)
+          | None -> None)
+      in
+      match roots with
+      | None -> None
+      | Some roots ->
+        let acc = ref [] in
+        List.iter (fun r -> fused_walk steps r acc) roots;
+        let nodes = List.rev !acc in
+        let nodes =
+          (* a single root's pre-order is already deduplicated document
+             order; several (possibly nested) roots need the full sort *)
+          match roots with
+          | [] | [ _ ] -> nodes
+          | _ -> Node.sort_in_doc_order nodes
+        in
+        Some (Xseq.of_nodes nodes)
+
 (* --- main evaluator ---------------------------------------------------- *)
 
 (* May [e] be evaluated concurrently on several domains? The evaluator
@@ -237,7 +377,10 @@ and eval_quantified ctx q binds body =
 and eval_slash ctx a b =
   match index_fast_path ctx a b with
   | Some result -> result
-  | None -> eval_slash_scan ctx a b
+  | None -> (
+    match fused_scan_path ctx (Ast.Slash (a, b)) with
+    | Some result -> result
+    | None -> eval_slash_scan ctx a b)
 
 (* Answer //name (i.e. /descendant-or-self::node()/child::name) from the
    element-name index when one is registered for the context tree. *)

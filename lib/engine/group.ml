@@ -22,25 +22,35 @@ let tick = function Some r -> incr r | None -> ()
 
 (* --- canonicalization --------------------------------------------------- *)
 
-(* Evaluate and canonicalize every tuple's key list. Key evaluation runs
-   on the pool only when the caller vouches it is thread-safe
+(* Inputs below this many tuples never intern keys in the dictionary —
+   keeps the golden-explain corpus (and every other tiny query) free of
+   dictionary state while large builds get int-code probes. *)
+let dict_min_input = 256
+
+(* Canonicalize one batch of tuples' key lists. Key evaluation runs on
+   the pool only when the caller vouches it is thread-safe
    ([parallel_keys] — the evaluator checks the key expressions construct
    no nodes); canonicalization itself only reads the tree and always
-   parallelizes. *)
-let canonicalized ~parallel ~parallel_keys ~keys_of tuples =
-  let arr = Array.of_list tuples in
-  if parallel > 1 && parallel_keys then
-    Par.map ~degree:parallel ~min_chunk:par_keys_min_chunk
-      (fun t -> (Key.canonicalize (keys_of t), t))
-      arr
-  else begin
-    let keys = Array.map keys_of arr in
-    let canon =
+   parallelizes. [fed] is how many tuples earlier batches contributed:
+   once the input is provably ≥ [dict_min_input] and execution is
+   batched, node keys intern to dictionary codes (raw and interned
+   canons agree on hash/equality, so the mid-stream switch is sound). *)
+let canonicalize_slice ~parallel ~parallel_keys ~keys_of ~fed slice =
+  let run () =
+    if parallel > 1 && parallel_keys then
+      Par.map ~degree:parallel ~min_chunk:par_keys_min_chunk
+        (fun t -> Key.canonicalize (keys_of t))
+        slice
+    else if parallel > 1 then begin
+      let keys = Array.map keys_of slice in
       Par.map ~degree:parallel ~min_chunk:par_keys_min_chunk Key.canonicalize
         keys
-    in
-    Array.map2 (fun k t -> (k, t)) canon arr
-  end
+    end
+    else Array.map (fun t -> Key.canonicalize (keys_of t)) slice
+  in
+  if Xq_par.Batch.batched () && fed + Array.length slice >= dict_min_input then
+    Key.with_interning run
+  else run ()
 
 (* --- hash-based building ------------------------------------------------ *)
 
@@ -49,71 +59,6 @@ type 'a cell = {
   c_first : int; (* input index of the first member — the group's rank *)
   mutable rev_members : 'a list;
 }
-
-(* One hash-grouping pass over the indices whose hash [accept]s; buckets
-   key on the full hash value, probes compare canonical keys. Returns
-   cells in first-encounter order. *)
-let build_seq ?tally keyed hashes accept =
-  let table : (int, 'a cell list ref) Hashtbl.t = Hashtbl.create 64 in
-  let order = ref [] in
-  let n = Array.length keyed in
-  for i = 0 to n - 1 do
-    let h = hashes.(i) in
-    if accept h then begin
-      Governor.tick ();
-      let key, tuple = keyed.(i) in
-      let bucket =
-        match Hashtbl.find_opt table h with
-        | Some b -> b
-        | None ->
-          let b = ref [] in
-          Hashtbl.add table h b;
-          b
-      in
-      match
-        List.find_opt
-          (fun cell ->
-            tick tally;
-            Key.equal cell.c_key key)
-          !bucket
-      with
-      | Some cell -> cell.rev_members <- tuple :: cell.rev_members
-      | None ->
-        Governor.count_groups 1;
-        let cell = { c_key = key; c_first = i; rev_members = [ tuple ] } in
-        bucket := cell :: !bucket;
-        order := cell :: !order
-    end
-  done;
-  List.rev !order
-
-(* Hash-partitioned parallel build: domain [j] owns the tuples whose key
-   hash is ≡ j (mod degree), so equal keys always land in one partition
-   and each partition's Hashtbl sees exactly the probes the sequential
-   build would have made for those tuples — the summed tally is
-   identical. The merged group order (ascending first-member index) is
-   the sequential first-encounter order. *)
-let build ?tally ~parallel keyed hashes =
-  let n = Array.length keyed in
-  let p = if n >= par_build_min then max 1 (min parallel n) else 1 in
-  if p <= 1 then build_seq ?tally keyed hashes (fun _ -> true)
-  else begin
-    let parts = Array.make p [] in
-    let tallies = Array.make p 0 in
-    Par.run_tasks
-      (Array.init p (fun j ->
-           fun () ->
-             let t = ref 0 in
-             parts.(j) <-
-               build_seq ~tally:t keyed hashes (fun h -> (h land max_int) mod p = j);
-             tallies.(j) <- !t));
-    (match tally with
-     | Some r -> r := !r + Array.fold_left ( + ) 0 tallies
-     | None -> ());
-    List.sort
-      (fun a b -> Int.compare a.c_first b.c_first)
-      (List.concat (Array.to_list parts))
-  end
 
 let to_groups cells =
   List.map
@@ -502,90 +447,6 @@ let ext_part_cells ?tally part =
           merge_sorted_runs ?tally part file (List.rev part.runs)
         else replay_hash ?tally part file 0)
 
-let group_ext ?tally ~codec ~sort_mode ~sorted_output ~hash_fn ~parallel
-    ~parallel_keys ~keys_of tuples =
-  let arr = Array.of_list tuples in
-  let n = Array.length arr in
-  let p = if n >= par_build_min then max 1 (min parallel n) else 1 in
-  (* All [p] partitions replay concurrently in the merge phase, so each
-     one's threshold is the watermark divided by [p]: their combined
-     replay buffers stay within one watermark, which is exactly the
-     headroom the CLI default leaves below the hard budget (watermark =
-     budget / 2) — merge-phase growth cannot blow through the budget
-     the flushes just averted. *)
-  let threshold = max (Governor.spill_watermark () / p) 4096 in
-  let parts = Array.init p (fun _ -> new_part ~codec ~sort_mode ~threshold) in
-  Fun.protect
-    ~finally:(fun () ->
-      Array.iter
-        (fun part ->
-          match part.pfile with Some f -> Spill.File.close f | None -> ())
-        parts)
-    (fun () ->
-      let base = ref 0 in
-      while !base < n do
-        let len = min ext_batch (n - !base) in
-        let slice = Array.sub arr !base len in
-        let keys =
-          if parallel > 1 && parallel_keys then
-            Par.map ~degree:parallel ~min_chunk:par_keys_min_chunk
-              (fun t -> Key.canonicalize (keys_of t))
-              slice
-          else if parallel > 1 then begin
-            let ks = Array.map keys_of slice in
-            Par.map ~degree:parallel ~min_chunk:par_keys_min_chunk
-              Key.canonicalize ks
-          end
-          else Array.map (fun t -> Key.canonicalize (keys_of t)) slice
-        in
-        let hashes = Array.map hash_fn keys in
-        (* Under Gc-dominated pressure the estimate can sit above the
-           watermark for the rest of the build, so the callback fires on
-           every slow tick. Only flush once the table holds enough to be
-           worth a frame, and collect right after so the freed keys and
-           cells are actually reusable before the hard-budget check. *)
-        let flush_floor = max 65536 (Governor.spill_watermark () / (16 * p)) in
-        let pressure_flush j () =
-          if parts.(j).live_charge >= flush_floor then begin
-            flush_part parts.(j);
-            Gc.full_major ()
-          end
-        in
-        let insert_range j accept =
-          Governor.with_pressure_callback (pressure_flush j)
-            (fun () ->
-              for i = 0 to len - 1 do
-                if accept hashes.(i) then
-                  ext_insert ?tally parts.(j) hashes.(i) keys.(i) slice.(i)
-                    (!base + i)
-              done)
-        in
-        if p = 1 then insert_range 0 (fun _ -> true)
-        else
-          Par.run_tasks
-            (Array.init p (fun j ->
-                 fun () -> insert_range j (fun h -> (h land max_int) mod p = j)));
-        base := !base + len
-      done;
-      let per_part = Array.make p [] in
-      if p = 1 then per_part.(0) <- ext_part_cells ?tally parts.(0)
-      else
-        Par.run_tasks
-          (Array.init p (fun j ->
-               fun () -> per_part.(j) <- ext_part_cells ?tally parts.(j)));
-      let cells = List.concat (Array.to_list per_part) in
-      let cells =
-        if sort_mode && sorted_output then
-          List.sort
-            (fun a b ->
-              let c = Key.compare a.c_key b.c_key in
-              if c <> 0 then c else Int.compare a.c_first b.c_first)
-            cells
-        else List.sort (fun a b -> Int.compare a.c_first b.c_first) cells
-      in
-      Governor.count_groups (List.length cells);
-      to_groups cells)
-
 (* Spill only when the caller supplied a codec, the governor arms a
    watermark, and a spill directory is usable — otherwise warn once and
    keep the in-memory path's hard-trip behaviour. *)
@@ -600,72 +461,276 @@ let spill_active = function
       false
     end
 
-(* --- strategies --------------------------------------------------------- *)
+(* --- incremental builder ------------------------------------------------- *)
+
+(* The batched executor feeds tuples a vector at a time; each strategy is
+   an accumulator created once per group operator. The one-shot
+   [group_hash]/[group_sort]/[group_scan] entry points below are thin
+   wrappers that chunk a list through a builder at [Batch.size ()].
+
+   The in-memory hash build is hash-partitioned at creation time: [p]
+   tables, table [j] owning the keys whose hash is ≡ j (mod p). Equal
+   keys always land in one partition, so each partition's table sees
+   exactly the probes a sequential build would have made for those
+   tuples — the summed tally is identical at any degree — and the merged
+   group order (ascending first-member index) is the sequential
+   first-encounter order. Below [par_build_min] tuples a feed runs the
+   partition loops inline instead of forking tasks. *)
+
+type 'a mem_state = {
+  m_p : int;
+  m_tables : (int, 'a cell list ref) Hashtbl.t array;
+  m_orders : 'a cell list ref array; (* newest-first per partition *)
+  m_hash_fn : Key.t -> int;
+  m_sort_mode : bool;
+  m_sorted_output : bool;
+}
+
+type 'a ext_state = {
+  e_p : int;
+  e_parts : 'a part array;
+  e_hash_fn : Key.t -> int;
+  e_sort_mode : bool;
+  e_sorted_output : bool;
+}
+
+type 'a scan_state = {
+  s_equal : int -> Key.single -> Key.single -> bool;
+  mutable s_rev_cells : 'a cell list; (* newest-first *)
+}
+
+type 'a impl =
+  | Mem of 'a mem_state
+  | Ext of 'a ext_state
+  | Scan of 'a scan_state
+
+type 'a builder = {
+  impl : 'a impl;
+  b_tally : int ref option;
+  b_parallel : int;
+  b_parallel_keys : bool;
+  b_keys_of : 'a -> Xseq.t list;
+  mutable b_fed : int; (* global input index of the next tuple *)
+}
 
 let hash_fn_of = function
   | None -> Key.hash
   | Some h -> fun k -> h (Key.originals k)
 
-let group_hash ?hash ?tally ?spill ?(parallel = 1) ?(parallel_keys = false)
-    ~keys_of tuples =
-  if spill_active spill then
-    group_ext ?tally
-      ~codec:(Option.get spill)
-      ~sort_mode:false ~sorted_output:false ~hash_fn:(hash_fn_of hash)
-      ~parallel ~parallel_keys ~keys_of tuples
-  else begin
-    let keyed = canonicalized ~parallel ~parallel_keys ~keys_of tuples in
-    let hashes =
-      match hash with
-      | None -> Array.map (fun (k, _) -> Key.hash k) keyed
-      | Some h -> Array.map (fun (k, _) -> h (Key.originals k)) keyed
-    in
-    to_groups (build ?tally ~parallel keyed hashes)
-  end
+(* How many groups an in-memory table is presized for: capped so a wild
+   estimate cannot allocate an absurd bucket array, floored at the
+   default so a low one costs nothing. *)
+let presize_slots ~p est = max 64 (min ((est / p) + 1) 65536)
 
-let group_sort_mem ?tally ~sorted_output ~parallel ~parallel_keys ~keys_of
-    tuples =
-  let keyed = canonicalized ~parallel ~parallel_keys ~keys_of tuples in
-  let hashes = Array.map (fun (k, _) -> Key.hash k) keyed in
-  let cells = build ?tally ~parallel keyed hashes in
-  let cells =
-    if not sorted_output then cells
-    else begin
-      (* Only the group representatives are sorted — g·log g canonical
-         comparisons instead of PR 1's n·log n subtree-walking ones. The
-         sort is stable and cells arrive in first-encounter order, so
-         ties (distinct keys the preorder conflates) keep exactly the
-         order the old sort-the-tuples implementation produced. *)
-      let arr = Array.of_list cells in
-      Par.sort ~degree:parallel ~min_chunk:par_sort_min_chunk
-        (fun a b ->
-          tick tally;
-          Governor.tick ();
-          Key.compare a.c_key b.c_key)
-        arr;
-      Array.to_list arr
-    end
+let builder ?hash ?tally ?spill ?presize ?(parallel = 1)
+    ?(parallel_keys = false) ~mode ~keys_of () =
+  let parallel = max 1 parallel in
+  let impl =
+    match mode with
+    | `Scan equal -> Scan { s_equal = equal; s_rev_cells = [] }
+    | (`Hash | `Sort _) as m ->
+      let sort_mode, sorted_output =
+        match m with `Hash -> (false, false) | `Sort so -> (true, so)
+      in
+      let hash_fn =
+        match m with `Hash -> hash_fn_of hash | `Sort _ -> Key.hash
+      in
+      if spill_active spill then begin
+        (* All [p] partitions replay concurrently in the merge phase, so
+           each one's threshold is the watermark divided by [p]: their
+           combined replay buffers stay within one watermark, which is
+           exactly the headroom the CLI default leaves below the hard
+           budget (watermark = budget / 2) — merge-phase growth cannot
+           blow through the budget the flushes just averted. *)
+        let p = parallel in
+        let threshold = max (Governor.spill_watermark () / p) 4096 in
+        let codec = Option.get spill in
+        Ext
+          {
+            e_p = p;
+            e_parts =
+              Array.init p (fun _ -> new_part ~codec ~sort_mode ~threshold);
+            e_hash_fn = hash_fn;
+            e_sort_mode = sort_mode;
+            e_sorted_output = sorted_output;
+          }
+      end
+      else begin
+        let p = parallel in
+        let slots =
+          match presize with
+          | Some est when est > 0 -> presize_slots ~p est
+          | _ -> 64
+        in
+        Mem
+          {
+            m_p = p;
+            m_tables = Array.init p (fun _ -> Hashtbl.create slots);
+            m_orders = Array.init p (fun _ -> ref []);
+            m_hash_fn = hash_fn;
+            m_sort_mode = sort_mode;
+            m_sorted_output = sorted_output;
+          }
+      end
   in
-  to_groups cells
+  {
+    impl;
+    b_tally = tally;
+    b_parallel = parallel;
+    b_parallel_keys = parallel_keys;
+    b_keys_of = keys_of;
+    b_fed = 0;
+  }
 
-let group_sort ?tally ?(sorted_output = false) ?spill ?(parallel = 1)
-    ?(parallel_keys = false) ~keys_of tuples =
-  if spill_active spill then
-    group_ext ?tally
-      ~codec:(Option.get spill)
-      ~sort_mode:true ~sorted_output ~hash_fn:Key.hash ~parallel
-      ~parallel_keys ~keys_of tuples
-  else
-    group_sort_mem ?tally ~sorted_output ~parallel ~parallel_keys ~keys_of
-      tuples
+let canonicalize_batch b slice =
+  canonicalize_slice ~parallel:b.b_parallel ~parallel_keys:b.b_parallel_keys
+    ~keys_of:b.b_keys_of ~fed:b.b_fed slice
 
-let group_scan ?tally ?(parallel = 1) ?(parallel_keys = false) ~keys_of ~equal
-    tuples =
-  let keyed = canonicalized ~parallel ~parallel_keys ~keys_of tuples in
-  let order = ref [] in
+(* One probe loop over the slice indices partition [j] accepts. The
+   governor is ticked at batch granularity (every 64 accepted tuples),
+   not per tuple — amortizing the slow-tick bookkeeping is part of what
+   batching buys. *)
+let mem_insert m tally slice keys hashes base j =
+  let p = m.m_p in
+  let table = m.m_tables.(j) and order = m.m_orders.(j) in
+  let n = Array.length slice in
+  let accepted = ref 0 in
+  for i = 0 to n - 1 do
+    let h = hashes.(i) in
+    if p = 1 || (h land max_int) mod p = j then begin
+      if !accepted land 63 = 0 then Governor.tick ();
+      incr accepted;
+      let key = keys.(i) in
+      let bucket =
+        match Hashtbl.find_opt table h with
+        | Some b -> b
+        | None ->
+          let b = ref [] in
+          Hashtbl.add table h b;
+          b
+      in
+      match
+        List.find_opt
+          (fun cell ->
+            tick tally;
+            Key.equal cell.c_key key)
+          !bucket
+      with
+      | Some cell -> cell.rev_members <- slice.(i) :: cell.rev_members
+      | None ->
+        Governor.count_groups 1;
+        let cell = { c_key = key; c_first = base + i; rev_members = [ slice.(i) ] } in
+        bucket := cell :: !bucket;
+        order := cell :: !order
+    end
+  done
+
+let feed_mem b m slice =
+  let keys = canonicalize_batch b slice in
+  let hashes = Array.map m.m_hash_fn keys in
+  let base = b.b_fed in
+  let n = Array.length slice in
+  if m.m_p = 1 || n < par_build_min then
+    for j = 0 to m.m_p - 1 do
+      mem_insert m b.b_tally slice keys hashes base j
+    done
+  else begin
+    let tallies = Array.make m.m_p 0 in
+    Par.run_tasks
+      (Array.init m.m_p (fun j ->
+           fun () ->
+             let t = ref 0 in
+             mem_insert m (Some t) slice keys hashes base j;
+             tallies.(j) <- !t));
+    match b.b_tally with
+    | Some r -> r := !r + Array.fold_left ( + ) 0 tallies
+    | None -> ()
+  end;
+  b.b_fed <- base + n
+
+let ext_close_files e =
   Array.iter
-    (fun ((key : Key.t), tuple) ->
+    (fun part ->
+      match part.pfile with Some f -> Spill.File.close f | None -> ())
+    e.e_parts
+
+let feed_ext b e slice =
+  try
+    let p = e.e_p in
+    let n = Array.length slice in
+    (* sub-slice at [ext_batch] so canonical keys for at most one small
+       window exist before their tuples are inserted (and flushable) *)
+    let off = ref 0 in
+    while !off < n do
+      let len = min ext_batch (n - !off) in
+      let sub = if !off = 0 && len = n then slice else Array.sub slice !off len in
+      let keys = canonicalize_batch b sub in
+      let hashes = Array.map e.e_hash_fn keys in
+      let base = b.b_fed in
+      (* Under Gc-dominated pressure the estimate can sit above the
+         watermark for the rest of the build, so the callback fires on
+         every slow tick. Only flush once the table holds enough to be
+         worth a frame, and collect right after so the freed keys and
+         cells are actually reusable before the hard-budget check. *)
+      let flush_floor = max 65536 (Governor.spill_watermark () / (16 * p)) in
+      let pressure_flush j () =
+        if e.e_parts.(j).live_charge >= flush_floor then begin
+          flush_part e.e_parts.(j);
+          Gc.full_major ()
+        end
+      in
+      let insert_range j accept =
+        Governor.with_pressure_callback (pressure_flush j)
+          (fun () ->
+            for i = 0 to len - 1 do
+              if accept hashes.(i) then
+                ext_insert ?tally:b.b_tally e.e_parts.(j) hashes.(i) keys.(i)
+                  sub.(i) (base + i)
+            done)
+      in
+      if p = 1 then insert_range 0 (fun _ -> true)
+      else
+        Par.run_tasks
+          (Array.init p (fun j ->
+               fun () -> insert_range j (fun h -> (h land max_int) mod p = j)));
+      b.b_fed <- base + len;
+      off := !off + len
+    done
+  with exn ->
+    ext_close_files e;
+    raise exn
+
+let finish_ext b e =
+  Fun.protect
+    ~finally:(fun () -> ext_close_files e)
+    (fun () ->
+      let p = e.e_p in
+      let per_part = Array.make p [] in
+      if p = 1 then per_part.(0) <- ext_part_cells ?tally:b.b_tally e.e_parts.(0)
+      else
+        Par.run_tasks
+          (Array.init p (fun j ->
+               fun () ->
+                 per_part.(j) <- ext_part_cells ?tally:b.b_tally e.e_parts.(j)));
+      let cells = List.concat (Array.to_list per_part) in
+      let cells =
+        if e.e_sort_mode && e.e_sorted_output then
+          List.sort
+            (fun a b ->
+              let c = Key.compare a.c_key b.c_key in
+              if c <> 0 then c else Int.compare a.c_first b.c_first)
+            cells
+        else List.sort (fun a b -> Int.compare a.c_first b.c_first) cells
+      in
+      Governor.count_groups (List.length cells);
+      to_groups cells)
+
+let feed_scan b s slice =
+  let keys = canonicalize_batch b slice in
+  Array.iteri
+    (fun i (key : Key.t) ->
       Governor.tick ();
+      let tuple = slice.(i) in
       (* compare against each existing group's representative, one key
          position at a time, short-circuiting on the first mismatch
          (unequal arity can never match) *)
@@ -678,20 +743,99 @@ let group_scan ?tally ?(parallel = 1) ?(parallel_keys = false) ~keys_of ~equal
           if i >= nk && i >= nc then true
           else if i >= nk || i >= nc then false
           else begin
-            tick tally;
-            equal i ks.(i) cs.(i) && go (i + 1)
+            tick b.b_tally;
+            s.s_equal i ks.(i) cs.(i) && go (i + 1)
           end
         in
         go 0
       in
-      match List.find_opt same !order with
+      match List.find_opt same s.s_rev_cells with
       | Some cell -> cell.rev_members <- tuple :: cell.rev_members
       | None ->
         Governor.count_groups 1;
-        order := { c_key = key; c_first = 0; rev_members = [ tuple ] } :: !order)
-    keyed;
-  (* !order is newest-first *)
-  to_groups (List.rev !order)
+        s.s_rev_cells <-
+          { c_key = key; c_first = 0; rev_members = [ tuple ] }
+          :: s.s_rev_cells)
+    keys;
+  b.b_fed <- b.b_fed + Array.length slice
+
+let feed b slice =
+  if Array.length slice > 0 then
+    match b.impl with
+    | Mem m -> feed_mem b m slice
+    | Ext e -> feed_ext b e slice
+    | Scan s -> feed_scan b s slice
+
+let finish_mem b m =
+  let cells =
+    if m.m_p = 1 then List.rev !(m.m_orders.(0))
+    else
+      List.sort
+        (fun a b -> Int.compare a.c_first b.c_first)
+        (List.concat (Array.to_list (Array.map ( ! ) m.m_orders)))
+  in
+  let cells =
+    if not (m.m_sort_mode && m.m_sorted_output) then cells
+    else begin
+      (* Only the group representatives are sorted — g·log g canonical
+         comparisons instead of PR 1's n·log n subtree-walking ones. The
+         sort is stable and cells arrive in first-encounter order, so
+         ties (distinct keys the preorder conflates) keep exactly the
+         order the old sort-the-tuples implementation produced. *)
+      let arr = Array.of_list cells in
+      Par.sort ~degree:b.b_parallel ~min_chunk:par_sort_min_chunk
+        (fun x y ->
+          tick b.b_tally;
+          Governor.tick ();
+          Key.compare x.c_key y.c_key)
+        arr;
+      Array.to_list arr
+    end
+  in
+  to_groups cells
+
+let finish b =
+  match b.impl with
+  | Mem m -> finish_mem b m
+  | Ext e -> finish_ext b e
+  | Scan s -> to_groups (List.rev s.s_rev_cells)
+
+(* --- one-shot strategy entry points ------------------------------------- *)
+
+let run_batched bld tuples =
+  let arr = Array.of_list tuples in
+  let n = Array.length arr in
+  let bs = Xq_par.Batch.size () in
+  if bs >= n then feed bld arr
+  else begin
+    let base = ref 0 in
+    while !base < n do
+      let len = min bs (n - !base) in
+      feed bld (Array.sub arr !base len);
+      base := !base + len
+    done
+  end;
+  finish bld
+
+let group_hash ?hash ?tally ?spill ?presize ?(parallel = 1)
+    ?(parallel_keys = false) ~keys_of tuples =
+  run_batched
+    (builder ?hash ?tally ?spill ?presize ~parallel ~parallel_keys ~mode:`Hash
+       ~keys_of ())
+    tuples
+
+let group_sort ?tally ?(sorted_output = false) ?spill ?presize ?(parallel = 1)
+    ?(parallel_keys = false) ~keys_of tuples =
+  run_batched
+    (builder ?tally ?spill ?presize ~parallel ~parallel_keys
+       ~mode:(`Sort sorted_output) ~keys_of ())
+    tuples
+
+let group_scan ?tally ?(parallel = 1) ?(parallel_keys = false) ~keys_of ~equal
+    tuples =
+  run_batched
+    (builder ?tally ~parallel ~parallel_keys ~mode:(`Scan equal) ~keys_of ())
+    tuples
 
 (* --- raw key-list comparison (tests) ------------------------------------ *)
 

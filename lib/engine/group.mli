@@ -68,6 +68,50 @@ type 'a group = {
     collisions. *)
 val hash_keys : Xseq.t list -> int
 
+(** {1 Incremental builder}
+
+    The batched executor's interface: one accumulator per group
+    operator, fed tuple vectors as upstream operators produce them.
+    [mode] picks the strategy ([`Sort b] is sort with [sorted_output:b];
+    [`Scan eq] is the user-equality scan). [presize] is a cardinality
+    estimate: in-memory hash tables are created with roughly that many
+    slots (clamped) instead of growing by rehash from 64.
+
+    Feeding is where key canonicalization happens; once the running
+    input size reaches an internal floor (and batching is on), node keys
+    intern into the process key dictionary ({!Key.with_interning}) so
+    probes hash/compare int codes. Interned and raw keys agree on
+    hash/equality, so results are independent of where the switch lands.
+
+    {!finish} returns the groups exactly as the one-shot entry points
+    below would for the concatenated feeds — byte-identical at any
+    batch size, parallel degree, strategy and spill watermark. *)
+
+type 'a builder
+
+val builder :
+  ?hash:(Xseq.t list -> int) ->
+  ?tally:int ref ->
+  ?spill:'a codec ->
+  ?presize:int ->
+  ?parallel:int ->
+  ?parallel_keys:bool ->
+  mode:
+    [ `Hash
+    | `Sort of bool
+    | `Scan of int -> Key.single -> Key.single -> bool ] ->
+  keys_of:('a -> Xseq.t list) ->
+  unit ->
+  'a builder
+
+(** Feed one vector of tuples (in input order). The array is not
+    retained. On a spill-path exception the builder's files are closed
+    before the exception propagates. *)
+val feed : 'a builder -> 'a array -> unit
+
+(** Merge and return the groups. Call at most once. *)
+val finish : 'a builder -> 'a group list
+
 (** [tally], on every strategy, counts comparator work: one increment
     per equality test / comparator invocation (identical at any
     [parallel] degree). [hash] overrides the bucket hash (tests use a
@@ -76,6 +120,7 @@ val group_hash :
   ?hash:(Xseq.t list -> int) ->
   ?tally:int ref ->
   ?spill:'a codec ->
+  ?presize:int ->
   ?parallel:int ->
   ?parallel_keys:bool ->
   keys_of:('a -> Xseq.t list) ->
@@ -103,6 +148,7 @@ val group_sort :
   ?tally:int ref ->
   ?sorted_output:bool ->
   ?spill:'a codec ->
+  ?presize:int ->
   ?parallel:int ->
   ?parallel_keys:bool ->
   keys_of:('a -> Xseq.t list) ->

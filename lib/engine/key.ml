@@ -27,10 +27,104 @@ open Xq_xdm
 type canon =
   | CAtom of Atomic.t
   | CNode of { fp : string; sv : string }
+  | CCode of int
 
 type single = { orig : Xseq.t; items : canon array; h : int }
 
 type t = { singles : single array; hash : int }
+
+(* --- key dictionary ----------------------------------------------------- *)
+
+(* Interns node fingerprints so grouping hashes/compares a small int code
+   instead of a fingerprint string. The table is process-wide and
+   append-only (codes stay valid for the lifetime of spill frames that
+   carry them); interning is *scoped* per query via [with_interning], so
+   small inputs and the golden-explain corpus never see codes. A code's
+   hash is memoized as [Hashtbl.hash fp] — identical to the raw [CNode]
+   hash — so interned and raw canons of the same node class agree on
+   hash and equality even when both appear in one build. *)
+module Dict = struct
+  type entry = { e_fp : string; e_sv : string; e_hash : int }
+
+  let dummy = { e_fp = ""; e_sv = ""; e_hash = 0 }
+  let cap = 1 lsl 20
+  let lock = Mutex.create ()
+  let table : (string, int) Hashtbl.t = Hashtbl.create 1024 (* guarded by [lock] *)
+
+  (* Lock-free reader side: [entries] is swapped to a grown copy *before*
+     [count] is bumped, so any reader that observes [count = n] observes
+     an array with at least [n] valid slots. *)
+  let entries = Stdlib.Atomic.make ([||] : entry array)
+  let count = Stdlib.Atomic.make 0
+  let interns = Stdlib.Atomic.make 0
+
+  let size () = Stdlib.Atomic.get count
+
+  let get code =
+    let n = Stdlib.Atomic.get count in
+    if code < 0 || code >= n then
+      invalid_arg (Printf.sprintf "Key.Dict.get: stale code %d (size %d)" code n)
+    else (Stdlib.Atomic.get entries).(code)
+
+  (* [Some (code, fresh)] or [None] once the table is full. *)
+  let intern fp sv =
+    Mutex.protect lock (fun () ->
+        match Hashtbl.find_opt table fp with
+        | Some c -> Some (c, false)
+        | None ->
+          let n = Stdlib.Atomic.get count in
+          if n >= cap then None
+          else begin
+            let arr = Stdlib.Atomic.get entries in
+            let arr =
+              if n >= Array.length arr then begin
+                let grown = Array.make (max 1024 (2 * Array.length arr)) dummy in
+                Array.blit arr 0 grown 0 n;
+                Stdlib.Atomic.set entries grown;
+                grown
+              end
+              else arr
+            in
+            arr.(n) <- { e_fp = fp; e_sv = sv; e_hash = Hashtbl.hash fp };
+            Stdlib.Atomic.set count (n + 1);
+            Hashtbl.replace table fp n;
+            Some (n, true)
+          end)
+
+  let reset () =
+    Mutex.protect lock (fun () ->
+        Hashtbl.reset table;
+        Stdlib.Atomic.set count 0;
+        Stdlib.Atomic.set entries [||];
+        Stdlib.Atomic.set interns 0)
+end
+
+(* What one interned code charges to the memory budget in place of its
+   fingerprint + string-value bytes (the strings themselves stay charged
+   once, by whichever canonicalization first interned them). *)
+let code_cost = 16
+
+let scope_depth = Stdlib.Atomic.make 0
+
+let interning_available =
+  Stdlib.Atomic.make
+    (match Sys.getenv_opt "XQ_DICT" with
+     | Some ("0" | "off" | "OFF") -> false
+     | _ -> true)
+
+let set_interning_available b = Stdlib.Atomic.set interning_available b
+
+let interning_on () =
+  Stdlib.Atomic.get interning_available && Stdlib.Atomic.get scope_depth > 0
+
+let with_interning f =
+  Stdlib.Atomic.incr scope_depth;
+  Fun.protect ~finally:(fun () -> Stdlib.Atomic.decr scope_depth) f
+
+let intern_count () = Stdlib.Atomic.get Dict.interns
+let dict_size () = Dict.size ()
+let dict_lookup code = try Some ((Dict.get code).e_fp, (Dict.get code).e_sv) with Invalid_argument _ -> None
+let reset_dict () = Dict.reset ()
 
 (* --- instrumentation: how many node subtrees were materialized -------- *)
 
@@ -131,11 +225,24 @@ let canon_of_item = function
   | Item.Atomic a -> CAtom a
   | Item.Node n ->
     let fp, sv = fingerprint n in
-    CNode { fp; sv }
+    if interning_on () then
+      match Dict.intern fp sv with
+      | Some (code, fresh) ->
+        Stdlib.Atomic.incr Dict.interns;
+        (* [fingerprint] charged fp+sv; a hit drops both strings (the
+           dictionary already holds them), a fresh entry keeps them
+           resident in the dictionary, so its charge stands. *)
+        if not fresh then
+          Xq_governor.Governor.uncharge_bytes (String.length fp + String.length sv);
+        Xq_governor.Governor.charge_bytes code_cost;
+        CCode code
+      | None -> CNode { fp; sv }
+    else CNode { fp; sv }
 
 let canon_hash = function
   | CAtom a -> Atomic.hash a
   | CNode { fp; _ } -> Hashtbl.hash fp
+  | CCode c -> (Dict.get c).e_hash
 
 let canonicalize_single (seq : Xseq.t) =
   let items = Array.of_list (List.map canon_of_item seq) in
@@ -171,7 +278,8 @@ let charged_bytes k =
         (fun acc c ->
           match c with
           | CAtom _ -> acc
-          | CNode { fp; sv } -> acc + String.length fp + String.length sv)
+          | CNode { fp; sv } -> acc + String.length fp + String.length sv
+          | CCode _ -> acc + code_cost)
         acc s.items)
     0 k.singles
 
@@ -180,21 +288,36 @@ let charged_bytes k =
    at one level spread at the next. *)
 let salt depth = mix hash_seed (0x9e3779b9 * (depth + 1))
 
+(* Spill frames carry the dictionary *code* plus nothing else — the
+   process dictionary is the side table replay resolves against (it is
+   append-only, so codes written before a spill stay valid at replay).
+   Codes outside the published dictionary are corruption (a torn or
+   cross-process frame) and fail closed. *)
 let put_canon buf = function
   | CAtom a ->
-    Binio.put_bool buf false;
+    Binio.put_varint buf 0;
     Binio.put_atom buf a
   | CNode { fp; sv } ->
-    Binio.put_bool buf true;
+    Binio.put_varint buf 1;
     Binio.put_string buf fp;
     Binio.put_string buf sv
+  | CCode c ->
+    Binio.put_varint buf 2;
+    Binio.put_varint buf c
 
 let get_canon r =
-  if Binio.get_bool r then
+  match Binio.get_varint r with
+  | 0 -> CAtom (Binio.get_atom r)
+  | 1 ->
     let fp = Binio.get_string r in
     let sv = Binio.get_string r in
     CNode { fp; sv }
-  else CAtom (Binio.get_atom r)
+  | 2 ->
+    let c = Binio.get_varint r in
+    if c < 0 || c >= Dict.size () then
+      raise (Binio.Corrupt (Printf.sprintf "dictionary code %d out of range" c))
+    else CCode c
+  | t -> raise (Binio.Corrupt (Printf.sprintf "bad canon tag %d" t))
 
 (* Stored hashes ([s.h], [k.hash]) are written out rather than
    recomputed on decode: a custom bucket hash (the [?hash] override)
@@ -232,7 +355,9 @@ let canon_equal a b =
   match a, b with
   | CAtom x, CAtom y -> Atomic.deep_eq x y
   | CNode x, CNode y -> String.equal x.fp y.fp
-  | CAtom _, CNode _ | CNode _, CAtom _ -> false
+  | CCode x, CCode y -> Int.equal x y
+  | CCode x, CNode y | CNode y, CCode x -> String.equal (Dict.get x).e_fp y.fp
+  | CAtom _, (CNode _ | CCode _) | (CNode _ | CCode _), CAtom _ -> false
 
 let arrays_for_all2 eq a b =
   let n = Array.length a in
@@ -289,6 +414,7 @@ let compare_atoms a b =
 let sort_atom = function
   | CAtom a -> a
   | CNode { sv; _ } -> Atomic.Str sv
+  | CCode c -> Atomic.Str (Dict.get c).e_sv
 
 let compare_canon a b = compare_atoms (sort_atom a) (sort_atom b)
 

@@ -22,6 +22,11 @@ type canon =
   | CNode of { fp : string; sv : string }
       (** [fp]: injective encoding of the node's deep-equal class;
           [sv]: its string value (the sort key for nodes). *)
+  | CCode of int
+      (** Dictionary code: an interned [CNode]. Hash, equality and sort
+          atom resolve through the process key dictionary and agree
+          exactly with the raw [CNode] they intern (including when one
+          side is interned and the other is not). *)
 
 (** One canonicalized key sequence (the value of one [group by] key). *)
 type single = { orig : Xseq.t; items : canon array; h : int }
@@ -84,3 +89,37 @@ val decode : Binio.node_registry -> Binio.reader -> t
 
 val walk_count : unit -> int
 val reset_walk_count : unit -> unit
+
+(** {1 Key dictionary}
+
+    A process-wide, append-only intern table keyed on node fingerprints.
+    While interning is in scope, {!canonicalize} emits [CCode] items for
+    node keys instead of raw fingerprint strings, so grouping hashes and
+    compares small int codes. Spill frames carry the codes (the
+    dictionary is the side table replay resolves against); the codec
+    rejects codes outside the published dictionary as [Binio.Corrupt]. *)
+
+(** Run [f] with dictionary interning enabled (scopes nest; thread-safe).
+    The batched executor wraps canonicalization of large inputs in this. *)
+val with_interning : (unit -> 'a) -> 'a
+
+(** Whether {!with_interning} scopes currently intern (false when disabled
+    via {!set_interning_available} or [XQ_DICT=0]). *)
+val interning_on : unit -> bool
+
+(** Process-wide kill switch (bench baselines, [XQ_DICT=0]). *)
+val set_interning_available : bool -> unit
+
+(** Monotonic count of node keys interned to a code (EXPLAIN's [dict=]
+    counter is conditional on its per-operator delta). *)
+val intern_count : unit -> int
+
+(** Number of distinct entries in the dictionary. *)
+val dict_size : unit -> int
+
+(** [(fingerprint, string-value)] for a code, or [None] if stale. *)
+val dict_lookup : int -> (string * string) option
+
+(** Drop all entries and codes. Test-only: live [CCode] keys or spill
+    frames from before a reset are invalidated by it. *)
+val reset_dict : unit -> unit

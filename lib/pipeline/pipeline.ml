@@ -11,6 +11,7 @@ module Optimizer = Xq_algebra.Optimizer
 type knobs = {
   k_strategy : Optimizer.group_strategy option;
   k_parallel : int option;
+  k_batch : int option;
   k_rewrite : bool;
   k_use_index : bool;
   k_timeout_ms : int option;
@@ -23,6 +24,7 @@ let default_knobs =
   {
     k_strategy = None;
     k_parallel = None;
+    k_batch = None;
     k_rewrite = false;
     k_use_index = false;
     k_timeout_ms = None;
@@ -112,6 +114,18 @@ let run ?(scope = `Process) ?(knobs = default_knobs) ?(indent = false)
       (match knobs.k_parallel with
        | Some n -> Xq_par.Par.set_default_degree n
        | None -> ());
+      (* The batch override is process-wide; restore it on exit so a
+         per-request --batch in the server does not outlive its
+         request. *)
+      let saved_batch = Xq_par.Batch.get_override () in
+      (match knobs.k_batch with
+       | Some n -> Xq_par.Batch.set_size (Some n)
+       | None -> ());
+      Fun.protect ~finally:(fun () ->
+          match knobs.k_batch with
+          | Some _ -> Xq_par.Batch.set_size saved_batch
+          | None -> ())
+      @@ fun () ->
       (* the document parses inside the governed region so the input
          limits (XQ_MAX_INPUT / XQ_MAX_DEPTH) apply to it *)
       let doc = match load_doc with Some f -> f () | None -> empty_doc () in

@@ -26,6 +26,9 @@ open Xq_xdm
 type knobs = {
   k_strategy : Xq_algebra.Optimizer.group_strategy option;
   k_parallel : int option;  (** domain-pool degree *)
+  k_batch : int option;
+      (** executor batch size ([1] = item-at-a-time; default
+          [XQ_BATCH] or 4096). Output is byte-identical at any size. *)
   k_rewrite : bool;  (** implicit-group-by rewrite before evaluation *)
   k_use_index : bool;  (** element-name index (direct evaluator only) *)
   k_timeout_ms : int option;

@@ -185,7 +185,7 @@ module Exec = Xq_algebra.Exec
 module Optimizer = Xq_algebra.Optimizer
 
 let fmt_stat ~timings (e : Exec.Stats.entry) =
-  Printf.sprintf "  [in=%d out=%d%s%s%s%s%s%s" e.Exec.Stats.rows_in
+  Printf.sprintf "  [in=%d out=%d%s%s%s%s%s%s%s%s" e.Exec.Stats.rows_in
     e.Exec.Stats.rows_out
     (match e.Exec.Stats.groups_built with
      | Some g -> Printf.sprintf " groups=%d" g
@@ -204,6 +204,17 @@ let fmt_stat ~timings (e : Exec.Stats.entry) =
          (if e.Exec.Stats.repartitions > 0 then
             Printf.sprintf " repartitions=%d" e.Exec.Stats.repartitions
           else "")
+     else "")
+    (* Dictionary/batch counters likewise stay silent unless the operator
+       interned keys (small inputs never do) or actually vectorized: more
+       than one input vector of width > 1 — so the golden corpus stays
+       stable, including under XQ_BATCH=1 where every vector is a
+       singleton and "batch=1" would say nothing. *)
+    (if e.Exec.Stats.dict_interns > 0 then
+       Printf.sprintf " dict=%d" e.Exec.Stats.dict_entries
+     else "")
+    (if e.Exec.Stats.batches > 1 && e.Exec.Stats.batch > 1 then
+       Printf.sprintf " batch=%d" e.Exec.Stats.batch
      else "")
     (if e.Exec.Stats.par > 1 then Printf.sprintf " par=%d" e.Exec.Stats.par
      else "")

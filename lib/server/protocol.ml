@@ -91,6 +91,10 @@ let read_command ic =
         continue source doc
           { knobs with Pipeline.k_parallel = Some (parse_pos "PARALLEL" rest) }
           indent
+      | "BATCH" ->
+        continue source doc
+          { knobs with Pipeline.k_batch = Some (parse_pos "BATCH" rest) }
+          indent
       | "TIMEOUT" ->
         continue source doc
           { knobs with Pipeline.k_timeout_ms = Some (parse_pos "TIMEOUT" rest) }
@@ -148,6 +152,7 @@ let write_command oc cmd =
        | None -> ()
      in
      num "PARALLEL" k.Pipeline.k_parallel;
+     num "BATCH" k.Pipeline.k_batch;
      num "TIMEOUT" k.Pipeline.k_timeout_ms;
      num "MAX-GROUPS" k.Pipeline.k_max_groups;
      num "MAX-MEM" k.Pipeline.k_max_mem_mb;

@@ -95,6 +95,7 @@ let merge_knobs ~base ~req =
     {
       k_strategy = opt req.k_strategy base.k_strategy;
       k_parallel = opt req.k_parallel base.k_parallel;
+      k_batch = opt req.k_batch base.k_batch;
       k_rewrite = req.k_rewrite || base.k_rewrite;
       k_use_index = req.k_use_index || base.k_use_index;
       k_timeout_ms = opt req.k_timeout_ms base.k_timeout_ms;
@@ -233,6 +234,11 @@ let stats_text t =
   line "doc_invalidations" d.Doc_store.d_invalidations;
   line "doc_entries" d.Doc_store.d_entries;
   line "resident_bytes" (Governor.charged_on t.house);
+  (* batched-execution counters: dictionary size/interns are process-wide
+     (the intern table is shared by all resident queries) *)
+  line "dict_entries" (Xq_engine.Key.dict_size ());
+  line "dict_interns" (Xq_engine.Key.intern_count ());
+  line "batch_size" (Xq_par.Batch.size ());
   Buffer.contents b
 
 (* --- command dispatch --------------------------------------------------- *)

@@ -151,6 +151,101 @@ let parallel_tests =
           "same groups, order and members" (group_ids seq) (group_ids par));
   ]
 
+(* --- the key dictionary --------------------------------------------------- *)
+
+(* Interning rewrites node keys to small dictionary codes; every
+   observable property (equality, hash, order — including against keys
+   canonicalized WITHOUT interning) must be unchanged, and codes must
+   survive the spill codec. *)
+let dict_props =
+  [
+    QCheck.Test.make ~count:200
+      ~name:"interned canon = raw canon (equality, hash, order)" arb_root
+      (fun n ->
+        let s = [ Item.Node n ] in
+        let raw = canon1 s in
+        let interned = Key.with_interning (fun () -> canon1 s) in
+        Key.equal raw interned && Key.equal interned raw
+        && Key.hash raw = Key.hash interned
+        && Key.compare raw interned = 0);
+    QCheck.Test.make ~count:200
+      ~name:"interned equality coincides with deep-equal"
+      (QCheck.pair arb_root arb_root)
+      (fun (n1, n2) ->
+        let c n = Key.with_interning (fun () -> canon1 [ Item.Node n ]) in
+        let k1 = c n1 and k2 = c n2 in
+        Key.equal k1 k2 = Deep_equal.sequences [ Item.Node n1 ] [ Item.Node n2 ]);
+    QCheck.Test.make ~count:200
+      ~name:"interned keys survive the binio spill round-trip" arb_root
+      (fun n ->
+        let k = Key.with_interning (fun () -> canon1 [ Item.Node n ]) in
+        let reg = Binio.registry () in
+        let buf = Buffer.create 64 in
+        Key.encode reg buf k;
+        let k' = Key.decode reg (Binio.reader (Buffer.contents buf)) in
+        Key.equal k k' && Key.hash k = Key.hash k' && Key.compare k k' = 0);
+  ]
+
+let dict_tests =
+  [
+    Alcotest.test_case "interning actually produces dictionary codes" `Quick
+      (fun () ->
+        let node = Xq_xml.Builder.(build (el_text "k" "dict-probe")) in
+        let before = Key.intern_count () in
+        let _ = Key.with_interning (fun () -> canon1 [ Item.Node node ]) in
+        Alcotest.(check bool) "interned" true (Key.intern_count () > before);
+        Alcotest.(check bool) "dictionary non-empty" true
+          (Key.dict_size () > 0));
+    Alcotest.test_case "torn spill frame is rejected, never misdecoded"
+      `Quick (fun () ->
+        let node = Xq_xml.Builder.(build (el_text "k" "torn")) in
+        let k = Key.with_interning (fun () -> canon1 [ Item.Node node ]) in
+        let reg = Binio.registry () in
+        let buf = Buffer.create 64 in
+        Key.encode reg buf k;
+        let whole = Buffer.contents buf in
+        (* every strict prefix must fail loudly *)
+        for cut = 0 to String.length whole - 1 do
+          match Key.decode reg (Binio.reader (String.sub whole 0 cut)) with
+          | _ -> Alcotest.fail "decoded a torn frame"
+          | exception Binio.Corrupt _ -> ()
+        done);
+    Alcotest.test_case "codes outside the dictionary are corrupt" `Quick
+      (fun () ->
+        (* a frame can hold a code the dictionary no longer covers (e.g.
+           written before a crash); decode must refuse it *)
+        let node = Xq_xml.Builder.(build (el_text "k" "stale-code")) in
+        let k = Key.with_interning (fun () -> canon1 [ Item.Node node ]) in
+        let reg = Binio.registry () in
+        let buf = Buffer.create 64 in
+        Key.encode reg buf k;
+        Key.reset_dict ();
+        match Key.decode reg (Binio.reader (Buffer.contents buf)) with
+        | _ -> Alcotest.fail "decoded a stale dictionary code"
+        | exception Binio.Corrupt _ -> ());
+    Alcotest.test_case
+      "grouping with interning = without, sequential and at degree 4" `Quick
+      (fun () ->
+        let tuples = node_tuples 600 in
+        Fun.protect
+          ~finally:(fun () -> Key.set_interning_available true)
+          (fun () ->
+            Key.set_interning_available false;
+            let plain = Group.group_hash ~keys_of tuples in
+            Key.set_interning_available true;
+            let interned =
+              Key.with_interning (fun () -> Group.group_hash ~keys_of tuples)
+            in
+            let par =
+              Key.with_interning (fun () ->
+                  Group.group_hash ~parallel:4 ~keys_of tuples)
+            in
+            Alcotest.(check (list (list int)))
+              "interned = plain" (group_ids plain) (group_ids interned);
+            Alcotest.(check (list (list int)))
+              "parallel interned = plain" (group_ids plain) (group_ids par)));
+  ]
+
 (* --- the hash mixer: wide key lists must not collapse -------------------- *)
 
 let hash_tests =
@@ -253,6 +348,7 @@ let suites =
     ("key.oracle-agreement", oracle_agreement_tests);
     ("key.walks", walk_tests);
     ("key.parallel", parallel_tests);
+    ("key.dictionary", List.map to_alcotest dict_props @ dict_tests);
     ("key.hash", hash_tests);
     ("key.par-pool", par_tests);
   ]

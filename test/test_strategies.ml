@@ -114,6 +114,55 @@ let differential_tests =
     differential "using-comparator grouping" q_using;
   ]
 
+(* Batch size is a third dimension: 1 (item-at-a-time, the pre-batching
+   executor), 3 (vector boundaries land mid-group everywhere) and the
+   default must all serialize identically under every strategy. *)
+let batch_sizes = [ Some 1; Some 3; None ]
+
+let batch_differential name query =
+  test
+    (Printf.sprintf "%s agrees across batch sizes (%d seeds)" name (seeds / 2))
+    (fun () ->
+      Fun.protect
+        ~finally:(fun () -> Xq_par.Batch.set_size None)
+        (fun () ->
+          for seed = 0 to (seeds / 2) - 1 do
+            let rng = Prng.create (0xba7c4 + seed) in
+            let doc = random_doc rng in
+            Xq_par.Batch.set_size None;
+            let expected =
+              serialize (Xq_engine.Eval.run ~context_node:doc query)
+            in
+            List.iter
+              (fun batch ->
+                Xq_par.Batch.set_size batch;
+                List.iter
+                  (fun (label, strategy) ->
+                    let got =
+                      serialize
+                        (Exec.run_string ~strategy ~parallel:1
+                           ~context_node:doc query)
+                    in
+                    if got <> expected then
+                      Alcotest.failf
+                        "seed %d, strategy %s, batch %s:\n\
+                         expected %s\ngot      %s"
+                        seed label
+                        (match batch with
+                         | Some b -> string_of_int b
+                         | None -> "default")
+                        expected got)
+                  strategies)
+              batch_sizes
+          done))
+
+let batch_tests =
+  [
+    batch_differential "plain grouping" q_plain;
+    batch_differential "ordered grouping (sort fusion)" q_ordered;
+    batch_differential "using-comparator grouping" q_using;
+  ]
+
 (* --- hash collisions ------------------------------------------------------- *)
 
 let seq_int n : Xseq.t = [ Item.Atomic (Atomic.Int n) ]
@@ -401,6 +450,7 @@ let order_props =
 let suites =
   [
     ("strategies.differential", differential_tests);
+    ("strategies.batch", batch_tests);
     ("strategies.collisions", collision_tests);
     ("strategies.scan", scan_tests);
     ("strategies.sort-group", sort_group_tests);

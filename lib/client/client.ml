@@ -1,0 +1,220 @@
+(* Resilient client layer. See client.mli.
+
+   The retry loop distinguishes three outcomes per wire attempt:
+   authoritative answers (payload or non-admission error — return at
+   once), admission refusals (XQENG0007 — back off, honouring the
+   server's RETRY-AFTER-MS hint), and transport failures (connect
+   refused, connection lost mid-exchange, garbled frame — drop the
+   cached connection, back off, reconnect). Anything still failing
+   when attempts or the deadline run out surfaces as [Unreachable]. *)
+
+module Protocol = Xq_server.Protocol
+
+type conn = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+}
+
+type t = {
+  socket : string;
+  attempts : int;
+  base_backoff_ms : int;
+  max_backoff_ms : int;
+  deadline_ms : int option;
+  max_response_bytes : int;
+  mutable jitter_state : int64;
+  mutable conn : conn option;
+  (* stats *)
+  mutable n_requests : int;
+  mutable n_attempts : int;
+  mutable n_retries : int;
+  mutable n_reconnects : int;
+  mutable n_honored_hints : int;
+}
+
+type failure =
+  | Server_error of { code : string; exit : int; message : string }
+  | Unreachable of string
+
+type stats = {
+  s_requests : int;
+  s_attempts : int;
+  s_retries : int;
+  s_reconnects : int;
+  s_honored_hints : int;
+}
+
+(* A server dropping the connection between our write and its read
+   delivers SIGPIPE, whose default disposition kills the whole client
+   process (exit 141) — the retry loop never gets to see the EPIPE. Any
+   process that creates a client opts into handling write failures as
+   exceptions instead. Set once; never restored (a retrying client is a
+   process-lifetime commitment, same as in the daemon's accept loop). *)
+let sigpipe_ignored = ref false
+
+let ignore_sigpipe () =
+  if not !sigpipe_ignored then begin
+    sigpipe_ignored := true;
+    if Sys.os_type = "Unix" then Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  end
+
+let create ?(attempts = 5) ?(base_backoff_ms = 50) ?(max_backoff_ms = 2000)
+    ?deadline_ms ?(max_response_bytes = 256 * 1024 * 1024) ?(seed = 1)
+    ~socket () =
+  ignore_sigpipe ();
+  {
+    socket;
+    attempts = max 1 attempts;
+    base_backoff_ms = max 1 base_backoff_ms;
+    max_backoff_ms = max 1 max_backoff_ms;
+    deadline_ms;
+    max_response_bytes;
+    jitter_state = Int64.of_int ((seed * 2) + 1);
+    conn = None;
+    n_requests = 0;
+    n_attempts = 0;
+    n_retries = 0;
+    n_reconnects = 0;
+    n_honored_hints = 0;
+  }
+
+let stats t =
+  {
+    s_requests = t.n_requests;
+    s_attempts = t.n_attempts;
+    s_retries = t.n_retries;
+    s_reconnects = t.n_reconnects;
+    s_honored_hints = t.n_honored_hints;
+  }
+
+let drop_conn t =
+  match t.conn with
+  | None -> ()
+  | Some c ->
+    t.conn <- None;
+    (try flush c.oc with Sys_error _ -> ());
+    (* one fd behind both channels: close exactly once *)
+    (try Unix.close c.fd with Unix.Unix_error _ -> ())
+
+let close = drop_conn
+
+(* splitmix64, private to this client: jitter must not perturb the
+   engine's seeded fault streams (or vice versa). *)
+let jitter_unit t =
+  let open Int64 in
+  let z = add t.jitter_state 0x9E3779B97F4A7C15L in
+  t.jitter_state <- z;
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  Int64.to_float (shift_right_logical z 11) /. 9007199254740992.0
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+(* Remaining request budget in ms; [infinity] when no deadline. *)
+let remaining t ~started =
+  match t.deadline_ms with
+  | None -> infinity
+  | Some d -> (started +. float_of_int d) -. now_ms ()
+
+let connect t ~started =
+  match t.conn with
+  | Some c -> c
+  | None ->
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       (* bound blocking reads/writes by the remaining request budget
+          so a wedged server cannot hold the client past its deadline *)
+       (match t.deadline_ms with
+        | Some _ ->
+          let r = max 0.01 (remaining t ~started /. 1000.0) in
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO r;
+          Unix.setsockopt_float fd Unix.SO_SNDTIMEO r
+        | None -> ());
+       Unix.connect fd (Unix.ADDR_UNIX t.socket)
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    let c =
+      {
+        fd;
+        ic = Unix.in_channel_of_descr fd;
+        oc = Unix.out_channel_of_descr fd;
+      }
+    in
+    t.conn <- Some c;
+    c
+
+(* One wire attempt: connect (or reuse), send, read one response. Any
+   exception means the transport failed this attempt. *)
+let attempt t cmd ~started =
+  let c = connect t ~started in
+  Protocol.write_command c.oc cmd;
+  Protocol.read_response ~max_field_bytes:t.max_response_bytes c.ic
+
+let describe_exn = function
+  | Unix.Unix_error (e, _, _) -> Unix.error_message e
+  | End_of_file -> "connection closed by server"
+  | Sys_error m -> m
+  | Protocol.Protocol_error m -> "garbled response: " ^ m
+  | e -> Printexc.to_string e
+
+(* The backoff before retry [k] (1-based): the server hint when one was
+   given, else base * 2^(k-1), capped, then jittered into [0.5, 1.5)
+   of itself and clamped to the remaining deadline budget. *)
+let backoff t ~retry ~hint ~started =
+  let nominal =
+    match hint with
+    | Some ms ->
+      t.n_honored_hints <- t.n_honored_hints + 1;
+      ms
+    | None ->
+      let exp = t.base_backoff_ms * (1 lsl min 20 (retry - 1)) in
+      min exp t.max_backoff_ms
+  in
+  let jittered = float_of_int nominal *. (0.5 +. jitter_unit t) in
+  let ms = Float.min jittered (Float.max 0.0 (remaining t ~started)) in
+  if ms > 0.0 then Unix.sleepf (ms /. 1000.0)
+
+let request t cmd =
+  t.n_requests <- t.n_requests + 1;
+  let started = now_ms () in
+  let rec go attempt_no =
+    t.n_attempts <- t.n_attempts + 1;
+    if attempt_no > 1 then t.n_retries <- t.n_retries + 1;
+    let retryable ~conn_failure ~hint why =
+      if conn_failure then begin
+        t.n_reconnects <- t.n_reconnects + 1;
+        drop_conn t
+      end;
+      if attempt_no >= t.attempts then Error (Unreachable why)
+      else if remaining t ~started <= 0.0 then
+        Error (Unreachable (why ^ " (request deadline exhausted)"))
+      else begin
+        backoff t ~retry:attempt_no ~hint ~started;
+        go (attempt_no + 1)
+      end
+    in
+    match attempt t cmd ~started with
+    | Protocol.Payload p -> Ok p
+    | Protocol.Error { code = "XQENG0007"; retry_after_ms; message; _ } ->
+      retryable ~conn_failure:false ~hint:retry_after_ms
+        ("server refused admission: " ^ message)
+    | Protocol.Error { code; exit; message; _ } ->
+      Error (Server_error { code; exit; message })
+    | exception
+        (( Unix.Unix_error _ | End_of_file | Sys_error _
+         | Protocol.Protocol_error _ ) as e) ->
+      retryable ~conn_failure:true ~hint:None
+        ("connection failed: " ^ describe_exn e)
+  in
+  go 1
+
+let exit_code = function
+  | Server_error { exit; _ } -> exit
+  | Unreachable _ -> 1
+
+let failure_message = function
+  | Server_error { message; _ } -> message
+  | Unreachable m -> m

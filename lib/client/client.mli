@@ -1,0 +1,83 @@
+(** The resilient client side of the query-server protocol.
+
+    One {!t} holds a (lazily connected, transparently reconnected)
+    connection to a daemon socket and a retry discipline around it:
+
+    - {e Connection failures} — refused/absent socket at connect time,
+      or the connection dying mid-exchange (server crashed, supervisor
+      restarting it, an injected connection fault) — are retried with
+      jittered exponential backoff. Queries are read-only, so replaying
+      a [RUN] whose response never arrived is safe.
+    - {e Admission refusals} — [XQENG0007], the server saying "not
+      now" (hot watermark, concurrency cap, draining) — are retried
+      honouring the server's [RETRY-AFTER-MS] hint when one rides the
+      ERR frame, falling back to the same exponential schedule.
+    - {e Every other server answer is authoritative}: payloads and
+      non-admission errors are returned on the first arrival, never
+      retried.
+
+    A per-request deadline bounds the whole retry loop including
+    socket reads (via [SO_RCVTIMEO]); when it expires, or attempts run
+    out, the last failure is surfaced as {!Unreachable}.
+
+    Backoff jitter comes from a per-client seeded splitmix64 stream,
+    so tests get deterministic schedules. A [t] is not thread-safe:
+    give each client thread its own. *)
+
+module Protocol = Xq_server.Protocol
+
+type t
+
+type failure =
+  | Server_error of { code : string; exit : int; message : string }
+      (** the daemon answered with a non-retryable error — its word is
+          final, carrying the CLI exit-code family *)
+  | Unreachable of string
+      (** retries exhausted or deadline expired; the message describes
+          the last attempt's failure *)
+
+(** Cumulative counters over this client's lifetime — the chaos
+    harness asserts on these (e.g. "at least one RETRY-AFTER-MS hint
+    was honoured"). *)
+type stats = {
+  s_requests : int;  (** requests issued through {!request} *)
+  s_attempts : int;  (** wire attempts, including first tries *)
+  s_retries : int;  (** attempts after the first, per request *)
+  s_reconnects : int;  (** retries caused by connection failures *)
+  s_honored_hints : int;  (** backoffs that used a server hint *)
+}
+
+(** [create ~socket ()] — a client for the daemon at Unix-socket path
+    [socket]. [attempts] bounds tries per request (default 5, minimum
+    1); backoff for attempt [k] is [base_backoff_ms * 2^(k-1)] capped
+    at [max_backoff_ms] (defaults 50/2000), multiplied by a jitter in
+    [0.5, 1.5); a [RETRY-AFTER-MS] hint replaces the exponential term
+    for that sleep. [deadline_ms] bounds each request end to end
+    (default none). [max_response_bytes] bounds response frames
+    (default 256 MiB). [seed] fixes the jitter stream. *)
+val create :
+  ?attempts:int ->
+  ?base_backoff_ms:int ->
+  ?max_backoff_ms:int ->
+  ?deadline_ms:int ->
+  ?max_response_bytes:int ->
+  ?seed:int ->
+  socket:string ->
+  unit ->
+  t
+
+(** One command, retried per the client's discipline; returns the
+    payload or the final failure. Never raises. *)
+val request : t -> Protocol.command -> (string, failure) result
+
+val stats : t -> stats
+
+(** Drop the cached connection (a later {!request} reconnects). *)
+val close : t -> unit
+
+(** Map a failure to the CLI exit-code family: {!Server_error} keeps
+    the daemon's family, {!Unreachable} is a usage-class 1 (the daemon
+    isn't there). *)
+val exit_code : failure -> int
+
+val failure_message : failure -> string

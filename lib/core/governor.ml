@@ -132,6 +132,7 @@ type faults = {
   f_alloc : int64 Atomic.t;
   f_io : int64 Atomic.t;
   f_conn : int64 Atomic.t;
+  f_crash : int64 Atomic.t;
 }
 
 let parse_faults s =
@@ -154,6 +155,7 @@ let parse_faults s =
              outcomes of every pre-spill fault test — unchanged *)
           f_io = Atomic.make (Int64.of_int (seed + 0x10f0));
           f_conn = Atomic.make (Int64.of_int (seed + 0x701c));
+          f_crash = Atomic.make (Int64.of_int (seed + 0xc4a5));
         }
     | _ -> None)
 
@@ -218,6 +220,39 @@ let conn_fault () =
   match faults () with
   | None -> None
   | Some f -> if draw f.f_conn < f.f_rate then Some f.f_seed else None
+
+(* The worker-crash stream is doubly gated: XQ_FAULTS must be armed
+   *and* the process must have opted in with [arm_crash_faults] (the
+   daemon does, under XQ_CRASH=1 or --chaos-crash). A crash fault makes
+   the serving process kill itself abruptly mid-query, which is only
+   survivable under a supervisor — an in-process test suite that merely
+   arms XQ_FAULTS for the connection stream must never draw one. *)
+let crash_armed = Atomic.make false
+
+(* The crash stream may run at its own rate: chaos harnesses want rare
+   alloc/conn noise (the alloc stream draws dozens of times per query)
+   but frequent worker crashes, which a single shared rate cannot
+   express. [None] falls back to the shared XQ_FAULTS rate. *)
+let crash_rate : float option Atomic.t = Atomic.make None
+
+let arm_crash_faults ?rate () =
+  Atomic.set crash_rate rate;
+  Atomic.set crash_armed true
+
+let disarm_crash_faults () =
+  Atomic.set crash_armed false;
+  Atomic.set crash_rate None
+
+let crash_fault () =
+  if not (Atomic.get crash_armed) then None
+  else
+    match faults () with
+    | None -> None
+    | Some f ->
+      let rate =
+        match Atomic.get crash_rate with Some r -> r | None -> f.f_rate
+      in
+      if draw f.f_crash < rate then Some f.f_seed else None
 
 (* --- the installed governor --------------------------------------------- *)
 

@@ -238,6 +238,24 @@ val io_fault : unit -> int option
     faults are off. *)
 val conn_fault : unit -> int option
 
+(** Opt the process into worker-crash faults. A drawn crash fault makes
+    the serving process kill itself abruptly mid-query — survivable
+    only under a supervisor — so the fifth stream is doubly gated:
+    [XQ_FAULTS] must be armed {e and} this switch thrown ([xq-server
+    serve] throws it under [--chaos-crash]). In-process
+    suites that arm [XQ_FAULTS] for the other streams never draw
+    one. [rate] overrides the shared [XQ_FAULTS] rate for the crash
+    stream only, so a chaos harness can crash often while keeping
+    alloc/conn noise rare. *)
+val arm_crash_faults : ?rate:float -> unit -> unit
+
+val disarm_crash_faults : unit -> unit
+
+(** Drawn by the query server at worker crash points; [Some seed] means
+    "the worker process dies right here". A fifth distinct splitmix64
+    stream; always [None] unless both gates are open. *)
+val crash_fault : unit -> int option
+
 (** {1 Stats} *)
 
 type stats = {

@@ -91,16 +91,26 @@ type report = {
 
 let empty_doc () = Xq_xml.Xml_parse.parse "<empty/>"
 
-let run ?(scope = `Process) ?(knobs = default_knobs) ?(indent = false)
-    ?(explain_analyze = false) ?compiled ?source ?load_doc () =
+let run ?(scope = `Process) ?(force_governor = false) ?on_governor
+    ?(knobs = default_knobs) ?(indent = false) ?(explain_analyze = false)
+    ?compiled ?source ?load_doc () =
   let governed f =
-    match
-      Governor.of_limits ?timeout_ms:knobs.k_timeout_ms
-        ?max_groups:knobs.k_max_groups ?max_mem_mb:knobs.k_max_mem_mb
-        ?spill_watermark_bytes:
-          (Option.map (fun mb -> mb * 1024 * 1024) knobs.k_spill_at_mb)
-        ()
-    with
+    let gov =
+      match
+        Governor.of_limits ?timeout_ms:knobs.k_timeout_ms
+          ?max_groups:knobs.k_max_groups ?max_mem_mb:knobs.k_max_mem_mb
+          ?spill_watermark_bytes:
+            (Option.map (fun mb -> mb * 1024 * 1024) knobs.k_spill_at_mb)
+          ()
+      with
+      | Some _ as g -> g
+      | None ->
+        (* the server forces an (unlimited) governor on every query so
+           drain-time cooperative cancellation has something to reach;
+           ungoverned front ends keep paying nothing *)
+        if force_governor then Some (Governor.create ()) else None
+    in
+    match gov with
     | None -> f None
     | Some g ->
       let install =
@@ -108,7 +118,9 @@ let run ?(scope = `Process) ?(knobs = default_knobs) ?(indent = false)
         | `Process -> Governor.with_governor
         | `Domain -> Governor.with_scoped_governor
       in
-      install g (fun () -> f (Some g))
+      install g (fun () ->
+          (match on_governor with Some cb -> cb g | None -> ());
+          f (Some g))
   in
   governed (fun gov ->
       (match knobs.k_parallel with

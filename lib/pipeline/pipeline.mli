@@ -93,9 +93,18 @@ type report = {
     rebaseline so memory budgets cover the query's own work, compile
     [source] (or reuse [compiled]), evaluate, and serialize fully.
     [explain_analyze] renders the executed operator tree instead of
-    the result. Raises [Xerror.Error] exactly as the engine does. *)
+    the result. Raises [Xerror.Error] exactly as the engine does.
+
+    [force_governor] installs an unlimited governor even when [knobs]
+    and the environment set no limit, so the caller can reach the query
+    with cooperative cancellation (the server's drain path);
+    [on_governor] is called with the installed governor, after
+    installation and before any work — the server registers it in its
+    in-flight table there. *)
 val run :
   ?scope:[ `Process | `Domain ] ->
+  ?force_governor:bool ->
+  ?on_governor:(Xq_governor.Governor.t -> unit) ->
   ?knobs:knobs ->
   ?indent:bool ->
   ?explain_analyze:bool ->

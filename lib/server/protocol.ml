@@ -14,7 +14,12 @@ type command = Run of run_request | Stats | Ping | Quit
 
 type response =
   | Payload of string
-  | Error of { code : string; exit : int; message : string }
+  | Error of {
+      code : string;
+      exit : int;
+      message : string;
+      retry_after_ms : int option;
+    }
 
 exception Protocol_error of string
 
@@ -27,9 +32,16 @@ let read_line ic =
   let n = String.length line in
   if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
 
-let parse_len what s =
+(* Counted fields are bounded: an unchecked length would let a one-line
+   [QUERY 999999999999] header force a giant allocation in
+   [really_input_string] before a single query byte arrives. The server
+   passes its --max-request-bytes here; the client bounds response
+   frames the same way. *)
+let parse_len ~max_bytes what s =
   match int_of_string_opt s with
-  | Some n when n >= 0 -> n
+  | Some n when n >= 0 && n <= max_bytes -> n
+  | Some n when n > max_bytes ->
+    proto_fail "%s: length %d exceeds the %d-byte frame cap" what n max_bytes
   | _ -> proto_fail "%s: bad length %S" what s
 
 let parse_pos what s =
@@ -53,7 +65,8 @@ let split2 line =
     ( String.sub line 0 i,
       String.sub line (i + 1) (String.length line - i - 1) )
 
-let read_command ic =
+let read_command ?(max_field_bytes = max_int) ic =
+  let parse_len = parse_len ~max_bytes:max_field_bytes in
   match read_line ic with
   | exception End_of_file -> None
   | first ->
@@ -166,20 +179,52 @@ let write_command oc cmd =
 let write_response oc r =
   (match r with
    | Payload p -> Printf.fprintf oc "OK %d\n%s\n" (String.length p) p
-   | Error { code; exit; message } ->
-     Printf.fprintf oc "ERR %s %d %d\n%s\n" code exit (String.length message)
-       message);
+   | Error { code; exit; message; retry_after_ms } ->
+     let hint =
+       match retry_after_ms with
+       | Some ms -> Printf.sprintf " RETRY-AFTER-MS=%d" ms
+       | None -> ""
+     in
+     Printf.fprintf oc "ERR %s %d %d%s\n%s\n" code exit
+       (String.length message) hint message);
   flush oc
 
-let read_response ic =
+let parse_exit s =
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> proto_fail "ERR: bad exit code %S" s
+
+let parse_retry_hint s =
+  let prefix = "RETRY-AFTER-MS=" in
+  let pn = String.length prefix in
+  if String.length s > pn && String.sub s 0 pn = prefix then
+    match int_of_string_opt (String.sub s pn (String.length s - pn)) with
+    | Some ms when ms >= 0 -> ms
+    | _ -> proto_fail "ERR: bad retry hint %S" s
+  else proto_fail "ERR: unknown trailer %S" s
+
+let read_response ?(max_field_bytes = max_int) ic =
+  let parse_len = parse_len ~max_bytes:max_field_bytes in
   let line = read_line ic in
   match String.split_on_char ' ' line with
   | [ "OK"; len ] -> Payload (read_counted ic (parse_len "OK" len))
   | [ "ERR"; code; exit; len ] ->
-    let exit =
-      match int_of_string_opt exit with
-      | Some n -> n
-      | None -> proto_fail "ERR: bad exit code %S" exit
-    in
-    Error { code; exit; message = read_counted ic (parse_len "ERR" len) }
+    Error
+      {
+        code;
+        exit = parse_exit exit;
+        message = read_counted ic (parse_len "ERR" len);
+        retry_after_ms = None;
+      }
+  | [ "ERR"; code; exit; len; hint ] ->
+    (* the hint rides the status line so pre-hint readers that split on
+       spaces fail loudly rather than mis-framing the payload *)
+    let retry = parse_retry_hint hint in
+    Error
+      {
+        code;
+        exit = parse_exit exit;
+        message = read_counted ic (parse_len "ERR" len);
+        retry_after_ms = Some retry;
+      }
   | _ -> proto_fail "bad response line %S" line

@@ -30,4 +30,5 @@ let () =
          Test_corpus.suites;
          Test_fuzz.suites;
          Test_server.suites;
+         Test_lifecycle.suites;
        ])

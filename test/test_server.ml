@@ -246,7 +246,9 @@ let with_server ?config f =
   let stop = Atomic.make false in
   let th =
     Thread.create
-      (fun () -> Server.serve_unix t ~path ~stop:(fun () -> Atomic.get stop) ())
+      (fun () ->
+        ignore
+          (Server.serve_unix t ~path ~stop:(fun () -> Atomic.get stop) ()))
       ()
   in
   let rec wait n =

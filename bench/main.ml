@@ -17,6 +17,7 @@
      dune exec bench/main.exe -- ablation-batch     — item-at-a-time vs batched + key dictionary
      dune exec bench/main.exe -- ablation-governor  — resource-governor tick overhead
      dune exec bench/main.exe -- ablation-spill     — in-memory vs spill-to-disk grouping
+     dune exec bench/main.exe -- ablation-stream    — materialized parse vs streaming scan
      dune exec bench/main.exe -- ablation-server    — cold pipeline vs warm daemon caches
      dune exec bench/main.exe -- bechamel      — bechamel OLS run of the six pairs
      dune exec bench/main.exe -- figure6 --full    — larger sweep (slow)
@@ -53,6 +54,7 @@ type sample = {
   s_spilled : int;
   s_spill_files : int;
   s_repartitions : int;
+  s_peak : int;
   s_ms : float;
 }
 
@@ -62,13 +64,14 @@ let samples : sample list ref = ref []
    single-core CI runners can be told apart from real multicore data,
    and the executor batch size the measurement ran under. *)
 let record ~bench ~query ~size ~groups ~strategy ~parallel ?batch
-    ?(spilled = 0) ?(spill_files = 0) ?(repartitions = 0) ~ms () =
+    ?(spilled = 0) ?(spill_files = 0) ?(repartitions = 0) ?(peak = 0) ~ms () =
   let batch = match batch with Some b -> b | None -> Xq.Batch.size () in
   samples :=
     { s_bench = bench; s_query = query; s_size = size; s_groups = groups;
       s_strategy = strategy; s_parallel = parallel; s_batch = batch;
       s_cores = Domain.recommended_domain_count (); s_spilled = spilled;
-      s_spill_files = spill_files; s_repartitions = repartitions; s_ms = ms }
+      s_spill_files = spill_files; s_repartitions = repartitions;
+      s_peak = peak; s_ms = ms }
     :: !samples
 
 (* All recorded strings are plain ASCII identifiers, so OCaml's %S
@@ -83,10 +86,10 @@ let write_json path =
         "  {\"bench\": %S, \"query\": %S, \"size\": %d, \"groups\": %d, \
          \"strategy\": %S, \"parallel\": %d, \"batch\": %d, \"cores\": %d, \
          \"spilled_bytes\": %d, \"spill_files\": %d, \"repartitions\": %d, \
-         \"ms\": %.3f}"
+         \"peak_mem_bytes\": %d, \"ms\": %.3f}"
         s.s_bench s.s_query s.s_size s.s_groups s.s_strategy s.s_parallel
         s.s_batch s.s_cores s.s_spilled s.s_spill_files s.s_repartitions
-        s.s_ms)
+        s.s_peak s.s_ms)
     (List.rev !samples);
   output_string oc "\n]\n";
   close_out oc;
@@ -754,6 +757,90 @@ let ablation_server () =
             docs.Xq_server.Doc_store.d_hits docs.Xq_server.Doc_store.d_misses))
     [ 4_000; 8_000 ]
 
+(* --- Ablation M: streaming ingestion — materialized parse vs projected scan --- *)
+
+(* Both columns pay for ingestion from raw bytes: the materialized
+   column parses the whole document and runs the plan executor over the
+   tree; the streamed column pulls only the projected subtrees through
+   the streaming scan into the same executor, with the spill watermark
+   armed so retained group state detaches to disk. Outputs are
+   byte-identical; the peak column is the governor's memory estimate
+   (counted bytes + Gc-heap delta), which is where streaming pays off. *)
+
+let ablation_stream () =
+  Timing.header
+    "Ablation M: streaming ingestion — materialized parse vs projected \
+     streaming scan (byte-identical output, bounded memory)";
+  let q_src =
+    {|for $litem in //order/lineitem
+group by $litem/tax into $a
+nest $litem into $items
+order by $a
+return <r>{$a, count($items)}</r>|}
+  in
+  let query = Xq.parse q_src in
+  Xq.check query;
+  let path, var, positional =
+    match Xq.Rewrite.Projection.analyze query with
+    | Xq.Rewrite.Projection.Streamable { path; var; positional } ->
+      (path, var, positional)
+    | Xq.Rewrite.Projection.Materialize reason ->
+      failwith ("ablation-stream query is not streamable: " ^ reason)
+  in
+  let watermark = 256 * 1024 in
+  List.iter
+    (fun (tax_card, lineitems) ->
+      let doc = orders_doc ~tax_card lineitems in
+      let xml = Xq.Xml.Serialize.node doc in
+      let groups =
+        Xq.length
+          (Xq.Algebra.Exec.eval_query ~check:false ~context_node:doc query)
+      in
+      List.iter
+        (fun strategy ->
+          let gov_mat = ref None in
+          let t_mat =
+            Timing.measure_ms ~runs:3 (fun () ->
+                let gov =
+                  Xq.Governor.create ~spill_watermark_bytes:watermark ()
+                in
+                gov_mat := Some gov;
+                Xq.Governor.with_governor gov (fun () ->
+                    let d = Xq.Xml.Xml_parse.parse xml in
+                    Xq.Algebra.Exec.eval_query ~check:false ~strategy
+                      ~context_node:d query))
+          in
+          let sm = Xq.Governor.stats (Option.get !gov_mat) in
+          record ~bench:"ablation-stream" ~query:"tax-group-order-mat"
+            ~size:lineitems ~groups ~strategy:(strategy_name strategy)
+            ~parallel:1 ~spilled:sm.Xq.Governor.s_spilled_bytes
+            ~peak:sm.Xq.Governor.s_peak_mem_bytes ~ms:t_mat ();
+          let gov_str = ref None in
+          let t_stream =
+            Timing.measure_ms ~runs:3 (fun () ->
+                let gov =
+                  Xq.Governor.create ~spill_watermark_bytes:watermark ()
+                in
+                gov_str := Some gov;
+                Xq.Governor.with_governor gov (fun () ->
+                    Xq.Algebra.Exec.eval_query_stream ~check:false ~strategy
+                      ~source:(`String xml) ~path ~var ~positional query))
+          in
+          let ss = Xq.Governor.stats (Option.get !gov_str) in
+          record ~bench:"ablation-stream" ~query:"tax-group-order-stream"
+            ~size:lineitems ~groups ~strategy:(strategy_name strategy)
+            ~parallel:1 ~spilled:ss.Xq.Governor.s_spilled_bytes
+            ~peak:ss.Xq.Governor.s_peak_mem_bytes ~ms:t_stream ();
+          Printf.printf
+            "tax_card=%4d n=%6d groups=%4d %-5s  mat=%10s peak=%9d  \
+             stream=%10s peak=%9d (%.2fx, %dB spilled)\n%!"
+            tax_card lineitems groups (strategy_name strategy)
+            (Timing.fmt_ms t_mat) sm.Xq.Governor.s_peak_mem_bytes
+            (Timing.fmt_ms t_stream) ss.Xq.Governor.s_peak_mem_bytes
+            (t_stream /. t_mat) ss.Xq.Governor.s_spilled_bytes)
+        [ Xq.Algebra.Optimizer.Hash; Xq.Algebra.Optimizer.Sort ])
+    [ (100, 8_000); (400, 16_000) ]
+
 (* --- bechamel run of the six Qgb/Q pairs ------------------------------------- *)
 
 let bechamel_run () =
@@ -800,6 +887,7 @@ let () =
   if want "ablation-batch" then ablation_batch ~full ();
   if want "ablation-governor" then ablation_governor ();
   if want "ablation-spill" then ablation_spill ();
+  if want "ablation-stream" then ablation_stream ();
   if want "ablation-server" then ablation_server ();
   if (not all) && List.mem "bechamel" cmds then bechamel_run ();
   (match json with Some path -> write_json path | None -> ());

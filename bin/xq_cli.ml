@@ -208,6 +208,34 @@ let no_spill_flag =
   in
   Arg.(value & flag & info [ "no-spill" ] ~doc)
 
+let stream_flag =
+  let on =
+    let doc =
+      "Require streamed ingestion of $(b,--input): the document is \
+       scanned with projection pushdown and only query-relevant \
+       subtrees are materialized, so memory is bounded by the matched \
+       working set instead of the document size. Streaming is on by \
+       default whenever the query is streamable; this flag additionally \
+       prints a notice when it is not (and the run falls back to \
+       materializing). $(b,XQ_NO_STREAM=1) disables streaming globally."
+    in
+    (Some true, Arg.info [ "stream" ] ~doc)
+  in
+  let off =
+    let doc = "Always materialize the input document before evaluating." in
+    (Some false, Arg.info [ "no-stream" ] ~doc)
+  in
+  Arg.(value & vflag None [ on; off ])
+
+(* --stream/--no-stream beats XQ_STREAM beats the silent default. *)
+let stream_knob = function
+  | Some _ as explicit -> explicit
+  | None -> (
+    match Sys.getenv_opt "XQ_STREAM" with
+    | Some ("0" | "false" | "no") -> Some false
+    | Some _ -> Some true
+    | None -> None)
+
 let load_input = function
   | Some path -> Xq.load_file path
   | None -> Xq.load_string "<empty/>"
@@ -224,7 +252,7 @@ let apply_parallel = function
    printing, --time, and the spill report. *)
 let run_common ~source ~input ~rewrite ~indent ~time ~explain_analyze ~strategy
     ~parallel ~batch ~timeout ~max_groups ~max_mem ~spill_at ~spill_dir
-    ~no_spill =
+    ~no_spill ~stream =
   with_errors (fun () ->
       apply_spill ~spill_dir ~no_spill;
       let knobs =
@@ -239,12 +267,21 @@ let run_common ~source ~input ~rewrite ~indent ~time ~explain_analyze ~strategy
             k_max_groups = max_groups;
             k_max_mem_mb = max_mem;
             k_spill_at_mb = spill_at;
+            k_stream = stream_knob stream;
           }
       in
+      (* a file input goes to the pipeline as a streamable source (it
+         decides, from the projection verdict and the knobs, whether to
+         stream or materialize); stdin-less runs keep the empty doc *)
       let report =
-        Xq.Pipeline.run ~knobs ~indent ~explain_analyze ~source
-          ~load_doc:(fun () -> load_input input)
-          ()
+        match input with
+        | Some path ->
+          Xq.Pipeline.run ~knobs ~indent ~explain_analyze ~source
+            ~stream_source:(`File path) ()
+        | None ->
+          Xq.Pipeline.run ~knobs ~indent ~explain_analyze ~source
+            ~load_doc:(fun () -> load_input input)
+            ()
       in
       if explain_analyze then print_string report.Xq.Pipeline.r_output
       else begin
@@ -253,16 +290,24 @@ let run_common ~source ~input ~rewrite ~indent ~time ~explain_analyze ~strategy
           Printf.eprintf "evaluated in %.1f ms (%d items)\n"
             report.Xq.Pipeline.r_elapsed_ms report.Xq.Pipeline.r_items
       end;
-      report_spill_stats report.Xq.Pipeline.r_stats)
+      report_spill_stats report.Xq.Pipeline.r_stats;
+      (* machine-checkable resource line (CI soak asserts the peak
+         estimate stays under the spill watermark) *)
+      match (Sys.getenv_opt "XQ_GOV_SUMMARY", report.Xq.Pipeline.r_stats) with
+      | Some "1", Some s ->
+        Printf.eprintf "xq: peak-mem=%dB spilled=%dB spill-files=%d\n"
+          s.Xq.Governor.s_peak_mem_bytes s.Xq.Governor.s_spilled_bytes
+          s.Xq.Governor.s_spill_files
+      | _ -> ())
 
 (* --- commands ----------------------------------------------------------- *)
 
 let run_cmd =
   let action qf input rewrite indent time explain_analyze strategy parallel
-      batch timeout max_groups max_mem spill_at spill_dir no_spill =
+      batch timeout max_groups max_mem spill_at spill_dir no_spill stream =
     run_common ~source:(read_file qf) ~input ~rewrite ~indent ~time
       ~explain_analyze ~strategy ~parallel ~batch ~timeout ~max_groups
-      ~max_mem ~spill_at ~spill_dir ~no_spill
+      ~max_mem ~spill_at ~spill_dir ~no_spill ~stream
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a query file against an XML document.")
@@ -270,14 +315,14 @@ let run_cmd =
       const action $ query_file $ input_file $ rewrite_flag $ indent_flag
       $ time_flag $ explain_analyze_flag $ strategy_opt $ parallel_opt
       $ batch_opt $ timeout_opt $ max_groups_opt $ max_mem_opt $ spill_at_opt
-      $ spill_dir_opt $ no_spill_flag)
+      $ spill_dir_opt $ no_spill_flag $ stream_flag)
 
 let eval_cmd =
   let action expr input rewrite indent time explain_analyze strategy parallel
-      batch timeout max_groups max_mem spill_at spill_dir no_spill =
+      batch timeout max_groups max_mem spill_at spill_dir no_spill stream =
     run_common ~source:expr ~input ~rewrite ~indent ~time ~explain_analyze
       ~strategy ~parallel ~batch ~timeout ~max_groups ~max_mem ~spill_at
-      ~spill_dir ~no_spill
+      ~spill_dir ~no_spill ~stream
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a query given on the command line.")
@@ -285,7 +330,7 @@ let eval_cmd =
       const action $ query_string $ input_file $ rewrite_flag $ indent_flag
       $ time_flag $ explain_analyze_flag $ strategy_opt $ parallel_opt
       $ batch_opt $ timeout_opt $ max_groups_opt $ max_mem_opt $ spill_at_opt
-      $ spill_dir_opt $ no_spill_flag)
+      $ spill_dir_opt $ no_spill_flag $ stream_flag)
 
 let check_cmd =
   let action qf =

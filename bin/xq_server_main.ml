@@ -490,9 +490,23 @@ let run_cmd =
   let indent_flag =
     Arg.(value & flag & info [ "indent" ] ~doc:"Pretty-print the output.")
   in
+  let stream_flag =
+    Arg.(
+      value
+      & vflag None
+          [
+            ( Some true,
+              info [ "stream" ]
+                ~doc:
+                  "Stream the document (projection pushdown, document \
+                   store bypassed) when the query allows." );
+            ( Some false,
+              info [ "no-stream" ] ~doc:"Always materialize the document." );
+          ])
+  in
   let action socket retries retry_base deadline qf input inline strategy
       parallel batch timeout max_groups max_mem spill_at rewrite use_index
-      indent =
+      indent stream =
     let rq_doc =
       match input with
       | None -> Protocol.Doc_none
@@ -521,6 +535,7 @@ let run_cmd =
                 k_max_groups = max_groups;
                 k_max_mem_mb = max_mem;
                 k_spill_at_mb = spill_at;
+                k_stream = stream;
               };
           rq_indent = indent;
         }
@@ -539,7 +554,7 @@ let run_cmd =
       const action $ socket_arg $ retries_arg $ retry_base_arg $ deadline_arg
       $ query_file $ input_file $ inline_flag $ strategy_opt $ parallel_opt
       $ batch_opt $ timeout_opt $ max_groups_opt $ max_mem_opt $ spill_at_opt
-      $ rewrite_flag $ index_flag $ indent_flag)
+      $ rewrite_flag $ index_flag $ indent_flag $ stream_flag)
 
 let stats_cmd =
   let action socket retries retry_base deadline =

@@ -37,6 +37,32 @@ let tuple_codec : tuple Xq_engine.Group.codec =
         go Smap.empty 0);
   }
 
+(* Live-heap estimate of a streamed tuple: its bindings own detached
+   subtrees (nothing else references them), so a group member pins the
+   whole tree until the partition flushes. The builder's flush
+   accounting needs the real size — its default per-member constant
+   assumes members alias an already-resident document. *)
+let rec node_cost n =
+  match Node.kind n with
+  | Node.Text -> 64 + String.length (Node.text_content n)
+  | Node.Attribute -> 64 + String.length (Node.attribute_value n)
+  | Node.Comment -> 64 + String.length (Node.comment_text n)
+  | Node.Pi -> 64 + String.length (Node.pi_data n)
+  | Node.Element | Node.Document ->
+    List.fold_left
+      (fun acc c -> acc + node_cost c)
+      (List.fold_left (fun acc a -> acc + node_cost a) 64 (Node.attributes n))
+      (Node.children n)
+
+let tuple_cost tup =
+  Smap.fold
+    (fun _ value acc ->
+      List.fold_left
+        (fun acc item ->
+          match item with Item.Node n -> acc + node_cost n | _ -> acc + 32)
+        acc value)
+    tup 24
+
 let eval_in ctx tuple e = Xq_engine.Eval.eval (ctx_with_tuple ctx tuple) e
 
 let tick = function Some r -> incr r | None -> ()
@@ -145,7 +171,15 @@ module Batch = Xq_par.Batch
 
 type vec = tuple array
 
-type sink = { push : vec -> unit; close : unit -> unit }
+type sink = {
+  push : vec -> unit;
+  close : unit -> unit;
+  pressure : unit -> unit;
+      (* shed what the operator can spare under memory pressure (group
+         builders flush flushable partitions); stateless operators just
+         propagate downstream. Called from the streamed scan's pressure
+         callback — i.e. never while a push is in flight. *)
+}
 
 (* Accumulate single tuples and emit full vectors downstream. *)
 let rebatcher batch down =
@@ -197,6 +231,7 @@ let op_sink ?tally ?batches ~batch ~parallel ctx (op : Plan.op) (down : sink) :
           Governor.tick ();
           down.push [| Smap.empty |];
           down.close ());
+      pressure = down.pressure;
     }
   | Plan.For_expand { var; positional; source; _ } ->
     let push_one, flush = rebatcher batch down in
@@ -223,6 +258,7 @@ let op_sink ?tally ?batches ~batch ~parallel ctx (op : Plan.op) (down : sink) :
         (fun () ->
           flush ();
           down.close ());
+      pressure = down.pressure;
     }
   | Plan.Let_bind { var; expr; _ } ->
     let par_ok = parallel > 1 && Xq_engine.Eval.parallel_safe ctx expr in
@@ -236,6 +272,7 @@ let op_sink ?tally ?batches ~batch ~parallel ctx (op : Plan.op) (down : sink) :
             (if par_ok then Par.map ~degree:parallel bind vec
              else Array.map bind vec));
       close = (fun () -> down.close ());
+      pressure = down.pressure;
     }
   | Plan.Select { pred; _ } ->
     let par_ok = parallel > 1 && Xq_engine.Eval.parallel_safe ctx pred in
@@ -264,6 +301,7 @@ let op_sink ?tally ?batches ~batch ~parallel ctx (op : Plan.op) (down : sink) :
             down.push out
           end);
       close = (fun () -> down.close ());
+      pressure = down.pressure;
     }
   | Plan.Number { var; _ } ->
     let n = ref 0 in
@@ -279,6 +317,7 @@ let op_sink ?tally ?batches ~batch ~parallel ctx (op : Plan.op) (down : sink) :
                  Smap.add var (Xseq.of_int !n) t)
                vec));
       close = (fun () -> down.close ());
+      pressure = down.pressure;
     }
   | Plan.Window_expand { window; _ } ->
     let push_one, flush = rebatcher batch down in
@@ -302,6 +341,7 @@ let op_sink ?tally ?batches ~batch ~parallel ctx (op : Plan.op) (down : sink) :
         (fun () ->
           flush ();
           down.close ());
+      pressure = down.pressure;
     }
   | Plan.Sort { specs; _ } ->
     (* a barrier: order is only defined over the whole stream *)
@@ -320,6 +360,7 @@ let op_sink ?tally ?batches ~batch ~parallel ctx (op : Plan.op) (down : sink) :
           List.iter push_one (sort_tuples ?tally ~parallel ctx specs input);
           flush ();
           down.close ());
+      pressure = down.pressure;
     }
   | Plan.Hash_group _ | Plan.Sort_group _ | Plan.Scan_group _ ->
     let shape =
@@ -342,8 +383,13 @@ let op_sink ?tally ?batches ~batch ~parallel ctx (op : Plan.op) (down : sink) :
     let presize =
       if batch > 1 then Optimizer.estimated_groups ~signature else None
     in
+    (* streamed scans feed detached subtrees; see [tuple_cost] *)
+    let cost =
+      if Governor.stream_detach () then Some tuple_cost else None
+    in
     let bld =
-      Xq_engine.Group.builder ?tally ?presize ~spill:tuple_codec ~parallel
+      Xq_engine.Group.builder ?tally ?presize ~spill:tuple_codec ?cost
+        ~parallel
         ~parallel_keys:(parallel > 1 && shape_parallel_keys ctx shape)
         ~mode
         ~keys_of:(shape_keys_of ctx shape)
@@ -362,6 +408,10 @@ let op_sink ?tally ?batches ~batch ~parallel ctx (op : Plan.op) (down : sink) :
           List.iter push_one (group_output ?tally ctx shape groups);
           flush ();
           down.close ());
+      pressure =
+        (fun () ->
+          Xq_engine.Group.relieve bld;
+          down.pressure ());
     }
 
 (* The pipeline is a linear chain; list its operators innermost first. *)
@@ -448,7 +498,11 @@ let op_parallelizable ctx = function
 let apply_op ?tally ?batches ~batch ~parallel ctx op input =
   let acc = ref [] in
   let collector =
-    { push = (fun vec -> acc := vec :: !acc); close = (fun () -> ()) }
+    {
+      push = (fun vec -> acc := vec :: !acc);
+      close = (fun () -> ());
+      pressure = (fun () -> ());
+    }
   in
   let s = op_sink ?tally ?batches ~batch ~parallel ctx op collector in
   (match op with
@@ -574,6 +628,7 @@ let run ?parallel ctx (plan : Plan.plan) =
               rev_out := eval_in ctx t plan.Plan.return_expr :: !rev_out)
             vec);
       close = (fun () -> ());
+      pressure = (fun () -> ());
     }
   in
   let chain =
@@ -631,3 +686,183 @@ let eval_query ?(check = true) ?(optimize = false) ?strategy ?parallel
 let run_string ?optimize ?strategy ?parallel ~context_node src =
   eval_query ?optimize ?strategy ?parallel ~context_node
     (Parser.parse_query src)
+
+(* --- streamed execution -------------------------------------------------- *)
+
+(* Pipelined scan: document subtrees matched by the projection path flow
+   into the operator chain batch-at-a-time *while parsing proceeds* —
+   the plan's [Unit; For_expand] prefix (the binding the projection
+   analysis proved equivalent to the scan) is replaced by the streamed
+   source, and the rest of the chain (selection, grouping with spill,
+   sorting) runs unchanged. Matched subtrees are charged against the
+   governor from emission until their vector is handed downstream, so
+   memory pressure sees parse-ahead data; the governor's stream mode
+   additionally switches group spilling to the detached by-value codec,
+   which is what lets spilled members actually release heap. *)
+let eval_query_stream ?(check = true) ?(optimize = false) ?strategy ?parallel
+    ?keep_whitespace ~source ~path ~var ~positional (q : Ast.query) =
+  if check then Static.check_query q;
+  let strategy =
+    match strategy with
+    | Some s -> s
+    | None -> Optimizer.strategy_from_env ()
+  in
+  let parallel =
+    match parallel with
+    | Some p -> p
+    | None -> Par.default_degree ()
+  in
+  let f =
+    match q.Ast.body with
+    | Ast.Flwor f -> f
+    | _ -> invalid_arg "Exec.eval_query_stream: body is not a FLWOR"
+  in
+  let plan = Plan.of_flwor f in
+  let plan = Optimizer.apply_strategy strategy plan in
+  let plan = if optimize then Optimizer.optimize plan else plan in
+  let rest =
+    match linearize plan.Plan.pipeline with
+    | Plan.Unit :: Plan.For_expand { var = v; _ } :: rest when v = var -> rest
+    | _ ->
+      invalid_arg
+        "Exec.eval_query_stream: plan does not start with the streamed binding"
+  in
+  (* the focus never escapes into the query (the projection verdict
+     rejects free context items), so an empty document stands in *)
+  let ctx = query_context ~context_node:(Node.document ()) q in
+  let batch = Batch.size () in
+  let rev_out = ref [] in
+  let counter = ref 0 in
+  let final =
+    {
+      push =
+        (fun vec ->
+          Array.iter
+            (fun t ->
+              let t =
+                match plan.Plan.return_at with
+                | None -> t
+                | Some v ->
+                  incr counter;
+                  Smap.add v (Xseq.of_int !counter) t
+              in
+              rev_out := eval_in ctx t plan.Plan.return_expr :: !rev_out)
+            vec);
+      close = (fun () -> ());
+      pressure = (fun () -> ());
+    }
+  in
+  (* parse-ahead accounting: emitted subtrees stay charged until their
+     vector is consumed downstream (whose own accounting then sees them
+     via the heap estimate) *)
+  let pending = ref 0 in
+  let release () =
+    if !pending > 0 then begin
+      Governor.uncharge_bytes !pending;
+      pending := 0
+    end
+  in
+  (* Stream mode goes on before the chain is built: group operators read
+     it at construction time to pick the detached spill codec and the
+     real per-member cost estimate — built earlier they would spill
+     references into files that pin the very heap the flush was meant to
+     release. *)
+  let was_stream = Governor.stream_detach () in
+  (match Governor.current () with
+   | Some g -> Governor.set_stream_mode g true
+   | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      release ();
+      match Governor.current () with
+      | Some g -> Governor.set_stream_mode g was_stream
+      | None -> ())
+    (fun () ->
+      let chain =
+        List.fold_right
+          (fun op down -> op_sink ~batch ~parallel ctx op down)
+          rest final
+      in
+      let releasing =
+        {
+          push =
+            (fun vec ->
+              chain.push vec;
+              release ());
+          close = chain.close;
+          pressure = chain.pressure;
+        }
+      in
+      let push_one, flush = rebatcher batch releasing in
+      (* Parse-ahead is bounded in bytes, not just tuples: a full
+         default vector of captured subtrees can hold several MB (live
+         in the heap and charged), which alone eats most of a small
+         budget. Hand a partial vector downstream once the accumulated
+         estimate passes a slice of the watermark; operators are
+         byte-identical at any vector boundary. *)
+      let ahead_cap =
+        let wm = Governor.spill_watermark () in
+        if wm = max_int then max_int else max (wm / 8) 65536
+      in
+      let idx = ref 0 in
+      let emit ~bytes n =
+        if bytes > 0 then begin
+          Governor.charge_bytes bytes;
+          pending := !pending + bytes
+        end;
+        incr idx;
+        let t = Smap.add var [ Item.Node n ] Smap.empty in
+        let t =
+          match positional with
+          | Some p -> Smap.add p (Xseq.of_int !idx) t
+          | None -> t
+        in
+        push_one t;
+        if !pending >= ahead_cap then flush ()
+      in
+      (* Parse garbage — skipped content and already-consumed subtrees —
+         dominates the Gc-delta memory estimate during a streamed scan,
+         and nothing else collects it before the hard budget check (the
+         group's flush callback only engages once enough live group
+         state accumulates). Under pressure, collect it ourselves; the
+         growth guard keeps the collector from thrashing while the
+         estimate stays pressure-dominated. Operators that register
+         their own callback (hash-group inserts) shadow this one for
+         their scope and restore it after. *)
+      let floor_words =
+        let wm = Governor.spill_watermark () in
+        let bytes =
+          if wm = max_int then 32 lsl 20 else max (wm / 8) (1 lsl 18)
+        in
+        bytes / (Sys.word_size / 8)
+      in
+      let last_heap = ref (Gc.quick_stat ()).Gc.heap_words in
+      let relieve () =
+        (* first let the chain shed retained state (group partitions
+           flush to spill files), then collect the parse garbage *)
+        chain.pressure ();
+        let h = (Gc.quick_stat ()).Gc.heap_words in
+        if h - !last_heap >= floor_words then begin
+          Gc.full_major ();
+          last_heap := (Gc.quick_stat ()).Gc.heap_words
+        end
+      in
+      (* Bounded-memory mode trades collector idle time for footprint:
+         the default pacing (space_overhead 120) lets the major heap
+         balloon to > 2x the live set while parse garbage pours in at
+         wire speed, and the pool high-water never comes back down — the
+         Gc-delta estimate would trip the budget on memory that is
+         mostly reusable. Tighter pacing keeps the heap near the live
+         set for the scan's duration; ungoverned scans keep the stock
+         throughput-friendly setting. *)
+      let old_gc = Gc.get () in
+      if Governor.spill_watermark () < max_int then
+        Gc.set { old_gc with Gc.space_overhead = 30 };
+      Fun.protect
+        ~finally:(fun () -> Gc.set old_gc)
+        (fun () ->
+          Governor.with_pressure_callback relieve (fun () ->
+              Xq_xml.Xml_stream.scan ?keep_whitespace ~path ~emit source;
+              flush ();
+              chain.close ())));
+  Xseq.concat (List.rev !rev_out)

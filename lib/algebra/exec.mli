@@ -97,6 +97,32 @@ val eval_query :
   Xq_lang.Ast.query ->
   Xseq.t
 
+(** Execute a streamable query over a streamed document. The caller
+    supplies the projection [path], the streamed binding's [var] and
+    [positional] name (as derived by the projection analysis); the
+    plan's leading [for] expansion is replaced by a pipelined scan that
+    feeds matched subtrees into the remaining operator chain
+    batch-at-a-time while parsing proceeds. Matched subtrees are
+    charged against the installed governor until consumed downstream,
+    and the governor's stream mode is enabled for the duration so
+    grouping spills detach members by value (memory stays bounded by
+    the watermark). Output is byte-identical to {!eval_query} over the
+    materialized document for every query the projection analysis
+    accepts. Raises whatever the streamed parse raises
+    ([Xml_parse.Parse_error], [XQENG0005], [XQENG0008]). *)
+val eval_query_stream :
+  ?check:bool ->
+  ?optimize:bool ->
+  ?strategy:Optimizer.group_strategy ->
+  ?parallel:int ->
+  ?keep_whitespace:bool ->
+  source:Xq_xml.Xml_stream.source ->
+  path:Xq_xml.Xml_stream.path ->
+  var:string ->
+  positional:string option ->
+  Xq_lang.Ast.query ->
+  Xseq.t
+
 (** Parse, check, compile and execute. *)
 val run_string :
   ?optimize:bool ->

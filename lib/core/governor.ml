@@ -26,7 +26,7 @@
 
 module Xerror = Xq_xdm.Xerror
 
-type trip_kind = Timeout | Memory | Groups | Cancelled | Input | SpillIo
+type trip_kind = Timeout | Memory | Groups | Cancelled | Input | SpillIo | ReadIo
 
 let kind_index = function
   | Timeout -> 0
@@ -35,6 +35,7 @@ let kind_index = function
   | Cancelled -> 3
   | Input -> 4
   | SpillIo -> 5
+  | ReadIo -> 6
 
 let kind_name = function
   | Timeout -> "timeout"
@@ -43,8 +44,9 @@ let kind_name = function
   | Cancelled -> "cancelled"
   | Input -> "input"
   | SpillIo -> "spill-io"
+  | ReadIo -> "read-io"
 
-let n_kinds = 6
+let n_kinds = 7
 
 type t = {
   deadline : float;  (* absolute wall-clock seconds; [infinity] = none *)
@@ -66,6 +68,10 @@ type t = {
   spilled_bytes : int Atomic.t;
   spill_files : int Atomic.t;
   repartitions : int Atomic.t;
+  stream_mode : bool Atomic.t;
+      (* set by the pipeline when this query executes over a streamed
+         document: spilled tuples then encode detached subtrees by value
+         (see Binio) so spilling actually releases their memory *)
 }
 
 (* How many ticks between expensive checks (clock, fault draw). *)
@@ -81,6 +87,16 @@ let mem_stride = 64
 let now () = Unix.gettimeofday ()
 
 let word_bytes = Sys.word_size / 8
+
+(* [Gc.quick_stat]'s [heap_words] is refreshed by major-GC slices and
+   reads 0 until the first one runs, so a baseline sampled early in the
+   process would charge the runtime's whole startup heap (a few MB)
+   against the query budget. Fall back to [Gc.stat] — which computes an
+   accurate sample and refreshes the cached one — only on the stale-zero
+   reading, keeping the common case at quick_stat cost. *)
+let heap_words_now () =
+  let h = (Gc.quick_stat ()).Gc.heap_words in
+  if h > 0 then h else (Gc.stat ()).Gc.heap_words
 
 let create ?timeout_ms ?max_groups ?max_mem_mb ?spill_watermark_bytes
     ?max_input_bytes ?max_depth () =
@@ -103,7 +119,7 @@ let create ?timeout_ms ?max_groups ?max_mem_mb ?spill_watermark_bytes
        | Some _ | None -> max_int);
     max_input_bytes;
     max_depth;
-    baseline_heap_words = Atomic.make (Gc.quick_stat ()).Gc.heap_words;
+    baseline_heap_words = Atomic.make (heap_words_now ());
     ticks = Atomic.make 0;
     groups = Atomic.make 0;
     charged = Atomic.make 0;
@@ -115,13 +131,13 @@ let create ?timeout_ms ?max_groups ?max_mem_mb ?spill_watermark_bytes
     spilled_bytes = Atomic.make 0;
     spill_files = Atomic.make 0;
     repartitions = Atomic.make 0;
+    stream_mode = Atomic.make false;
   }
 
 (* Reset the Gc-delta baseline to the current heap: the CLI calls this
    after loading the input document, so --max-mem budgets the query's own
    materializations (the input is governed separately by XQ_MAX_INPUT). *)
-let rebaseline g =
-  Atomic.set g.baseline_heap_words (Gc.quick_stat ()).Gc.heap_words
+let rebaseline g = Atomic.set g.baseline_heap_words (heap_words_now ())
 
 (* --- fault injection ----------------------------------------------------- *)
 
@@ -133,6 +149,7 @@ type faults = {
   f_io : int64 Atomic.t;
   f_conn : int64 Atomic.t;
   f_crash : int64 Atomic.t;
+  f_read : int64 Atomic.t;
 }
 
 let parse_faults s =
@@ -156,6 +173,7 @@ let parse_faults s =
           f_io = Atomic.make (Int64.of_int (seed + 0x10f0));
           f_conn = Atomic.make (Int64.of_int (seed + 0x701c));
           f_crash = Atomic.make (Int64.of_int (seed + 0xc4a5));
+          f_read = Atomic.make (Int64.of_int (seed + 0x5ead));
         }
     | _ -> None)
 
@@ -220,6 +238,16 @@ let conn_fault () =
   match faults () with
   | None -> None
   | Some f -> if draw f.f_conn < f.f_rate then Some f.f_seed else None
+
+(* Drawn by the streaming XML reader before each chunk refill; [Some
+   seed] means "this read goes wrong here" (the reader decides how:
+   short read, EIO, truncation or a torn read, cycling deterministically
+   so every mode is exercised). A sixth distinct splitmix64 stream, so
+   arming it perturbs none of the established streams' draws. *)
+let read_fault () =
+  match faults () with
+  | None -> None
+  | Some f -> if draw f.f_read < f.f_rate then Some f.f_seed else None
 
 (* The worker-crash stream is doubly gated: XQ_FAULTS must be armed
    *and* the process must have opted in with [arm_crash_faults] (the
@@ -423,17 +451,24 @@ let slow_check g ~mem =
     trip g Timeout Xerror.XQENG0001 "wall-clock deadline exceeded";
   if mem && (g.max_mem_bytes < max_int || g.spill_watermark < max_int) then begin
     let est = mem_estimate g in
-    raise_peak g est;
     (* Gc growth counts toward pressure, not just charged bytes: a flush
        frees keys and group cells so the heap is reused instead of
        growing, which is what actually averts the hard trip when the
-       estimate is Gc-dominated. *)
-    if est > g.spill_watermark then fire_pressure ();
+       estimate is Gc-dominated. Pressure fires with headroom (7/8 of
+       the watermark) so relief — a flush plus a collection — runs
+       before the watermark itself is crossed, and both the budget check
+       and the peak statistic read the post-relief estimate: pressure
+       exists to shed reusable memory before the check, and a recorded
+       peak above a budget that never tripped would contradict the
+       report. *)
     let est =
-      if g.spill_watermark < max_int && est > g.max_mem_bytes then
-        mem_estimate g (* a flush may just have averted the trip *)
+      if est > g.spill_watermark - (g.spill_watermark / 8) then begin
+        fire_pressure ();
+        mem_estimate g
+      end
       else est
     in
+    raise_peak g est;
     if est > g.max_mem_bytes then
       trip g Memory Xerror.XQENG0002
         (Printf.sprintf "memory budget exceeded (~%d bytes used, budget %d)"
@@ -570,6 +605,31 @@ let input_trip msg =
    | None -> ());
   Xerror.fail Xerror.XQENG0005 msg
 
+(* Record a read-I/O trip on the installed governor (if any) and raise
+   XQENG0008. Used by the streaming XML reader for real read errors and
+   injected faults alike, mirroring [spill_trip]. *)
+let read_trip msg =
+  (match current_gov () with
+   | Some g -> Atomic.incr g.trips.(kind_index ReadIo)
+   | None -> ());
+  Xerror.fail Xerror.XQENG0008 msg
+
+(* --- streamed-execution mode ---------------------------------------------- *)
+
+let set_stream_mode g b = Atomic.set g.stream_mode b
+
+let stream_mode_on g = Atomic.get g.stream_mode
+
+(* Is the calling domain executing a streamed query? Consulted by the
+   grouping spill codec to decide whether detached subtrees encode by
+   value (releasing their memory) instead of by registry reference. The
+   flag rides the governor so [Par]'s scoped re-installation carries it
+   to every domain of the query's fork-join tree. *)
+let stream_detach () =
+  match current_gov () with
+  | None -> false
+  | Some g -> Atomic.get g.stream_mode
+
 (* --- stats ---------------------------------------------------------------- *)
 
 type stats = {
@@ -595,7 +655,7 @@ let stats g =
         (fun k ->
           let n = Atomic.get g.trips.(kind_index k) in
           if n > 0 then Some (k, n) else None)
-        [ Timeout; Memory; Groups; Cancelled; Input; SpillIo ];
+        [ Timeout; Memory; Groups; Cancelled; Input; SpillIo; ReadIo ];
     s_injected_allocs = Atomic.get g.injected_allocs;
     s_spilled_bytes = Atomic.get g.spilled_bytes;
     s_spill_files = Atomic.get g.spill_files;

@@ -13,11 +13,18 @@
     path. Trips raise [Xerror.Error] with the [XQENG*] codes:
     [XQENG0001] timeout, [XQENG0002] memory, [XQENG0003] group
     cardinality, [XQENG0004] cancelled, [XQENG0005] input limit,
-    [XQENG0006] spill I/O. *)
+    [XQENG0006] spill I/O, [XQENG0008] streamed-read I/O. *)
 
 type t
 
-type trip_kind = Timeout | Memory | Groups | Cancelled | Input | SpillIo
+type trip_kind =
+  | Timeout
+  | Memory
+  | Groups
+  | Cancelled
+  | Input
+  | SpillIo
+  | ReadIo
 
 val kind_name : trip_kind -> string
 
@@ -209,6 +216,29 @@ val input_limits : unit -> int option * int option
     raise [XQENG0005]. *)
 val input_trip : string -> 'a
 
+(** Record a read-I/O trip on the installed governor (if any) and raise
+    [XQENG0008] with [msg] — the streaming XML reader's analogue of
+    {!spill_trip}, for real read errors and injected faults alike. *)
+val read_trip : string -> 'a
+
+(** {1 Streamed-execution mode}
+
+    The pipeline throws this switch on a query's governor when the
+    query executes over a streamed document. While set, the grouping
+    spill codec encodes {e detached} subtrees (nodes whose tree root is
+    not a document — exactly what the streaming reader emits) by value
+    rather than by registry reference, so spilling group members
+    actually releases their memory instead of pinning the trees. The
+    flag rides the governor, so [Par]'s scoped re-installation extends
+    it to every domain of the query's fork-join tree. *)
+
+val set_stream_mode : t -> bool -> unit
+
+val stream_mode_on : t -> bool
+
+(** [true] when the calling domain's governor is in streamed mode. *)
+val stream_detach : unit -> bool
+
 (** {1 Fault injection} *)
 
 (** [set_faults ~seed ~rate] arms the deterministic fault streams, as
@@ -255,6 +285,13 @@ val disarm_crash_faults : unit -> unit
     "the worker process dies right here". A fifth distinct splitmix64
     stream; always [None] unless both gates are open. *)
 val crash_fault : unit -> int option
+
+(** Drawn by the streaming XML reader before each chunk refill; [Some
+    seed] means "this read goes wrong here" — the reader cycles
+    deterministically through short reads, EIO, truncation and torn
+    reads so a seed sweep exercises every mode. A sixth distinct
+    splitmix64 stream; always [None] when faults are off. *)
+val read_fault : unit -> int option
 
 (** {1 Stats} *)
 

@@ -132,7 +132,9 @@ let new_part ~codec ~sort_mode ~threshold =
     live_charge = 0;
     pfile = None;
     runs = [];
-    reg = Binio.registry ();
+    (* streamed queries spill detached subtrees by value so the flush
+       actually releases their memory; see Binio and Governor *)
+    reg = Binio.registry ~detach:(Governor.stream_detach ()) ();
     pcodec = codec;
     sort_mode;
     pthreshold = threshold;
@@ -236,7 +238,7 @@ let flush_part part =
     part.live_charge <- 0
   end
 
-let ext_insert ?tally part h key tuple gi =
+let ext_insert ?tally ~cost part h key tuple gi =
   Governor.tick ();
   let bucket =
     match Hashtbl.find_opt part.ptable h with
@@ -257,12 +259,13 @@ let ext_insert ?tally part h key tuple gi =
     cell.rev_members <- tuple :: cell.rev_members;
     (* the probe key is garbage now; swap its bytes for one cons *)
     Governor.uncharge_bytes (Key.charged_bytes key);
-    part.live_charge <- part.live_charge + member_cost;
-    Governor.charge_bytes member_cost
+    let mc = cost tuple in
+    part.live_charge <- part.live_charge + mc;
+    Governor.charge_bytes mc
   | None ->
     let cell = { c_key = key; c_first = gi; rev_members = [ tuple ] } in
     bucket := cell :: !bucket;
-    let add = cell_cost + member_cost in
+    let add = cell_cost + cost tuple in
     part.live_charge <- part.live_charge + add + Key.charged_bytes key;
     Governor.charge_bytes add
 
@@ -510,7 +513,13 @@ type 'a builder = {
   b_parallel : int;
   b_parallel_keys : bool;
   b_keys_of : 'a -> Xseq.t list;
+  b_cost : 'a -> int;
+      (* live-heap bytes a retained member pins beyond the bookkeeping
+         constant; flush accounting is only as honest as this estimate *)
   mutable b_fed : int; (* global input index of the next tuple *)
+  mutable b_feeding : bool;
+      (* a feed is in flight: pool domains may be mutating partitions,
+         so [relieve] must not touch them *)
 }
 
 let hash_fn_of = function
@@ -522,7 +531,7 @@ let hash_fn_of = function
    default so a low one costs nothing. *)
 let presize_slots ~p est = max 64 (min ((est / p) + 1) 65536)
 
-let builder ?hash ?tally ?spill ?presize ?(parallel = 1)
+let builder ?hash ?tally ?spill ?presize ?cost ?(parallel = 1)
     ?(parallel_keys = false) ~mode ~keys_of () =
   let parallel = max 1 parallel in
   let impl =
@@ -579,7 +588,9 @@ let builder ?hash ?tally ?spill ?presize ?(parallel = 1)
     b_parallel = parallel;
     b_parallel_keys = parallel_keys;
     b_keys_of = keys_of;
+    b_cost = (match cost with Some f -> f | None -> fun _ -> member_cost);
     b_fed = 0;
+    b_feeding = false;
   }
 
 let canonicalize_batch b slice =
@@ -684,8 +695,8 @@ let feed_ext b e slice =
           (fun () ->
             for i = 0 to len - 1 do
               if accept hashes.(i) then
-                ext_insert ?tally:b.b_tally e.e_parts.(j) hashes.(i) keys.(i)
-                  sub.(i) (base + i)
+                ext_insert ?tally:b.b_tally ~cost:b.b_cost e.e_parts.(j)
+                  hashes.(i) keys.(i) sub.(i) (base + i)
             done)
       in
       if p = 1 then insert_range 0 (fun _ -> true)
@@ -760,11 +771,40 @@ let feed_scan b s slice =
   b.b_fed <- b.b_fed + Array.length slice
 
 let feed b slice =
-  if Array.length slice > 0 then
-    match b.impl with
-    | Mem m -> feed_mem b m slice
-    | Ext e -> feed_ext b e slice
-    | Scan s -> feed_scan b s slice
+  if Array.length slice > 0 then begin
+    b.b_feeding <- true;
+    Fun.protect
+      ~finally:(fun () -> b.b_feeding <- false)
+      (fun () ->
+        match b.impl with
+        | Mem m -> feed_mem b m slice
+        | Ext e -> feed_ext b e slice
+        | Scan s -> feed_scan b s slice)
+  end
+
+(* Shed flushable external state from outside a feed window. Feeds
+   register their own per-partition pressure callbacks, but those only
+   cover the short insert windows; for a streamed scan nearly every
+   governor tick lands in the parser, where the builder's retained
+   members would otherwise just sit and grow until the hard trip. The
+   executor's scan-side pressure callback calls this between vectors.
+   No-op while a feed is in flight (pool domains may be mutating
+   partitions) and for in-memory/scan builds, which have nothing to
+   shed. *)
+let relieve b =
+  match b.impl with
+  | Ext e when not b.b_feeding ->
+    let floor = max 65536 (Governor.spill_watermark () / (16 * e.e_p)) in
+    let shed = ref false in
+    Array.iter
+      (fun part ->
+        if part.live_charge >= floor then begin
+          flush_part part;
+          shed := true
+        end)
+      e.e_parts;
+    if !shed then Gc.full_major ()
+  | Ext _ | Mem _ | Scan _ -> ()
 
 let finish_mem b m =
   let cells =

@@ -77,6 +77,13 @@ val hash_keys : Xseq.t list -> int
     estimate: in-memory hash tables are created with roughly that many
     slots (clamped) instead of growing by rehash from 64.
 
+    [cost] estimates the live-heap bytes a retained member pins beyond
+    the builder's own bookkeeping (default: a small constant). The
+    external build's flush accounting is only as honest as this
+    estimate: members that own large detached structures (streamed scan
+    tuples) must report their real size or partitions never look big
+    enough to flush and the heap outruns the budget unrecorded.
+
     Feeding is where key canonicalization happens; once the running
     input size reaches an internal floor (and batching is on), node keys
     intern into the process key dictionary ({!Key.with_interning}) so
@@ -94,6 +101,7 @@ val builder :
   ?tally:int ref ->
   ?spill:'a codec ->
   ?presize:int ->
+  ?cost:('a -> int) ->
   ?parallel:int ->
   ?parallel_keys:bool ->
   mode:
@@ -108,6 +116,15 @@ val builder :
     retained. On a spill-path exception the builder's files are closed
     before the exception propagates. *)
 val feed : 'a builder -> 'a array -> unit
+
+(** Under memory pressure, flush any external partition holding enough
+    to be worth a frame (and collect, so the freed cells are reusable
+    before the next hard-budget check). Safe to call at any point
+    between {!feed}s — a streamed scan's pressure callback uses it,
+    since governor ticks during parsing land outside the feed windows
+    where the builder's own callbacks are registered. No-op during a
+    feed and for in-memory builds. *)
+val relieve : 'a builder -> unit
 
 (** Merge and return the groups. Call at most once. *)
 val finish : 'a builder -> 'a group list

@@ -11,6 +11,7 @@ type config = {
   kind : engine_kind;
   parallel : int;
   spill : bool;
+  stream : bool;
 }
 
 let config_label c =
@@ -21,14 +22,17 @@ let config_label c =
   in
   kind
   ^ (if c.parallel > 1 then Printf.sprintf "/par=%d" c.parallel else "")
-  ^ if c.spill then "/spill" else ""
+  ^ (if c.spill then "/spill" else "")
+  ^ if c.stream then "/stream" else ""
 
 let base_configs =
   [
-    { kind = Direct; parallel = 1; spill = false };
-    { kind = Plan Optimizer.Hash; parallel = 1; spill = false };
-    { kind = Plan Optimizer.Sort; parallel = 1; spill = false };
-    { kind = Plan Optimizer.Auto; parallel = 1; spill = false };
+    { kind = Direct; parallel = 1; spill = false; stream = false };
+    { kind = Plan Optimizer.Hash; parallel = 1; spill = false; stream = false };
+    { kind = Plan Optimizer.Sort; parallel = 1; spill = false; stream = false };
+    { kind = Plan Optimizer.Auto; parallel = 1; spill = false; stream = false };
+    { kind = Plan Optimizer.Hash; parallel = 1; spill = false; stream = true };
+    { kind = Plan Optimizer.Hash; parallel = 1; spill = true; stream = true };
   ]
 
 let sampled_configs ~seed =
@@ -42,6 +46,7 @@ let sampled_configs ~seed =
           kind = Plan (Prng.pick rng strategies);
           parallel = (if Prng.one_in rng 2 then 2 else 4);
           spill = Prng.one_in rng 2;
+          stream = Prng.one_in rng 2;
         })
 
 type outcome =
@@ -64,7 +69,7 @@ let oracle_outcome context_node query =
    for these small cases. *)
 let spill_governor () = Xq_governor.Governor.create ~spill_watermark_bytes:4096 ~max_mem_mb:512 ()
 
-let engine_outcome ?(inject_bug = false) config context_node query =
+let engine_outcome ?(inject_bug = false) ?doc config context_node query =
   (* both engine paths go through the shared pipeline — the same
      dispatch the CLI, REPL and query server use — with the static
      check hoisted (the historical entry points defaulted check:true) *)
@@ -73,9 +78,27 @@ let engine_outcome ?(inject_bug = false) config context_node query =
     Xq_lang.Static.check_query query;
     match config.kind with
     | Direct -> Xq_pipeline.Pipeline.eval ~doc:context_node compiled
-    | Plan strategy ->
-      Xq_pipeline.Pipeline.eval ~strategy ~parallel:config.parallel
-        ~doc:context_node compiled
+    | Plan strategy -> begin
+      match doc with
+      | Some src when config.stream -> begin
+        (* the streamed column runs the projection verdict exactly as the
+           CLI would: streamable plans pull the document through the
+           streaming scan, the rest degrade to the materialized executor.
+           A wrong Streamable verdict therefore shows up as an ordinary
+           divergence and shrinks like one. *)
+        match Xq_rewrite.Projection.analyze query with
+        | Xq_rewrite.Projection.Streamable { path; var; positional } ->
+          Xq_algebra.Exec.eval_query_stream ~check:false ~strategy
+            ~parallel:config.parallel ~source:(`String src) ~path ~var
+            ~positional query
+        | Xq_rewrite.Projection.Materialize _ ->
+          Xq_pipeline.Pipeline.eval ~strategy ~parallel:config.parallel
+            ~doc:context_node compiled
+      end
+      | _ ->
+        Xq_pipeline.Pipeline.eval ~strategy ~parallel:config.parallel
+          ~doc:context_node compiled
+    end
   in
   let outcome =
     capture (fun () ->
@@ -128,7 +151,7 @@ let check_case ?(inject_bug = false) ~configs ~doc query =
       let rec go n = function
         | [] -> Pass n
         | config :: rest ->
-          let engine = engine_outcome ~inject_bug config context_node query in
+          let engine = engine_outcome ~inject_bug ~doc config context_node query in
           if outcomes_agree ~pinned oracle engine then go (n + 1) rest
           else Divergence { config; oracle; engine }
       in
@@ -143,7 +166,7 @@ let shrink_divergence ?(inject_bug = false) config ~doc query =
       match oracle_outcome context_node q with
       | exception Xq_refimpl.Refimpl.Unsupported _ -> false
       | oracle ->
-        let engine = engine_outcome ~inject_bug config context_node q in
+        let engine = engine_outcome ~inject_bug ~doc:d config context_node q in
         not (outcomes_agree ~pinned:(pinned_order q) oracle engine)
     end
   in

@@ -3,8 +3,10 @@
 
     Each case runs through the real engine under a sampled configuration
     matrix — the direct evaluator plus the plan executor at strategy
-    hash/sort/auto, parallel degree 1/2/4, spill watermark armed or off
-    (fault injection always cleared) — and every outcome is compared
+    hash/sort/auto, parallel degree 1/2/4, spill watermark armed or off,
+    document materialized or pulled through the streaming scan when the
+    projection verdict allows (fault injection always cleared) — and
+    every outcome is compared
     against {!Xq_refimpl.Refimpl}. Outputs are compared per returned
     item, as ordered lists when the query pins its tuple order (a
     trailing [order by], or no [group by] at all) and as multisets
@@ -22,17 +24,23 @@ type config = {
   kind : engine_kind;
   parallel : int;  (** domain-pool degree; only the plan executor reads it *)
   spill : bool;    (** arm a tiny spill watermark to force external grouping *)
+  stream : bool;
+      (** run the projection verdict and, when streamable, pull the
+          document through the streaming scan instead of materializing;
+          plan configurations only *)
 }
 
-(** e.g. ["plan:sort/par=4/spill"] — stable, used in reports. *)
+(** e.g. ["plan:sort/par=4/spill/stream"] — stable, used in reports. *)
 val config_label : config -> string
 
-(** The four always-run configurations: direct, and each strategy at
-    parallel 1 without spilling. *)
+(** The always-run configurations: direct, each strategy at parallel 1
+    without spilling, plus the streamed hash executor with and without
+    the spill watermark armed. *)
 val base_configs : config list
 
 (** [base_configs] plus three seed-sampled stress configurations
-    (strategy × parallel 2/4 × spill). Deterministic per seed. *)
+    (strategy × parallel 2/4 × spill × stream). Deterministic per
+    seed. *)
 val sampled_configs : seed:int -> config list
 
 type outcome =
@@ -44,9 +52,14 @@ val oracle_outcome : Node.t -> Ast.query -> outcome
 
 (** Run one engine configuration. [inject_bug] artificially drops the
     last result item (when the result is non-empty) — a test-only fake
-    engine defect for exercising the shrinker end-to-end. *)
+    engine defect for exercising the shrinker end-to-end. [doc] is the
+    raw document text, required for streamed configurations (without it
+    they fall back to the materialized executor): a streamed run
+    re-reads the document through the streaming scan, so a wrong
+    [Streamable] projection verdict surfaces as an ordinary divergence
+    and shrinks like one. *)
 val engine_outcome :
-  ?inject_bug:bool -> config -> Node.t -> Ast.query -> outcome
+  ?inject_bug:bool -> ?doc:string -> config -> Node.t -> Ast.query -> outcome
 
 (** True when the query's top-level FLWOR pins its tuple order: a
     trailing [order by], or no [group by]. Non-FLWOR bodies are pinned. *)

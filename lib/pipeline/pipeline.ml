@@ -18,6 +18,7 @@ type knobs = {
   k_max_groups : int option;
   k_max_mem_mb : int option;
   k_spill_at_mb : int option;
+  k_stream : bool option;
 }
 
 let default_knobs =
@@ -31,7 +32,17 @@ let default_knobs =
     k_max_groups = None;
     k_max_mem_mb = None;
     k_spill_at_mb = None;
+    k_stream = None;
   }
+
+(* Streaming is on by default when a streamable source is supplied;
+   [XQ_NO_STREAM=1] is the environment kill switch, [k_stream] the
+   per-request override (the CLI's --stream/--no-stream, the protocol's
+   STREAM header). *)
+let stream_enabled knobs =
+  match Sys.getenv_opt "XQ_NO_STREAM" with
+  | Some ("1" | "true" | "yes") -> false  (* the kill switch beats everything *)
+  | _ -> knobs.k_stream <> Some false
 
 type compiled = {
   c_source : string;
@@ -93,7 +104,7 @@ let empty_doc () = Xq_xml.Xml_parse.parse "<empty/>"
 
 let run ?(scope = `Process) ?(force_governor = false) ?on_governor
     ?(knobs = default_knobs) ?(indent = false) ?(explain_analyze = false)
-    ?compiled ?source ?load_doc () =
+    ?compiled ?source ?load_doc ?stream_source () =
   let governed f =
     let gov =
       match
@@ -138,37 +149,69 @@ let run ?(scope = `Process) ?(force_governor = false) ?on_governor
           | Some _ -> Xq_par.Batch.set_size saved_batch
           | None -> ())
       @@ fun () ->
-      (* the document parses inside the governed region so the input
-         limits (XQ_MAX_INPUT / XQ_MAX_DEPTH) apply to it *)
-      let doc = match load_doc with Some f -> f () | None -> empty_doc () in
-      (* budget the query's own materializations, not the document *)
-      (match gov with Some g -> Governor.rebaseline g | None -> ());
-      let compiled =
-        match compiled, source with
-        | Some c, _ -> c
-        | None, Some src -> compile ~rewrite:knobs.k_rewrite src
-        | None, None -> invalid_arg "Pipeline.run: no compiled and no source"
+      let compiled_memo = ref compiled in
+      let get_compiled () =
+        match !compiled_memo with
+        | Some c -> c
+        | None ->
+          let c =
+            match source with
+            | Some src -> compile ~rewrite:knobs.k_rewrite src
+            | None -> invalid_arg "Pipeline.run: no compiled and no source"
+          in
+          compiled_memo := Some c;
+          c
       in
-      if explain_analyze then
-        let output =
-          Xq_rewrite.Explain.analyze_query ?strategy:knobs.k_strategy
-            ?parallel:knobs.k_parallel ~context_node:doc compiled.c_query
+      (* A streamed source materializes through the same parser the
+         front ends always used, so the degraded path is byte-identical
+         to never having asked for streaming. *)
+      let materialize_doc () =
+        match stream_source with
+        | Some (`File p) -> Xq_xml.Xml_parse.parse_file p
+        | Some (`String s) -> Xq_xml.Xml_parse.parse s
+        | None -> ( match load_doc with Some f -> f () | None -> empty_doc ())
+      in
+      (* Streamed dispatch: a supplied source streams when the
+         projection verdict allows and nothing disabled it. The verdict
+         needs the checked query, so compilation precedes the document
+         here (both are governed either way). *)
+      let streamed =
+        match stream_source with
+        | Some src when (not explain_analyze) && stream_enabled knobs -> begin
+          let c = get_compiled () in
+          match Xq_rewrite.Projection.analyze c.c_query with
+          | Xq_rewrite.Projection.Streamable { path; var; positional } ->
+            Some (src, c, path, var, positional)
+          | Xq_rewrite.Projection.Materialize reason ->
+            (* one quiet line, only when streaming was asked for by
+               name — the silent default must not get noisy *)
+            if knobs.k_stream = Some true then
+              Printf.eprintf
+                "xq: streaming requested but not possible (%s); \
+                 materializing\n%!"
+                reason;
+            None
+        end
+        | _ -> None
+      in
+      match streamed with
+      | Some (src, compiled, path, var, positional) ->
+        let strategy =
+          match knobs.k_strategy with
+          | Some s -> s
+          | None -> Optimizer.strategy_from_env ()
         in
-        {
-          r_output = output;
-          r_items = 0;
-          r_elapsed_ms = 0.;
-          r_stats = Option.map Governor.stats gov;
-        }
-      else begin
+        (* same contract as the materialized path's post-parse
+           rebaseline: --max-mem budgets the query's own work, not the
+           startup heap (streamed input is charged as parse-ahead) *)
+        (match gov with Some g -> Governor.rebaseline g | None -> ());
         let t0 = Sys.time () in
         let result =
-          eval ~use_index:knobs.k_use_index ?strategy:knobs.k_strategy
-            ?parallel:knobs.k_parallel ~doc compiled
+          Xq_algebra.Exec.eval_query_stream ~check:false ~strategy
+            ?parallel:knobs.k_parallel ~source:src ~path ~var ~positional
+            compiled.c_query
         in
         let elapsed = (Sys.time () -. t0) *. 1000.0 in
-        (* serialize fully before anything is written, so a trip
-           mid-query never leaves partial output anywhere *)
         let rendered = render ~indent result in
         {
           r_output = rendered;
@@ -176,4 +219,50 @@ let run ?(scope = `Process) ?(force_governor = false) ?on_governor
           r_elapsed_ms = elapsed;
           r_stats = Option.map Governor.stats gov;
         }
-      end)
+      | None ->
+        (* the document parses inside the governed region so the input
+           limits (XQ_MAX_INPUT / XQ_MAX_DEPTH) apply to it *)
+        let doc = materialize_doc () in
+        (* budget the query's own materializations, not the document *)
+        (match gov with Some g -> Governor.rebaseline g | None -> ());
+        let compiled = get_compiled () in
+        if explain_analyze then
+          let output =
+            Xq_rewrite.Explain.analyze_query ?strategy:knobs.k_strategy
+              ?parallel:knobs.k_parallel ~context_node:doc compiled.c_query
+          in
+          (* with a streamable source in play, EXPLAIN also reports the
+             projection verdict — the reason a query materializes is
+             otherwise invisible *)
+          let output =
+            match stream_source with
+            | None -> output
+            | Some _ ->
+              output ^ "stream: "
+              ^ Xq_rewrite.Projection.to_string
+                  (Xq_rewrite.Projection.analyze compiled.c_query)
+              ^ "\n"
+          in
+          {
+            r_output = output;
+            r_items = 0;
+            r_elapsed_ms = 0.;
+            r_stats = Option.map Governor.stats gov;
+          }
+        else begin
+          let t0 = Sys.time () in
+          let result =
+            eval ~use_index:knobs.k_use_index ?strategy:knobs.k_strategy
+              ?parallel:knobs.k_parallel ~doc compiled
+          in
+          let elapsed = (Sys.time () -. t0) *. 1000.0 in
+          (* serialize fully before anything is written, so a trip
+             mid-query never leaves partial output anywhere *)
+          let rendered = render ~indent result in
+          {
+            r_output = rendered;
+            r_items = List.length result;
+            r_elapsed_ms = elapsed;
+            r_stats = Option.map Governor.stats gov;
+          }
+        end)

@@ -35,6 +35,12 @@ type knobs = {
   k_max_groups : int option;
   k_max_mem_mb : int option;
   k_spill_at_mb : int option;
+  k_stream : bool option;
+      (** streamed ingestion when a [stream_source] is supplied:
+          [None] = on when the projection verdict allows (the default),
+          [Some true] = requested by name (a one-line stderr notice when
+          the query is not streamable), [Some false] = off. The
+          [XQ_NO_STREAM=1] environment kill switch beats all three. *)
 }
 
 (** No strategy (direct evaluator), no explicit limits, no rewrite. *)
@@ -100,7 +106,18 @@ type report = {
     with cooperative cancellation (the server's drain path);
     [on_governor] is called with the installed governor, after
     installation and before any work — the server registers it in its
-    in-flight table there. *)
+    in-flight table there.
+
+    [stream_source] supplies the document as a streamable source
+    instead of [load_doc]. When streaming is enabled ([k_stream], the
+    [XQ_NO_STREAM] kill switch) and the projection analysis accepts the
+    query, the document is scanned with projection pushdown and
+    matched subtrees flow into the plan pipeline as parsing proceeds —
+    memory stays bounded by the matched working set (and the spill
+    watermark) rather than the document size, with byte-identical
+    output. Otherwise the source materializes through the ordinary
+    parser and everything behaves as if streaming were never asked
+    for; EXPLAIN ANALYZE output gains a [stream:] verdict line. *)
 val run :
   ?scope:[ `Process | `Domain ] ->
   ?force_governor:bool ->
@@ -111,5 +128,6 @@ val run :
   ?compiled:compiled ->
   ?source:string ->
   ?load_doc:(unit -> Node.t) ->
+  ?stream_source:Xq_xml.Xml_stream.source ->
   unit ->
   report

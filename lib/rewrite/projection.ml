@@ -1,0 +1,268 @@
+(* Static projection analysis for streaming ingestion.
+
+   Decides, from the checked AST alone, whether a query can run over a
+   streamed document — reading it front to back, materializing only the
+   subtrees a single root-anchored path selects — and still produce
+   output byte-identical to materializing the whole tree.
+
+   The streamable fragment is deliberately conservative: the query's
+   only door into the document must be the first [for] binding of a
+   top-level FLWOR, and that binding's source must be an absolute
+   child/descendant element path with no predicates. Everything else in
+   the query must provably never reach the document again: no other
+   absolute paths, no free context item (at the top level it denotes
+   the document), no upward or sideways axes anywhere (a streamed
+   subtree is detached — its capture root has no parent or siblings),
+   and no calls to the document-reaching builtins ([fn:doc],
+   [fn:collection], [fn:root]). Each rejection carries the reason, which
+   EXPLAIN surfaces so users can see why a query materializes. *)
+
+open Xq_xdm
+open Xq_lang
+module Xml_stream = Xq_xml.Xml_stream
+
+type verdict =
+  | Streamable of {
+      path : Xml_stream.path;
+      var : string;
+      positional : string option;
+    }
+  | Materialize of string
+
+exception Reject of string
+
+let reject fmt = Format.kasprintf (fun m -> raise (Reject m)) fmt
+
+(* --- the scan path ------------------------------------------------------- *)
+
+(* Element name tests only: the scanner emits elements, so a step that
+   could select text, comments, attributes or PIs is not streamable. *)
+let elem_test = function
+  | Ast.Name_test n -> Some (Xml_stream.Name n)
+  | Ast.Wildcard -> Some Xml_stream.Any
+  | Ast.Prefix_wildcard p -> Some (Xml_stream.Prefix p)
+  | Ast.Kind_element None -> Some Xml_stream.Any
+  | Ast.Kind_element (Some n) -> Some (Xml_stream.Name n)
+  | Ast.Kind_node | Ast.Kind_text | Ast.Kind_comment | Ast.Kind_attribute _
+  | Ast.Kind_document ->
+    None
+
+type raw_step = Child_of of Xml_stream.test | Desc_of of Xml_stream.test | Dos
+
+let raw_step_of = function
+  | Ast.Step (Ast.Descendant_or_self, Ast.Kind_node, []) -> Some Dos
+  | Ast.Step (Ast.Child, t, []) ->
+    Option.map (fun t -> Child_of t) (elem_test t)
+  | Ast.Step (Ast.Descendant, t, []) ->
+    Option.map (fun t -> Desc_of t) (elem_test t)
+  | _ -> None
+
+(* Unroll [Slash] left-spine from an absolute root; innermost step last. *)
+let rec unroll e acc =
+  match e with
+  | Ast.Root -> Some acc
+  | Ast.Slash (l, r) -> begin
+    match raw_step_of r with
+    | Some s -> unroll l (s :: acc)
+    | None -> None
+  end
+  | _ -> None
+
+(* Fuse desugared [descendant-or-self::node()/child::t] pairs into
+   descendant steps ([dos/descendant::t] collapses the same way). *)
+let rec fuse = function
+  | [] -> Some []
+  | Dos :: Dos :: rest -> fuse (Dos :: rest)
+  | Dos :: Child_of t :: rest | Dos :: Desc_of t :: rest
+  | Desc_of t :: rest ->
+    Option.map
+      (fun p -> { Xml_stream.desc = true; test = t } :: p)
+      (fuse rest)
+  | Child_of t :: rest ->
+    Option.map
+      (fun p -> { Xml_stream.desc = false; test = t } :: p)
+      (fuse rest)
+  | [ Dos ] -> None  (* trailing dos selects non-elements *)
+
+let scan_path_of (e : Ast.expr) : Xml_stream.path option =
+  match unroll e [] with
+  | None -> None
+  | Some raws -> begin
+    match fuse raws with
+    | Some path
+      when path <> [] && List.length path <= Xml_stream.max_steps ->
+      Some path
+    | _ -> None
+  end
+
+(* --- the rest of the query must never reach the document ----------------- *)
+
+let axis_name = function
+  | Ast.Parent -> "parent"
+  | Ast.Ancestor -> "ancestor"
+  | Ast.Ancestor_or_self -> "ancestor-or-self"
+  | Ast.Following_sibling -> "following-sibling"
+  | Ast.Preceding_sibling -> "preceding-sibling"
+  | _ -> ""
+
+let escaping_axis = function
+  | Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self | Ast.Following_sibling
+  | Ast.Preceding_sibling ->
+    true
+  | _ -> false
+
+(* Builtins that (re-)reach a document tree. *)
+let doc_reaching (name : Xname.t) =
+  (match name.Xname.prefix with None | Some "fn" -> true | Some _ -> false)
+  && List.mem name.Xname.local [ "doc"; "collection"; "root" ]
+
+(* [ctx_ok] is true where the context item is locally bound (inside
+   predicates and on the right of a [/]); elsewhere the context item —
+   and a bare axis step, which implicitly applies to it — denotes the
+   document being streamed. *)
+let rec check ~ctx_ok (e : Ast.expr) =
+  match e with
+  | Ast.Literal _ | Ast.Var _ -> ()
+  | Ast.Context_item ->
+    if not ctx_ok then
+      reject "the context item denotes the document outside a path"
+  | Ast.Root -> reject "an absolute path re-anchors at the document root"
+  | Ast.Step (axis, _, preds) ->
+    if escaping_axis axis then
+      reject "the %s axis escapes the streamed subtree" (axis_name axis);
+    if not ctx_ok then
+      reject "a bare axis step applies to the document context";
+    List.iter (check ~ctx_ok:true) preds
+  | Ast.Slash (l, r) ->
+    check ~ctx_ok l;
+    check ~ctx_ok:true r
+  | Ast.Filter (p, preds) ->
+    check ~ctx_ok p;
+    List.iter (check ~ctx_ok:true) preds
+  | Ast.Call (name, args) ->
+    if doc_reaching name then
+      reject "fn:%s reaches outside the streamed subtree" name.Xname.local;
+    List.iter (check ~ctx_ok) args
+  | Ast.Sequence es -> List.iter (check ~ctx_ok) es
+  | Ast.Range (a, b)
+  | Ast.Arith (_, a, b)
+  | Ast.General_cmp (_, a, b)
+  | Ast.Value_cmp (_, a, b)
+  | Ast.Node_cmp (_, a, b)
+  | Ast.And (a, b)
+  | Ast.Or (a, b)
+  | Ast.Union (a, b)
+  | Ast.Intersect (a, b)
+  | Ast.Except (a, b)
+  | Ast.Comp_elem (a, b)
+  | Ast.Comp_attr (a, b) ->
+    check ~ctx_ok a;
+    check ~ctx_ok b
+  | Ast.Neg a
+  | Ast.Instance_of (a, _)
+  | Ast.Treat_as (a, _)
+  | Ast.Castable_as (a, _)
+  | Ast.Cast_as (a, _)
+  | Ast.Comp_text a ->
+    check ~ctx_ok a
+  | Ast.If (c, t, f) ->
+    check ~ctx_ok c;
+    check ~ctx_ok t;
+    check ~ctx_ok f
+  | Ast.Quantified (_, binds, cond) ->
+    List.iter (fun (_, src) -> check ~ctx_ok src) binds;
+    check ~ctx_ok cond
+  | Ast.Flwor f -> check_flwor ~ctx_ok f
+  | Ast.Direct_elem d -> check_direct ~ctx_ok d
+
+and check_direct ~ctx_ok (d : Ast.direct_elem) =
+  List.iter
+    (fun (a : Ast.direct_attr) ->
+      List.iter
+        (function
+          | Ast.Attr_text _ -> ()
+          | Ast.Attr_expr e -> check ~ctx_ok e)
+        a.Ast.attr_value)
+    d.Ast.attrs;
+  List.iter
+    (function
+      | Ast.Content_text _ | Ast.Content_comment _ -> ()
+      | Ast.Content_expr e -> check ~ctx_ok e
+      | Ast.Content_elem d -> check_direct ~ctx_ok d)
+    d.Ast.content
+
+and check_flwor ~ctx_ok (f : Ast.flwor) =
+  List.iter
+    (function
+      | Ast.For bindings ->
+        List.iter
+          (fun (b : Ast.for_binding) -> check ~ctx_ok b.Ast.for_src)
+          bindings
+      | Ast.Let bindings -> List.iter (fun (_, e) -> check ~ctx_ok e) bindings
+      | Ast.Where e -> check ~ctx_ok e
+      | Ast.Group_by g ->
+        List.iter
+          (fun (k : Ast.group_key) -> check ~ctx_ok k.Ast.key_expr)
+          g.Ast.keys;
+        List.iter
+          (fun (n : Ast.nest_spec) ->
+            check ~ctx_ok n.Ast.nest_expr;
+            List.iter (fun (e, _) -> check ~ctx_ok e) n.Ast.nest_order)
+          g.Ast.nests
+      | Ast.Order_by { specs; _ } ->
+        List.iter (fun (e, _) -> check ~ctx_ok e) specs
+      | Ast.Count _ -> ()
+      | Ast.Window w ->
+        check ~ctx_ok w.Ast.w_src;
+        check ~ctx_ok w.Ast.w_start.Ast.wc_when;
+        Option.iter
+          (fun (we : Ast.window_end) -> check ~ctx_ok we.Ast.we_cond.Ast.wc_when)
+          w.Ast.w_end)
+    f.Ast.clauses;
+  check ~ctx_ok f.Ast.return_expr
+
+(* --- the verdict --------------------------------------------------------- *)
+
+let analyze (q : Ast.query) : verdict =
+  try
+    (* the prolog must not touch the document either: globals evaluate
+       before streaming starts, function bodies run during it *)
+    List.iter
+      (fun (fd : Ast.fun_def) -> check ~ctx_ok:false fd.Ast.body)
+      q.Ast.prolog.Ast.functions;
+    List.iter (fun (_, e) -> check ~ctx_ok:false e) q.Ast.prolog.Ast.global_vars;
+    match q.Ast.body with
+    | Ast.Flwor f -> begin
+      match f.Ast.clauses with
+      | Ast.For (first :: other_bindings) :: other_clauses -> begin
+        match scan_path_of first.Ast.for_src with
+        | None ->
+          Materialize
+            "the first for binding is not an absolute child/descendant \
+             element path"
+        | Some path ->
+          (* everything after the scan source must stay inside the
+             streamed subtrees *)
+          List.iter
+            (fun (b : Ast.for_binding) -> check ~ctx_ok:false b.Ast.for_src)
+            other_bindings;
+          check_flwor ~ctx_ok:false
+            { f with Ast.clauses = other_clauses; return_expr = f.return_expr };
+          Streamable
+            {
+              path;
+              var = first.Ast.for_var;
+              positional = first.Ast.positional;
+            }
+      end
+      | _ -> Materialize "the query does not start with a for clause"
+    end
+    | _ -> Materialize "the query body is not a single FLWOR"
+  with Reject reason -> Materialize reason
+
+let to_string = function
+  | Streamable { path; var; positional } ->
+    Printf.sprintf "streamable: $%s%s <- scan %s" var
+      (match positional with Some p -> " at $" ^ p | None -> "")
+      (Xml_stream.path_to_string path)
+  | Materialize reason -> "materialize: " ^ reason

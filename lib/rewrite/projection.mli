@@ -1,0 +1,29 @@
+(** Static projection analysis for streaming ingestion.
+
+    Decides whether a checked query can execute over a streamed
+    document — materializing only the subtrees selected by one
+    root-anchored element path — with output byte-identical to the
+    materializing path, and derives that projection path.
+
+    The streamable fragment: the body is a single FLWOR whose first
+    clause is a [for] whose first binding ranges over an absolute
+    child/descendant element path without predicates; no other part of
+    the query (remaining bindings, clauses, return, prolog globals and
+    function bodies) may reach the document again — no absolute paths,
+    no free context item, no upward/sideways axes, no [fn:doc] /
+    [fn:collection] / [fn:root]. Anything outside the fragment yields
+    {!Materialize} with the reason, which EXPLAIN surfaces. *)
+
+type verdict =
+  | Streamable of {
+      path : Xq_xml.Xml_stream.path;  (** the projection to scan *)
+      var : string;  (** the first binding's variable *)
+      positional : string option;  (** its [at $p] variable *)
+    }
+  | Materialize of string  (** not streamable, with the reason *)
+
+val analyze : Xq_lang.Ast.query -> verdict
+
+(** One-line rendering, e.g. ["streamable: $o <- scan /orders/order"]
+    or ["materialize: the context item denotes the document …"]. *)
+val to_string : verdict -> string

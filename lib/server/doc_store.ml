@@ -4,6 +4,7 @@ type entry = {
   e_node : Xq_xdm.Node.t;
   e_mtime : float;
   e_size : int;
+  e_ino : int;
   e_bytes : int;
   mutable e_gen : int;
 }
@@ -77,34 +78,50 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
+(* Cache identity is (mtime, size, inode): mtime alone misses
+   same-second rewrites on coarse filesystems, mtime+size misses a
+   rename-swap that preserves both (mv of a same-length variant keeps
+   the old mtime) — the inode catches the swap, the pair catches
+   in-place rewrites. *)
 let stat path =
   let st = Unix.stat path in
-  (st.Unix.st_mtime, st.Unix.st_size)
+  (st.Unix.st_mtime, st.Unix.st_size, st.Unix.st_ino)
+
+let fresh e (mtime, size, ino) =
+  e.e_mtime = mtime && e.e_size = size && e.e_ino = ino
 
 let load t path =
-  let mtime, size =
+  let st0 =
     try stat path
     with Unix.Unix_error (e, _, _) ->
       raise (Sys_error (Printf.sprintf "%s: %s" path (Unix.error_message e)))
   in
+  let restat () = try Some (stat path) with Unix.Unix_error _ -> None in
   let cached =
     locked t (fun () ->
         match Hashtbl.find_opt t.table path with
-        | Some e when e.e_mtime = mtime && e.e_size = size ->
-          t.hits <- t.hits + 1;
-          touch t e;
-          Some e.e_node
-        | Some e ->
-          (* the file changed underneath us: drop the stale tree now so
-             a parse failure of the new content leaves nothing behind *)
-          Hashtbl.remove t.table path;
-          uncharge t e.e_bytes;
-          t.invalidations <- t.invalidations + 1;
-          t.misses <- t.misses + 1;
-          None
         | None ->
           t.misses <- t.misses + 1;
-          None)
+          None
+        | Some e -> begin
+          (* revalidate against the file's identity *now*, under the
+             lock — the pre-lock stat can predate a concurrent swap of
+             the path, and serving off it would pin the stale tree *)
+          match restat () with
+          | Some st when fresh e st ->
+            t.hits <- t.hits + 1;
+            touch t e;
+            Some e.e_node
+          | _ ->
+            (* the file changed underneath us: drop the stale tree now
+               so a parse failure of the new content leaves nothing
+               behind *)
+            Hashtbl.remove t.table path;
+            uncharge t e.e_bytes;
+            t.invalidations <- t.invalidations + 1;
+            t.misses <- t.misses + 1;
+            None
+        end)
   in
   match cached with
   | Some node -> node
@@ -115,7 +132,7 @@ let load t path =
     let node = Xq_xml.Xml_parse.parse_file path in
     locked t (fun () ->
         match Hashtbl.find_opt t.table path with
-        | Some e when e.e_mtime = mtime && e.e_size = size ->
+        | Some e when fresh e st0 ->
           touch t e;
           e.e_node
         | other ->
@@ -124,11 +141,13 @@ let load t path =
              Hashtbl.remove t.table path;
              uncharge t e.e_bytes
            | None -> ());
+          let mtime, size, ino = st0 in
           let e =
             {
               e_node = node;
               e_mtime = mtime;
               e_size = size;
+              e_ino = ino;
               e_bytes = estimate_bytes ~size;
               e_gen = 0;
             }

@@ -4,8 +4,10 @@
     so one resident copy can serve any number of concurrent queries:
     two loads of the same file return the {e physically identical}
     node. Entries are keyed on path and validated against the file's
-    (mtime, size) on every load — a changed file is reparsed in place
-    and the stale tree dropped. Capacity is a resident-byte bound with
+    (mtime, size, inode) on every load — re-statted under the store
+    lock, so both in-place rewrites and rename-swaps that preserve
+    mtime and size are caught — and a changed file is reparsed in
+    place with the stale tree dropped. Capacity is a resident-byte bound with
     least-recently-used eviction; bytes (an estimate — the node tree
     costs a small multiple of the serialized form) are charged against
     an optional accounting governor feeding the server's admission
@@ -24,7 +26,8 @@ val create :
 val estimate_bytes : size:int -> int
 
 (** [load t path] returns the resident document for [path], parsing it
-    on first use or when its (mtime, size) changed since it was cached.
+    on first use or when its (mtime, size, inode) changed since it was
+    cached.
     Raises [Sys_error] when the file cannot be read and the XML
     parser's errors when it cannot be parsed; neither leaves a cache
     entry behind. *)
@@ -37,7 +40,7 @@ type stats = {
   d_hits : int;
   d_misses : int;  (** includes invalidations — each implies a reparse *)
   d_evictions : int;  (** capacity evictions only *)
-  d_invalidations : int;  (** (mtime, size) mismatches *)
+  d_invalidations : int;  (** (mtime, size, inode) mismatches *)
   d_entries : int;
   d_resident_bytes : int;
 }

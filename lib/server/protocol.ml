@@ -129,6 +129,12 @@ let read_command ?(max_field_bytes = max_int) ic =
           indent
       | "REWRITE" ->
         continue source doc { knobs with Pipeline.k_rewrite = true } indent
+      | "STREAM" ->
+        (* explicit opt-in: server-side streaming changes which requests
+           bypass the document store, so it never happens implicitly *)
+        continue source doc { knobs with Pipeline.k_stream = Some true } indent
+      | "NO-STREAM" ->
+        continue source doc { knobs with Pipeline.k_stream = Some false } indent
       | "INDEX" ->
         continue source doc { knobs with Pipeline.k_use_index = true } indent
       | "INDENT" -> continue source doc knobs true
@@ -171,6 +177,10 @@ let write_command oc cmd =
      num "MAX-MEM" k.Pipeline.k_max_mem_mb;
      num "SPILL-AT" k.Pipeline.k_spill_at_mb;
      if k.Pipeline.k_rewrite then output_string oc "REWRITE\n";
+     (match k.Pipeline.k_stream with
+      | Some true -> output_string oc "STREAM\n"
+      | Some false -> output_string oc "NO-STREAM\n"
+      | None -> ());
      if k.Pipeline.k_use_index then output_string oc "INDEX\n";
      if rq.rq_indent then output_string oc "INDENT\n";
      output_string oc "RUN\n");

@@ -154,6 +154,7 @@ let merge_knobs ~base ~req =
       k_max_groups = opt req.k_max_groups base.k_max_groups;
       k_max_mem_mb = opt req.k_max_mem_mb base.k_max_mem_mb;
       k_spill_at_mb = opt req.k_spill_at_mb base.k_spill_at_mb;
+      k_stream = opt req.k_stream base.k_stream;
     }
 
 (* --- error taxonomy ----------------------------------------------------- *)
@@ -278,12 +279,20 @@ let run_request t (rq : Protocol.run_request) =
       Plan_cache.find_or_add t.plan_cache key (fun () ->
           Pipeline.compile ~rewrite:knobs.Pipeline.k_rewrite rq.rq_source)
     in
-    let load_doc =
+    (* A STREAM request bypasses the resident document store: the point
+       of streaming a one-shot document is precisely not to materialize
+       (or cache) it. Without the explicit header, documents keep going
+       through the store / per-query parse as before. *)
+    let streaming = rq.rq_knobs.Pipeline.k_stream = Some true in
+    let load_doc, stream_source =
       match rq.rq_doc with
-      | Protocol.Doc_none -> None
-      | Protocol.Doc_path p -> Some (fun () -> Doc_store.load t.doc_store p)
+      | Protocol.Doc_none -> (None, None)
+      | Protocol.Doc_path p ->
+        if streaming then (None, Some (`File p))
+        else (Some (fun () -> Doc_store.load t.doc_store p), None)
       | Protocol.Doc_inline xml ->
-        Some (fun () -> Xq_xml.Xml_parse.parse xml)
+        if streaming then (None, Some (`String xml))
+        else (Some (fun () -> Xq_xml.Xml_parse.parse xml), None)
     in
     (* every server query is governed (unlimited if no knob set a
        limit) and registered while it runs, so a drain deadline can
@@ -296,7 +305,7 @@ let run_request t (rq : Protocol.run_request) =
         let report =
           Pipeline.run ~scope:`Domain ~force_governor:true
             ~on_governor:(fun g -> slot := Some (register_inflight t g))
-            ~knobs ~indent:rq.rq_indent ~compiled ?load_doc ()
+            ~knobs ~indent:rq.rq_indent ~compiled ?load_doc ?stream_source ()
         in
         crash_point "before response";
         (* match the CLI byte for byte: [xq run] prints the rendering

@@ -182,9 +182,89 @@ let get_atom r : Atomic.t =
 
 (* --- items and sequences (nodes by registry reference) ------------------- *)
 
-type node_registry = (int, Node.t) Hashtbl.t
+type node_registry = { tbl : (int, Node.t) Hashtbl.t; detach : bool }
 
-let registry () : node_registry = Hashtbl.create 64
+let registry ?(detach = false) () : node_registry =
+  { tbl = Hashtbl.create 64; detach }
+
+let put_xname buf (n : Xname.t) =
+  put_opt put_string buf n.Xname.prefix;
+  put_string buf n.Xname.local
+
+let get_xname r : Xname.t =
+  let prefix = get_opt get_string r in
+  let local = get_string r in
+  { Xname.prefix; local }
+
+(* Structural (by-value) node encoding, used for detached subtrees in
+   streamed mode: the original ids ride along so document order and
+   id-based identity survive the round trip, and — unlike a registry
+   reference — nothing pins the encoded tree in memory while its bytes
+   live on disk. Document nodes never reach here (a tree rooted in a
+   document encodes by reference; see [put_item]). *)
+let rec put_tree buf n =
+  put_varint buf (Node.id n);
+  match Node.kind n with
+  | Node.Element ->
+    Buffer.add_char buf 'E';
+    put_xname buf (Option.get (Node.name n));
+    let attrs = Node.attributes n in
+    put_varint buf (List.length attrs);
+    List.iter
+      (fun a ->
+        put_varint buf (Node.id a);
+        put_xname buf (Option.get (Node.name a));
+        put_string buf (Node.attribute_value a))
+      attrs;
+    let children = Node.children n in
+    put_varint buf (List.length children);
+    List.iter (put_tree buf) children
+  | Node.Text ->
+    Buffer.add_char buf 'T';
+    put_string buf (Node.text_content n)
+  | Node.Comment ->
+    Buffer.add_char buf 'C';
+    put_string buf (Node.comment_text n)
+  | Node.Pi ->
+    Buffer.add_char buf 'P';
+    put_string buf (Node.pi_target n);
+    put_string buf (Node.pi_data n)
+  | Node.Attribute ->
+    Buffer.add_char buf 'A';
+    put_xname buf (Option.get (Node.name n));
+    put_string buf (Node.attribute_value n)
+  | Node.Document -> corrupt "document node in a by-value spill encoding"
+
+let rec get_tree r =
+  let id = get_varint r in
+  match byte r with
+  | c when c = Char.code 'E' ->
+    let name = get_xname r in
+    let el = Node.element_with_id ~id name in
+    let n_attrs = get_varint r in
+    if n_attrs < 0 then corrupt "negative attribute count %d" n_attrs;
+    for _ = 1 to n_attrs do
+      let aid = get_varint r in
+      let aname = get_xname r in
+      let v = get_string r in
+      Node.set_attribute el (Node.attribute_with_id ~id:aid aname v)
+    done;
+    let n_children = get_varint r in
+    if n_children < 0 then corrupt "negative child count %d" n_children;
+    for _ = 1 to n_children do
+      Node.append_child el (get_tree r)
+    done;
+    el
+  | c when c = Char.code 'T' -> Node.text_with_id ~id (get_string r)
+  | c when c = Char.code 'C' -> Node.comment_with_id ~id (get_string r)
+  | c when c = Char.code 'P' ->
+    let target = get_string r in
+    let data = get_string r in
+    Node.pi_with_id ~id ~target ~data
+  | c when c = Char.code 'A' ->
+    let name = get_xname r in
+    Node.attribute_with_id ~id name (get_string r)
+  | t -> corrupt "unknown tree-node tag %#x" t
 
 let put_item (reg : node_registry) buf (it : Item.t) =
   match it with
@@ -192,19 +272,28 @@ let put_item (reg : node_registry) buf (it : Item.t) =
     Buffer.add_char buf '\000';
     put_atom buf a
   | Item.Node n ->
-    let id = Node.id n in
-    if not (Hashtbl.mem reg id) then Hashtbl.add reg id n;
-    Buffer.add_char buf '\001';
-    put_varint buf id
+    if reg.detach && Node.kind (Node.root n) <> Node.Document then begin
+      (* a detached tree (streamed subtree or constructed node): encode
+         the structure so the live tree really can be collected *)
+      Buffer.add_char buf '\002';
+      put_tree buf n
+    end
+    else begin
+      let id = Node.id n in
+      if not (Hashtbl.mem reg.tbl id) then Hashtbl.add reg.tbl id n;
+      Buffer.add_char buf '\001';
+      put_varint buf id
+    end
 
 let get_item (reg : node_registry) r : Item.t =
   match byte r with
   | 0 -> Item.Atomic (get_atom r)
   | 1 ->
     let id = get_varint r in
-    (match Hashtbl.find_opt reg id with
+    (match Hashtbl.find_opt reg.tbl id with
      | Some n -> Item.Node n
      | None -> corrupt "node id %d not in spill registry" id)
+  | 2 -> Item.Node (get_tree r)
   | t -> corrupt "unknown item tag %#x" t
 
 let put_seq reg buf (s : Xseq.t) =

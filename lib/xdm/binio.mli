@@ -13,7 +13,18 @@
     time and resolved through it on decode. The decoded item is the
     {e original} node — identity, parent links and document order all
     survive the round trip, and the registry is what keeps spilled
-    nodes pinned while their bytes live on disk. *)
+    nodes pinned while their bytes live on disk.
+
+    A registry created with [~detach:true] (streamed execution) instead
+    encodes {e detached} trees — nodes whose tree root is not a document
+    node, i.e. streamed subtrees and constructed elements — {e by
+    value}, carrying their original ids. Decoding rebuilds a
+    structurally identical tree with the same ids, so document order and
+    id-based identity are preserved, while the original tree is left
+    collectable: spilling then genuinely releases memory, which is what
+    lets a streamed group-by stay bounded by the watermark. Nodes of a
+    materialized document still encode by reference (their parent chain
+    above the item must survive). *)
 
 exception Corrupt of string
 
@@ -44,7 +55,7 @@ val get_atom : reader -> Atomic.t
     grouping partition: encode and decode sides must share it. *)
 type node_registry
 
-val registry : unit -> node_registry
+val registry : ?detach:bool -> unit -> node_registry
 
 val put_item : node_registry -> Buffer.t -> Item.t -> unit
 val get_item : node_registry -> reader -> Item.t

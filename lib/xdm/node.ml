@@ -35,6 +35,20 @@ let text s = mk (BText { text = s })
 let comment s = mk (BComment s)
 let pi ~target ~data = mk (BPi { target; data })
 
+(* Explicit-id constructors for the spill codec: a decoded streamed
+   subtree keeps its original ids so document order survives the round
+   trip. Ids come from earlier [fresh_id] calls of the same process, so
+   the monotone counter never reissues them to new nodes. *)
+let mk_id id body = { id; parent = None; body }
+
+let element_with_id ~id name =
+  mk_id id (BElement { name; rev_attributes = []; rev_children = [] })
+
+let attribute_with_id ~id name value = mk_id id (BAttribute { name; value })
+let text_with_id ~id s = mk_id id (BText { text = s })
+let comment_with_id ~id s = mk_id id (BComment s)
+let pi_with_id ~id ~target ~data = mk_id id (BPi { target; data })
+
 let kind n =
   match n.body with
   | BDocument _ -> Document

@@ -38,6 +38,21 @@ val set_attribute : t -> t -> unit
     constructors). *)
 val copy : t -> t
 
+(** {1 Explicit-id construction (spill codec only)}
+
+    Rebuild a node carrying a given id instead of drawing a fresh one,
+    so a spilled subtree decoded from disk keeps its original document
+    order and identity. Only ever call these with ids previously issued
+    by this process (the codec round-trips them); the global counter is
+    monotone and never reissues an id, so no collision with live nodes
+    is possible. *)
+
+val element_with_id : id:int -> Xname.t -> t
+val attribute_with_id : id:int -> Xname.t -> string -> t
+val text_with_id : id:int -> string -> t
+val comment_with_id : id:int -> string -> t
+val pi_with_id : id:int -> target:string -> data:string -> t
+
 (** {1 Accessors} *)
 
 val id : t -> int

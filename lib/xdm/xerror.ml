@@ -18,6 +18,7 @@ type code =
   | XQENG0005
   | XQENG0006
   | XQENG0007
+  | XQENG0008
 
 exception Error of code * string
 
@@ -41,6 +42,7 @@ let code_to_string = function
   | XQENG0005 -> "XQENG0005"
   | XQENG0006 -> "XQENG0006"
   | XQENG0007 -> "XQENG0007"
+  | XQENG0008 -> "XQENG0008"
 
 type severity = Static | Dynamic | Resource
 
@@ -50,7 +52,7 @@ let severity = function
   | FODT0001 | XQDY0025 ->
     Dynamic
   | XQENG0001 | XQENG0002 | XQENG0003 | XQENG0004 | XQENG0005 | XQENG0006
-  | XQENG0007 ->
+  | XQENG0007 | XQENG0008 ->
     Resource
 
 let is_resource code = severity code = Resource

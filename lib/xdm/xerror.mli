@@ -32,6 +32,10 @@ type code =
           memory watermark is hot or its concurrency cap is reached, so
           the query was refused before execution rather than started
           and starved. Retryable once the server drains. *)
+  | XQENG0008
+      (** resource: read I/O failure on a streamed input document (an
+          EIO or torn read from the streaming XML reader, real or
+          injected; the message carries the source and position) *)
 
 exception Error of code * string
 

@@ -1,0 +1,70 @@
+(** Streaming XML ingestion with projection pushdown.
+
+    A pull-based, chunked scan of a document that builds XDM subtrees
+    {e only} for elements matched by a projection path and discards
+    everything else at parse time, so memory is bounded by the matched
+    subtrees in flight rather than the document size.
+
+    Lexical semantics, limits and error behaviour mirror {!Xml_parse}
+    exactly: the same entity/CDATA/whitespace rules, the same depth and
+    byte caps (explicit or inherited from an installed governor), the
+    same positioned {!Xml_parse.Parse_error} on malformed input, and a
+    governor tick per element. A query run over the streamed subtrees
+    produces output byte-identical to the materializing path.
+
+    When [XQ_FAULTS] is active, the read-I/O fault stream injects
+    short reads (benign), EIO and torn reads (both [XQENG0008]) and
+    truncations (a clean parse error) at chunk-refill boundaries —
+    failures always surface as structured errors, never partial data. *)
+
+open Xq_xdm
+
+type source = [ `String of string | `File of string ]
+
+(** An element name test of a projection step. *)
+type test = Any | Name of Xname.t | Prefix of string
+
+(** One projection step: [desc] marks a descendant ([//]) step, i.e.
+    the match may sit any number of levels below, not just one. *)
+type step = { desc : bool; test : test }
+
+(** A root-anchored projection path, outermost step first. *)
+type path = step list
+
+(** Paths longer than this are rejected (the NFA packs one bit per
+    step into an [int] mask). *)
+val max_steps : int
+
+(** Render a path in XPath notation, e.g. ["/orders//item"]. *)
+val path_to_string : path -> string
+
+(** [scan ~path ~emit src] parses [src] front to back and calls
+    [emit ~bytes node] for every element matching [path], in document
+    order. [bytes] is a heap-cost estimate for the subtree, carried by
+    the first match of each top-level capture (nested matches within it
+    report [0]); callers charge it against the governor to keep streamed
+    execution accountable. Matches are emitted as soon as their
+    outermost enclosing match closes, while parsing continues.
+
+    Raises {!Xml_parse.Parse_error} on malformed input,
+    [Xerror.Error (XQENG0005, _)] on tripped governed limits and
+    [Xerror.Error (XQENG0008, _)] on (injected) read-I/O failures.
+    Raises [Sys_error] if a [`File] source cannot be opened. *)
+val scan :
+  ?keep_whitespace:bool ->
+  ?max_depth:int ->
+  ?max_bytes:int ->
+  path:path ->
+  emit:(bytes:int -> Node.t -> unit) ->
+  source ->
+  unit
+
+(** [collect ~path src] gathers all matches in document order —
+    a convenience for tests. *)
+val collect :
+  ?keep_whitespace:bool ->
+  ?max_depth:int ->
+  ?max_bytes:int ->
+  path:path ->
+  source ->
+  Node.t list

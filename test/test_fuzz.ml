@@ -55,7 +55,7 @@ let sampled_configs_deterministic () =
   Alcotest.(check (list string)) "same matrix"
     (List.map Fuzz.config_label a)
     (List.map Fuzz.config_label b);
-  Alcotest.(check int) "base + three sampled" 7 (List.length a)
+  Alcotest.(check int) "base + three sampled" 9 (List.length a)
 
 (* --- order pinning and agreement ----------------------------------------- *)
 

@@ -29,6 +29,7 @@ let () =
          Test_spill.suites;
          Test_corpus.suites;
          Test_fuzz.suites;
+         Test_stream.suites;
          Test_server.suites;
          Test_lifecycle.suites;
        ])

@@ -164,6 +164,38 @@ let test_doc_store_sharing_and_invalidation () =
       in
       Alcotest.(check string) "fresh content served" "2" got)
 
+let test_doc_store_rename_swap () =
+  (* a rename-swap of a same-length variant preserves mtime and size
+     (rename(2) keeps the source file's timestamps) — only the inode
+     betrays it. Regression: the store used to key on (mtime, size) and
+     served the stale tree forever after such a swap. *)
+  let t = Doc_store.create () in
+  let path = temp_xml "<a><b>1</b></a>" in
+  let alt = temp_xml "<a><b>2</b></a>" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ path; alt ])
+    (fun () ->
+      (* pin both files to one past mtime so the swap is invisible to
+         an (mtime, size) check no matter the filesystem's precision *)
+      let past = Unix.time () -. 60.0 in
+      Unix.utimes path past past;
+      Unix.utimes alt past past;
+      let d1 = Doc_store.load t path in
+      Sys.rename alt path;
+      Unix.utimes path past past;
+      let d2 = Doc_store.load t path in
+      Alcotest.(check bool) "swap reparsed" true (d1 != d2);
+      let got =
+        Xq_xml.Serialize.sequence
+          (Xq_engine.Eval.eval_query ~context_node:d2
+             (Xq_lang.Parser.parse_query "string(/a/b)"))
+      in
+      Alcotest.(check string) "swapped content served" "2" got;
+      let s = Doc_store.stats t in
+      Alcotest.(check int) "swap counted as invalidation" 1
+        s.Doc_store.d_invalidations)
+
 let test_doc_store_capacity_eviction () =
   let house = Governor.create () in
   let body = String.make 200 'x' in
@@ -281,6 +313,94 @@ let request path cmd =
     (fun () ->
       Protocol.write_command oc cmd;
       Protocol.read_response ic)
+
+(* --- streamed requests and oversized documents --------------------------- *)
+
+let stream_cmd ~doc source =
+  Protocol.Run
+    {
+      Protocol.rq_source = source;
+      rq_doc = doc;
+      rq_knobs = { Pipeline.default_knobs with Pipeline.k_stream = Some true };
+      rq_indent = false;
+    }
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let orders_xml n =
+  let b = Buffer.create (n * 64) in
+  Buffer.add_string b "<orders>";
+  for i = 1 to n do
+    Buffer.add_string b
+      (Printf.sprintf "<order><cust>c%d</cust><amt>%d</amt></order>"
+         (i mod 5) i)
+  done;
+  Buffer.add_string b "</orders>";
+  Buffer.contents b
+
+let orders_q =
+  "for $o in /orders/order group by $o/cust into $k nest $o into $os \
+   order by $k return <r>{$k, count($os), sum($os/amt)}</r>"
+
+let test_streamed_request_identity () =
+  (* the STREAM header bypasses the doc store and pulls the document
+     through the streaming scan; the payload must be byte-identical to
+     the materialized answer for both path and inline documents *)
+  let xml = orders_xml 100 in
+  let doc_path = temp_xml xml in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove doc_path)
+    (fun () ->
+      with_server (fun _t sock ->
+          let payload label = function
+            | Protocol.Payload p -> p
+            | Protocol.Error { message; _ } ->
+              Alcotest.failf "%s failed: %s" label message
+          in
+          let mat =
+            payload "materialized"
+              (request sock (run_cmd ~doc:(Protocol.Doc_path doc_path) orders_q))
+          in
+          Alcotest.(check bool) "non-trivial payload" true
+            (String.length mat > 20);
+          Alcotest.(check string) "streamed path doc" mat
+            (payload "streamed path"
+               (request sock
+                  (stream_cmd ~doc:(Protocol.Doc_path doc_path) orders_q)));
+          Alcotest.(check string) "streamed inline doc" mat
+            (payload "streamed inline"
+               (request sock
+                  (stream_cmd ~doc:(Protocol.Doc_inline xml) orders_q)))))
+
+let test_oversized_inline_doc () =
+  (* a DOCINLINE past --max-request-bytes is refused at the framing
+     layer — a clean usage error, no payload bytes, and the server keeps
+     serving — on both the materialized and the streamed path *)
+  let config =
+    { Server.default_config with Server.c_max_request_bytes = 4096 }
+  in
+  with_server ~config (fun _t sock ->
+      let big = "<a>" ^ String.make 8192 'x' ^ "</a>" in
+      let check_reject label cmd =
+        match request sock cmd with
+        | Protocol.Payload p ->
+          Alcotest.failf "%s: oversize accepted (%d payload bytes)" label
+            (String.length p)
+        | Protocol.Error { exit; message; _ } ->
+          Alcotest.(check int) (label ^ ": usage exit") 1 exit;
+          Alcotest.(check bool)
+            (label ^ ": names the cap")
+            true (contains message "4096")
+      in
+      check_reject "materialized" (run_cmd ~doc:(Protocol.Doc_inline big) "1");
+      check_reject "streamed" (stream_cmd ~doc:(Protocol.Doc_inline big) "1");
+      match request sock (run_cmd "1 + 1") with
+      | Protocol.Payload p -> Alcotest.(check string) "still serving" "2\n" p
+      | Protocol.Error { message; _ } ->
+        Alcotest.failf "server wedged after oversize: %s" message)
 
 (* --- concurrent corpus replay ------------------------------------------- *)
 
@@ -504,8 +624,17 @@ let suites =
       [
         Alcotest.test_case "sharing and mtime/size invalidation" `Quick
           test_doc_store_sharing_and_invalidation;
+        Alcotest.test_case "rename-swap caught by inode" `Quick
+          test_doc_store_rename_swap;
         Alcotest.test_case "capacity eviction" `Quick
           test_doc_store_capacity_eviction;
+      ] );
+    ( "server-streaming",
+      [
+        Alcotest.test_case "STREAM requests byte-identical" `Quick
+          test_streamed_request_identity;
+        Alcotest.test_case "oversized DOCINLINE refused cleanly" `Quick
+          test_oversized_inline_doc;
       ] );
     ( "server-admission",
       [

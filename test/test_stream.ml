@@ -1,0 +1,378 @@
+(* Streaming ingestion: projection verdicts, the streaming scan, and
+   streamed-vs-materialized differential checks (spill composition,
+   read-fault sweep, bounded-memory smoke). *)
+
+open Xq_lang
+module Stream = Xq_xml.Xml_stream
+module Xml_parse = Xq_xml.Xml_parse
+module Projection = Xq_rewrite.Projection
+module Governor = Xq_governor.Governor
+module Xerror = Xq_xdm.Xerror
+module Pipeline = Xq_pipeline.Pipeline
+module Optimizer = Xq_algebra.Optimizer
+
+let test = Helpers.test
+let check_string = Alcotest.(check string)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let analyze src = Projection.analyze (Parser.parse_query src)
+
+let path_of src =
+  match analyze src with
+  | Projection.Streamable { path; _ } -> path
+  | Projection.Materialize reason ->
+    Alcotest.failf "expected streamable, got: %s" reason
+
+let materialize_reason src =
+  match analyze src with
+  | Projection.Materialize reason -> reason
+  | Projection.Streamable _ -> Alcotest.failf "expected materialize: %s" src
+
+(* --- projection verdicts ------------------------------------------------- *)
+
+let verdict_streamable () =
+  (match analyze "for $o in /orders/order return $o/id" with
+  | Projection.Streamable { path; var; positional } ->
+    check_string "path" "/orders/order" (Stream.path_to_string path);
+    check_string "var" "o" var;
+    check_bool "no positional" true (positional = None)
+  | Projection.Materialize r -> Alcotest.failf "materialize: %s" r);
+  check_string "descendant step" "/orders//item"
+    (Stream.path_to_string
+       (path_of "for $i in /orders//item return $i/price"));
+  check_string "leading //" "//item"
+    (Stream.path_to_string (path_of "for $i in //item return $i/price"));
+  match analyze "for $o at $p in /orders/order return $p" with
+  | Projection.Streamable { positional = Some p; _ } ->
+    check_string "positional var" "p" p
+  | _ -> Alcotest.fail "positional binding should be streamable"
+
+let verdict_group_by () =
+  let q =
+    {|for $o in /orders/order
+      group by $o/cust into $k nest $o into $os
+      order by $k
+      return <r>{$k, count($os)}</r>|}
+  in
+  match analyze q with
+  | Projection.Streamable { var = "o"; _ } -> ()
+  | Projection.Streamable _ -> Alcotest.fail "wrong binding"
+  | Projection.Materialize r -> Alcotest.failf "materialize: %s" r
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let assert_reason src fragment =
+  let r = materialize_reason src in
+  check_bool
+    (Printf.sprintf "reason for %S mentions %S (got %S)" src fragment r)
+    true (contains r fragment)
+
+let verdict_materialize_reasons () =
+  assert_reason "1 + 2" "FLWOR";
+  assert_reason "for $o in /orders/order return /orders" "document root";
+  assert_reason "for $o in /orders/order return count(//x)" "document root";
+  assert_reason "for $o in /orders/order return $o/.." "escapes";
+  assert_reason "for $o in /orders/order return doc('x')" "doc";
+  assert_reason "for $o in /orders/order return count(.)" "context item";
+  (* a predicate on the first binding's path is not a pure projection *)
+  ignore (materialize_reason "for $o in /orders/order[1] return $o")
+
+let verdict_to_string () =
+  check_string "rendering" "streamable: $o <- scan /orders/order"
+    (Projection.to_string (analyze "for $o in /orders/order return $o"))
+
+(* --- the streaming scan --------------------------------------------------- *)
+
+let serialize_nodes nodes =
+  Xq_xml.Serialize.sequence (List.map (fun n -> Xq_xdm.Item.Node n) nodes)
+
+let scan_path = path_of "for $x in /a/b return $x"
+
+let scan_basic () =
+  let doc = "<a><b>1</b><c>skip</c><b>2</b></a>" in
+  let nodes = Stream.collect ~path:scan_path (`String doc) in
+  check_int "two matches" 2 (List.length nodes);
+  check_string "projected subtrees" "<b>1</b><b>2</b>" (serialize_nodes nodes)
+
+let scan_nested_descendant () =
+  let path = path_of "for $x in //b return $x" in
+  let doc = "<a><b>x<b>y</b></b><b>z</b></a>" in
+  let nodes = Stream.collect ~path (`String doc) in
+  check_int "outer, nested and sibling matches" 3 (List.length nodes);
+  check_string "document order, nested emitted too"
+    "<b>x<b>y</b></b><b>y</b><b>z</b>" (serialize_nodes nodes)
+
+let scan_lexical_parity () =
+  (* entities, character references, CDATA and whitespace handling must
+     match the materializing parser byte for byte *)
+  let doc =
+    "<a>\n  <b at=\"v&amp;w\">x &lt; &#65; <![CDATA[raw <markup> &amp;]]> \
+     tail</b>\n  <b>&quot;q&quot;</b>\n</a>"
+  in
+  let streamed = serialize_nodes (Stream.collect ~path:scan_path (`String doc)) in
+  let materialized = Helpers.run_xml ~data:doc "for $x in /a/b return $x" in
+  check_string "streamed = materialized" materialized streamed
+
+let scan_file_source () =
+  let doc = "<a><b>one</b><b>two</b></a>" in
+  let path_tmp = Filename.temp_file "xq_stream" ".xml" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path_tmp)
+    (fun () ->
+      let oc = open_out_bin path_tmp in
+      output_string oc doc;
+      close_out oc;
+      check_string "file source = string source"
+        (serialize_nodes (Stream.collect ~path:scan_path (`String doc)))
+        (serialize_nodes (Stream.collect ~path:scan_path (`File path_tmp))))
+
+let scan_limits () =
+  let deep = "<a><b><c><d><e>x</e></d></c></b></a>" in
+  (match Stream.collect ~max_depth:3 ~path:scan_path (`String deep) with
+  | _ -> Alcotest.fail "depth cap did not trip"
+  | exception Xml_parse.Parse_error _ -> ());
+  let doc = "<a><b>0123456789</b></a>" in
+  match Stream.collect ~max_bytes:10 ~path:scan_path (`String doc) with
+  | _ -> Alcotest.fail "byte cap did not trip"
+  | exception Xml_parse.Parse_error { message; _ } ->
+    check_bool "byte-cap message" true (contains message "10-byte limit")
+
+let scan_malformed () =
+  let cases =
+    [
+      "<a><b>unclosed</a>";
+      "<a><b attr></b></a>";
+      "<a><b>&unknown;</b></a>";
+      "<a><b>text";
+    ]
+  in
+  List.iter
+    (fun doc ->
+      match Stream.collect ~path:scan_path (`String doc) with
+      | _ -> Alcotest.failf "accepted malformed %S" doc
+      | exception Xml_parse.Parse_error _ -> ())
+    cases
+
+(* --- streamed vs materialized execution ----------------------------------- *)
+
+let orders_doc n =
+  let b = Buffer.create (n * 64) in
+  Buffer.add_string b "<orders>";
+  for i = 1 to n do
+    Buffer.add_string b
+      (Printf.sprintf "<order><cust>c%d</cust><amt>%d</amt></order>"
+         (i mod 7) i)
+  done;
+  Buffer.add_string b "</orders>";
+  Buffer.contents b
+
+let group_q =
+  {|for $o in /orders/order
+    group by $o/cust into $k nest $o into $os
+    order by $k
+    return <r><k>{$k}</k><n>{count($os)}</n><s>{sum($os/amt)}</s></r>|}
+
+let streamed_result ?(strategy = Optimizer.Hash) q doc =
+  let query = Parser.parse_query q in
+  match Projection.analyze query with
+  | Projection.Streamable { path; var; positional } ->
+    Pipeline.render
+      (Xq_algebra.Exec.eval_query_stream ~strategy ~source:(`String doc)
+         ~path ~var ~positional query)
+  | Projection.Materialize r -> Alcotest.failf "not streamable: %s" r
+
+let materialized_result ?(strategy = Optimizer.Hash) q doc =
+  let query = Parser.parse_query q in
+  Static.check_query query;
+  Pipeline.render
+    (Pipeline.eval ~strategy ~parallel:1 ~doc:(Xml_parse.parse doc)
+       (Pipeline.of_query query))
+
+let exec_byte_identity () =
+  let doc = orders_doc 200 in
+  let expected = materialized_result group_q doc in
+  check_string "hash strategy" expected (streamed_result group_q doc);
+  check_string "sort strategy" expected
+    (streamed_result ~strategy:Optimizer.Sort group_q doc);
+  check_bool "non-trivial result" true (String.length expected > 50)
+
+let exec_spill_composition () =
+  (* a tiny watermark forces the hash group to spill while the scan is
+     still feeding it — the bounded-memory composition the tentpole
+     claims: ingestion charges subtree estimates, grouping detaches
+     retained subtrees to disk, and the output stays byte-identical.
+     (A partition flushes once its live charge clears the 64 KB flush
+     floor, so the document must carry a few thousand members.) *)
+  let doc = orders_doc 4000 in
+  let expected = materialized_result group_q doc in
+  let g = Governor.create ~spill_watermark_bytes:4096 ~max_mem_mb:512 () in
+  let streamed = Governor.with_governor g (fun () -> streamed_result group_q doc) in
+  check_string "spilled streamed output" expected streamed;
+  let st = Governor.stats g in
+  check_bool "grouping actually spilled" true (st.Governor.s_spilled_bytes > 0)
+
+let exec_bounded_memory () =
+  (* a document an order of magnitude past the watermark completes with
+     a far smaller memory peak than the materializing path: the scan
+     never builds the full tree, and the spilling group releases the
+     retained subtrees. Peaks are Gc-delta estimates, so the assertion
+     is comparative rather than an absolute byte bound. *)
+  let doc = orders_doc 40_000 in
+  let watermark = 8 * 1024 in
+  check_bool "doc is >10x the watermark" true
+    (String.length doc > 10 * watermark);
+  let gm = Governor.create ~spill_watermark_bytes:watermark ~max_mem_mb:512 () in
+  let expected =
+    Governor.with_governor gm (fun () -> materialized_result group_q doc)
+  in
+  let gs = Governor.create ~spill_watermark_bytes:watermark ~max_mem_mb:512 () in
+  let streamed = Governor.with_governor gs (fun () -> streamed_result group_q doc) in
+  check_string "output unchanged" expected streamed;
+  let peak_m = (Governor.stats gm).Governor.s_peak_mem_bytes in
+  let peak_s = (Governor.stats gs).Governor.s_peak_mem_bytes in
+  check_bool "streamed run spilled" true
+    ((Governor.stats gs).Governor.s_spilled_bytes > 0);
+  check_bool
+    (Printf.sprintf "streamed peak (%d) well under materialized peak (%d)"
+       peak_s peak_m)
+    true
+    (peak_s * 2 < peak_m)
+
+let exec_fault_sweep () =
+  (* >=20 seeds of injected read-I/O faults: every run either fails with
+     a clean structured error or produces byte-identical output — never
+     partial or divergent data *)
+  let doc = orders_doc 4000 in
+  let expected = materialized_result group_q doc in
+  let clean = ref 0 and tripped = ref 0 and truncated = ref 0 in
+  for seed = 0 to 24 do
+    Governor.set_faults ~seed ~rate:0.4;
+    Fun.protect ~finally:Governor.clear_faults (fun () ->
+        let g = Governor.create () in
+        match Governor.with_governor g (fun () -> streamed_result group_q doc) with
+        | out ->
+          incr clean;
+          check_string (Printf.sprintf "seed %d output" seed) expected out
+        | exception Xerror.Error (code, _) ->
+          (* usually the injected read fault's XQENG0008, but arming
+             XQ_FAULTS also arms the allocation-pressure stream, so any
+             engine resource trip is an acceptable clean failure *)
+          incr tripped;
+          let c = Xerror.code_to_string code in
+          check_bool
+            (Printf.sprintf "seed %d trips an engine code (got %s)" seed c)
+            true
+            (String.length c >= 5 && String.sub c 0 5 = "XQENG")
+        | exception Xml_parse.Parse_error _ ->
+          (* an injected truncation surfaces as the parser's ordinary
+             unexpected-end error *)
+          incr truncated)
+  done;
+  check_int "every seed accounted for" 25 (!clean + !tripped + !truncated);
+  check_bool
+    (Printf.sprintf "faults actually fired (clean %d, trip %d, trunc %d)"
+       !clean !tripped !truncated)
+    true
+    (!tripped + !truncated > 0)
+
+(* --- the pipeline front end ------------------------------------------------ *)
+
+let knobs_plan =
+  { Pipeline.default_knobs with Pipeline.k_strategy = Some Optimizer.Hash }
+
+let pipeline_stream_identity () =
+  let doc = orders_doc 150 in
+  let streamed =
+    Pipeline.run ~knobs:knobs_plan ~source:group_q
+      ~stream_source:(`String doc) ()
+  in
+  let materialized =
+    Pipeline.run ~knobs:knobs_plan ~source:group_q
+      ~load_doc:(fun () -> Xml_parse.parse doc)
+      ()
+  in
+  check_string "front-end byte identity" materialized.Pipeline.r_output
+    streamed.Pipeline.r_output;
+  check_int "same cardinality" materialized.Pipeline.r_items
+    streamed.Pipeline.r_items
+
+let pipeline_fallback () =
+  (* a non-streamable query through the stream front end degrades to
+     materializing with identical output *)
+  let doc = orders_doc 20 in
+  let q = "for $o in /orders/order return count(//order)" in
+  let streamed =
+    Pipeline.run ~knobs:knobs_plan ~source:q ~stream_source:(`String doc) ()
+  in
+  let materialized =
+    Pipeline.run ~knobs:knobs_plan ~source:q
+      ~load_doc:(fun () -> Xml_parse.parse doc)
+      ()
+  in
+  check_string "fallback byte identity" materialized.Pipeline.r_output
+    streamed.Pipeline.r_output
+
+let pipeline_kill_switch () =
+  let doc = orders_doc 20 in
+  Unix.putenv "XQ_NO_STREAM" "1";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "XQ_NO_STREAM" "0")
+    (fun () ->
+      let r =
+        Pipeline.run ~knobs:knobs_plan ~source:group_q
+          ~stream_source:(`String doc) ()
+      in
+      let expected =
+        Pipeline.run ~knobs:knobs_plan ~source:group_q
+          ~load_doc:(fun () -> Xml_parse.parse doc)
+          ()
+      in
+      check_string "kill switch output" expected.Pipeline.r_output
+        r.Pipeline.r_output)
+
+let pipeline_explain_verdict () =
+  let doc = orders_doc 5 in
+  let r =
+    Pipeline.run ~knobs:knobs_plan ~explain_analyze:true ~source:group_q
+      ~stream_source:(`String doc) ()
+  in
+  check_bool "EXPLAIN carries the stream verdict" true
+    (contains r.Pipeline.r_output "stream: streamable: $o <- scan /orders/order")
+
+let suites =
+  [
+    ( "stream-projection",
+      [
+        test "streamable verdicts" verdict_streamable;
+        test "group-by is streamable" verdict_group_by;
+        test "materialize reasons" verdict_materialize_reasons;
+        test "verdict rendering" verdict_to_string;
+      ] );
+    ( "stream-scan",
+      [
+        test "projected subtrees only" scan_basic;
+        test "nested descendant matches" scan_nested_descendant;
+        test "lexical parity with the parser" scan_lexical_parity;
+        test "file source" scan_file_source;
+        test "depth and byte caps" scan_limits;
+        test "malformed input is rejected" scan_malformed;
+      ] );
+    ( "stream-exec",
+      [
+        test "byte-identical to materialized" exec_byte_identity;
+        test "composes with hash-group spill" exec_spill_composition;
+        test "bounded memory past the watermark" exec_bounded_memory;
+        test "read-fault sweep: clean error or identical" exec_fault_sweep;
+      ] );
+    ( "stream-pipeline",
+      [
+        test "front-end byte identity" pipeline_stream_identity;
+        test "unstreamable query degrades" pipeline_fallback;
+        test "XQ_NO_STREAM kill switch" pipeline_kill_switch;
+        test "EXPLAIN stream verdict" pipeline_explain_verdict;
+      ] );
+  ]

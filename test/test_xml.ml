@@ -251,11 +251,69 @@ let builder_tests =
         check_bool "deep-equal" true (Deep_equal.nodes n reparsed));
   ]
 
+(* --- hostile streams ------------------------------------------------------ *)
+
+(* The streaming scan must reject exactly what the materializing parser
+   rejects, with the same reported position — both paths fail closed on
+   a truncated or torn document, never returning partial data. *)
+
+let stream_root_path =
+  [ { Xq_xml.Xml_stream.desc = false; test = Xq_xml.Xml_stream.Any } ]
+
+let both_reject name src =
+  let position f =
+    match f () with
+    | _ -> None
+    | exception Xq_xml.Xml_parse.Parse_error { line; column; _ } ->
+      Some (line, column)
+  in
+  let materializing = position (fun () -> parse src) in
+  let streaming =
+    position (fun () ->
+        Xq_xml.Xml_stream.collect ~path:stream_root_path (`String src))
+  in
+  match materializing, streaming with
+  | Some m, Some s ->
+    Alcotest.(check (pair int int)) (name ^ ": same position") m s
+  | None, _ -> Alcotest.failf "%s: materializing parser accepted it" name
+  | _, None -> Alcotest.failf "%s: streaming scan accepted it" name
+
+let hostile_stream_tests =
+  [
+    test "EOF mid-tag" (fun () -> both_reject "mid-tag" "<a><b");
+    test "EOF mid-attribute" (fun () ->
+        both_reject "mid-attribute" "<a><b x=\"v");
+    test "EOF mid-entity" (fun () -> both_reject "mid-entity" "<a>&am");
+    test "EOF mid-charref" (fun () -> both_reject "mid-charref" "<a>&#x1F");
+    test "EOF mid-comment" (fun () ->
+        both_reject "mid-comment" "<a><!-- never closed");
+    test "EOF mid-CDATA" (fun () ->
+        both_reject "mid-cdata" "<a><![CDATA[stuck");
+    test "EOF before the close tag" (fun () ->
+        both_reject "unclosed root" "<a><b>text</b>");
+    test "mismatched close tag" (fun () ->
+        both_reject "mismatch" "<a><b></c></a>");
+    test "bare attribute" (fun () -> both_reject "bare attr" "<a><b x></b></a>");
+    test "content after the root" (fun () ->
+        both_reject "trailing" "<a/><a/>");
+    test "character reference out of range" (fun () ->
+        both_reject "charref range" "<a>&#x110000;</a>");
+    test "well-formed document still streams" (fun () ->
+        let nodes =
+          Xq_xml.Xml_stream.collect ~path:stream_root_path
+            (`String "<a><b>x</b></a>")
+        in
+        match nodes with
+        | [ n ] -> check_string "root subtree" "<a><b>x</b></a>" (serialize n)
+        | _ -> Alcotest.fail "expected exactly the root match");
+  ]
+
 let suites =
   [
     ("xml.parser", parser_tests);
     ("xml.errors", error_tests);
     ("xml.hostile", hostile_tests);
+    ("xml.hostile-stream", hostile_stream_tests);
     ("xml.serializer", serializer_tests);
     ("xml.builder", builder_tests);
   ]

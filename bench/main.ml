@@ -19,6 +19,7 @@
      dune exec bench/main.exe -- ablation-spill     — in-memory vs spill-to-disk grouping
      dune exec bench/main.exe -- ablation-stream    — materialized parse vs streaming scan
      dune exec bench/main.exe -- ablation-server    — cold pipeline vs warm daemon caches
+     dune exec bench/main.exe -- ablation-agg       — eager aggregation: folded vs materialized nests
      dune exec bench/main.exe -- bechamel      — bechamel OLS run of the six pairs
      dune exec bench/main.exe -- figure6 --full    — larger sweep (slow)
      dune exec bench/main.exe -- ... --json results.json  — also dump samples as JSON
@@ -841,6 +842,125 @@ return <r>{$a, count($items)}</r>|}
         [ Xq.Algebra.Optimizer.Hash; Xq.Algebra.Optimizer.Sort ])
     [ (100, 8_000); (400, 16_000) ]
 
+(* --- Ablation N: eager aggregation into the group build ---------------------- *)
+
+(* The nest variable in [Queries.qgb_agg] is consumed only by
+   count/sum/avg, so the optimizer replaces its member lists with
+   per-group accumulators. Folded vs materialized is the same plan with
+   the pushdown switch on/off; the Q column is the paper's implicit
+   form of the same aggregation for scale. The spilled variant is where
+   the O(groups)-not-O(items) story shows: accumulator frames are a few
+   dozen bytes per group where member frames carry every item. *)
+let ablation_agg () =
+  Timing.header
+    "Ablation N: eager aggregation — folded accumulators vs materialized \
+     nests (byte-identical output), in-memory, spilled and streamed";
+  let qgb = Xq.parse (Queries.qgb_agg "tax") in
+  let q = Xq.parse (Queries.q_agg "tax") in
+  Xq.check qgb;
+  Xq.check q;
+  let with_pushdown enabled f =
+    let saved = Xq.Algebra.Optimizer.agg_pushdown_on () in
+    Xq.Algebra.Optimizer.set_agg_pushdown enabled;
+    Fun.protect
+      ~finally:(fun () -> Xq.Algebra.Optimizer.set_agg_pushdown saved)
+      f
+  in
+  let watermark = 256 * 1024 in
+  let strategy = Xq.Algebra.Optimizer.Hash in
+  List.iter
+    (fun (tax_card, lineitems) ->
+      let doc = orders_doc ~tax_card lineitems in
+      let xml = Xq.Xml.Serialize.node doc in
+      let groups =
+        Xq.length
+          (Xq.Algebra.Exec.eval_query ~check:false ~context_node:doc qgb)
+      in
+      (* in-memory and spilled, folded vs materialized *)
+      let timed label enabled ~spill =
+        let last_gov = ref None in
+        let ms =
+          Timing.measure_ms ~runs:3 (fun () ->
+              with_pushdown enabled (fun () ->
+                  if spill then begin
+                    let gov =
+                      Xq.Governor.create ~spill_watermark_bytes:watermark ()
+                    in
+                    last_gov := Some gov;
+                    Xq.Governor.with_governor gov (fun () ->
+                        Xq.Algebra.Exec.eval_query ~check:false ~strategy
+                          ~context_node:doc qgb)
+                  end
+                  else
+                    Xq.Algebra.Exec.eval_query ~check:false ~strategy
+                      ~context_node:doc qgb))
+        in
+        let spilled, files =
+          match !last_gov with
+          | Some g ->
+            let s = Xq.Governor.stats g in
+            (s.Xq.Governor.s_spilled_bytes, s.Xq.Governor.s_spill_files)
+          | None -> (0, 0)
+        in
+        record ~bench:"ablation-agg" ~query:label ~size:lineitems ~groups
+          ~strategy:(strategy_name strategy) ~parallel:1 ~spilled
+          ~spill_files:files ~ms ();
+        (ms, spilled)
+      in
+      let t_folded, _ = timed "qgb-agg-folded" true ~spill:false in
+      let t_mat, _ = timed "qgb-agg-materialized" false ~spill:false in
+      let t_folded_sp, b_folded = timed "qgb-agg-folded-spill" true ~spill:true in
+      let t_mat_sp, b_mat = timed "qgb-agg-materialized-spill" false ~spill:true in
+      (* the implicit form for scale: same aggregation, no group by *)
+      let t_q =
+        Timing.measure_ms ~runs:3 (fun () ->
+            Xq.Algebra.Exec.eval_query ~check:false ~strategy ~context_node:doc
+              q)
+      in
+      record ~bench:"ablation-agg" ~query:"q-implicit" ~size:lineitems ~groups
+        ~strategy:(strategy_name strategy) ~parallel:1 ~ms:t_q ();
+      Printf.printf
+        "tax_card=%4d n=%6d groups=%4d  folded=%10s  materialized=%10s \
+         (%.2fx)  spilled: folded=%10s/%dB  materialized=%10s/%dB  \
+         Q(implicit)=%10s\n%!"
+        tax_card lineitems groups (Timing.fmt_ms t_folded)
+        (Timing.fmt_ms t_mat) (t_mat /. t_folded)
+        (Timing.fmt_ms t_folded_sp) b_folded (Timing.fmt_ms t_mat_sp) b_mat
+        (Timing.fmt_ms t_q);
+      (* streamed variant, when the projection verdict allows *)
+      match Xq.Rewrite.Projection.analyze qgb with
+      | Xq.Rewrite.Projection.Materialize reason ->
+        Printf.printf "  (streamed variant skipped: %s)\n%!" reason
+      | Xq.Rewrite.Projection.Streamable { path; var; positional } ->
+        let streamed label enabled =
+          let last_gov = ref None in
+          let ms =
+            Timing.measure_ms ~runs:3 (fun () ->
+                with_pushdown enabled (fun () ->
+                    let gov =
+                      Xq.Governor.create ~spill_watermark_bytes:watermark ()
+                    in
+                    last_gov := Some gov;
+                    Xq.Governor.with_governor gov (fun () ->
+                        Xq.Algebra.Exec.eval_query_stream ~check:false
+                          ~strategy ~source:(`String xml) ~path ~var
+                          ~positional qgb)))
+          in
+          let s = Xq.Governor.stats (Option.get !last_gov) in
+          record ~bench:"ablation-agg" ~query:label ~size:lineitems ~groups
+            ~strategy:(strategy_name strategy) ~parallel:1
+            ~spilled:s.Xq.Governor.s_spilled_bytes
+            ~peak:s.Xq.Governor.s_peak_mem_bytes ~ms ();
+          (ms, s.Xq.Governor.s_spilled_bytes)
+        in
+        let t_fs, b_fs = streamed "qgb-agg-folded-stream" true in
+        let t_ms, b_ms = streamed "qgb-agg-materialized-stream" false in
+        Printf.printf
+          "  streamed: folded=%10s/%dB spilled  materialized=%10s/%dB \
+           spilled (%.2fx)\n%!"
+          (Timing.fmt_ms t_fs) b_fs (Timing.fmt_ms t_ms) b_ms (t_ms /. t_fs))
+    [ (100, 8_000); (400, 16_000) ]
+
 (* --- bechamel run of the six Qgb/Q pairs ------------------------------------- *)
 
 let bechamel_run () =
@@ -889,6 +1009,7 @@ let () =
   if want "ablation-spill" then ablation_spill ();
   if want "ablation-stream" then ablation_stream ();
   if want "ablation-server" then ablation_server ();
+  if want "ablation-agg" then ablation_agg ();
   if (not all) && List.mem "bechamel" cmds then bechamel_run ();
   (match json with Some path -> write_json path | None -> ());
   Printf.printf "\nDone.\n%!"

@@ -37,6 +37,28 @@ where exists($items)
 return <r>{$a, $b, count($items)}</r>|}
     key1 key2 key1 key2
 
+(* The eager-aggregation pair: the nest variable is consumed only by
+   aggregate builtins, so the optimizer folds it into per-group
+   accumulators (Qgb), while the implicit Q form rescans the input per
+   key — the ablation-agg bench runs both, with the pushdown on and
+   off. *)
+let qgb_agg key =
+  Printf.sprintf
+    {|for $litem in //order/lineitem
+group by $litem/%s into $a
+nest $litem/quantity into $q
+order by $a
+return <r>{$a}<c>{count($q)}</c><s>{sum($q)}</s><v>{avg($q)}</v></r>|}
+    key
+
+let q_agg key =
+  Printf.sprintf
+    {|for $a in distinct-values(//order/lineitem/%s)
+let $items := for $i in //order/lineitem where $i/%s = $a return $i
+order by $a
+return <r>{$a}<c>{count($items)}</c><s>{sum($items/quantity)}</s><v>{avg($items/quantity)}</v></r>|}
+    key key
+
 (* The six experiment queries of Section 6: single-element group-bys over
    shipinstruct / shipmode / tax / quantity, and the two-element pairs. *)
 type experiment = {

@@ -82,6 +82,15 @@ let rewrite_flag =
   let doc = "Apply the implicit-group-by rewrite before evaluation." in
   Arg.(value & flag & info [ "rewrite" ] ~doc)
 
+let no_agg_pushdown_flag =
+  let doc =
+    "Disable the eager-aggregation pushdown (groups materialize member \
+     lists even when nest variables are only aggregated). Results are \
+     byte-identical either way; this is the ablation/kill switch. \
+     $(b,XQ_NO_AGG_PUSHDOWN=1) is the environment equivalent."
+  in
+  Arg.(value & flag & info [ "no-agg-pushdown" ] ~doc)
+
 let indent_flag =
   let doc = "Pretty-print the XML output." in
   Arg.(value & flag & info [ "indent" ] ~doc)
@@ -252,9 +261,10 @@ let apply_parallel = function
    printing, --time, and the spill report. *)
 let run_common ~source ~input ~rewrite ~indent ~time ~explain_analyze ~strategy
     ~parallel ~batch ~timeout ~max_groups ~max_mem ~spill_at ~spill_dir
-    ~no_spill ~stream =
+    ~no_spill ~stream ~no_agg_pushdown =
   with_errors (fun () ->
       apply_spill ~spill_dir ~no_spill;
+      if no_agg_pushdown then Xq.Algebra.Optimizer.set_agg_pushdown false;
       let knobs =
         Xq.Pipeline.
           {
@@ -304,10 +314,11 @@ let run_common ~source ~input ~rewrite ~indent ~time ~explain_analyze ~strategy
 
 let run_cmd =
   let action qf input rewrite indent time explain_analyze strategy parallel
-      batch timeout max_groups max_mem spill_at spill_dir no_spill stream =
+      batch timeout max_groups max_mem spill_at spill_dir no_spill stream
+      no_agg_pushdown =
     run_common ~source:(read_file qf) ~input ~rewrite ~indent ~time
       ~explain_analyze ~strategy ~parallel ~batch ~timeout ~max_groups
-      ~max_mem ~spill_at ~spill_dir ~no_spill ~stream
+      ~max_mem ~spill_at ~spill_dir ~no_spill ~stream ~no_agg_pushdown
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a query file against an XML document.")
@@ -315,14 +326,15 @@ let run_cmd =
       const action $ query_file $ input_file $ rewrite_flag $ indent_flag
       $ time_flag $ explain_analyze_flag $ strategy_opt $ parallel_opt
       $ batch_opt $ timeout_opt $ max_groups_opt $ max_mem_opt $ spill_at_opt
-      $ spill_dir_opt $ no_spill_flag $ stream_flag)
+      $ spill_dir_opt $ no_spill_flag $ stream_flag $ no_agg_pushdown_flag)
 
 let eval_cmd =
   let action expr input rewrite indent time explain_analyze strategy parallel
-      batch timeout max_groups max_mem spill_at spill_dir no_spill stream =
+      batch timeout max_groups max_mem spill_at spill_dir no_spill stream
+      no_agg_pushdown =
     run_common ~source:expr ~input ~rewrite ~indent ~time ~explain_analyze
       ~strategy ~parallel ~batch ~timeout ~max_groups ~max_mem ~spill_at
-      ~spill_dir ~no_spill ~stream
+      ~spill_dir ~no_spill ~stream ~no_agg_pushdown
   in
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a query given on the command line.")
@@ -330,7 +342,7 @@ let eval_cmd =
       const action $ query_string $ input_file $ rewrite_flag $ indent_flag
       $ time_flag $ explain_analyze_flag $ strategy_opt $ parallel_opt
       $ batch_opt $ timeout_opt $ max_groups_opt $ max_mem_opt $ spill_at_opt
-      $ spill_dir_opt $ no_spill_flag $ stream_flag)
+      $ spill_dir_opt $ no_spill_flag $ stream_flag $ no_agg_pushdown_flag)
 
 let check_cmd =
   let action qf =
@@ -405,6 +417,7 @@ let profile_cmd =
             in
             Xq.Algebra.Optimizer.apply_strategy strategy plan
           in
+          let plan = Xq.Algebra.Optimizer.push_aggregates plan in
           let plan =
             if optimize then Xq.Algebra.Optimizer.optimize plan else plan
           in

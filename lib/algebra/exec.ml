@@ -128,6 +128,77 @@ let group_output ?tally ctx (shape : Plan.group_shape) groups =
         out shape.Plan.nests)
     groups
 
+(* --- eager aggregation (shape.aggs <> []) -------------------------------- *)
+
+module Acc = Xq_engine.Acc
+
+(* When the optimizer marked the group shape ([aggs]), members are not
+   materialized: each input tuple becomes a row carrying its key values
+   and one running accumulator per nest slot, and the group builder's
+   reduce mode folds rows of the same group together — every group
+   retains exactly one row, spill frames carry O(groups) encoded
+   accumulators, and parallel partial merges combine accumulators. *)
+type agg_row = {
+  ar_keys : Xseq.t list;
+      (* [[]] on rows decoded from spill frames: the frame's canonical
+         key re-keys the group, the row is only ever merged as a member *)
+  ar_accs : Acc.t array;  (* one per nest spec, in spec order *)
+}
+
+(* Re-raise the first recorded nest-expression error in group-emission ×
+   slot order — exactly where the materializing path, which evaluates
+   nest expressions group by group before any output, would have raised
+   it — then bind each aggregate's finished value (or its call-site
+   poison marker, unwrapped by the engine's internal builtin) under the
+   mangled variable names the optimizer substituted. *)
+let agg_output (shape : Plan.group_shape) groups =
+  List.iter
+    (fun (grp : agg_row Xq_engine.Group.group) ->
+      List.iter
+        (fun row ->
+          Array.iter
+            (fun acc ->
+              match Acc.nest_err acc with
+              | Some (code, msg) -> raise (Xerror.Error (code, msg))
+              | None -> ())
+            row.ar_accs)
+        grp.Xq_engine.Group.members)
+    groups;
+  List.map
+    (fun (grp : agg_row Xq_engine.Group.group) ->
+      let row =
+        match grp.Xq_engine.Group.members with
+        | [ row ] -> row
+        | _ -> assert false (* reduce mode retains exactly one member *)
+      in
+      let out =
+        List.fold_left2
+          (fun out (k : Ast.group_key) key_value ->
+            Smap.add k.Ast.key_var key_value out)
+          Smap.empty shape.Plan.keys grp.Xq_engine.Group.keys
+      in
+      let slot = ref (-1) in
+      List.fold_left
+        (fun out (v, kinds) ->
+          incr slot;
+          let acc = row.ar_accs.(!slot) in
+          List.fold_left
+            (fun out kind ->
+              let value =
+                match Acc.finish acc kind with
+                | Ok seq -> seq
+                | Error (code, msg) ->
+                  [
+                    Item.Atomic (Atomic.Str Acc.poison_tag);
+                    Item.Atomic (Atomic.Str (Xerror.code_to_string code));
+                    Item.Atomic (Atomic.Str msg);
+                  ]
+              in
+              Smap.add (Acc.mangle v kind) value out)
+            out kinds)
+        out shape.Plan.aggs)
+    groups
+
 (* Apply a user (or builtin) equality function to two key sequences by
    binding them to fresh variables and evaluating a call. *)
 let apply_equality ctx fname a b =
@@ -383,36 +454,119 @@ let op_sink ?tally ?batches ~batch ~parallel ctx (op : Plan.op) (down : sink) :
     let presize =
       if batch > 1 then Optimizer.estimated_groups ~signature else None
     in
-    (* streamed scans feed detached subtrees; see [tuple_cost] *)
-    let cost =
-      if Governor.stream_detach () then Some tuple_cost else None
-    in
-    let bld =
-      Xq_engine.Group.builder ?tally ?presize ~spill:tuple_codec ?cost
-        ~parallel
-        ~parallel_keys:(parallel > 1 && shape_parallel_keys ctx shape)
-        ~mode
-        ~keys_of:(shape_keys_of ctx shape)
-        ()
-    in
-    {
-      push =
-        (fun vec ->
-          count_batch ();
-          Xq_engine.Group.feed bld vec);
-      close =
-        (fun () ->
-          let groups = Xq_engine.Group.finish bld in
-          Optimizer.note_groups ~signature (List.length groups);
-          let push_one, flush = rebatcher batch down in
-          List.iter push_one (group_output ?tally ctx shape groups);
-          flush ();
-          down.close ());
-      pressure =
-        (fun () ->
-          Xq_engine.Group.relieve bld;
-          down.pressure ());
-    }
+    if shape.Plan.aggs <> [] then begin
+      (* eager aggregation: fold tuples into per-group accumulators at
+         feed time instead of materializing member lists *)
+      let nslots = List.length shape.Plan.nests in
+      let nests = Array.of_list shape.Plan.nests in
+      let agg_codec : agg_row Xq_engine.Group.codec =
+        {
+          Xq_engine.Group.enc =
+            (fun _reg buf r ->
+              Binio.put_varint buf (Array.length r.ar_accs);
+              Array.iter (fun a -> Acc.encode buf a) r.ar_accs);
+          dec =
+            (fun _reg rd ->
+              let n = Binio.get_varint rd in
+              if n <> nslots then
+                raise
+                  (Binio.Corrupt
+                     (Printf.sprintf "accumulator arity %d, expected %d" n
+                        nslots));
+              { ar_keys = []; ar_accs = Array.init nslots (fun _ -> Acc.decode rd) });
+        }
+      in
+      let row_cost r =
+        Array.fold_left (fun c a -> c + Acc.charged_bytes a) 0 r.ar_accs
+      in
+      let make_row tuple =
+        let keys = shape_keys_of ctx shape tuple in
+        let accs = Array.init nslots (fun _ -> Acc.create ()) in
+        Array.iteri
+          (fun i (n : Ast.nest_spec) ->
+            match eval_in ctx tuple n.Ast.nest_expr with
+            | value -> Acc.step accs.(i) value
+            | exception Xerror.Error (code, msg)
+              when not (Xerror.is_resource code) ->
+              (* delivered later, in the materializing path's order *)
+              Acc.poison_nest accs.(i) code msg)
+          nests;
+        { ar_keys = keys; ar_accs = accs }
+      in
+      let merge_rows a b =
+        Array.iteri (fun i acc -> ignore (Acc.merge acc b.ar_accs.(i))) a.ar_accs;
+        a
+      in
+      let par_rows =
+        parallel > 1
+        && shape_parallel_keys ctx shape
+        && List.for_all
+             (fun (n : Ast.nest_spec) ->
+               Xq_engine.Eval.parallel_safe ctx n.Ast.nest_expr)
+             shape.Plan.nests
+      in
+      let bld =
+        Xq_engine.Group.builder ?tally ?presize ~spill:agg_codec ~cost:row_cost
+          ~reduce:merge_rows ~parallel
+          ~parallel_keys:(parallel > 1) (* keys_of is a pure field read *)
+          ~mode
+          ~keys_of:(fun r -> r.ar_keys)
+          ()
+      in
+      {
+        push =
+          (fun vec ->
+            count_batch ();
+            Governor.tick ();
+            Xq_engine.Group.feed bld
+              (if par_rows then Par.map ~degree:parallel make_row vec
+               else Array.map make_row vec));
+        close =
+          (fun () ->
+            let groups = Xq_engine.Group.finish bld in
+            Optimizer.note_groups ~signature (List.length groups);
+            let push_one, flush = rebatcher batch down in
+            List.iter push_one (agg_output shape groups);
+            flush ();
+            down.close ());
+        pressure =
+          (fun () ->
+            Xq_engine.Group.relieve bld;
+            down.pressure ());
+      }
+    end
+    else begin
+      (* streamed scans feed detached subtrees; see [tuple_cost] *)
+      let cost =
+        if Governor.stream_detach () then Some tuple_cost else None
+      in
+      let bld =
+        Xq_engine.Group.builder ?tally ?presize ~spill:tuple_codec ?cost
+          ~parallel
+          ~parallel_keys:(parallel > 1 && shape_parallel_keys ctx shape)
+          ~mode
+          ~keys_of:(shape_keys_of ctx shape)
+          ()
+      in
+      {
+        push =
+          (fun vec ->
+            count_batch ();
+            Xq_engine.Group.feed bld vec);
+        close =
+          (fun () ->
+            let groups = Xq_engine.Group.finish bld in
+            Optimizer.note_groups ~signature (List.length groups);
+            let push_one, flush = rebatcher batch down in
+            List.iter push_one (group_output ?tally ctx shape groups);
+            flush ();
+            down.close ());
+        pressure =
+          (fun () ->
+            Xq_engine.Group.relieve bld;
+            down.pressure ());
+      }
+    end
 
 (* The pipeline is a linear chain; list its operators innermost first. *)
 let linearize op =
@@ -648,6 +802,7 @@ let rec eval_top ~optimize ~strategy ~parallel ctx (e : Ast.expr) =
   | Ast.Flwor f ->
     let plan = Plan.of_flwor f in
     let plan = Optimizer.apply_strategy strategy plan in
+    let plan = Optimizer.push_aggregates plan in
     let plan = if optimize then Optimizer.optimize plan else plan in
     run ~parallel ctx plan
   | Ast.Sequence es ->
@@ -719,6 +874,7 @@ let eval_query_stream ?(check = true) ?(optimize = false) ?strategy ?parallel
   in
   let plan = Plan.of_flwor f in
   let plan = Optimizer.apply_strategy strategy plan in
+  let plan = Optimizer.push_aggregates plan in
   let plan = if optimize then Optimizer.optimize plan else plan in
   let rest =
     match linearize plan.Plan.pipeline with

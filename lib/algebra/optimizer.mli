@@ -65,3 +65,35 @@ val estimated_groups : signature:string -> int option
 
 (** Disable/enable the registry (bench item-at-a-time baselines). *)
 val set_estimate_feedback : bool -> unit
+
+(** {1 Eager-aggregation pushdown}
+
+    When every use of a nest variable above the grouping operator is an
+    eligible one-argument aggregate call ([fn:count]/[sum]/[avg]/[min]/
+    [max] on exactly [$v]), {!push_aggregates} marks the group shape
+    ([Plan.group_shape.aggs]) so the executor folds members into
+    per-group running accumulators ({!Xq_engine.Acc}) instead of
+    materializing (or spilling) member lists, and substitutes each call
+    site with the internal unwrap call on the mangled accumulator
+    variable. All-or-nothing per group: every nest variable must be
+    aggregate-only or completely unread, none may be shadowed anywhere
+    in a consumer expression, and [nest ... order by] disables the
+    rewrite. Results are byte-identical either way; the rewrite is a
+    plan-shape and resource change only. Apply after strategy selection
+    and before {!optimize}. *)
+
+val push_aggregates : Plan.plan -> Plan.plan
+
+(** Number of aggregate kinds folded into the plan's grouping operator
+    (the [agg-pushdown=N] figure in EXPLAIN); [0] when the rewrite did
+    not apply. *)
+val agg_pushdown_count : Plan.plan -> int
+
+(** Kill switch ([false] disables {!push_aggregates}; initialized to
+    disabled when [XQ_NO_AGG_PUSHDOWN] is set in the environment). *)
+val set_agg_pushdown : bool -> unit
+
+(** The switch's current state — lets harnesses that toggle it (the
+    fuzzer's rewrite differential, the test sweeps) restore whatever
+    the environment established rather than assuming [true]. *)
+val agg_pushdown_on : unit -> bool

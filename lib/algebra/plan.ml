@@ -24,6 +24,7 @@ type op =
 and group_shape = {
   keys : Ast.group_key list;
   nests : Ast.nest_spec list;
+  aggs : (string * Xq_engine.Acc.kind list) list;
   input : op;
 }
 
@@ -57,7 +58,7 @@ let compile clauses =
       | Ast.Window w -> Window_expand { window = w; input }
       | Ast.Order_by { stable; specs } -> Sort { stable; specs; input }
       | Ast.Group_by g ->
-        let shape = { keys = g.Ast.keys; nests = g.Ast.nests; input } in
+        let shape = { keys = g.Ast.keys; nests = g.Ast.nests; aggs = []; input } in
         if List.for_all (fun (k : Ast.group_key) -> k.Ast.using = None) g.Ast.keys
         then Hash_group shape
         else Scan_group shape)
@@ -103,6 +104,19 @@ let group_fields (shape : group_shape) =
           shape.keys))
     (String.concat "; "
        (List.map (fun (n : Ast.nest_spec) -> "$" ^ n.Ast.nest_var) shape.nests))
+  ^
+  if shape.aggs = [] then ""
+  else
+    Printf.sprintf " agg=[%s]"
+      (String.concat "; "
+         (List.map
+            (fun (v, kinds) ->
+              Printf.sprintf "$%s:%s" v
+                (if kinds = [] then "-"
+                 else
+                   String.concat ","
+                     (List.map Xq_engine.Acc.kind_name kinds)))
+            shape.aggs))
 
 let op_line = function
   | Unit -> "UNIT"

@@ -43,6 +43,12 @@ type op =
 and group_shape = {
   keys : Ast.group_key list;
   nests : Ast.nest_spec list;
+  aggs : (string * Xq_engine.Acc.kind list) list;
+      (** non-empty iff the optimizer pushed eager aggregation into this
+          group: one entry per nest spec (same order), naming the
+          aggregate kinds the return expression applies to that variable
+          ([[]] for a dead variable that is never read). Empty list =
+          the group materializes member lists as usual. *)
   input : op;
 }
 

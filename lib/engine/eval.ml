@@ -438,13 +438,37 @@ and apply_predicate ctx items pred =
 
 and eval_call ctx name args_e =
   let args = List.map (eval ctx) args_e in
-  match Context.find_function ctx name (List.length args) with
-  | Some f -> apply_user_function ctx f args
-  | None ->
-    if Fn_sigs.accepts name (List.length args) then Builtins.call ctx name args
-    else
+  (* the eager-aggregation unwrap builtin first: its name contains "!"
+     so no user-written or user-defined function can shadow it, and
+     [Fn_sigs] does not know it *)
+  if Xname.is_default_fn name && name.Xname.local = Acc.unwrap_local then begin
+    match args with
+    | [
+     [
+       Item.Atomic (Atomic.Str tag);
+       Item.Atomic (Atomic.Str code);
+       Item.Atomic (Atomic.Str msg);
+     ];
+    ]
+      when tag = Acc.poison_tag -> begin
+      (* the error the aggregate builtin would have raised here *)
+      match Xerror.code_of_string code with
+      | Some c -> raise (Xerror.Error (c, msg))
+      | None -> Xerror.failf FORG0006 "corrupt aggregate poison code %S" code
+    end
+    | [ seq ] -> seq
+    | _ ->
       Xerror.failf XPST0017 "unknown function %s#%d" (Xname.to_string name)
         (List.length args)
+  end
+  else
+    match Context.find_function ctx name (List.length args) with
+    | Some f -> apply_user_function ctx f args
+    | None ->
+      if Fn_sigs.accepts name (List.length args) then Builtins.call ctx name args
+      else
+        Xerror.failf XPST0017 "unknown function %s#%d" (Xname.to_string name)
+          (List.length args)
 
 and apply_user_function ctx (f : Context.func) args =
   let bindings = List.combine f.Context.fn_params args in

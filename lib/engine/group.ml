@@ -65,6 +65,40 @@ let to_groups cells =
     (fun c -> { keys = Key.originals c.c_key; members = List.rev c.rev_members })
     cells
 
+(* --- reduce mode (eager aggregation) ------------------------------------ *)
+
+(* With a [reduce] function every cell retains exactly one member — a
+   running accumulator — and each insertion folds the new tuple into it
+   ([f earlier later], earlier argument on the left, preserving input
+   order). Spilled records then carry one encoded accumulator per
+   group, so the external build's disk and live-heap footprint is
+   O(groups) instead of O(members); the parallel partial merges move
+   scalars, not member lists. *)
+
+let add_member reduce cell tuple =
+  match reduce, cell.rev_members with
+  | Some f, acc :: _ -> cell.rev_members <- [ f acc tuple ]
+  | _ -> cell.rev_members <- tuple :: cell.rev_members
+
+(* Fold a replayed record's members (chronological order) into an
+   existing cell — the spill-merge counterpart of [add_member]. *)
+let merge_members reduce cell members =
+  match reduce, cell.rev_members with
+  | Some f, acc :: _ -> cell.rev_members <- [ List.fold_left f acc members ]
+  | Some f, [] -> begin
+    match members with
+    | [] -> ()
+    | m :: ms -> cell.rev_members <- [ List.fold_left f m ms ]
+  end
+  | None, _ -> cell.rev_members <- List.rev_append members cell.rev_members
+
+(* First members of a fresh replayed cell (input: chronological order;
+   stored: newest-first, or a single fold under reduce). *)
+let initial_members reduce members =
+  match reduce, members with
+  | Some f, m :: ms -> [ List.fold_left f m ms ]
+  | _ -> List.rev members
+
 (* --- spill-to-disk external grouping ------------------------------------ *)
 
 (* When the governor's soft watermark is armed and the caller supplies a
@@ -117,6 +151,7 @@ type 'a part = {
   mutable runs : (int * int) list;  (* sort mode: (off, len), newest first *)
   reg : Binio.node_registry;
   pcodec : 'a codec;
+  preduce : ('a -> 'a -> 'a) option;
   sort_mode : bool;
   pthreshold : int;
       (* replay/repartition threshold: a file no larger than this
@@ -126,7 +161,7 @@ type 'a part = {
          stay within one watermark of serialized state. *)
 }
 
-let new_part ~codec ~sort_mode ~threshold =
+let new_part ~codec ~reduce ~sort_mode ~threshold =
   {
     ptable = Hashtbl.create 64;
     live_charge = 0;
@@ -136,6 +171,7 @@ let new_part ~codec ~sort_mode ~threshold =
        actually releases their memory; see Binio and Governor *)
     reg = Binio.registry ~detach:(Governor.stream_detach ()) ();
     pcodec = codec;
+    preduce = reduce;
     sort_mode;
     pthreshold = threshold;
   }
@@ -256,12 +292,16 @@ let ext_insert ?tally ~cost part h key tuple gi =
       !bucket
   with
   | Some cell ->
-    cell.rev_members <- tuple :: cell.rev_members;
+    add_member part.preduce cell tuple;
     (* the probe key is garbage now; swap its bytes for one cons *)
     Governor.uncharge_bytes (Key.charged_bytes key);
-    let mc = cost tuple in
-    part.live_charge <- part.live_charge + mc;
-    Governor.charge_bytes mc
+    (* reduce mode: the fold replaces the retained member, so live
+       charge stays O(groups) — nothing new is pinned *)
+    if part.preduce = None then begin
+      let mc = cost tuple in
+      part.live_charge <- part.live_charge + mc;
+      Governor.charge_bytes mc
+    end
   | None ->
     let cell = { c_key = key; c_first = gi; rev_members = [ tuple ] } in
     bucket := cell :: !bucket;
@@ -313,10 +353,11 @@ let merge_sorted_runs ?tally part file runs =
               Key.equal c.c_key key)
             !cluster
         with
-        | Some c -> c.rev_members <- List.rev_append members c.rev_members
+        | Some c -> merge_members part.preduce c members
         | None ->
           cluster :=
-            { c_key = key; c_first; rev_members = List.rev members }
+            { c_key = key; c_first;
+              rev_members = initial_members part.preduce members }
             :: !cluster);
     flush_cluster ();
     List.rev !out
@@ -422,9 +463,12 @@ let rec replay_hash ?tally part file depth =
                Key.equal c.c_key key)
              !bucket
          with
-         | Some c -> c.rev_members <- List.rev_append members c.rev_members
+         | Some c -> merge_members part.preduce c members
          | None ->
-           let cell = { c_key = key; c_first; rev_members = List.rev members } in
+           let cell =
+             { c_key = key; c_first;
+               rev_members = initial_members part.preduce members }
+           in
            bucket := cell :: !bucket;
            order := cell :: !order);
         go ()
@@ -513,6 +557,9 @@ type 'a builder = {
   b_parallel : int;
   b_parallel_keys : bool;
   b_keys_of : 'a -> Xseq.t list;
+  b_reduce : ('a -> 'a -> 'a) option;
+      (* eager aggregation: fold members per group instead of retaining
+         them (see the reduce-mode helpers above) *)
   b_cost : 'a -> int;
       (* live-heap bytes a retained member pins beyond the bookkeeping
          constant; flush accounting is only as honest as this estimate *)
@@ -531,7 +578,7 @@ let hash_fn_of = function
    default so a low one costs nothing. *)
 let presize_slots ~p est = max 64 (min ((est / p) + 1) 65536)
 
-let builder ?hash ?tally ?spill ?presize ?cost ?(parallel = 1)
+let builder ?hash ?tally ?spill ?presize ?cost ?reduce ?(parallel = 1)
     ?(parallel_keys = false) ~mode ~keys_of () =
   let parallel = max 1 parallel in
   let impl =
@@ -558,7 +605,8 @@ let builder ?hash ?tally ?spill ?presize ?cost ?(parallel = 1)
           {
             e_p = p;
             e_parts =
-              Array.init p (fun _ -> new_part ~codec ~sort_mode ~threshold);
+              Array.init p (fun _ ->
+                  new_part ~codec ~reduce ~sort_mode ~threshold);
             e_hash_fn = hash_fn;
             e_sort_mode = sort_mode;
             e_sorted_output = sorted_output;
@@ -588,6 +636,7 @@ let builder ?hash ?tally ?spill ?presize ?cost ?(parallel = 1)
     b_parallel = parallel;
     b_parallel_keys = parallel_keys;
     b_keys_of = keys_of;
+    b_reduce = reduce;
     b_cost = (match cost with Some f -> f | None -> fun _ -> member_cost);
     b_fed = 0;
     b_feeding = false;
@@ -601,7 +650,7 @@ let canonicalize_batch b slice =
    governor is ticked at batch granularity (every 64 accepted tuples),
    not per tuple — amortizing the slow-tick bookkeeping is part of what
    batching buys. *)
-let mem_insert m tally slice keys hashes base j =
+let mem_insert m reduce tally slice keys hashes base j =
   let p = m.m_p in
   let table = m.m_tables.(j) and order = m.m_orders.(j) in
   let n = Array.length slice in
@@ -627,7 +676,7 @@ let mem_insert m tally slice keys hashes base j =
             Key.equal cell.c_key key)
           !bucket
       with
-      | Some cell -> cell.rev_members <- slice.(i) :: cell.rev_members
+      | Some cell -> add_member reduce cell slice.(i)
       | None ->
         Governor.count_groups 1;
         let cell = { c_key = key; c_first = base + i; rev_members = [ slice.(i) ] } in
@@ -643,7 +692,7 @@ let feed_mem b m slice =
   let n = Array.length slice in
   if m.m_p = 1 || n < par_build_min then
     for j = 0 to m.m_p - 1 do
-      mem_insert m b.b_tally slice keys hashes base j
+      mem_insert m b.b_reduce b.b_tally slice keys hashes base j
     done
   else begin
     let tallies = Array.make m.m_p 0 in
@@ -651,7 +700,7 @@ let feed_mem b m slice =
       (Array.init m.m_p (fun j ->
            fun () ->
              let t = ref 0 in
-             mem_insert m (Some t) slice keys hashes base j;
+             mem_insert m b.b_reduce (Some t) slice keys hashes base j;
              tallies.(j) <- !t));
     match b.b_tally with
     | Some r -> r := !r + Array.fold_left ( + ) 0 tallies
@@ -761,7 +810,7 @@ let feed_scan b s slice =
         go 0
       in
       match List.find_opt same s.s_rev_cells with
-      | Some cell -> cell.rev_members <- tuple :: cell.rev_members
+      | Some cell -> add_member b.b_reduce cell tuple
       | None ->
         Governor.count_groups 1;
         s.s_rev_cells <-

@@ -92,7 +92,18 @@ val hash_keys : Xseq.t list -> int
 
     {!finish} returns the groups exactly as the one-shot entry points
     below would for the concatenated feeds — byte-identical at any
-    batch size, parallel degree, strategy and spill watermark. *)
+    batch size, parallel degree, strategy and spill watermark.
+
+    [reduce] switches the builder to eager-aggregation mode: every
+    group retains exactly one member — a running accumulator — and each
+    insertion folds the new tuple into it with [reduce earlier later]
+    (earlier argument on the left, preserving input order). Spill
+    frames then carry one encoded accumulator per group, so the
+    external build's disk and live-heap footprint is O(groups), not
+    O(members), and parallel partial merges combine accumulators. The
+    caller's [reduce] must be associative over input order splits for
+    {!finish} to be independent of spill watermark and parallel
+    degree. *)
 
 type 'a builder
 
@@ -102,6 +113,7 @@ val builder :
   ?spill:'a codec ->
   ?presize:int ->
   ?cost:('a -> int) ->
+  ?reduce:('a -> 'a -> 'a) ->
   ?parallel:int ->
   ?parallel_keys:bool ->
   mode:

@@ -12,6 +12,7 @@ type config = {
   parallel : int;
   spill : bool;
   stream : bool;
+  nopush : bool;
 }
 
 let config_label c =
@@ -23,22 +24,39 @@ let config_label c =
   kind
   ^ (if c.parallel > 1 then Printf.sprintf "/par=%d" c.parallel else "")
   ^ (if c.spill then "/spill" else "")
-  ^ if c.stream then "/stream" else ""
+  ^ (if c.stream then "/stream" else "")
+  ^ if c.nopush then "/nopush" else ""
 
 let base_configs =
   [
-    { kind = Direct; parallel = 1; spill = false; stream = false };
-    { kind = Plan Optimizer.Hash; parallel = 1; spill = false; stream = false };
-    { kind = Plan Optimizer.Sort; parallel = 1; spill = false; stream = false };
-    { kind = Plan Optimizer.Auto; parallel = 1; spill = false; stream = false };
-    { kind = Plan Optimizer.Hash; parallel = 1; spill = false; stream = true };
-    { kind = Plan Optimizer.Hash; parallel = 1; spill = true; stream = true };
+    { kind = Direct; parallel = 1; spill = false; stream = false;
+      nopush = false };
+    { kind = Plan Optimizer.Hash; parallel = 1; spill = false; stream = false;
+      nopush = false };
+    { kind = Plan Optimizer.Sort; parallel = 1; spill = false; stream = false;
+      nopush = false };
+    { kind = Plan Optimizer.Auto; parallel = 1; spill = false; stream = false;
+      nopush = false };
+    { kind = Plan Optimizer.Hash; parallel = 1; spill = false; stream = true;
+      nopush = false };
+    { kind = Plan Optimizer.Hash; parallel = 1; spill = true; stream = true;
+      nopush = false };
+    (* the rewrite differential: the same plan with the eager-aggregation
+       pushdown forced off — a pushdown bug shows up as this column
+       disagreeing with its rewritten twin (both against the oracle),
+       and shrinks like any other divergence *)
+    { kind = Plan Optimizer.Hash; parallel = 1; spill = false; stream = false;
+      nopush = true };
+    { kind = Plan Optimizer.Hash; parallel = 1; spill = true; stream = false;
+      nopush = true };
   ]
 
 let sampled_configs ~seed =
   (* derive from a distinct stream so adding configurations never
-     perturbs the generator's choices for the same seed *)
+     perturbs the generator's choices for the same seed; nopush draws
+     from its own stream so the older fields replay identically too *)
   let rng = Prng.create (seed lxor 0x5eed5eed) in
+  let rng_push = Prng.create (seed lxor 0x906070) in
   let strategies = [| Optimizer.Hash; Optimizer.Sort; Optimizer.Auto |] in
   base_configs
   @ List.init 3 (fun _ ->
@@ -47,6 +65,7 @@ let sampled_configs ~seed =
           parallel = (if Prng.one_in rng 2 then 2 else 4);
           spill = Prng.one_in rng 2;
           stream = Prng.one_in rng 2;
+          nopush = Prng.one_in rng_push 3;
         })
 
 type outcome =
@@ -99,6 +118,16 @@ let engine_outcome ?(inject_bug = false) ?doc config context_node query =
         Xq_pipeline.Pipeline.eval ~strategy ~parallel:config.parallel
           ~doc:context_node compiled
     end
+  in
+  let run () =
+    if config.nopush then begin
+      let saved = Optimizer.agg_pushdown_on () in
+      Optimizer.set_agg_pushdown false;
+      Fun.protect
+        ~finally:(fun () -> Optimizer.set_agg_pushdown saved)
+        run
+    end
+    else run ()
   in
   let outcome =
     capture (fun () ->

@@ -28,14 +28,20 @@ type config = {
       (** run the projection verdict and, when streamable, pull the
           document through the streaming scan instead of materializing;
           plan configurations only *)
+  nopush : bool;
+      (** force the eager-aggregation pushdown off for this run — the
+          rewritten-vs-unrewritten differential column. The process
+          switch is restored afterwards, so an [XQ_NO_AGG_PUSHDOWN]
+          environment still governs the other columns. *)
 }
 
 (** e.g. ["plan:sort/par=4/spill/stream"] — stable, used in reports. *)
 val config_label : config -> string
 
 (** The always-run configurations: direct, each strategy at parallel 1
-    without spilling, plus the streamed hash executor with and without
-    the spill watermark armed. *)
+    without spilling, the streamed hash executor with and without the
+    spill watermark armed, and the hash executor with the aggregation
+    pushdown forced off (unspilled and spilled). *)
 val base_configs : config list
 
 (** [base_configs] plus three seed-sampled stress configurations

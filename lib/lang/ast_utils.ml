@@ -224,3 +224,154 @@ let call_sites e =
       | _ -> ())
     e;
   !acc
+
+(* Top-down rewriting map: [f e = Some e'] replaces [e] with [e'] (the
+   replacement is not descended into); [None] keeps [e] and maps its
+   subexpressions. Scope-blind like [iter_exprs]. *)
+let rec map_exprs f e =
+  match f e with
+  | Some e' -> e'
+  | None -> begin
+    let r = map_exprs f in
+    match e with
+    | Literal _ | Var _ | Context_item | Root -> e
+    | Sequence es -> Sequence (List.map r es)
+    | Range (a, b) -> Range (r a, r b)
+    | Arith (op, a, b) -> Arith (op, r a, r b)
+    | Neg a -> Neg (r a)
+    | General_cmp (op, a, b) -> General_cmp (op, r a, r b)
+    | Value_cmp (op, a, b) -> Value_cmp (op, r a, r b)
+    | Node_cmp (op, a, b) -> Node_cmp (op, r a, r b)
+    | And (a, b) -> And (r a, r b)
+    | Or (a, b) -> Or (r a, r b)
+    | Union (a, b) -> Union (r a, r b)
+    | Intersect (a, b) -> Intersect (r a, r b)
+    | Except (a, b) -> Except (r a, r b)
+    | Instance_of (a, t) -> Instance_of (r a, t)
+    | Treat_as (a, t) -> Treat_as (r a, t)
+    | Castable_as (a, t) -> Castable_as (r a, t)
+    | Cast_as (a, t) -> Cast_as (r a, t)
+    | If (a, b, c) -> If (r a, r b, r c)
+    | Quantified (q, binds, body) ->
+      Quantified (q, List.map (fun (v, src) -> (v, r src)) binds, r body)
+    | Step (axis, test, preds) -> Step (axis, test, List.map r preds)
+    | Slash (a, b) -> Slash (r a, r b)
+    | Filter (prim, preds) -> Filter (r prim, List.map r preds)
+    | Call (name, args) -> Call (name, List.map r args)
+    | Comp_elem (a, b) -> Comp_elem (r a, r b)
+    | Comp_attr (a, b) -> Comp_attr (r a, r b)
+    | Comp_text a -> Comp_text (r a)
+    | Direct_elem d -> Direct_elem (map_direct f d)
+    | Flwor fl -> Flwor (map_flwor f fl)
+  end
+
+and map_direct f d =
+  {
+    d with
+    attrs =
+      List.map
+        (fun a ->
+          {
+            a with
+            attr_value =
+              List.map
+                (function
+                  | Attr_text _ as t -> t
+                  | Attr_expr e -> Attr_expr (map_exprs f e))
+                a.attr_value;
+          })
+        d.attrs;
+    content =
+      List.map
+        (function
+          | (Content_text _ | Content_comment _) as c -> c
+          | Content_expr e -> Content_expr (map_exprs f e)
+          | Content_elem child -> Content_elem (map_direct f child))
+        d.content;
+  }
+
+and map_flwor f fl =
+  let r = map_exprs f in
+  {
+    clauses =
+      List.map
+        (fun clause ->
+          match clause with
+          | For bindings ->
+            For (List.map (fun fb -> { fb with for_src = r fb.for_src }) bindings)
+          | Let bindings -> Let (List.map (fun (v, e) -> (v, r e)) bindings)
+          | Where e -> Where (r e)
+          | Count _ as c -> c
+          | Window w ->
+            Window
+              {
+                w with
+                w_src = r w.w_src;
+                w_start = { w.w_start with wc_when = r w.w_start.wc_when };
+                w_end =
+                  Option.map
+                    (fun we ->
+                      {
+                        we with
+                        we_cond = { we.we_cond with wc_when = r we.we_cond.wc_when };
+                      })
+                    w.w_end;
+              }
+          | Order_by { stable; specs } ->
+            Order_by { stable; specs = List.map (fun (e, m) -> (r e, m)) specs }
+          | Group_by g ->
+            Group_by
+              {
+                keys = List.map (fun k -> { k with key_expr = r k.key_expr }) g.keys;
+                nests =
+                  List.map
+                    (fun n ->
+                      {
+                        n with
+                        nest_expr = r n.nest_expr;
+                        nest_order = List.map (fun (e, m) -> (r e, m)) n.nest_order;
+                      })
+                    g.nests;
+              })
+        fl.clauses;
+    return_at = fl.return_at;
+    return_expr = r fl.return_expr;
+  }
+
+(* The variable names a clause introduces into the tuple stream. *)
+let clause_binders = function
+  | For bindings ->
+    List.concat_map
+      (fun fb -> fb.for_var :: Option.to_list fb.positional)
+      bindings
+  | Let bindings -> List.map fst bindings
+  | Where _ | Order_by _ -> []
+  | Count v -> [ v ]
+  | Window w ->
+    let cond wc =
+      List.filter_map Fun.id [ wc.wc_item; wc.wc_pos; wc.wc_prev; wc.wc_next ]
+    in
+    (w.w_var :: cond w.w_start)
+    @ (match w.w_end with Some { we_cond; _ } -> cond we_cond | None -> [])
+  | Group_by g ->
+    List.map (fun k -> k.key_var) g.keys
+    @ List.map (fun n -> n.nest_var) g.nests
+
+(* Does any construct anywhere inside [e] (scope-blind) introduce a
+   binding named [v]?  Used by the aggregation-pushdown analysis to
+   rule out shadowing before it trusts occurrence counts of [Var v]. *)
+let rebinds v e =
+  let found = ref false in
+  iter_exprs
+    (fun e ->
+      match e with
+      | Quantified (_, binds, _) ->
+        if List.exists (fun (x, _) -> x = v) binds then found := true
+      | Flwor fl ->
+        if
+          List.exists (fun c -> List.mem v (clause_binders c)) fl.clauses
+          || fl.return_at = Some v
+        then found := true
+      | _ -> ())
+    e;
+  !found

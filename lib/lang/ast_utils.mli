@@ -32,3 +32,17 @@ val constructs_nodes : Ast.expr -> bool
 (** Every function call in the expression, as [(name, arity)] pairs
     (duplicates preserved, order unspecified). *)
 val call_sites : Ast.expr -> (Xq_xdm.Xname.t * int) list
+
+(** Top-down rewriting map over an expression: where [f] returns
+    [Some e'] the node is replaced by [e'] (the replacement is not
+    descended into); where it returns [None] the node is kept and its
+    subexpressions mapped. Scope-blind, like {!iter_exprs}. *)
+val map_exprs : (Ast.expr -> Ast.expr option) -> Ast.expr -> Ast.expr
+
+(** The variable names a FLWOR clause introduces. *)
+val clause_binders : Ast.clause -> string list
+
+(** True when any construct inside the expression (scope-blind)
+    introduces a binding named [v] — quantifier bindings, FLWOR clause
+    bindings, or a [return at] rank variable. *)
+val rebinds : string -> Ast.expr -> bool

@@ -234,6 +234,23 @@ let run ?(scope = `Process) ?(force_governor = false) ?on_governor
           (* with a streamable source in play, EXPLAIN also reports the
              projection verdict — the reason a query materializes is
              otherwise invisible *)
+          (* when --rewrite recognized the implicit-grouping idiom at
+             compile time, say so — the analyzed plan only shows the
+             resulting group by, not where it came from *)
+          let output =
+            if not knobs.k_rewrite then output
+            else
+              let n =
+                match
+                  Xq_lang.Parser.parse_query compiled.c_source
+                with
+                | q -> Xq_rewrite.Rewrite.count_rewrites q.Xq_lang.Ast.body
+                | exception _ -> 0
+              in
+              if n > 0 then
+                Printf.sprintf "rewrite: implicit-grouping=%d\n" n ^ output
+              else output
+          in
           let output =
             match stream_source with
             | None -> output

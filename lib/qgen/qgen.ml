@@ -313,9 +313,94 @@ let gen_return rng env =
   let content = coalesce content in
   Ast.Direct_elem { tag = nm "row"; attrs; content }
 
+(* The paper's §6 implicit-grouping anti-pattern (Q): distinct-values
+   over a path, then a self-join recollecting each key's items, consumed
+   by aggregates. Both Table 1 shapes are emitted so [Rewrite.detect]
+   has to recognize each one; the fuzzer's rewrite differential replays
+   these with the rewrite on and off. *)
+let agg_names = [| "count"; "sum"; "avg"; "min"; "max" |]
+
+let gen_q_idiom rng seed doc =
+  let src = abs_path [ child_step "data"; child_step "item" ] in
+  let rel =
+    match Prng.int rng 4 with
+    | 0 -> attr_step "k"
+    | 1 -> attr_step "t"
+    | 2 -> child_step "s"
+    | _ -> child_step "v"
+  in
+  let kv = "d1" and items = "m1" in
+  let key_src = Ast.Call (fn "distinct-values", [ Ast.Slash (src, rel) ]) in
+  let items_expr =
+    if Prng.one_in rng 2 then
+      (* the filter-predicate shape: /data/item[REL = $d1] *)
+      match src with
+      | Ast.Slash (prefix, Ast.Step (axis, test, [])) ->
+        Ast.Slash
+          ( prefix,
+            Ast.Step
+              (axis, test, [ Ast.General_cmp (Ast.Gen_eq, rel, Ast.Var kv) ])
+          )
+      | _ -> assert false
+    else
+      (* the inner-FLWOR shape: for $i in SRC where $i/REL = $d1 return $i *)
+      Ast.Flwor
+        {
+          clauses =
+            [
+              Ast.For
+                [ { for_var = "i1"; positional = None; for_src = src } ];
+              Ast.Where
+                (Ast.General_cmp
+                   ( Ast.Gen_eq,
+                     Ast.Slash (Ast.Var "i1", rel),
+                     Ast.Var kv ));
+            ];
+          return_at = None;
+          return_expr = Ast.Var "i1";
+        }
+  in
+  (* aggregate-only consumption of the recollected items: count over
+     the nodes themselves, the numeric folds over their <v> children *)
+  let aggs =
+    Ast.Content_expr (Ast.Call (fn "count", [ Ast.Var items ]))
+    :: List.init (Prng.int rng 3) (fun _ ->
+           Ast.Content_expr
+             (Ast.Call
+                ( fn (Prng.pick rng agg_names),
+                  [ Ast.Slash (Ast.Var items, child_step "v") ] )))
+  in
+  let return_expr =
+    Ast.Direct_elem
+      {
+        tag = nm "row";
+        attrs =
+          [ { Ast.attr_tag = nm "a"; attr_value = [ Ast.Attr_expr (Ast.Var kv) ] } ];
+        content = aggs;
+      }
+  in
+  let query =
+    Ast.query_of_expr
+      (Ast.Flwor
+         {
+           clauses =
+             [
+               Ast.For
+                 [ { for_var = kv; positional = None; for_src = key_src } ];
+               Ast.Let [ (items, items_expr) ];
+             ];
+           return_at = None;
+           return_expr;
+         })
+  in
+  Static.check_query query;
+  { seed; query; doc }
+
 let generate seed =
   let rng = Prng.create seed in
   let doc = gen_doc rng in
+  if Prng.one_in rng 8 then gen_q_idiom rng seed doc
+  else begin
   let fresh =
     let n = ref 0 in
     fun prefix ->
@@ -370,6 +455,11 @@ let generate seed =
   if Prng.one_in rng 2 then push (Ast.Where (gen_bool rng !env 2));
   (* group by *)
   let grouped = not (Prng.one_in rng 4) in
+  (* aggregate-only consumption: the nest variables never escape into
+     the general expression pool — their only uses are the aggregate
+     calls appended to the return element, which is exactly the shape
+     the optimizer's eager-aggregation pushdown fires on *)
+  let agg_nest_vars = ref [] in
   if grouped then begin
     let keys =
       List.init (1 + Prng.int rng 3) (fun _ ->
@@ -380,14 +470,18 @@ let generate seed =
           (({ key_expr = e; key_var = fresh "g"; using } : Ast.group_key),
            safe))
     in
+    let agg_only = Prng.one_in rng 3 in
     let nests =
       List.init (Prng.int rng 3) (fun _ ->
           let e, kind =
             if Prng.one_in rng 2 then (gen_numseq rng !env 2, Knum)
             else (gen_seq rng !env 2, Kany)
           in
+          (* pushdown eligibility needs unsorted nests *)
           let nest_order =
-            if Prng.one_in rng 3 then [ gen_order_spec rng !env 1 ] else []
+            if (not agg_only) && Prng.one_in rng 3 then
+              [ gen_order_spec rng !env 1 ]
+            else []
           in
           (({ nest_expr = e; nest_order; nest_var = fresh "n" } :
               Ast.nest_spec),
@@ -396,12 +490,18 @@ let generate seed =
     push
       (Ast.Group_by
          { keys = List.map fst keys; nests = List.map fst nests });
+    if agg_only then
+      agg_nest_vars := List.map (fun ((n : Ast.nest_spec), _) -> n.nest_var) nests;
     env :=
       List.map
         (fun ((k : Ast.group_key), safe) ->
           (k.key_var, if safe then Katom else Kany))
         keys
-      @ List.map (fun ((n : Ast.nest_spec), kind) -> (n.nest_var, kind)) nests;
+      @ (if agg_only then []
+         else
+           List.map
+             (fun ((n : Ast.nest_spec), kind) -> (n.nest_var, kind))
+             nests);
     (* post-group lets and where *)
     for _ = 1 to Prng.int rng 3 do
       let var = fresh "l" in
@@ -435,12 +535,29 @@ let generate seed =
     else None
   in
   let return_expr = gen_return rng !env in
+  (* aggregate-only nests surface here and nowhere else: one aggregate
+     call per nest variable, appended to the returned element *)
+  let return_expr =
+    match return_expr, !agg_nest_vars with
+    | _, [] -> return_expr
+    | Ast.Direct_elem d, vars ->
+      let aggs =
+        List.map
+          (fun v ->
+            Ast.Content_expr
+              (Ast.Call (fn (Prng.pick rng agg_names), [ Ast.Var v ])))
+          vars
+      in
+      Ast.Direct_elem { d with content = d.content @ aggs }
+    | other, _ -> other
+  in
   let query =
     Ast.query_of_expr
       (Ast.Flwor { clauses = List.rev !clauses; return_at; return_expr })
   in
   Static.check_query query;
   { seed; query; doc }
+  end
 
 (* --- key lists for partition-agreement tests ---------------------------- *)
 

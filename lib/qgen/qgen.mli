@@ -9,7 +9,12 @@
     fn:deep-equal]), [nest … order by … into], post-grouping [let] and
     [where], a trailing (optionally [stable]) [order by], [count],
     [return at $rank], and the aggregate builtins over nesting
-    variables. Scoping is correct by construction — generated queries
+    variables. A third of grouped queries bind aggregate-only nests
+    (the nest variable's sole uses are aggregate calls in the return
+    element — the eager-aggregation pushdown's trigger shape), and one
+    seed in eight emits the paper's §6 implicit-grouping anti-pattern
+    (a [distinct-values] self-join in either Table 1 shape, which
+    [Rewrite.detect] must recognize). Scoping is correct by construction — generated queries
     always pass {!Xq_lang.Static.check_query} — and key-value domains
     are kept small so groups actually collide.
 

@@ -258,9 +258,14 @@ let analyze_query ?(timings = true) ?(optimize = false) ?strategy ?parallel
     | Flwor f ->
       let plan = Plan.of_flwor f in
       let plan = Optimizer.apply_strategy strategy plan in
+      let plan = Optimizer.push_aggregates plan in
       let plan = if optimize then Optimizer.optimize plan else plan in
       let result, stats = Exec.run_instrumented ?parallel ctx plan in
       total := !total + List.length result;
+      (* pushdown annotation before the plan it reshaped, only when it
+         applied — the untouched golden corpus stays byte-stable *)
+      let n = Optimizer.agg_pushdown_count plan in
+      if n > 0 then add buf 0 (Printf.sprintf "rewrite: agg-pushdown=%d" n);
       Buffer.add_string buf (analyzed ~timings plan stats)
     | Sequence es -> List.iter go es
     | other ->

@@ -44,6 +44,14 @@ let code_to_string = function
   | XQENG0007 -> "XQENG0007"
   | XQENG0008 -> "XQENG0008"
 
+let all_codes =
+  [ XPST0003; XPST0008; XPST0017; XQST0094; XPTY0004; XPDY0002; FORG0001;
+    FORG0006; FOAR0001; FOCA0002; FODT0001; XQDY0025; XQENG0001; XQENG0002;
+    XQENG0003; XQENG0004; XQENG0005; XQENG0006; XQENG0007; XQENG0008 ]
+
+let code_of_string s =
+  List.find_opt (fun c -> code_to_string c = s) all_codes
+
 type severity = Static | Dynamic | Resource
 
 let severity = function

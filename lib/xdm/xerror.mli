@@ -41,6 +41,11 @@ exception Error of code * string
 
 val code_to_string : code -> string
 
+(** Inverse of {!code_to_string}; [None] for unknown strings. Used where
+    a code crosses a serialization boundary (spilled accumulator error
+    state, fuzzer outcome comparison). *)
+val code_of_string : string -> code option
+
 (** Error classes, as the CLI exit-code taxonomy sees them. *)
 type severity = Static | Dynamic | Resource
 

@@ -1,0 +1,3 @@
+for $a in distinct-values(//order/lineitem/sku)
+let $items := for $i in //order/lineitem where $i/sku = $a return $i
+return <r>{$a, count($items)}</r>

@@ -1,0 +1,4 @@
+for $litem in //order/lineitem
+group by $litem/sku into $a
+nest $litem/qty into $q
+return <r>{$a, sum($q), count($q), avg($q), min($q), max($q)}</r>

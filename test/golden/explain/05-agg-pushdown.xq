@@ -1,0 +1,5 @@
+(: fixture: lineitems :)
+for $l in //order/lineitem
+group by $l/sku into $sku
+nest $l/qty into $q
+return <g>{$sku}<s>{sum($q)}</s><c>{count($q)}</c><a>{avg($q)}</a></g>

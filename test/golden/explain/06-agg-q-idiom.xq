@@ -1,0 +1,4 @@
+(: fixture: lineitems :)
+for $sku in distinct-values(//order/lineitem/sku)
+let $grp := for $i in //order/lineitem where $i/sku = $sku return $i
+return <r>{$sku, count($grp)}</r>

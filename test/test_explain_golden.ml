@@ -52,6 +52,15 @@ let explain_tests =
     List.map
       (fun file ->
         test file (fun () ->
+            (* the goldens pin the default planning, which includes the
+               aggregation pushdown — run them with the switch on even
+               under an XQ_NO_AGG_PUSHDOWN=1 sweep (whose point is the
+               executed outputs, not the explain text) *)
+            let saved = Xq_algebra.Optimizer.agg_pushdown_on () in
+            Xq_algebra.Optimizer.set_agg_pushdown true;
+            Fun.protect
+              ~finally:(fun () -> Xq_algebra.Optimizer.set_agg_pushdown saved)
+            @@ fun () ->
             let source = Test_golden.read_file (Filename.concat dir file) in
             let data =
               Test_golden.fixture_of_name (Test_golden.fixture_header source)

@@ -25,6 +25,15 @@ let fixture_of_name = function
          <lineitem><a>A1</a><b>B1</b></lineitem>
          <lineitem><a>A2</a></lineitem></order>
 </orders>|}
+  | "lineitems" ->
+    (* numeric quantities, for the aggregate-pushdown explains *)
+    {|<orders>
+  <order><lineitem><sku>A1</sku><qty>2</qty></lineitem>
+         <lineitem><sku>B7</sku><qty>3</qty></lineitem></order>
+  <order><lineitem><sku>A1</sku><qty>5</qty></lineitem>
+         <lineitem><sku>B7</sku><qty>1</qty></lineitem>
+         <lineitem><sku>A1</sku><qty>4</qty></lineitem></order>
+</orders>|}
   | other -> Alcotest.failf "unknown fixture %S" other
 
 let read_file path =

@@ -27,6 +27,7 @@ let () =
          Test_par.suites;
          Test_governor.suites;
          Test_spill.suites;
+         Test_agg.suites;
          Test_corpus.suites;
          Test_fuzz.suites;
          Test_stream.suites;
